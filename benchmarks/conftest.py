@@ -1,0 +1,72 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``test_*`` file regenerates one table or figure of the paper at
+the scale selected by ``REPRO_SCALE`` (default ``small``).  Results are
+printed and written under ``benchmarks/results/`` so EXPERIMENTS.md can
+cite them; assertions encode the qualitative *shape* each experiment
+must reproduce (who wins, where the trade-offs sit).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import current_scale
+from repro.eval.report import Table
+from repro.datasets.nvd import generate_nvd_corpus
+from repro.datasets.sard import generate_sard_corpus
+from repro.datasets.xen import generate_xen_corpus
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def train_cases(scale):
+    """Mixed SARD+NVD training corpus (the paper trains on both)."""
+    sard = generate_sard_corpus(scale.cases_per_experiment, seed=101)
+    nvd = generate_nvd_corpus(max(scale.cases_per_experiment // 10, 5),
+                              seed=102)
+    return sard + nvd
+
+
+@pytest.fixture(scope="session")
+def xen_train_cases(scale):
+    """Xen-flavoured training supplement: template cases only — the
+    handcrafted CVE miniatures are excluded (held out for Table VII)."""
+    corpus = generate_xen_corpus(
+        max(scale.cases_per_experiment // 2, 30), seed=777)
+    return [case for case in corpus if "cve" not in case.meta]
+
+
+@pytest.fixture(scope="session")
+def test_cases(scale):
+    """Held-out evaluation corpus, disjoint seeds."""
+    count = max(scale.cases_per_experiment // 2, 20)
+    return generate_sard_corpus(count, seed=201)
+
+
+class TableReporter(Table):
+    """A library Table that also persists under benchmarks/results/."""
+
+    def save_and_print(self) -> str:
+        self.save(RESULTS_DIR)
+        text = self.render()
+        print("\n" + text)
+        return text
+
+
+@pytest.fixture
+def reporter():
+    return TableReporter
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

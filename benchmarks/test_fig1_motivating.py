@@ -1,0 +1,76 @@
+"""Fig 1 — the motivating example.
+
+Paper claim: the guarded and unguarded strncpy programs produce
+*identical* classic code gadgets (so any classifier is stuck at 50%
+accuracy on the pair) while path-sensitive gadgets differ.
+"""
+
+from repro.lang.callgraph import analyze
+from repro.slicing.gadget import classic_gadget
+from repro.slicing.path_sensitive import path_sensitive_gadget
+from repro.slicing.special_tokens import find_special_tokens
+
+from conftest import run_once
+
+SAFE = """\
+void fun1(char *data, int n) {
+    char dest[10];
+    if (n < 10) {
+        dest[0] = 0;
+        strncpy(dest, data, n);
+    }
+    printf("%s", dest);
+}
+"""
+
+VULN = """\
+void fun1(char *data, int n) {
+    char dest[10];
+    if (n < 10) {
+        dest[0] = 0;
+    }
+    strncpy(dest, data, n);
+    printf("%s", dest);
+}
+"""
+
+
+def _gadgets(source):
+    program = analyze(source)
+    criterion = [c for c in find_special_tokens(program)
+                 if c.token == "strncpy"][0]
+    return (classic_gadget(program, criterion),
+            path_sensitive_gadget(program, criterion))
+
+
+def test_fig1_motivating_example(benchmark, reporter):
+    def experiment():
+        cg_safe, ps_safe = _gadgets(SAFE)
+        cg_vuln, ps_vuln = _gadgets(VULN)
+        return cg_safe, ps_safe, cg_vuln, ps_vuln
+
+    cg_safe, ps_safe, cg_vuln, ps_vuln = run_once(benchmark, experiment)
+
+    table = reporter("fig1_motivating",
+                     "Fig 1 — classic vs path-sensitive gadget identity")
+    table.add(pair="classic (CG)",
+              identical=cg_safe.text() == cg_vuln.text(),
+              paper_expectation="identical -> detector stuck at 50%")
+    table.add(pair="path-sensitive (PS-CG)",
+              identical=ps_safe.text() == ps_vuln.text(),
+              paper_expectation="distinct -> separable")
+    table.save_and_print()
+
+    # The paper's claim, verbatim.
+    assert cg_safe.text() == cg_vuln.text()
+    assert ps_safe.text() != ps_vuln.text()
+
+    # And the distinguishing element is scope boundaries: the safe
+    # variant closes the if-range *after* the copy, the vulnerable one
+    # *before* it.
+    safe_roles = [line.role for line in ps_safe.lines]
+    vuln_roles = [line.role for line in ps_vuln.lines]
+    assert safe_roles.index("criterion") < \
+        safe_roles.index("control-end")
+    assert vuln_roles.index("control-end") < \
+        vuln_roles.index("criterion")

@@ -1,0 +1,73 @@
+"""Fig 5 — classical static tools vs SEVulDet.
+
+Paper shape (program-level verdicts):
+* Flawfinder and RATS: high FPR and/or FNR (lexical matching only);
+* Checkmarx: better than the grep tools but still weak;
+* VUDDY: near-zero FPR, very high FNR (exact-clone matching);
+* SEVulDet dominates all of them on F1.
+"""
+
+from repro.baselines.checkmarx import CheckmarxScanner
+from repro.baselines.flawfinder import FlawfinderScanner
+from repro.baselines.rats import RatsScanner
+from repro.baselines.vuddy import VuddyScanner
+from repro.core.detector import SEVulDet
+from repro.eval.comparison import evaluate_static_tool
+
+from conftest import run_once
+
+PAPER_NOTE = {
+    "Flawfinder": "high FPR+FNR", "RATS": "high FPR+FNR",
+    "Checkmarx": "better, still high", "VUDDY": "low FPR / high FNR",
+    "SEVulDet": "dominates",
+}
+
+
+def test_fig5_static_tool_comparison(benchmark, reporter, scale,
+                                     train_cases, test_cases):
+    def experiment():
+        vuddy = VuddyScanner()
+        for case in train_cases:
+            if case.vulnerable:
+                vuddy.add_vulnerable(case.source)
+
+        detector = SEVulDet(scale=scale, seed=31)
+        detector.fit(train_cases)
+
+        class LearnedTool:
+            name = "SEVulDet"
+
+            def flags(self, source: str) -> bool:
+                return bool(detector.detect(source))
+
+        tools = [FlawfinderScanner(), RatsScanner(),
+                 CheckmarxScanner(), vuddy, LearnedTool()]
+        return {tool.name: evaluate_static_tool(tool, test_cases)
+                for tool in tools}
+
+    results = run_once(benchmark, experiment)
+
+    table = reporter("fig5_static_tools",
+                     "Fig 5 — classical static tools vs SEVulDet "
+                     "(program-level verdicts)")
+    for name, metrics in results.items():
+        table.add(tool=name, **metrics.as_percentages(),
+                  paper_shape=PAPER_NOTE[name])
+    table.save_and_print()
+
+    # Shape 1: SEVulDet's F1 dominates every classical tool.
+    for name in ("Flawfinder", "RATS", "Checkmarx", "VUDDY"):
+        assert results["SEVulDet"].f1 > results[name].f1, name
+
+    # Shape 2: VUDDY trades FNR for FPR — lowest FPR of the classical
+    # tools, and a high FNR.
+    classical_fprs = {name: results[name].fpr
+                      for name in ("Flawfinder", "RATS", "Checkmarx",
+                                   "VUDDY")}
+    assert results["VUDDY"].fpr == min(classical_fprs.values())
+    assert results["VUDDY"].fnr > 0.5
+
+    # Shape 3: the lexical scanners are substantially wrong somewhere
+    # (the sum of their error rates is large).
+    for name in ("Flawfinder", "RATS"):
+        assert results[name].fpr + results[name].fnr > 0.4, name

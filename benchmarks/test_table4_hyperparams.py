@@ -1,0 +1,43 @@
+"""Table IV — hyper-parameters of the three frameworks.
+
+A configuration table, reproduced verbatim from
+:mod:`repro.core.config` (which the comparison harness actually uses),
+plus a check that the scaled presets preserve each framework's
+*relative* characteristics (only SEVulDet is flexible-length, SEVulDet
+has the smallest learning rate, VulDeePecker the widest embedding).
+"""
+
+from repro.core.config import FRAMEWORK_HYPERPARAMS
+
+from conftest import run_once
+
+
+def test_table4_hyperparameters(benchmark, reporter):
+    def experiment():
+        return {name: hp.as_row()
+                for name, hp in FRAMEWORK_HYPERPARAMS.items()}
+
+    rows = run_once(benchmark, experiment)
+
+    table = reporter("table4_hyperparams",
+                     "Table IV — framework hyper-parameters (paper)")
+    for name in ("VulDeePecker", "SySeVR", "SEVulDet"):
+        table.add(**rows[name])
+    table.save_and_print()
+
+    vuldee = FRAMEWORK_HYPERPARAMS["VulDeePecker"]
+    sysevr = FRAMEWORK_HYPERPARAMS["SySeVR"]
+    sevuldet = FRAMEWORK_HYPERPARAMS["SEVulDet"]
+
+    # Verbatim paper values.
+    assert (vuldee.dimension, vuldee.batch_size, vuldee.learning_rate,
+            vuldee.dropout, vuldee.epochs) == (50, 64, 0.001, 0.5, 4)
+    assert (sysevr.dimension, sysevr.batch_size, sysevr.learning_rate,
+            sysevr.dropout, sysevr.epochs) == (30, 16, 0.002, 0.2, 20)
+    assert (sevuldet.dimension, sevuldet.batch_size,
+            sevuldet.learning_rate, sevuldet.dropout,
+            sevuldet.epochs) == (30, 16, 0.0001, 0.2, 20)
+
+    # Only SEVulDet accepts flexible-length input.
+    assert sevuldet.flexible_length
+    assert not vuldee.flexible_length and not sysevr.flexible_length

@@ -1,0 +1,78 @@
+"""Table V (RQ3) — SEVulDet vs VulDeePecker vs SySeVR per category.
+
+Paper shape: SEVulDet's F1 exceeds the baselines in every category
+(FC/AU/PU/AE and All); single-type F1 >= all-type F1 for SEVulDet;
+VulDeePecker is evaluated on FC only.
+"""
+
+from repro.datasets.sard import generate_sard_corpus
+from repro.eval.comparison import FRAMEWORKS, train_and_evaluate
+
+from conftest import run_once
+
+PAPER_F1 = {
+    ("VulDeePecker", "FC"): 81.0, ("SySeVR", "FC"): 90.9,
+    ("SEVulDet", "FC"): 94.9,
+    ("SySeVR", "AU"): 90.2, ("SEVulDet", "AU"): 94.8,
+    ("SySeVR", "PU"): 80.1, ("SEVulDet", "PU"): 91.9,
+    ("SySeVR", "AE"): 94.9, ("SEVulDet", "AE"): 96.3,
+    ("SySeVR", "All"): 85.9, ("SEVulDet", "All"): 91.3,
+}
+
+RUNS = [
+    ("VulDeePecker", "FC"), ("SySeVR", "FC"), ("SEVulDet", "FC"),
+    ("SySeVR", "AU"), ("SEVulDet", "AU"),
+    ("SySeVR", "PU"), ("SEVulDet", "PU"),
+    ("SySeVR", "AE"), ("SEVulDet", "AE"),
+    ("SySeVR", "All"), ("SEVulDet", "All"),
+]
+
+
+def _corpora(scale, category):
+    # Single-category corpora yield fewer in-category gadgets per
+    # program, so they get proportionally more programs.
+    restrict = None if category == "All" else (category,)
+    multiplier = 1 if category == "All" else 5 / 3
+    count = int(scale.cases_per_experiment * multiplier)
+    train = generate_sard_corpus(count, seed=301, categories=restrict)
+    test = generate_sard_corpus(max(count // 2, 20), seed=302,
+                                categories=restrict)
+    return train, test
+
+
+def test_table5_rq3_framework_comparison(benchmark, reporter, scale):
+    def experiment():
+        results = {}
+        for framework, category in RUNS:
+            train, test = _corpora(scale, category)
+            wanted = None if category == "All" else (category,)
+            metrics, _ = train_and_evaluate(
+                FRAMEWORKS[framework], train, test, scale, seed=29,
+                categories=wanted)
+            results[(framework, category)] = metrics
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    table = reporter("table5_rq3",
+                     "Table V — RQ3: deep-learning framework comparison")
+    for framework, category in RUNS:
+        row = results[(framework, category)].as_percentages()
+        table.add(work=f"{framework}-{category}", **row,
+                  paper_F1=PAPER_F1[(framework, category)])
+    table.save_and_print()
+
+    # Shape 1: SEVulDet wins every category on F1 (small tolerance for
+    # scaled-down training noise).
+    for category in ("FC", "AU", "PU", "AE", "All"):
+        sevuldet = results[("SEVulDet", category)].f1
+        sysevr = results[("SySeVR", category)].f1
+        assert sevuldet >= sysevr - 0.02, (category, sevuldet, sysevr)
+    assert results[("SEVulDet", "FC")].f1 >= \
+        results[("VulDeePecker", "FC")].f1 - 0.02
+
+    # Shape 2: the average single-type F1 of SEVulDet is at least its
+    # all-type F1 (paper: specialisation helps).
+    singles = [results[("SEVulDet", c)].f1
+               for c in ("FC", "AU", "PU", "AE")]
+    assert sum(singles) / 4 >= results[("SEVulDet", "All")].f1 - 0.05

@@ -1,0 +1,54 @@
+"""Table VI — real-world (Xen-like) corpus evaluation.
+
+Pre-trained frameworks applied to the harder Xen-flavoured corpus.
+Paper shape: every framework's precision drops sharply relative to the
+synthetic corpus (real software is harder: paper P = 51.6/60.0/62.7);
+the ordering VulDeePecker < SySeVR < SEVulDet on F1 holds
+(60.6 < 67.9 < 73.4).
+"""
+
+from repro.datasets.xen import generate_xen_corpus
+from repro.eval.comparison import FRAMEWORKS, train_and_evaluate
+
+from conftest import run_once
+
+PAPER = {"VulDeePecker": (4.3, 26.7, 94.3, 51.6, 60.6),
+         "SySeVR": (3.5, 19.8, 95.5, 60.0, 67.9),
+         "SEVulDet": (3.3, 11.5, 96.2, 62.7, 73.4)}
+
+
+def test_table6_realworld_xen(benchmark, reporter, scale, train_cases,
+                              xen_train_cases):
+    def experiment():
+        xen = generate_xen_corpus(
+            max(scale.cases_per_experiment // 2, 30), seed=401)
+        training = train_cases + xen_train_cases
+        results = {}
+        for framework in ("VulDeePecker", "SySeVR", "SEVulDet"):
+            metrics, _ = train_and_evaluate(
+                FRAMEWORKS[framework], training, xen, scale,
+                seed=37)
+            results[framework] = metrics
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    table = reporter("table6_realworld",
+                     "Table VI — pre-trained frameworks on the "
+                     "Xen-like corpus")
+    for framework, metrics in results.items():
+        row = metrics.as_percentages()
+        paper = PAPER[framework]
+        table.add(work=framework, **row,
+                  paper_FPR=paper[0], paper_FNR=paper[1],
+                  paper_A=paper[2], paper_P=paper[3],
+                  paper_F1=paper[4])
+    table.save_and_print()
+
+    # Shape: SEVulDet leads on F1; the full ordering holds with a
+    # small tolerance for scaled-down noise.
+    assert results["SEVulDet"].f1 >= results["SySeVR"].f1 - 0.02
+    assert results["SEVulDet"].f1 >= \
+        results["VulDeePecker"].f1 - 0.02
+    assert results["SEVulDet"].f1 == max(m.f1 for m in
+                                         results.values())

@@ -1,0 +1,86 @@
+"""Pipeline-kernel throughput benchmarks (regression guardrails).
+
+Unlike the table/figure benches (one-shot experiments), these are
+classic multi-round pytest-benchmark timings of the hot kernels:
+frontend analysis, gadget extraction, normalization, and model
+forward passes at several sequence lengths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import extract_gadgets
+from repro.datasets.cwe_templates import TEMPLATES, generate_case
+from repro.lang.callgraph import analyze
+from repro.models.blstm import BLSTMNet
+from repro.models.sevuldet import SEVulDetNet
+from repro.nn import no_grad
+from repro.slicing.normalize import normalize_gadget
+from repro.slicing.path_sensitive import path_sensitive_gadget
+from repro.slicing.special_tokens import find_special_tokens
+
+
+@pytest.fixture(scope="module")
+def sample_case():
+    return generate_case(TEMPLATES[0], vulnerable=True, seed=5)
+
+
+@pytest.fixture(scope="module")
+def sample_program(sample_case):
+    return analyze(sample_case.source, path=sample_case.name)
+
+
+def test_frontend_analyze_throughput(benchmark, sample_case):
+    """Full frontend: parse -> CFG -> dependences -> PDG -> call graph."""
+    result = benchmark(analyze, sample_case.source)
+    assert result.function_names
+
+
+def test_path_sensitive_gadget_throughput(benchmark, sample_program):
+    criterion = [c for c in find_special_tokens(sample_program)
+                 if c.token == "strcpy"][0]
+    gadget = benchmark(path_sensitive_gadget, sample_program, criterion)
+    assert gadget.lines
+
+
+def test_normalization_throughput(benchmark, sample_program):
+    criterion = [c for c in find_special_tokens(sample_program)
+                 if c.token == "strcpy"][0]
+    gadget = path_sensitive_gadget(sample_program, criterion)
+    normalized = benchmark(normalize_gadget, gadget)
+    assert normalized.tokens
+
+
+def test_extract_gadgets_per_case_throughput(benchmark, sample_case):
+    gadgets = benchmark(extract_gadgets, [sample_case])
+    assert gadgets
+
+
+@pytest.mark.parametrize("length", [32, 128, 512])
+def test_sevuldet_forward_throughput(benchmark, length):
+    """Flexible-length forward pass cost vs sequence length."""
+    model = SEVulDetNet(vocab_size=200, dim=16, channels=16, seed=0)
+    model.eval()
+    ids = np.random.default_rng(0).integers(0, 200, size=(16, length))
+
+    def forward():
+        with no_grad():
+            return model(ids)
+
+    logits = benchmark(forward)
+    assert logits.shape == (16,)
+
+
+def test_blstm_forward_throughput(benchmark):
+    """Fixed-length BRNN forward pass (the baseline cost profile)."""
+    model = BLSTMNet(vocab_size=200, dim=16, hidden=16, time_steps=80,
+                     seed=0)
+    model.eval()
+    ids = np.random.default_rng(0).integers(0, 200, size=(16, 80))
+
+    def forward():
+        with no_grad():
+            return model(ids)
+
+    logits = benchmark(forward)
+    assert logits.shape == (16,)

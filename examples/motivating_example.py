@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""The paper's Fig 1 motivating example, end to end.
+
+Shows why path-insensitive code gadgets are fundamentally limited: the
+guarded and unguarded programs below yield *identical* classic gadgets
+(so no classifier can separate them) but *distinct* path-sensitive
+gadgets (Algorithm 1 keeps the scope boundaries).  The script prints
+both gadget forms side by side and verifies the claim, then executes
+both programs in the bundled memory-safety interpreter to demonstrate
+the semantic difference is real.
+"""
+
+from repro.lang.callgraph import analyze
+from repro.lang.interp import run_program
+from repro.slicing.gadget import classic_gadget
+from repro.slicing.path_sensitive import path_sensitive_gadget
+from repro.slicing.special_tokens import find_special_tokens
+
+SAFE = """\
+void fun1(char *data, int n) {
+    char dest[10];
+    if (n < 10) {
+        dest[0] = 0;
+        strncpy(dest, data, n);
+    }
+    printf("%s", dest);
+}
+
+int main() {
+    char line[64];
+    fgets(line, 64, 0);
+    fun1(line, atoi(line));
+    return 0;
+}
+"""
+
+VULN = """\
+void fun1(char *data, int n) {
+    char dest[10];
+    if (n < 10) {
+        dest[0] = 0;
+    }
+    strncpy(dest, data, n);
+    printf("%s", dest);
+}
+
+int main() {
+    char line[64];
+    fgets(line, 64, 0);
+    fun1(line, atoi(line));
+    return 0;
+}
+"""
+
+
+def gadget_pair(source: str):
+    program = analyze(source)
+    criterion = [c for c in find_special_tokens(program)
+                 if c.token == "strncpy"][0]
+    return (classic_gadget(program, criterion),
+            path_sensitive_gadget(program, criterion))
+
+
+def main() -> None:
+    print("=== Fig 1: the motivating example ===\n")
+    cg_safe, ps_safe = gadget_pair(SAFE)
+    cg_vuln, ps_vuln = gadget_pair(VULN)
+
+    print("--- classic gadget (guarded program) ---")
+    print(cg_safe.text())
+    print("\n--- classic gadget (unguarded program) ---")
+    print(cg_vuln.text())
+    identical = cg_safe.text() == cg_vuln.text()
+    print(f"\nclassic gadgets identical: {identical}")
+    assert identical, "expected identical classic gadgets"
+
+    print("\n--- path-sensitive gadget (guarded) ---")
+    for line in ps_safe.lines:
+        print(f"  [{line.role:15s}] {line.text}")
+    print("\n--- path-sensitive gadget (unguarded) ---")
+    for line in ps_vuln.lines:
+        print(f"  [{line.role:15s}] {line.text}")
+    print(f"\npath-sensitive gadgets identical: "
+          f"{ps_safe.text() == ps_vuln.text()}")
+    assert ps_safe.text() != ps_vuln.text()
+
+    print("\n--- execution oracle (input: '31') ---")
+    attack = b"31\n"  # n = 31: the guard skips the copy; the
+    # unguarded variant copies 31 bytes into dest[10]
+    safe_result = run_program(SAFE, stdin=attack, max_steps=20_000)
+    vuln_result = run_program(VULN, stdin=attack, max_steps=20_000)
+    print(f"guarded program : crashed={safe_result.crashed}")
+    print(f"unguarded program: crashed={vuln_result.crashed} "
+          f"({vuln_result.violation})")
+    assert not safe_result.crashed and vuln_result.crashed
+
+    print("\nConclusion: identical classic gadgets, different ground "
+          "truth — any\npath-insensitive detector scores 50% on this "
+          "pair; Algorithm 1's scope\nboundaries make the pair "
+          "separable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: train SEVulDet on a synthetic SARD corpus and scan code.
+
+Run with::
+
+    python examples/quickstart.py
+
+Trains the full pipeline (path-sensitive gadgets -> word2vec -> token
+attention -> CNN/CBAM/SPP) on a small corpus, evaluates on held-out
+programs, then scans a hand-written vulnerable function and prints the
+findings with line numbers.
+"""
+
+from repro import SEVulDet, generate_sard_corpus
+from repro.core.config import SCALE_PRESETS
+
+TARGET = """\
+void handle_packet(char *payload, int length) {
+    char frame[32];
+    int checksum = length * 3;
+    printf("%d\\n", checksum);
+    if (length < 32) {
+        frame[0] = 0;
+    }
+    memcpy(frame, payload, length);
+    printf("%s\\n", frame);
+}
+
+int main() {
+    char buffer[128];
+    fgets(buffer, 128, 0);
+    handle_packet(buffer, atoi(buffer));
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    print("=== SEVulDet quickstart ===\n")
+
+    print("[1/3] generating training corpus (synthetic SARD) ...")
+    train_cases = generate_sard_corpus(120, seed=7)
+    vulnerable = sum(case.vulnerable for case in train_cases)
+    print(f"      {len(train_cases)} programs "
+          f"({vulnerable} vulnerable, "
+          f"{len(train_cases) - vulnerable} patched)")
+
+    print("[2/3] training the detector (path-sensitive gadgets -> "
+          "word2vec -> CNN/attention/SPP) ...")
+    detector = SEVulDet(scale=SCALE_PRESETS["small"], seed=1)
+    report = detector.fit(train_cases)
+    print(f"      final training loss: {report.final_loss:.4f}")
+
+    held_out = generate_sard_corpus(30, seed=99)
+    correct = sum(detector.flags_case(case) == case.vulnerable
+                  for case in held_out)
+    print(f"      held-out program accuracy: "
+          f"{correct}/{len(held_out)}")
+
+    print("[3/3] scanning a new file ...\n")
+    findings = detector.detect(TARGET, path="handle_packet.c")
+    if not findings:
+        print("      no findings above the decision threshold "
+              f"({detector.threshold})")
+    for finding in findings:
+        print(f"      FINDING {finding.path}:{finding.line} "
+              f"[{finding.category}] in {finding.function}() "
+              f"score={finding.score:.2f}")
+    source_lines = TARGET.split("\n")
+    for finding in findings[:3]:
+        print(f"        > {source_lines[finding.line - 1].strip()}")
+
+
+if __name__ == "__main__":
+    main()

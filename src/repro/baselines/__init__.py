@@ -1,0 +1,16 @@
+"""Comparator systems: lexical scanners, taint queries, clone hashing,
+and coverage-guided fuzzing."""
+
+from .flawfinder import FLAWFINDER_RULES, FlawfinderScanner, LexicalFinding
+from .rats import RATS_RULES, RatsFinding, RatsScanner
+from .checkmarx import TAINT_SINKS, TAINT_SOURCES, CheckmarxScanner, TaintFinding
+from .vuddy import FunctionFingerprint, VuddyScanner, abstract_function
+from .afl import AFLFuzzer, CrashRecord, FuzzReport
+
+__all__ = [
+    "FLAWFINDER_RULES", "FlawfinderScanner", "LexicalFinding",
+    "RATS_RULES", "RatsFinding", "RatsScanner",
+    "TAINT_SINKS", "TAINT_SOURCES", "CheckmarxScanner", "TaintFinding",
+    "FunctionFingerprint", "VuddyScanner", "abstract_function",
+    "AFLFuzzer", "CrashRecord", "FuzzReport",
+]

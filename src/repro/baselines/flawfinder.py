@@ -1,0 +1,104 @@
+"""Flawfinder simulacrum: lexical risky-call scanning.
+
+Flawfinder greps for calls to functions in a risk database and reports
+a hit list ranked by risk level, with no dataflow or path reasoning —
+which is exactly why the paper's Fig 5 shows it with both high FPR
+(guarded uses still flagged) and high FNR (non-call vulnerabilities
+invisible).  The rule DB below is the C-subset intersection of the real
+tool's database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.lexer import TokenKind, tokenize
+
+__all__ = ["LexicalFinding", "FLAWFINDER_RULES", "FlawfinderScanner"]
+
+
+@dataclass(frozen=True)
+class LexicalFinding:
+    """One risky-call hit."""
+
+    line: int
+    function: str
+    risk: int
+    message: str
+
+
+#: function -> (risk level 1-5, message)
+FLAWFINDER_RULES: dict[str, tuple[int, str]] = {
+    "gets": (5, "unbounded read into buffer"),
+    "strcpy": (4, "unbounded string copy"),
+    "strcat": (4, "unbounded string concatenation"),
+    "sprintf": (4, "unbounded formatted write"),
+    "vsprintf": (4, "unbounded formatted write"),
+    "scanf": (4, "unbounded scanf conversion"),
+    "strncpy": (1, "may not NUL-terminate"),
+    "strncat": (1, "length easily miscalculated"),
+    "memcpy": (2, "length argument may be attacker-derived"),
+    "memmove": (2, "length argument may be attacker-derived"),
+    "printf": (4, "format string may be attacker-controlled"),
+    "fprintf": (4, "format string may be attacker-controlled"),
+    "snprintf": (1, "format handling"),
+    "read": (1, "length handling"),
+    "recv": (1, "length handling"),
+    "malloc": (1, "unchecked allocation"),
+    "realloc": (2, "pointer aliasing on failure"),
+    "alloca": (3, "stack allocation of attacker size"),
+    "system": (4, "command injection"),
+    "popen": (4, "command injection"),
+    "execl": (4, "command injection"),
+    "execv": (4, "command injection"),
+    "atoi": (1, "no error detection"),
+    "strlen": (1, "unterminated string walk"),
+    "fgets": (1, "length handling"),
+}
+
+
+class FlawfinderScanner:
+    """Rank-and-threshold lexical scanner.
+
+    Args:
+        min_risk: report findings at or above this level; the
+            program-level verdict is "vulnerable" when any finding
+            survives the threshold (default 2, roughly `flawfinder
+            --minlevel=2`: level-1 chatter ignored, everything else
+            reported).
+    """
+
+    name = "Flawfinder"
+
+    def __init__(self, min_risk: int = 2):
+        self.min_risk = min_risk
+
+    def scan(self, source: str) -> list[LexicalFinding]:
+        """All findings in one translation unit."""
+        tokens = tokenize(source)
+        findings: list[LexicalFinding] = []
+        for index, token in enumerate(tokens):
+            if token.kind is not TokenKind.IDENT:
+                continue
+            rule = FLAWFINDER_RULES.get(token.text)
+            if rule is None:
+                continue
+            follows_call = (index + 1 < len(tokens)
+                            and tokens[index + 1].is_punct("("))
+            if not follows_call:
+                continue
+            risk, message = rule
+            # printf-family: constant format string downgrades the risk.
+            if token.text in ("printf", "fprintf", "scanf"):
+                arg_index = index + 2 + (
+                    2 if token.text in ("fprintf",) else 0)
+                if arg_index < len(tokens) and \
+                        tokens[arg_index].kind is TokenKind.STRING:
+                    risk = 1
+            findings.append(LexicalFinding(token.line, token.text, risk,
+                                           message))
+        return [f for f in findings if f.risk >= self.min_risk]
+
+    def flags(self, source: str) -> bool:
+        """Program-level verdict."""
+        return bool(self.scan(source))

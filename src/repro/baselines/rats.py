@@ -1,0 +1,96 @@
+"""RATS (Rough Auditing Tool for Security) simulacrum.
+
+Like Flawfinder, RATS is a lexical pattern scanner; its database and
+severity model differ (three severity tiers, extra allocation and TOCTOU
+patterns), which in practice yields a different — but similarly rough —
+FPR/FNR trade-off (paper Fig 5 plots both in the same quadrant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.lexer import TokenKind, tokenize
+
+__all__ = ["RatsFinding", "RATS_RULES", "RatsScanner"]
+
+
+@dataclass(frozen=True)
+class RatsFinding:
+    line: int
+    function: str
+    severity: str  # 'High' | 'Medium' | 'Low'
+    message: str
+
+
+RATS_RULES: dict[str, tuple[str, str]] = {
+    "gets": ("High", "gets is unsafe in all uses"),
+    "strcpy": ("High", "check buffer boundaries"),
+    "strcat": ("High", "check buffer boundaries"),
+    "sprintf": ("High", "check format and buffer"),
+    "vsprintf": ("High", "check format and buffer"),
+    "printf": ("Medium", "format string risk"),
+    "fprintf": ("Medium", "format string risk"),
+    "scanf": ("High", "check field widths"),
+    "sscanf": ("Medium", "check field widths"),
+    "memcpy": ("Medium", "verify length computation"),
+    "strncpy": ("Low", "verify NUL termination"),
+    "strncat": ("Low", "verify remaining space"),
+    "malloc": ("Low", "check return value"),
+    "calloc": ("Low", "check return value"),
+    "realloc": ("Medium", "verify aliasing on failure"),
+    "free": ("Medium", "possible double free"),
+    "alloca": ("Medium", "stack exhaustion"),
+    "system": ("High", "shell metacharacter injection"),
+    "popen": ("High", "shell metacharacter injection"),
+    "getenv": ("Medium", "environment not trustworthy"),
+    "rand": ("Medium", "not cryptographically strong"),
+    "atoi": ("Low", "undefined on overflow"),
+}
+
+
+class RatsScanner:
+    """Severity-thresholded lexical scanner.
+
+    Args:
+        min_severity: 'Low', 'Medium' or 'High'; verdict is vulnerable
+            when any finding at/above this tier exists (RATS defaults
+            to Medium).
+    """
+
+    name = "RATS"
+    _ORDER = {"Low": 0, "Medium": 1, "High": 2}
+
+    def __init__(self, min_severity: str = "Medium"):
+        if min_severity not in self._ORDER:
+            raise ValueError(f"unknown severity {min_severity!r}")
+        self.min_severity = min_severity
+
+    def scan(self, source: str) -> list[RatsFinding]:
+        tokens = tokenize(source)
+        threshold = self._ORDER[self.min_severity]
+        findings: list[RatsFinding] = []
+        for index, token in enumerate(tokens):
+            if token.kind is not TokenKind.IDENT:
+                continue
+            rule = RATS_RULES.get(token.text)
+            if rule is None:
+                continue
+            if not (index + 1 < len(tokens)
+                    and tokens[index + 1].is_punct("(")):
+                continue
+            severity, message = rule
+            if token.text in ("printf", "fprintf", "scanf", "sscanf"):
+                fmt_index = index + 2 + (2 if token.text == "fprintf"
+                                         else 0)
+                if fmt_index < len(tokens) and \
+                        tokens[fmt_index].kind is TokenKind.STRING:
+                    severity = "Low"
+            if self._ORDER[severity] >= threshold:
+                findings.append(
+                    RatsFinding(token.line, token.text, severity,
+                                message))
+        return findings
+
+    def flags(self, source: str) -> bool:
+        return bool(self.scan(source))

@@ -1,0 +1,199 @@
+"""Command-line interface: train, scan, and fuzz from the shell.
+
+::
+
+    python -m repro train --cases 200 --out detector.npz
+    python -m repro scan target.c --model detector.npz
+    python -m repro fuzz target.c --execs 800
+    python -m repro gadgets target.c --kind path-sensitive
+    python -m repro export-corpus --cases 100 --dir ./corpus
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baselines.afl import AFLFuzzer
+from .core.config import SCALE_PRESETS, current_scale
+from .core.detector import SEVulDet
+from .core.pipeline import extract_gadgets
+from .datasets.manifest import TestCase
+from .datasets.nvd import generate_nvd_corpus
+from .datasets.sard import generate_sard_corpus
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SEVulDet reproduction — semantics-enhanced "
+                    "learnable vulnerability detection")
+    parser.add_argument("--scale", choices=sorted(SCALE_PRESETS),
+                        default=None,
+                        help="experiment scale preset "
+                             "(default: $REPRO_SCALE or 'small')")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    train = commands.add_parser(
+        "train", help="train a detector on a synthetic corpus")
+    train.add_argument("--cases", type=int, default=150,
+                       help="number of SARD-style training programs")
+    train.add_argument("--nvd-cases", type=int, default=20,
+                       help="number of NVD-style training programs")
+    train.add_argument("--seed", type=int, default=7)
+    train.add_argument("--out", type=Path, required=True,
+                       help="where to save the trained model (.npz)")
+
+    scan = commands.add_parser(
+        "scan", help="scan C files with a trained detector")
+    scan.add_argument("files", nargs="+", type=Path)
+    scan.add_argument("--model", type=Path, required=True)
+    scan.add_argument("--threshold", type=float, default=None,
+                      help="override the decision threshold")
+
+    fuzz = commands.add_parser(
+        "fuzz", help="run a coverage-guided fuzzing campaign")
+    fuzz.add_argument("file", type=Path)
+    fuzz.add_argument("--execs", type=int, default=800)
+    fuzz.add_argument("--max-steps", type=int, default=20_000)
+    fuzz.add_argument("--seed", type=int, default=0)
+
+    gadgets = commands.add_parser(
+        "gadgets", help="print a file's code gadgets")
+    gadgets.add_argument("file", type=Path)
+    gadgets.add_argument("--kind",
+                         choices=("path-sensitive", "classic"),
+                         default="path-sensitive")
+
+    export = commands.add_parser(
+        "export-corpus",
+        help="generate a corpus and write it to disk "
+             "(.c files + SARD-style manifest.xml)")
+    export.add_argument("--cases", type=int, default=100)
+    export.add_argument("--kind", choices=("sard", "nvd", "xen"),
+                        default="sard")
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--dir", type=Path, required=True)
+    return parser
+
+
+def _resolve_scale(args: argparse.Namespace):
+    if args.scale is not None:
+        return SCALE_PRESETS[args.scale]
+    return current_scale()
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    scale = _resolve_scale(args)
+    corpus = generate_sard_corpus(args.cases, seed=args.seed)
+    if args.nvd_cases > 0:
+        corpus += generate_nvd_corpus(args.nvd_cases,
+                                      seed=args.seed + 1)
+    vulnerable = sum(case.vulnerable for case in corpus)
+    print(f"training on {len(corpus)} programs "
+          f"({vulnerable} vulnerable) at scale {scale.name!r} ...")
+    detector = SEVulDet(scale=scale, seed=args.seed)
+    report = detector.fit(corpus)
+    detector.save(args.out)
+    print(f"final loss {report.final_loss:.4f}; model saved to "
+          f"{args.out}")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    detector = SEVulDet(scale=_resolve_scale(args))
+    detector.load(args.model)
+    if args.threshold is not None:
+        detector.threshold = args.threshold
+    exit_code = 0
+    for path in args.files:
+        source = path.read_text()
+        findings = detector.detect(source, path=str(path))
+        if not findings:
+            print(f"{path}: clean")
+            continue
+        exit_code = 1
+        for finding in findings:
+            print(f"{finding.path}:{finding.line}: [{finding.category}]"
+                  f" suspicious {finding.function}() "
+                  f"score={finding.score:.2f}")
+    return exit_code
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    source = args.file.read_text()
+    fuzzer = AFLFuzzer(source, max_execs=args.execs,
+                       max_steps=args.max_steps, seed=args.seed)
+    report = fuzzer.run()
+    print(f"executions: {report.executions}  "
+          f"coverage edges: {len(report.coverage)}  "
+          f"queue: {report.queue_size}")
+    for crash in report.crashes:
+        print(f"CRASH {crash.kind} at line {crash.line} "
+              f"input={crash.example!r}")
+    for hang in report.hangs:
+        print(f"HANG input={hang.example!r}")
+    if not report.found_anything:
+        print("no crashes or hangs found")
+        return 0
+    return 1
+
+
+def _cmd_gadgets(args: argparse.Namespace) -> int:
+    source = args.file.read_text()
+    case = TestCase(name=str(args.file), source=source,
+                    vulnerable=False, vulnerable_lines=frozenset(),
+                    cwe="", category="", origin="cli")
+    gadgets = extract_gadgets([case], kind=args.kind,
+                              deduplicate=False, keep_gadget=True)
+    if not gadgets:
+        print("no gadgets (unparseable input or no special tokens)")
+        return 1
+    for gadget in gadgets:
+        print(f"=== {gadget.criterion} [{gadget.kind}] "
+              f"label-tokens={len(gadget.tokens)} ===")
+        assert gadget.gadget is not None
+        for line in gadget.gadget.lines:
+            print(f"  [{line.role:15s}] {line.line:4d} {line.text}")
+        print()
+    return 0
+
+
+def _cmd_export_corpus(args: argparse.Namespace) -> int:
+    from .datasets.manifest_xml import export_corpus
+    from .datasets.xen import generate_xen_corpus
+
+    generators = {
+        "sard": generate_sard_corpus,
+        "nvd": generate_nvd_corpus,
+        "xen": generate_xen_corpus,
+    }
+    cases = generators[args.kind](args.cases, seed=args.seed)
+    manifest = export_corpus(cases, args.dir)
+    vulnerable = sum(case.vulnerable for case in cases)
+    print(f"wrote {len(cases)} programs ({vulnerable} vulnerable) "
+          f"under {args.dir}")
+    print(f"manifest: {manifest}")
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "scan": _cmd_scan,
+    "fuzz": _cmd_fuzz,
+    "gadgets": _cmd_gadgets,
+    "export-corpus": _cmd_export_corpus,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""The SEVulDet detector: configuration, pipeline, public facade."""
+
+from .config import FRAMEWORK_HYPERPARAMS, SCALE_PRESETS, HyperParams, Scale, current_scale
+from .pipeline import (EncodedDataset, LabeledGadget, TrainReport,
+                       encode_gadgets, evaluate_classifier, extract_gadgets,
+                       predict_proba, train_classifier)
+from .detector import Finding, SEVulDet
+from .attention_hook import TokenWeight, attention_report, weights_by_line
+from .cwe_typing import CWETyper
+from .store import iter_gadgets, load_gadgets, save_gadgets
+
+__all__ = [
+    "FRAMEWORK_HYPERPARAMS", "SCALE_PRESETS", "HyperParams", "Scale",
+    "current_scale",
+    "EncodedDataset", "LabeledGadget", "TrainReport", "encode_gadgets",
+    "evaluate_classifier", "extract_gadgets", "predict_proba",
+    "train_classifier",
+    "Finding", "SEVulDet",
+    "TokenWeight", "attention_report", "weights_by_line",
+    "CWETyper", "iter_gadgets", "load_gadgets", "save_gadgets",
+]

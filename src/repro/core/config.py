@@ -1,0 +1,111 @@
+"""Hyper-parameter and scale configuration.
+
+``FRAMEWORK_HYPERPARAMS`` reproduces paper Table IV verbatim.  Because
+the offline substrate trains on numpy, experiments run at a configurable
+scale: ``REPRO_SCALE`` in the environment selects ``small`` (default,
+CI-sized), ``medium``, or ``paper`` presets controlling corpus sizes,
+embedding width, epochs, and the BRNN time steps.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+__all__ = ["HyperParams", "FRAMEWORK_HYPERPARAMS", "Scale",
+           "SCALE_PRESETS", "current_scale"]
+
+
+@dataclass(frozen=True)
+class HyperParams:
+    """One framework's training hyper-parameters (paper Table IV)."""
+
+    name: str
+    dimension: int
+    flexible_length: bool
+    batch_size: int
+    learning_rate: float
+    dropout: float
+    epochs: int
+
+    def as_row(self) -> dict[str, object]:
+        """Table IV row rendering."""
+        return {
+            "Parameters": self.name,
+            "Dimension": self.dimension,
+            "Flexible-length": "yes" if self.flexible_length else "no",
+            "Batch size": self.batch_size,
+            "Learning rate": self.learning_rate,
+            "Dropout": self.dropout,
+            "Epochs": self.epochs,
+        }
+
+
+#: Paper Table IV: VulDeePecker / SySeVR / SEVulDet.
+FRAMEWORK_HYPERPARAMS: dict[str, HyperParams] = {
+    "VulDeePecker": HyperParams("VulDeePecker", dimension=50,
+                                flexible_length=False, batch_size=64,
+                                learning_rate=0.001, dropout=0.5,
+                                epochs=4),
+    "SySeVR": HyperParams("SySeVR", dimension=30, flexible_length=False,
+                          batch_size=16, learning_rate=0.002,
+                          dropout=0.2, epochs=20),
+    "SEVulDet": HyperParams("SEVulDet", dimension=30,
+                            flexible_length=True, batch_size=16,
+                            learning_rate=0.0001, dropout=0.2,
+                            epochs=20),
+}
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing preset.
+
+    Attributes:
+        name: preset identifier.
+        cases_per_experiment: programs generated per corpus.
+        dim: embedding width used in scaled training.
+        channels: CNN channels.
+        hidden: RNN hidden size per direction.
+        epochs: training epochs.
+        batch_size: minibatch size.
+        time_steps: the BRNNs' fixed token length tau.
+        w2v_epochs: word2vec pretraining epochs.
+        learning_rate: scaled learning rate (higher than the paper's
+            because training runs far fewer steps).
+    """
+
+    name: str
+    cases_per_experiment: int
+    dim: int
+    channels: int
+    hidden: int
+    epochs: int
+    batch_size: int
+    time_steps: int
+    w2v_epochs: int
+    learning_rate: float = 0.003
+
+
+SCALE_PRESETS: dict[str, Scale] = {
+    "small": Scale("small", cases_per_experiment=200, dim=16,
+                   channels=16, hidden=16, epochs=20, batch_size=16,
+                   time_steps=80, w2v_epochs=2),
+    "medium": Scale("medium", cases_per_experiment=400, dim=24,
+                    channels=24, hidden=24, epochs=20, batch_size=16,
+                    time_steps=120, w2v_epochs=3),
+    "paper": Scale("paper", cases_per_experiment=2000, dim=30,
+                   channels=32, hidden=32, epochs=20, batch_size=16,
+                   time_steps=500, w2v_epochs=3, learning_rate=0.001),
+}
+
+
+def current_scale(default: str = "small") -> Scale:
+    """The preset selected by the REPRO_SCALE environment variable."""
+    name = os.environ.get("REPRO_SCALE", default).lower()
+    preset = SCALE_PRESETS.get(name)
+    if preset is None:
+        raise ValueError(
+            f"unknown REPRO_SCALE={name!r}; choose from "
+            f"{sorted(SCALE_PRESETS)}")
+    return preset

@@ -1,0 +1,118 @@
+"""CWE-type assignment for findings (paper Fig 2(b) "vulnerability
+type" output).
+
+:class:`CWETyper` trains the multiclass head on *vulnerable* gadgets
+(labelled with their originating case's CWE id) and annotates detector
+findings with the most likely CWE family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..embedding.vocab import Vocabulary
+from ..models.multiclass import CWETypeNet
+from ..nn import Adam, clip_grad_norm, cross_entropy, no_grad
+from ..nn.data import pad_or_truncate
+from .pipeline import LabeledGadget
+
+__all__ = ["CWETyper"]
+
+
+@dataclass
+class CWETyper:
+    """k-way CWE classifier over vulnerable gadgets.
+
+    Typical use, after training a binary detector::
+
+        typer = CWETyper(vocab=detector.dataset.vocab)
+        typer.fit([g for g in gadgets if g.label == 1])
+        cwe = typer.classify(gadget)
+    """
+
+    vocab: Vocabulary
+    dim: int = 16
+    channels: int = 16
+    seed: int = 7
+    classes: list[str] = field(default_factory=list)
+    model: CWETypeNet | None = None
+
+    def fit(self, gadgets: Sequence[LabeledGadget], *,
+            epochs: int = 12, batch_size: int = 16,
+            lr: float = 3e-3,
+            pretrained: np.ndarray | None = None) -> list[float]:
+        """Train on vulnerable gadgets; returns per-epoch losses."""
+        training = [g for g in gadgets if g.label == 1 and g.cwe]
+        if not training:
+            raise ValueError("no labelled vulnerable gadgets with CWE "
+                             "ids to train on")
+        self.classes = sorted({g.cwe for g in training})
+        if len(self.classes) < 2:
+            raise ValueError("need gadgets from at least two CWE "
+                             "families")
+        class_index = {cwe: i for i, cwe in enumerate(self.classes)}
+        encoded = [(self.vocab.encode(list(g.tokens)),
+                    class_index[g.cwe]) for g in training]
+        self.model = CWETypeNet(len(self.vocab), len(self.classes),
+                                dim=self.dim, channels=self.channels,
+                                pretrained=pretrained, seed=self.seed)
+        params = list(self.model.parameters())
+        optimizer = Adam(params, lr=lr)
+        rng = np.random.default_rng(self.seed)
+        losses: list[float] = []
+        self.model.train()
+        for _ in range(epochs):
+            epoch: list[float] = []
+            buckets: dict[int, list[int]] = {}
+            for index, (ids, _) in enumerate(encoded):
+                buckets.setdefault(max(len(ids), 4), []).append(index)
+            lengths = list(buckets)
+            rng.shuffle(lengths)
+            for length in lengths:
+                indices = buckets[length]
+                rng.shuffle(indices)
+                for start in range(0, len(indices), batch_size):
+                    chunk = indices[start : start + batch_size]
+                    ids = np.array(
+                        [pad_or_truncate(encoded[i][0], length)
+                         for i in chunk], dtype=np.int64)
+                    targets = np.array([encoded[i][1] for i in chunk])
+                    optimizer.zero_grad()
+                    loss = cross_entropy(self.model(ids), targets)
+                    loss.backward()
+                    clip_grad_norm(params, 5.0)
+                    optimizer.step()
+                    epoch.append(float(loss.data))
+            losses.append(float(np.mean(epoch)) if epoch else 0.0)
+        self.model.eval()
+        return losses
+
+    def _require_model(self) -> CWETypeNet:
+        if self.model is None:
+            raise RuntimeError("CWETyper is not trained; call fit()")
+        return self.model
+
+    def classify(self, gadget: LabeledGadget) -> str:
+        """Most likely CWE id for one gadget."""
+        return self.classify_tokens(list(gadget.tokens))
+
+    def classify_tokens(self, tokens: list[str]) -> str:
+        model = self._require_model()
+        ids = np.array([pad_or_truncate(self.vocab.encode(tokens),
+                                        max(len(tokens), 4))],
+                       dtype=np.int64)
+        with no_grad():
+            index = int(model.predict(ids)[0])
+        return self.classes[index]
+
+    def accuracy(self, gadgets: Sequence[LabeledGadget]) -> float:
+        """Type accuracy over vulnerable gadgets with known CWEs."""
+        relevant = [g for g in gadgets
+                    if g.label == 1 and g.cwe in set(self.classes)]
+        if not relevant:
+            return 0.0
+        hits = sum(self.classify(g) == g.cwe for g in relevant)
+        return hits / len(relevant)

@@ -1,0 +1,194 @@
+"""SEVulDet — the end-to-end detector (paper Fig 2, both phases).
+
+Training phase: programs -> path-sensitive code gadgets (Steps I-III)
+-> word2vec + token attention embedding (Step IV) -> CNN/SPP/CBAM model
+(Step V).  Detection phase: the same preprocessing without labels; a
+gadget scoring above the 0.8 threshold is reported with its criterion
+location (vulnerability type and line number, as Fig 2(b) describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..datasets.manifest import TestCase
+from ..embedding.vocab import Vocabulary
+from ..models.sevuldet import DECISION_THRESHOLD, SEVulDetNet
+from ..nn.serialize import load_model, save_model
+from .config import Scale, current_scale
+from .cwe_typing import CWETyper
+from .pipeline import (EncodedDataset, LabeledGadget, TrainReport,
+                       encode_gadgets, extract_gadgets, predict_proba,
+                       train_classifier)
+
+__all__ = ["Finding", "SEVulDet"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported (suspected) vulnerability."""
+
+    path: str
+    function: str
+    line: int
+    category: str
+    score: float
+    cwe_hint: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (f"{self.path}:{self.line} [{self.category}] "
+                f"{self.function}() score={self.score:.2f}")
+
+
+@dataclass
+class SEVulDet:
+    """High-level detector facade.
+
+    Typical use::
+
+        detector = SEVulDet()
+        detector.fit(training_cases)
+        findings = detector.detect(source_code, path="foo.c")
+
+    Attributes:
+        scale: sizing preset (dims/epochs); defaults to REPRO_SCALE.
+        threshold: decision threshold (paper: 0.8).
+        gadget_kind: 'path-sensitive' (default) or 'classic' for
+            ablation studies.
+    """
+
+    scale: Scale = field(default_factory=current_scale)
+    threshold: float = DECISION_THRESHOLD
+    gadget_kind: str = "path-sensitive"
+    seed: int = 7
+    categories: tuple[str, ...] | None = None
+    model: SEVulDetNet | None = None
+    dataset: EncodedDataset | None = None
+    typer: CWETyper | None = None
+
+    def fit(self, cases: Sequence[TestCase],
+            epochs: int | None = None) -> TrainReport:
+        """Train on labelled corpus programs."""
+        gadgets = extract_gadgets(cases, kind=self.gadget_kind,
+                                  categories=self.categories)
+        if not gadgets:
+            raise ValueError("no gadgets could be extracted from the "
+                             "training corpus")
+        self.dataset = encode_gadgets(
+            gadgets, dim=self.scale.dim,
+            w2v_epochs=self.scale.w2v_epochs, seed=self.seed)
+        self.model = SEVulDetNet(
+            len(self.dataset.vocab), dim=self.scale.dim,
+            channels=self.scale.channels,
+            pretrained=self.dataset.word2vec.vectors, seed=self.seed)
+        return train_classifier(
+            self.model, self.dataset.samples,
+            epochs=epochs if epochs is not None else self.scale.epochs,
+            batch_size=self.scale.batch_size,
+            lr=self.scale.learning_rate, seed=self.seed)
+
+    def fit_typer(self, epochs: int = 12) -> list[float]:
+        """Train the CWE-type head (Fig 2(b) "vulnerability type") on
+        the binary detector's vulnerable training gadgets."""
+        if self.dataset is None:
+            raise RuntimeError("call fit() before fit_typer()")
+        self.typer = CWETyper(vocab=self.dataset.vocab,
+                              dim=self.scale.dim,
+                              channels=self.scale.channels,
+                              seed=self.seed)
+        return self.typer.fit(
+            self.dataset.gadgets, epochs=epochs,
+            pretrained=self.dataset.word2vec.vectors)
+
+    def _require_trained(self) -> tuple[SEVulDetNet, Vocabulary]:
+        if self.model is None or self.dataset is None:
+            raise RuntimeError("detector is not trained; call fit() or "
+                               "load() first")
+        return self.model, self.dataset.vocab
+
+    def score_gadgets(self, gadgets: Sequence[LabeledGadget]
+                      ) -> np.ndarray:
+        """Raw sigmoid scores for pre-extracted gadgets."""
+        model, vocab = self._require_trained()
+        samples = [g.sample(vocab) for g in gadgets]
+        return predict_proba(model, samples)
+
+    def detect(self, source: str, path: str = "<memory>"
+               ) -> list[Finding]:
+        """Detection phase on raw source text."""
+        case = TestCase(name=path, source=source, vulnerable=False,
+                        vulnerable_lines=frozenset(), cwe="",
+                        category="", origin="detect")
+        return self.detect_case(case)
+
+    def detect_case(self, case: TestCase) -> list[Finding]:
+        """Detection phase on a corpus case (labels ignored)."""
+        self._require_trained()
+        gadgets = extract_gadgets([case], kind=self.gadget_kind,
+                                  categories=self.categories,
+                                  deduplicate=False)
+        if not gadgets:
+            return []
+        scores = self.score_gadgets(gadgets)
+        findings = [
+            Finding(path=case.name, function=g.criterion.function,
+                    line=g.criterion.line, category=g.category,
+                    score=float(score),
+                    cwe_hint=(self.typer.classify(g)
+                              if self.typer is not None else ""))
+            for g, score in zip(gadgets, scores)
+            if score >= self.threshold
+        ]
+        findings.sort(key=lambda f: -f.score)
+        return findings
+
+    def flags_case(self, case: TestCase) -> bool:
+        """Program-level verdict: any gadget above threshold."""
+        return bool(self.detect_case(case))
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist the binary model's weights + vocabulary.
+
+        The optional CWE-type head (:meth:`fit_typer`) is not part of
+        the archive; retrain it after :meth:`load` when type hints are
+        needed.
+        """
+        model, vocab = self._require_trained()
+        save_model(model, path, metadata={
+            "tokens": vocab.id_to_token,
+            "threshold": self.threshold,
+            "gadget_kind": self.gadget_kind,
+            "dim": self.scale.dim,
+            "channels": self.scale.channels,
+        })
+
+    def load(self, path: str | Path) -> None:
+        """Restore a detector persisted with :meth:`save`.
+
+        Reads the metadata first to size the model, then loads weights.
+        """
+        import json
+
+        from ..embedding.word2vec import Word2Vec
+
+        with np.load(Path(path)) as archive:
+            metadata = json.loads(
+                archive["__metadata__"].tobytes().decode())
+        vocab = Vocabulary()
+        for token in metadata["tokens"][2:]:  # skip PAD/UNK
+            vocab.add(token)
+        model = SEVulDetNet(len(vocab), dim=metadata["dim"],
+                            channels=metadata["channels"])
+        load_model(model, path)
+        self.model = model
+        self.threshold = metadata["threshold"]
+        self.gadget_kind = metadata["gadget_kind"]
+        word2vec = Word2Vec(vocab, dim=metadata["dim"])
+        word2vec.input_vectors = model.embedding.weight.data.copy()
+        self.dataset = EncodedDataset([], vocab, word2vec)

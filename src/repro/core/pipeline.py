@@ -1,0 +1,304 @@
+"""End-to-end dataset preparation and training (paper Fig 2 glue).
+
+The pipeline turns :class:`~repro.datasets.manifest.TestCase` programs
+into labeled, normalized, encoded gadget samples (Steps I-IV's data
+path) and provides the generic train/evaluate loops both the SEVulDet
+model and the BRNN baselines share (Step V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..datasets.manifest import TestCase
+from ..embedding.vocab import Vocabulary
+from ..embedding.word2vec import Word2Vec
+from ..eval.metrics import Metrics, confusion_from, metrics_from
+from ..lang.callgraph import analyze
+from ..lang.parser import ParseError
+from ..nn import (Adam, Module, Sample, bce_with_logits,
+                  bucketed_batches, clip_grad_norm, fixed_length_batches,
+                  no_grad, pad_or_truncate)
+from ..slicing.gadget import CodeGadget, classic_gadget
+from ..slicing.labeling import label_gadget
+from ..slicing.normalize import NormalizedGadget, normalize_gadget
+from ..slicing.path_sensitive import path_sensitive_gadget
+from ..slicing.special_tokens import (SlicingCriterion, TokenCategory,
+                                      find_special_tokens)
+
+__all__ = ["LabeledGadget", "EncodedDataset", "extract_gadgets",
+           "encode_gadgets", "train_classifier", "predict_proba",
+           "evaluate_classifier", "TrainReport"]
+
+_CATEGORY_MAP = {
+    "FC": TokenCategory.FUNCTION_CALL,
+    "AU": TokenCategory.ARRAY_USAGE,
+    "PU": TokenCategory.POINTER_USAGE,
+    "AE": TokenCategory.ARITHMETIC_EXPR,
+}
+
+
+@dataclass
+class LabeledGadget:
+    """A normalized gadget with label and provenance."""
+
+    tokens: tuple[str, ...]
+    label: int
+    category: str
+    case_name: str
+    criterion: SlicingCriterion
+    kind: str  # 'classic' | 'path-sensitive'
+    gadget: CodeGadget | None = None
+    cwe: str = ""  # CWE id of the originating case ('' when unknown)
+
+    def sample(self, vocab: Vocabulary) -> Sample:
+        return Sample(tuple(vocab.encode(list(self.tokens))), self.label)
+
+
+def extract_gadgets(
+    cases: Sequence[TestCase],
+    kind: str = "path-sensitive",
+    categories: tuple[str, ...] | None = None,
+    *,
+    use_control: bool = True,
+    deduplicate: bool = True,
+    keep_gadget: bool = False,
+) -> list[LabeledGadget]:
+    """Steps I-III: slice, assemble, label, and normalize every case.
+
+    Args:
+        cases: corpus programs.
+        kind: 'path-sensitive' (Algorithm 1) or 'classic' (the CG
+            baseline the paper compares against in Table II).
+        categories: restrict criteria to these families.
+        use_control: follow control-dependence edges while slicing
+            (False reproduces VulDeePecker's data-only gadgets; only
+            meaningful for kind='classic').
+        deduplicate: drop exact (tokens, label) duplicates, as the
+            paper does after merging corpora.
+        keep_gadget: retain the raw gadget object (needed by the
+            attention visualization, costs memory otherwise).
+    """
+    if kind not in ("path-sensitive", "classic"):
+        raise ValueError(f"unknown gadget kind {kind!r}")
+    wanted = None
+    if categories is not None:
+        wanted = frozenset(_CATEGORY_MAP[c] for c in categories)
+    results: list[LabeledGadget] = []
+    seen: set[tuple[tuple[str, ...], int]] = set()
+    for case in cases:
+        try:
+            program = analyze(case.source, path=case.name)
+        except ParseError:
+            continue  # real pipelines skip unparseable units
+        manifest = case.manifest()
+        for criterion in find_special_tokens(program, wanted):
+            if kind == "path-sensitive":
+                gadget = path_sensitive_gadget(program, criterion)
+            else:
+                gadget = classic_gadget(program, criterion,
+                                        use_control=use_control)
+            if not gadget.lines:
+                continue
+            gadget.label = label_gadget(gadget, manifest)
+            normalized = normalize_gadget(gadget)
+            key = (tuple(normalized.tokens), gadget.label)
+            if deduplicate and key in seen:
+                continue
+            seen.add(key)
+            results.append(
+                LabeledGadget(
+                    tokens=tuple(normalized.tokens),
+                    label=gadget.label,
+                    category=criterion.category.value,
+                    case_name=case.name,
+                    criterion=criterion,
+                    kind=kind,
+                    gadget=gadget if keep_gadget else None,
+                    cwe=case.cwe))
+    return results
+
+
+@dataclass
+class EncodedDataset:
+    """Vocabulary + pretrained embeddings + encoded samples."""
+
+    samples: list[Sample]
+    vocab: Vocabulary
+    word2vec: Word2Vec
+    gadgets: list[LabeledGadget] = field(default_factory=list)
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.array([sample.label for sample in self.samples])
+
+    def subset(self, indices: Sequence[int]) -> list[Sample]:
+        return [self.samples[i] for i in indices]
+
+
+def encode_gadgets(gadgets: Sequence[LabeledGadget], dim: int = 30,
+                   w2v_epochs: int = 2, seed: int = 13,
+                   vocab: Vocabulary | None = None,
+                   word2vec: Word2Vec | None = None,
+                   min_count: int = 2) -> EncodedDataset:
+    """Step IV input side: build vocab, pretrain word2vec, encode.
+
+    ``min_count`` trims tokens (mostly rare numeric constants) seen
+    fewer times from the vocabulary; they encode as UNK, exactly as
+    gensim's word2vec (min_count=5 by default) did in the paper's
+    toolchain.  Rare-constant trimming is what lets patterns learned
+    on one instantiation of a CWE template transfer to instantiations
+    with different buffer sizes and thresholds.
+    """
+    if vocab is None:
+        vocab = Vocabulary.build([list(g.tokens) for g in gadgets],
+                                 min_count=min_count)
+    if word2vec is None:
+        word2vec = Word2Vec(vocab, dim=dim, seed=seed)
+        corpora = [vocab.encode(list(g.tokens)) for g in gadgets]
+        word2vec.train(corpora, epochs=w2v_epochs)
+    samples = [g.sample(vocab) for g in gadgets]
+    return EncodedDataset(samples, vocab, word2vec, list(gadgets))
+
+
+@dataclass
+class TrainReport:
+    """Loss trajectory of one training run."""
+
+    losses: list[float] = field(default_factory=list)
+    val_f1: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+    best_epoch: int = -1
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def train_classifier(model: Module, samples: Sequence[Sample], *,
+                     epochs: int = 8, batch_size: int = 16,
+                     lr: float = 3e-3, seed: int = 0,
+                     grad_clip: float = 5.0,
+                     class_balance: bool = True,
+                     validation: Sequence[Sample] | None = None,
+                     patience: int | None = None) -> TrainReport:
+    """Train any gadget classifier (fixed- or flexible-length).
+
+    Models advertising ``fixed_length`` get padded/truncated batches
+    (Definition 8); flexible models get length-bucketed batches with no
+    padding.  With ``class_balance`` the minority class is oversampled
+    to a 1:2 ratio, compensating for the gadget-level imbalance the
+    paper reports (and chooses not to rebalance at the *data* level —
+    we rebalance only the sampling, keeping the data unbalanced).
+
+    With a ``validation`` set and ``patience``, training stops when
+    validation F1 has not improved for ``patience`` consecutive epochs
+    and the best-epoch weights are restored (early stopping).
+    """
+    rng = np.random.default_rng(seed)
+    fixed = getattr(model, "fixed_length", None)
+    train_samples = list(samples)
+    if class_balance:
+        train_samples = _oversample(train_samples, rng)
+    params = list(model.parameters())
+    optimizer = Adam(params, lr=lr)
+    report = TrainReport()
+    best_f1 = -1.0
+    best_state: dict[str, np.ndarray] | None = None
+    stale = 0
+    model.train()
+    for _ in range(epochs):
+        epoch_losses: list[float] = []
+        if fixed is not None:
+            batches = fixed_length_batches(train_samples, fixed,
+                                           batch_size, rng)
+        else:
+            batches = bucketed_batches(train_samples, batch_size, rng,
+                                       min_length=4)
+        for ids, labels in batches:
+            optimizer.zero_grad()
+            logits = model(ids)
+            loss = bce_with_logits(logits, labels)
+            loss.backward()
+            clip_grad_norm(params, grad_clip)
+            optimizer.step()
+            epoch_losses.append(float(loss.data))
+        report.losses.append(float(np.mean(epoch_losses))
+                             if epoch_losses else float("nan"))
+        if validation is not None:
+            metrics = evaluate_classifier(model, validation)
+            model.train()
+            report.val_f1.append(metrics.f1)
+            if metrics.f1 > best_f1:
+                best_f1 = metrics.f1
+                best_state = {key: value.copy() for key, value
+                              in model.state_dict().items()}
+                report.best_epoch = len(report.losses) - 1
+                stale = 0
+            else:
+                stale += 1
+                if patience is not None and stale >= patience:
+                    report.stopped_early = True
+                    break
+    if best_state is not None:
+        model.load_state_dict(best_state)
+    model.eval()
+    return report
+
+
+def _oversample(samples: list[Sample],
+                rng: np.random.Generator) -> list[Sample]:
+    positives = [s for s in samples if s.label == 1]
+    negatives = [s for s in samples if s.label == 0]
+    if not positives or not negatives:
+        return samples
+    minority, majority = ((positives, negatives)
+                          if len(positives) < len(negatives)
+                          else (negatives, positives))
+    target = max(len(majority) // 2, len(minority))
+    extra = target - len(minority)
+    if extra <= 0:
+        return samples
+    picks = rng.integers(0, len(minority), size=extra)
+    return samples + [minority[int(i)] for i in picks]
+
+
+def predict_proba(model: Module,
+                  samples: Sequence[Sample]) -> np.ndarray:
+    """Sigmoid scores per sample (order-preserving)."""
+    fixed = getattr(model, "fixed_length", None)
+    scores = np.zeros(len(samples))
+    model.eval()
+    with no_grad():
+        if fixed is not None:
+            for start in range(0, len(samples), 64):
+                chunk = samples[start : start + 64]
+                ids = np.array(
+                    [pad_or_truncate(s.token_ids, fixed) for s in chunk],
+                    dtype=np.int64)
+                scores[start : start + 64] = model.predict_proba(ids)
+        else:
+            by_length: dict[int, list[int]] = {}
+            for index, sample in enumerate(samples):
+                by_length.setdefault(max(len(sample), 4),
+                                     []).append(index)
+            for length, indices in by_length.items():
+                for start in range(0, len(indices), 64):
+                    chunk = indices[start : start + 64]
+                    ids = np.array(
+                        [pad_or_truncate(samples[i].token_ids, length)
+                         for i in chunk], dtype=np.int64)
+                    scores[chunk] = model.predict_proba(ids)
+    return scores
+
+
+def evaluate_classifier(model: Module, samples: Sequence[Sample],
+                        threshold: float = 0.5) -> Metrics:
+    """Confusion-matrix metrics at a decision threshold."""
+    scores = predict_proba(model, samples)
+    predictions = (scores >= threshold).astype(int)
+    labels = [sample.label for sample in samples]
+    return metrics_from(confusion_from(predictions.tolist(), labels))

@@ -1,0 +1,93 @@
+"""Gadget-dataset persistence (JSON-lines).
+
+Extracting and normalizing gadgets from a large corpus is the slowest
+non-training stage; this store saves the labelled token streams so
+experiments can reload them instead of re-slicing.  The format is
+line-oriented JSON — append-friendly, diff-able, and independent of the
+in-memory classes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..slicing.special_tokens import SlicingCriterion, TokenCategory
+from .pipeline import LabeledGadget
+
+__all__ = ["save_gadgets", "load_gadgets", "iter_gadgets"]
+
+_FORMAT_VERSION = 1
+
+
+def _to_record(gadget: LabeledGadget) -> dict:
+    return {
+        "v": _FORMAT_VERSION,
+        "tokens": list(gadget.tokens),
+        "label": gadget.label,
+        "category": gadget.category,
+        "case": gadget.case_name,
+        "kind": gadget.kind,
+        "cwe": gadget.cwe,
+        "criterion": {
+            "function": gadget.criterion.function,
+            "line": gadget.criterion.line,
+            "category": gadget.criterion.category.value,
+            "token": gadget.criterion.token,
+        },
+    }
+
+
+def _from_record(record: dict) -> LabeledGadget:
+    if record.get("v") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported gadget record version {record.get('v')!r}")
+    criterion_data = record["criterion"]
+    criterion = SlicingCriterion(
+        function=criterion_data["function"],
+        line=int(criterion_data["line"]),
+        category=TokenCategory(criterion_data["category"]),
+        token=criterion_data["token"],
+    )
+    return LabeledGadget(
+        tokens=tuple(record["tokens"]),
+        label=int(record["label"]),
+        category=record["category"],
+        case_name=record["case"],
+        criterion=criterion,
+        kind=record["kind"],
+        cwe=record.get("cwe", ""),
+    )
+
+
+def save_gadgets(gadgets: Sequence[LabeledGadget],
+                 path: str | Path) -> int:
+    """Write gadgets to a .jsonl file; returns the record count."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for gadget in gadgets:
+            handle.write(json.dumps(_to_record(gadget),
+                                    separators=(",", ":")) + "\n")
+    return len(gadgets)
+
+
+def iter_gadgets(path: str | Path) -> Iterable[LabeledGadget]:
+    """Stream gadgets from a .jsonl file (constant memory)."""
+    with Path(path).open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: bad JSON") from error
+            yield _from_record(record)
+
+
+def load_gadgets(path: str | Path) -> list[LabeledGadget]:
+    """Load all gadgets from a .jsonl file."""
+    return list(iter_gadgets(path))

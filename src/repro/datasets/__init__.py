@@ -1,0 +1,14 @@
+"""Synthetic corpora: SARD/NVD substitutes and Xen CVE miniatures."""
+
+from .manifest import TestCase
+from .cwe_templates import TEMPLATES, Template, generate_case, template_names
+from .sard import corpus_statistics, generate_sard_corpus
+from .nvd import generate_nvd_corpus
+from .xen import CVE_CASES, cve_2016_4453, cve_2016_9104, cve_2016_9776, generate_xen_corpus
+
+__all__ = [
+    "TestCase", "TEMPLATES", "Template", "generate_case", "template_names",
+    "corpus_statistics", "generate_sard_corpus", "generate_nvd_corpus",
+    "CVE_CASES", "cve_2016_4453", "cve_2016_9104", "cve_2016_9776",
+    "generate_xen_corpus",
+]

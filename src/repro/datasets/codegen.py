@@ -1,0 +1,233 @@
+"""Program-text construction helpers for the synthetic corpora.
+
+:class:`CodeWriter` tracks line numbers while emitting, so templates can
+mark flaw lines as they write them; :class:`NamePool` hands out
+plausible identifier names; the noise helpers inject semantics-neutral
+statements so surface forms vary between cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CodeWriter", "NamePool", "noise_statements", "wrap_in_guard"]
+
+_VAR_WORDS = [
+    "data", "buf", "buffer", "dest", "src", "input", "payload", "chunk",
+    "line", "name", "path", "msg", "value", "count", "size", "len",
+    "offset", "index", "total", "limit", "amount", "pos", "width",
+    "result", "tmp", "item", "field", "key", "token", "block", "frame",
+    "packet", "record", "entry", "slot", "state", "cursor", "extent",
+]
+
+_FUNC_WORDS = [
+    "process", "handle", "parse", "copy", "load", "read", "write",
+    "decode", "encode", "update", "check", "init", "transform", "apply",
+    "compute", "fill", "render", "dispatch", "route", "filter", "sync",
+    "collect", "emit", "scan", "pack", "unpack", "merge", "split",
+]
+
+_SUFFIX_WORDS = [
+    "input", "request", "record", "buffer", "packet", "message", "field",
+    "block", "frame", "entry", "chunk", "segment", "region", "payload",
+]
+
+
+class NamePool:
+    """Deterministic, collision-free identifier source."""
+
+    #: Identifiers templates use literally; never handed out as fresh
+    #: names (prevents a generated local shadowing the 'data' param).
+    RESERVED = frozenset({"data", "n", "main", "mode", "line"})
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self._used: set[str] = set(self.RESERVED)
+
+    def reserve(self, *names: str) -> None:
+        """Mark additional names as taken."""
+        self._used.update(names)
+
+    def var(self, hint: str = "") -> str:
+        """A fresh variable name, optionally themed by ``hint``."""
+        base = hint or str(self._rng.choice(_VAR_WORDS))
+        return self._fresh(base)
+
+    def func(self) -> str:
+        """A fresh function name like ``parse_packet``."""
+        verb = str(self._rng.choice(_FUNC_WORDS))
+        noun = str(self._rng.choice(_SUFFIX_WORDS))
+        return self._fresh(f"{verb}_{noun}")
+
+    def _fresh(self, base: str) -> str:
+        if base not in self._used:
+            self._used.add(base)
+            return base
+        for counter in range(2, 1000):
+            candidate = f"{base}{counter}"
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return candidate
+        raise RuntimeError("name pool exhausted")  # pragma: no cover
+
+
+@dataclass
+class CodeWriter:
+    """Line-tracking source emitter."""
+
+    lines: list[str] = field(default_factory=list)
+    marked: set[int] = field(default_factory=set)
+    indent: int = 0
+
+    def line(self, text: str = "", *, mark: bool = False) -> int:
+        """Emit one line; returns its 1-based number."""
+        self.lines.append("    " * self.indent + text if text else "")
+        number = len(self.lines)
+        if mark:
+            self.marked.add(number)
+        return number
+
+    def block(self, header: str) -> "_BlockContext":
+        """Context manager emitting ``header {`` ... ``}``."""
+        return _BlockContext(self, header)
+
+    def blank(self) -> None:
+        self.line("")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _BlockContext:
+    def __init__(self, writer: CodeWriter, header: str):
+        self.writer = writer
+        self.header = header
+
+    def __enter__(self) -> CodeWriter:
+        self.writer.line(self.header + " {")
+        self.writer.indent += 1
+        return self.writer
+
+    def __exit__(self, *exc: object) -> None:
+        self.writer.indent -= 1
+        self.writer.line("}")
+
+
+def noise_statements(writer: CodeWriter, names: NamePool,
+                     rng: np.random.Generator, count: int,
+                     live: str | None = None,
+                     live_is_pointer: bool = False,
+                     buffer: str | None = None,
+                     buffer_size: int = 8) -> None:
+    """Emit ``count`` flaw-neutral statements.
+
+    When ``live`` names an in-scope variable, most emitted statements
+    *read* it (never write it), so they are data-dependent on the
+    attacker input.  When ``buffer`` names an in-scope char/int buffer
+    of at least ``buffer_size`` elements, some statements additionally
+    write flaw-neutral values into its low indices — those writes are
+    weak definitions of the buffer and therefore land *inside the
+    slice* of any criterion that touches the buffer, reproducing the
+    dependent-but-irrelevant statement mass real SARD/NVD slices carry.
+    """
+    for _ in range(count):
+        if buffer is not None and rng.random() < 0.45:
+            _buffer_noise(writer, names, rng, buffer, buffer_size,
+                          live)
+            continue
+        if live is not None and rng.random() < 0.7:
+            _dependent_noise(writer, names, rng, live, live_is_pointer)
+            continue
+        choice = rng.integers(0, 5)
+        if choice == 0:
+            var = names.var()
+            writer.line(f"int {var} = {rng.integers(0, 100)};")
+        elif choice == 1:
+            var = names.var()
+            writer.line(f"int {var} = {rng.integers(1, 50)} * "
+                        f"{rng.integers(1, 9)};")
+        elif choice == 2:
+            var = names.var("flag")
+            writer.line(f"int {var} = 0;")
+            with writer.block(f"if ({var} > {rng.integers(1, 20)})"):
+                writer.line(f"{var} = {var} - 1;")
+        elif choice == 3:
+            var = names.var("step")
+            writer.line(f"int {var} = 0;")
+            with writer.block(f"for ({var} = 0; {var} < "
+                              f"{rng.integers(2, 6)}; {var}++)"):
+                writer.line(f"{var} = {var} + 0;")
+        else:
+            writer.line(f'printf("%d\\n", {rng.integers(0, 256)});')
+
+
+def _buffer_noise(writer: CodeWriter, names: NamePool,
+                  rng: np.random.Generator, buffer: str,
+                  buffer_size: int, live: str | None) -> None:
+    """One flaw-neutral write into the buffer's low indices.
+
+    In-bounds by construction (index < ``buffer_size``), so it never
+    perturbs the template's ground truth; as a weak def of ``buffer``
+    it reaches any later criterion using the buffer and is pulled into
+    its backward slice.
+    """
+    bound = max(min(buffer_size, 8), 1)
+    choice = rng.integers(0, 3)
+    if choice == 0:
+        index = int(rng.integers(0, bound))
+        writer.line(f"{buffer}[{index}] = {rng.integers(0, 100)};")
+    elif choice == 1 and live is not None:
+        slot = names.var("slot")
+        writer.line(f"int {slot} = (({live} % {bound}) + {bound}) "
+                    f"% {bound};")
+        writer.line(f"{buffer}[{slot}] = {rng.integers(32, 120)};")
+    else:
+        i = names.var("j")
+        span = int(rng.integers(2, bound + 1))
+        with writer.block(f"for (int {i} = 0; {i} < {span}; {i}++)"):
+            writer.line(f"{buffer}[{i}] = {i};")
+
+
+def _dependent_noise(writer: CodeWriter, names: NamePool,
+                     rng: np.random.Generator, live: str,
+                     live_is_pointer: bool) -> None:
+    """One statement group that reads (never writes) ``live``."""
+    reader = f"strlen({live})" if live_is_pointer else live
+    choice = rng.integers(0, 4)
+    if choice == 0:
+        var = names.var()
+        writer.line(f"int {var} = {reader} + {rng.integers(1, 9)};")
+        writer.line(f'printf("%d\\n", {var});')
+    elif choice == 1:
+        var = names.var("trace")
+        writer.line(f"int {var} = {reader} * {rng.integers(2, 5)};")
+        with writer.block(f"if ({var} > {rng.integers(20, 90)})"):
+            writer.line(f"{var} = {var} % {rng.integers(7, 23)};")
+        writer.line(f'printf("%d\\n", {var});')
+    elif choice == 2:
+        acc = names.var("acc")
+        i = names.var("k")
+        writer.line(f"int {acc} = 0;")
+        with writer.block(f"for (int {i} = 0; {i} < "
+                          f"{rng.integers(2, 5)}; {i}++)"):
+            writer.line(f"{acc} = {acc} + {reader};")
+        writer.line(f'printf("%d\\n", {acc});')
+    else:
+        var = names.var("echo")
+        writer.line(f"int {var} = {reader} - {rng.integers(1, 6)};")
+        writer.line(f"{var} = {var} + {rng.integers(1, 6)};")
+        writer.line(f'printf("%d\\n", {var});')
+
+
+def wrap_in_guard(writer: CodeWriter, rng: np.random.Generator,
+                  condition_var: str) -> "_BlockContext":
+    """A randomly-shaped always-true wrapper block around the payload."""
+    style = rng.integers(0, 3)
+    if style == 0:
+        return writer.block(f"if ({condition_var} >= 0 || "
+                            f"{condition_var} < 0)")
+    if style == 1:
+        return writer.block(f"if ({condition_var} == {condition_var})")
+    return writer.block("if (1)")

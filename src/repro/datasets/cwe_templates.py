@@ -1,0 +1,626 @@
+"""CWE-family program templates (the SARD substitute's generators).
+
+Each template emits a *vulnerable* or *patched* variant of the same
+program shape — randomized identifier names, buffer sizes, noise
+statements, and wrapper control flow — mirroring how SARD/Juliet pairs
+``bad``/``good`` functions.  Vulnerable sink lines are marked while
+writing so labeling needs no post-hoc search.
+
+Two families exist specifically to reproduce paper phenomena:
+
+* ``guard_placement_strncpy`` — the Fig 1 pair: guarded and unguarded
+  variants whose *classic* code gadgets are identical (same dependent
+  statements, same order) while path-sensitive gadgets differ.  These
+  drive the CG vs PS-CG gap of Table II.
+* ``long_chain_strcpy`` — a long data-dependent preamble pushes the
+  sink past the BRNNs' fixed token window, driving the flexible-length
+  advantage of the SPP models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .codegen import CodeWriter, NamePool, noise_statements
+from .manifest import TestCase
+
+__all__ = ["Template", "TEMPLATES", "generate_case", "template_names"]
+
+
+@dataclass(frozen=True)
+class Template:
+    """One CWE family generator."""
+
+    name: str
+    cwe: str
+    category: str  # dominant special-token family
+    build: Callable[[CodeWriter, NamePool, np.random.Generator, bool],
+                    None]
+
+
+def _standard_main(writer: CodeWriter, names: NamePool,
+                   rng: np.random.Generator, sink: str,
+                   *, pass_length: bool = True,
+                   input_size: int = 64) -> None:
+    """Emit a main() that reads stdin and forwards it to the sink."""
+    line_var = names.var("line")
+    with writer.block("int main()"):
+        writer.line(f"char {line_var}[{input_size}];")
+        writer.line(f"fgets({line_var}, {input_size}, 0);")
+        if pass_length:
+            n_var = names.var("n")
+            writer.line(f"int {n_var} = atoi({line_var});")
+            writer.line(f"{sink}({line_var}, {n_var});")
+        else:
+            writer.line(f"{sink}({line_var});")
+        writer.line("return 0;")
+
+
+# ---------------------------------------------------------------------------
+# FC family
+# ---------------------------------------------------------------------------
+
+
+def _strcpy_stack_overflow(writer: CodeWriter, names: NamePool,
+                           rng: np.random.Generator,
+                           vulnerable: bool) -> None:
+    """CWE-121: unbounded strcpy into a fixed stack buffer."""
+    size = int(rng.integers(8, 24))
+    sink = names.func()
+    buf = names.var("buf")
+    with writer.block(f"void {sink}(char *data)"):
+        writer.line(f"char {buf}[{size}];")
+        noise_statements(writer, names, rng, int(rng.integers(1, 4)),
+                         live="data", live_is_pointer=True,
+                         buffer=buf, buffer_size=size)
+        if vulnerable:
+            writer.line(f"strcpy({buf}, data);", mark=True)
+        else:
+            length = names.var("len")
+            writer.line(f"int {length} = strlen(data);")
+            with writer.block(f"if ({length} < {size})"):
+                writer.line(f"strcpy({buf}, data);")
+        writer.line(f'printf("%s\\n", {buf});')
+    writer.blank()
+    _standard_main(writer, names, rng, sink, pass_length=False)
+
+
+def _guard_placement_strncpy(writer: CodeWriter, names: NamePool,
+                             rng: np.random.Generator,
+                             vulnerable: bool) -> None:
+    """CWE-120 (Fig 1 family): guard present in both variants; only the
+    *placement* of the copy relative to the guard's scope differs, so
+    classic gadgets are identical across the pair."""
+    size = int(rng.integers(8, 20))
+    sink = names.func()
+    dest = names.var("dest")
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"char {dest}[{size}];")
+        noise_statements(writer, names, rng, int(rng.integers(1, 3)),
+                         live="n", buffer=dest, buffer_size=size)
+        if vulnerable:
+            with writer.block(f"if (n < {size})"):
+                writer.line(f"{dest}[0] = 0;")
+            writer.line(f"strncpy({dest}, data, n);", mark=True)
+        else:
+            with writer.block(f"if (n < {size})"):
+                writer.line(f"{dest}[0] = 0;")
+                writer.line(f"strncpy({dest}, data, n);")
+        writer.line(f'printf("%s\\n", {dest});')
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+def _memcpy_length_check(writer: CodeWriter, names: NamePool,
+                         rng: np.random.Generator,
+                         vulnerable: bool) -> None:
+    """CWE-119: memcpy with an attacker-controlled length."""
+    size = int(rng.integers(8, 32))
+    sink = names.func()
+    dest = names.var("dest")
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"char {dest}[{size}];")
+        noise_statements(writer, names, rng, int(rng.integers(1, 4)),
+                         live="n", buffer=dest, buffer_size=size)
+        if vulnerable:
+            writer.line(f"memcpy({dest}, data, n);", mark=True)
+        else:
+            with writer.block(f"if (n > {size})"):
+                writer.line(f"n = {size};")
+            writer.line(f"memcpy({dest}, data, n);")
+        writer.line(f'printf("%c\\n", {dest}[0]);')
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+def _format_string(writer: CodeWriter, names: NamePool,
+                   rng: np.random.Generator, vulnerable: bool) -> None:
+    """CWE-134: user-controlled format string."""
+    sink = names.func()
+    with writer.block(f"void {sink}(char *data)"):
+        noise_statements(writer, names, rng, int(rng.integers(1, 4)),
+                         live="data", live_is_pointer=True)
+        if vulnerable:
+            writer.line("printf(data);", mark=True)
+        else:
+            writer.line('printf("%s", data);')
+    writer.blank()
+    _standard_main(writer, names, rng, sink, pass_length=False)
+
+
+def _long_chain_strcpy(writer: CodeWriter, names: NamePool,
+                       rng: np.random.Generator,
+                       vulnerable: bool) -> None:
+    """CWE-121 with a long dependent preamble: the sink appears after a
+    chain of transformations so fixed-length models truncate it away."""
+    size = int(rng.integers(8, 24))
+    chain = int(rng.integers(10, 16))
+    sink = names.func()
+    buf = names.var("buf")
+    acc = names.var("total")
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"char {buf}[{size}];")
+        writer.line(f"int {acc} = n;")
+        for _ in range(chain):
+            step = names.var()
+            delta = int(rng.integers(1, 5))
+            writer.line(f"int {step} = {acc} + {delta};")
+            writer.line(f"{acc} = {step} - {delta};")
+        if vulnerable:
+            writer.line(f"strncpy({buf}, data, {acc});", mark=True)
+        else:
+            with writer.block(f"if ({acc} > {size - 1})"):
+                writer.line(f"{acc} = {size - 1};")
+            with writer.block(f"if ({acc} < 0)"):
+                writer.line(f"{acc} = 0;")
+            writer.line(f"strncpy({buf}, data, {acc});")
+        writer.line(f'printf("%s\\n", {buf});')
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+# ---------------------------------------------------------------------------
+# AU family
+# ---------------------------------------------------------------------------
+
+
+def _index_oob_write(writer: CodeWriter, names: NamePool,
+                     rng: np.random.Generator, vulnerable: bool) -> None:
+    """CWE-787: attacker-controlled array index."""
+    size = int(rng.integers(8, 32))
+    sink = names.func()
+    table = names.var("table")
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"int {table}[{size}];")
+        noise_statements(writer, names, rng, int(rng.integers(1, 4)),
+                         live="n", buffer=table, buffer_size=size)
+        if vulnerable:
+            writer.line(f"{table}[n] = {rng.integers(1, 99)};", mark=True)
+        else:
+            with writer.block(f"if (n >= 0 && n < {size})"):
+                writer.line(f"{table}[n] = {rng.integers(1, 99)};")
+        writer.line(f'printf("%d\\n", {table}[0]);')
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+def _loop_off_by_one(writer: CodeWriter, names: NamePool,
+                     rng: np.random.Generator, vulnerable: bool) -> None:
+    """CWE-787 via an off-by-one loop bound (``<=`` instead of ``<``)."""
+    size = int(rng.integers(6, 20))
+    sink = names.func()
+    arr = names.var("arr")
+    i = names.var("i")
+    cmp = "<=" if vulnerable else "<"
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"int {arr}[{size}];")
+        noise_statements(writer, names, rng, int(rng.integers(1, 3)),
+                         live="n", buffer=arr, buffer_size=size)
+        header = f"for (int {i} = 0; {i} {cmp} {size}; {i}++)"
+        if vulnerable:
+            with writer.block(header):
+                writer.line(f"{arr}[{i}] = {i} + n;", mark=True)
+        else:
+            with writer.block(header):
+                writer.line(f"{arr}[{i}] = {i} + n;")
+        writer.line(f'printf("%d\\n", {arr}[0]);')
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+def _stack_read_overflow(writer: CodeWriter, names: NamePool,
+                         rng: np.random.Generator,
+                         vulnerable: bool) -> None:
+    """CWE-125: out-of-bounds read at an attacker index."""
+    size = int(rng.integers(6, 24))
+    sink = names.func()
+    arr = names.var("codes")
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"int {arr}[{size}];")
+        writer.line(f"memset({arr}, 0, {size});")
+        if vulnerable:
+            writer.line(f'printf("%d\\n", {arr}[n]);', mark=True)
+        else:
+            with writer.block(f"if (n >= 0 && n < {size})"):
+                writer.line(f'printf("%d\\n", {arr}[n]);')
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+# ---------------------------------------------------------------------------
+# PU family
+# ---------------------------------------------------------------------------
+
+
+def _use_after_free(writer: CodeWriter, names: NamePool,
+                    rng: np.random.Generator, vulnerable: bool) -> None:
+    """CWE-416: write through a pointer after freeing it."""
+    size = int(rng.integers(8, 64))
+    sink = names.func()
+    ptr = names.var("ptr")
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"char *{ptr} = (char *)malloc({size});")
+        with writer.block(f"if ({ptr} == NULL)"):
+            writer.line("return;")
+        writer.line(f"{ptr}[0] = data[0];")
+        noise_statements(writer, names, rng, int(rng.integers(1, 3)),
+                         live="n", buffer=ptr, buffer_size=size)
+        if vulnerable:
+            writer.line(f"free({ptr});")
+            writer.line(f"{ptr}[0] = {rng.integers(1, 99)};", mark=True)
+        else:
+            writer.line(f"{ptr}[0] = {rng.integers(1, 99)};")
+            writer.line(f"free({ptr});")
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+def _null_deref(writer: CodeWriter, names: NamePool,
+                rng: np.random.Generator, vulnerable: bool) -> None:
+    """CWE-476: allocation result used without a NULL check."""
+    sink = names.func()
+    ptr = names.var("ptr")
+    size_var = names.var("want")
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"int {size_var} = n;")
+        noise_statements(writer, names, rng, int(rng.integers(1, 3)), live="n")
+        writer.line(f"char *{ptr} = (char *)malloc({size_var});")
+        if vulnerable:
+            writer.line(f"{ptr}[0] = data[0];", mark=True)
+            writer.line(f"free({ptr});")
+        else:
+            with writer.block(f"if ({ptr} != NULL)"):
+                writer.line(f"{ptr}[0] = data[0];")
+                writer.line(f"free({ptr});")
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+def _double_free(writer: CodeWriter, names: NamePool,
+                 rng: np.random.Generator, vulnerable: bool) -> None:
+    """CWE-415: pointer freed on two paths."""
+    size = int(rng.integers(8, 64))
+    sink = names.func()
+    ptr = names.var("ptr")
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"char *{ptr} = (char *)malloc({size});")
+        with writer.block(f"if ({ptr} == NULL)"):
+            writer.line("return;")
+        writer.line(f"{ptr}[0] = data[0];")
+        with writer.block(f"if (n > {rng.integers(2, 9)})"):
+            writer.line(f"free({ptr});")
+        if vulnerable:
+            writer.line(f"free({ptr});", mark=True)
+        else:
+            with writer.block("else"):
+                writer.line(f"free({ptr});")
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+def _dangling_return(writer: CodeWriter, names: NamePool,
+                     rng: np.random.Generator, vulnerable: bool) -> None:
+    """CWE-416 variant: helper frees, caller keeps using the pointer."""
+    size = int(rng.integers(8, 48))
+    helper = names.func()
+    sink = names.func()
+    ptr = names.var("ptr")
+    with writer.block(f"void {helper}(char *mem, int n)"):
+        writer.line("mem[0] = n;")
+        if vulnerable:
+            writer.line("free(mem);")
+        else:
+            writer.line("mem[0] = mem[0] + 1;")
+    writer.blank()
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"char *{ptr} = (char *)malloc({size});")
+        with writer.block(f"if ({ptr} == NULL)"):
+            writer.line("return;")
+        writer.line(f"{helper}({ptr}, n);")
+        if vulnerable:
+            writer.line(f"{ptr}[0] = data[0];", mark=True)
+        else:
+            writer.line(f"{ptr}[0] = data[0];")
+            writer.line(f"free({ptr});")
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+# ---------------------------------------------------------------------------
+# AE family
+# ---------------------------------------------------------------------------
+
+
+def _int_overflow_alloc(writer: CodeWriter, names: NamePool,
+                        rng: np.random.Generator,
+                        vulnerable: bool) -> None:
+    """CWE-190: multiplication overflow sizes an undersized buffer."""
+    element = int(rng.integers(4, 16))
+    cap = int(rng.integers(256, 1024))
+    sink = names.func()
+    total = names.var("total")
+    ptr = names.var("ptr")
+    with writer.block(f"void {sink}(char *data, int n)"):
+        noise_statements(writer, names, rng, int(rng.integers(1, 3)), live="n")
+        if vulnerable:
+            # n * element can wrap negative; malloc then fails but the
+            # write below goes through the unchecked pointer.
+            writer.line(f"int {total} = n * {element};", mark=True)
+            writer.line(f"char *{ptr} = (char *)malloc({total});")
+            writer.line(f"{ptr}[0] = data[0];", mark=True)
+        else:
+            with writer.block(f"if (n < 1 || n > {cap})"):
+                writer.line("return;")
+            writer.line(f"int {total} = n * {element};")
+            writer.line(f"char *{ptr} = (char *)malloc({total});")
+            with writer.block(f"if ({ptr} == NULL)"):
+                writer.line("return;")
+            writer.line(f"{ptr}[0] = data[0];")
+        writer.line(f"free({ptr});")
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+def _len_underflow(writer: CodeWriter, names: NamePool,
+                   rng: np.random.Generator, vulnerable: bool) -> None:
+    """CWE-191: ``n - 1`` underflows to a negative index when n == 0."""
+    size = int(rng.integers(6, 24))
+    sink = names.func()
+    buf = names.var("buf")
+    last = names.var("last")
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"char {buf}[{size}];")
+        writer.line(f"memset({buf}, 0, {size});")
+        if vulnerable:
+            writer.line(f"int {last} = n - 1;", mark=True)
+            writer.line(f"{buf}[{last}] = data[0];", mark=True)
+        else:
+            with writer.block(f"if (n > 0 && n <= {size})"):
+                writer.line(f"int {last} = n - 1;")
+                writer.line(f"{buf}[{last}] = data[0];")
+        writer.line(f'printf("%c\\n", {buf}[0]);')
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+def _infinite_loop(writer: CodeWriter, names: NamePool,
+                   rng: np.random.Generator, vulnerable: bool) -> None:
+    """CWE-835 (the CVE-2016-9776 shape): user-controlled loop step that
+    can be zero never advances the countdown.
+
+    Half the instances route the step through a struct-pointer field
+    (`s->reg`, device-emulator style) so the learned pattern transfers
+    to the Xen miniatures; the other half use a plain scalar.
+    """
+    sink = names.func()
+    remaining = names.var("remaining")
+    step = names.var("step")
+    use_struct = bool(rng.random() < 0.5)
+    struct_name = names.var("devstate")
+    field_name = names.var("reg")
+    if use_struct:
+        with writer.block(f"struct {struct_name}"):
+            writer.line(f"int {field_name};")
+        writer.lines[-1] += ";"  # struct definition terminator
+        writer.blank()
+        with writer.block(f"void {sink}(struct {struct_name} *s, "
+                          f"char *data, int n)"):
+            writer.line(f"int {remaining} = {rng.integers(50, 200)};")
+            writer.line(f"s->{field_name} = n;")
+            noise_statements(writer, names, rng, int(rng.integers(1, 3)), live="n")
+            if not vulnerable:
+                with writer.block(f"if (s->{field_name} <= 0)"):
+                    writer.line(f"s->{field_name} = 1;")
+            chunk = names.var("chunk")
+            with writer.block(f"while ({remaining} > 0)"):
+                # The mcf_fec shape: per-iteration advance is
+                # min(remaining, guest register).
+                writer.line(f"int {step} = s->{field_name};")
+                writer.line(f"int {chunk} = {remaining};")
+                with writer.block(f"if ({chunk} > {step})"):
+                    writer.line(f"{chunk} = {step};")
+                writer.line(f"{remaining} = {remaining} - {chunk};",
+                            mark=vulnerable)
+            writer.line(f'printf("%d\\n", {remaining});')
+        writer.blank()
+        line_var = names.var("line")
+        with writer.block("int main()"):
+            writer.line(f"struct {struct_name} st;")
+            writer.line(f"struct {struct_name} *s = &st;")
+            writer.line(f"char {line_var}[64];")
+            writer.line(f"fgets({line_var}, 64, 0);")
+            writer.line(f"{sink}(s, {line_var}, atoi({line_var}));")
+            writer.line("return 0;")
+        return
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"int {remaining} = {rng.integers(50, 200)};")
+        writer.line(f"int {step} = n;")
+        noise_statements(writer, names, rng, int(rng.integers(1, 3)), live="n")
+        if not vulnerable:
+            with writer.block(f"if ({step} <= 0)"):
+                writer.line(f"{step} = 1;")
+        with writer.block(f"while ({remaining} > 0)"):
+            writer.line(f"{remaining} = {remaining} - {step};",
+                        mark=vulnerable)
+        writer.line(f'printf("%d\\n", {remaining});')
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+def _overflow_check_bypass(writer: CodeWriter, names: NamePool,
+                           rng: np.random.Generator,
+                           vulnerable: bool) -> None:
+    """CWE-190 (the CVE-2016-9104 shape): an additive bounds check that
+    wraps around for near-INT_MAX offsets, bypassing the guard."""
+    size = int(rng.integers(16, 64))
+    count = int(rng.integers(4, 12))
+    sink = names.func()
+    buf = names.var("value")
+    copied = names.var("copied")
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"char {buf}[{size}];")
+        writer.line(f"memset({buf}, 0, {size});")
+        with writer.block("if (n < 0)"):
+            writer.line("return;")
+        if vulnerable:
+            writer.line(f"if (n + {count} > {size}) {{", mark=True)
+            writer.indent += 1
+            writer.line("return;")
+            writer.indent -= 1
+            writer.line("}")
+        else:
+            with writer.block(f"if (n > {size} || "
+                              f"{count} > {size} - n)"):
+                writer.line("return;")
+        writer.line(f"int {copied} = 0;")
+        if vulnerable:
+            with writer.block(f"while ({copied} < {count})"):
+                writer.line(f"{buf}[n + {copied}] = data[0];",
+                            mark=True)
+                writer.line(f"{copied} = {copied} + 1;")
+        else:
+            with writer.block(f"while ({copied} < {count})"):
+                writer.line(f"{buf}[n + {copied}] = data[0];")
+                writer.line(f"{copied} = {copied} + 1;")
+        writer.line(f'printf("%d\\n", {copied});')
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+def _cursor_loop(writer: CodeWriter, names: NamePool,
+                 rng: np.random.Generator, vulnerable: bool) -> None:
+    """CWE-835 (the CVE-2016-4453 shape): an upward-counting cursor
+    loop whose advance is attacker-controlled and may be zero."""
+    stop = int(rng.integers(30, 120))
+    sink = names.func()
+    cursor = names.var("cursor")
+    advance = names.var("advance")
+    commands = names.var("commands")
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"int {cursor} = 0;")
+        writer.line(f"int {commands} = 0;")
+        noise_statements(writer, names, rng, int(rng.integers(1, 3)), live="n")
+        with writer.block(f"while ({cursor} < {stop})"):
+            writer.line(f"int {advance} = n;")
+            if not vulnerable:
+                with writer.block(f"if ({advance} < 1)"):
+                    writer.line(f"{advance} = 1;")
+            writer.line(f"{cursor} = {cursor} + {advance};",
+                        mark=vulnerable)
+            writer.line(f"{commands} = {commands} + 1;")
+        writer.line(f'printf("%d\\n", {commands});')
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+def _switch_size_dispatch(writer: CodeWriter, names: NamePool,
+                          rng: np.random.Generator,
+                          vulnerable: bool) -> None:
+    """CWE-787 through a switch: one case forgets to clamp."""
+    size = int(rng.integers(8, 16))
+    sink = names.func()
+    buf = names.var("buf")
+    with writer.block(f"void {sink}(char *data, int n)"):
+        writer.line(f"char {buf}[{size}];")
+        writer.line("int mode = n % 3;")
+        with writer.block("switch (mode)"):
+            writer.line("case 0:")
+            writer.indent += 1
+            writer.line(f"strncpy({buf}, data, {size - 1});")
+            writer.line("break;")
+            writer.indent -= 1
+            writer.line("case 1:")
+            writer.indent += 1
+            if vulnerable:
+                writer.line(f"strncpy({buf}, data, n);", mark=True)
+            else:
+                writer.line(f"strncpy({buf}, data, "
+                            f"n < {size} ? n : {size - 1});")
+            writer.line("break;")
+            writer.indent -= 1
+            writer.line("default:")
+            writer.indent += 1
+            writer.line(f"{buf}[0] = 0;")
+            writer.line("break;")
+            writer.indent -= 1
+        writer.line(f'printf("%s\\n", {buf});')
+    writer.blank()
+    _standard_main(writer, names, rng, sink)
+
+
+TEMPLATES: list[Template] = [
+    Template("strcpy_stack_overflow", "CWE-121", "FC",
+             _strcpy_stack_overflow),
+    Template("guard_placement_strncpy", "CWE-120", "FC",
+             _guard_placement_strncpy),
+    Template("memcpy_length_check", "CWE-119", "FC",
+             _memcpy_length_check),
+    Template("format_string", "CWE-134", "FC", _format_string),
+    Template("long_chain_strcpy", "CWE-121", "FC", _long_chain_strcpy),
+    Template("index_oob_write", "CWE-787", "AU", _index_oob_write),
+    Template("loop_off_by_one", "CWE-787", "AU", _loop_off_by_one),
+    Template("stack_read_overflow", "CWE-125", "AU",
+             _stack_read_overflow),
+    Template("use_after_free", "CWE-416", "PU", _use_after_free),
+    Template("null_deref", "CWE-476", "PU", _null_deref),
+    Template("double_free", "CWE-415", "PU", _double_free),
+    Template("dangling_return", "CWE-416", "PU", _dangling_return),
+    Template("int_overflow_alloc", "CWE-190", "AE",
+             _int_overflow_alloc),
+    Template("len_underflow", "CWE-191", "AE", _len_underflow),
+    Template("infinite_loop", "CWE-835", "AE", _infinite_loop),
+    Template("overflow_check_bypass", "CWE-190", "AE",
+             _overflow_check_bypass),
+    Template("cursor_loop", "CWE-835", "AE", _cursor_loop),
+    Template("switch_size_dispatch", "CWE-787", "AU",
+             _switch_size_dispatch),
+]
+
+
+def template_names() -> list[str]:
+    return [template.name for template in TEMPLATES]
+
+
+def generate_case(template: Template, *, vulnerable: bool, seed: int,
+                  origin: str = "sard",
+                  case_name: str | None = None) -> TestCase:
+    """Instantiate one template variant deterministically from a seed."""
+    rng = np.random.default_rng(seed)
+    writer = CodeWriter()
+    names = NamePool(rng)
+    template.build(writer, names, rng, vulnerable)
+    suffix = "bad" if vulnerable else "good"
+    name = case_name or f"{origin}/{template.name}_{seed}_{suffix}.c"
+    return TestCase(
+        name=name,
+        source=writer.source(),
+        vulnerable=vulnerable,
+        vulnerable_lines=frozenset(writer.marked),
+        cwe=template.cwe,
+        category=template.category,
+        origin=origin,
+        meta={"template": template.name, "seed": seed},
+    )

@@ -1,0 +1,47 @@
+"""Test-case and manifest data structures (SARD-manifest style)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..slicing.labeling import VulnerabilityManifest
+
+__all__ = ["TestCase"]
+
+
+@dataclass
+class TestCase:
+    """One corpus program with ground truth.
+
+    (The ``__test__`` flag stops pytest from trying to collect this
+    dataclass when tests import it.)
+
+    Attributes:
+        name: unique case identifier (doubles as the source path).
+        source: full C source text.
+        vulnerable: whether the program contains the flaw variant.
+        vulnerable_lines: 1-based lines of the flaw ('bad' sink lines).
+        cwe: CWE identifier, e.g. 'CWE-121'.
+        category: dominant special-token family ('FC'/'AU'/'PU'/'AE').
+        origin: corpus the case belongs to ('sard', 'nvd', 'xen').
+        meta: free-form extras (template name, parameters).
+    """
+
+    __test__ = False  # not a pytest test class
+
+    name: str
+    source: str
+    vulnerable: bool
+    vulnerable_lines: frozenset[int]
+    cwe: str
+    category: str
+    origin: str = "sard"
+    meta: dict = field(default_factory=dict)
+
+    def manifest(self) -> VulnerabilityManifest:
+        """The labeling manifest for this case."""
+        return VulnerabilityManifest(
+            path=self.name,
+            vulnerable_lines=self.vulnerable_lines if self.vulnerable
+            else frozenset(),
+            cwe=self.cwe)

@@ -1,0 +1,121 @@
+"""SARD ``manifest.xml`` reading/writing.
+
+The paper: "The manifest.xml file in SARD details the file path, line
+number, type, and language of the vulnerability via XML format."  This
+module round-trips our synthetic corpora through that format, so the
+repository's data layer speaks the same interchange language as the
+real dataset — corpora can be exported to disk as ``.c`` files plus a
+manifest and re-imported losslessly.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Sequence
+
+from .manifest import TestCase
+
+__all__ = ["write_manifest", "read_manifest", "export_corpus",
+           "import_corpus"]
+
+
+def write_manifest(cases: Sequence[TestCase], path: str | Path) -> None:
+    """Write a SARD-style manifest for the given cases."""
+    root = ET.Element("container")
+    for case in cases:
+        testcase = ET.SubElement(root, "testcase", {
+            "id": case.name,
+            "type": "Source Code",
+            "status": "bad" if case.vulnerable else "good",
+            "language": "C",
+            "cwe": case.cwe,
+        })
+        file_el = ET.SubElement(testcase, "file", {
+            "path": case.name,
+            "language": "C",
+        })
+        for line in sorted(case.vulnerable_lines):
+            ET.SubElement(file_el, "flaw", {
+                "line": str(line),
+                "name": case.cwe,
+            })
+        meta = ET.SubElement(testcase, "meta", {
+            "category": case.category,
+            "origin": case.origin,
+        })
+        for key, value in sorted(case.meta.items()):
+            ET.SubElement(meta, "entry",
+                          {"key": str(key), "value": str(value)})
+    tree = ET.ElementTree(root)
+    ET.indent(tree)
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    tree.write(path, encoding="unicode", xml_declaration=True)
+
+
+def read_manifest(path: str | Path) -> list[dict]:
+    """Parse a manifest into per-case dicts (no source text)."""
+    root = ET.parse(path).getroot()
+    entries: list[dict] = []
+    for testcase in root.iter("testcase"):
+        file_el = testcase.find("file")
+        if file_el is None:
+            continue
+        flaws = [
+            (int(flaw.get("line", "0")), flaw.get("name", ""))
+            for flaw in file_el.iter("flaw")
+        ]
+        meta_el = testcase.find("meta")
+        meta = {}
+        category = origin = ""
+        if meta_el is not None:
+            category = meta_el.get("category", "")
+            origin = meta_el.get("origin", "")
+            for entry in meta_el.iter("entry"):
+                meta[entry.get("key", "")] = entry.get("value", "")
+        entries.append({
+            "name": testcase.get("id", ""),
+            "path": file_el.get("path", ""),
+            "vulnerable": testcase.get("status") == "bad",
+            "flaw_lines": frozenset(line for line, _ in flaws),
+            "cwe": testcase.get("cwe")
+            or (flaws[0][1] if flaws else ""),
+            "category": category,
+            "origin": origin,
+            "meta": meta,
+        })
+    return entries
+
+
+def export_corpus(cases: Sequence[TestCase],
+                  directory: str | Path) -> Path:
+    """Write every case as a .c file plus a manifest.xml; returns the
+    manifest path."""
+    directory = Path(directory)
+    for case in cases:
+        target = directory / case.name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(case.source)
+    manifest_path = directory / "manifest.xml"
+    write_manifest(cases, manifest_path)
+    return manifest_path
+
+
+def import_corpus(directory: str | Path) -> list[TestCase]:
+    """Re-load a corpus exported with :func:`export_corpus`."""
+    directory = Path(directory)
+    entries = read_manifest(directory / "manifest.xml")
+    cases: list[TestCase] = []
+    for entry in entries:
+        source_path = directory / entry["path"]
+        cases.append(TestCase(
+            name=entry["name"],
+            source=source_path.read_text(),
+            vulnerable=entry["vulnerable"],
+            vulnerable_lines=entry["flaw_lines"],
+            cwe=entry["cwe"],
+            category=entry["category"],
+            origin=entry["origin"],
+            meta=dict(entry["meta"]),
+        ))
+    return cases

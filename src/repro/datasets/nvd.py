@@ -1,0 +1,105 @@
+"""Synthetic NVD corpus: longer, noisier, multi-sink programs.
+
+NVD cases are real-software excerpts — multiple interacting functions,
+plenty of statements unrelated to the flaw, and flaws reachable across
+function boundaries.  The generator composes 2-3 template bodies into
+one translation unit behind a dispatcher, with extra noise, emulating
+that "complex semantics in real software" (paper Section IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .codegen import CodeWriter, NamePool, noise_statements
+from .cwe_templates import TEMPLATES, Template
+from .manifest import TestCase
+
+__all__ = ["generate_nvd_corpus"]
+
+
+def _compose_case(templates: list[Template], vulnerable_index: int | None,
+                  seed: int, name: str) -> TestCase:
+    """Build one multi-sink program.
+
+    Exactly one component (``vulnerable_index``) uses its flaw variant;
+    None means an all-patched (non-vulnerable) case.
+    """
+    rng = np.random.default_rng(seed)
+    writer = CodeWriter()
+    names = NamePool(rng)
+    sink_names: list[str] = []
+    categories: list[str] = []
+    cwe = ""
+    for index, template in enumerate(templates):
+        is_vulnerable = index == vulnerable_index
+        # Template builders emit their own main(); strip it by building
+        # into a scratch writer and copying only the sink functions.
+        scratch = CodeWriter()
+        template.build(scratch, names, rng, is_vulnerable)
+        main_start = next(
+            (i for i, line in enumerate(scratch.lines)
+             if line.startswith("int main(")), len(scratch.lines))
+        offset = len(writer.lines)
+        for line in scratch.lines[:main_start]:
+            writer.lines.append(line)
+        writer.marked.update(mark + offset for mark in scratch.marked
+                             if mark <= main_start)
+        entry_def = [line for line in scratch.lines[:main_start]
+                     if line.startswith("void ")
+                     and "(char *data, int n)" in line][-1]
+        sink_names.append(entry_def.split()[1].split("(")[0])
+        categories.append(template.category)
+        if is_vulnerable:
+            cwe = template.cwe
+        writer.blank()
+    dispatch = names.func()
+    with writer.block(f"void {dispatch}(char *data, int n)"):
+        noise_statements(writer, names, rng, int(rng.integers(1, 4)))
+        selector = names.var("route")
+        writer.line(f"int {selector} = n % {len(sink_names)};")
+        for index, sink in enumerate(sink_names):
+            header = f"if ({selector} == {index})" if index == 0 \
+                else f"else if ({selector} == {index})"
+            with writer.block(header):
+                writer.line(f"{sink}(data, n);")
+    writer.blank()
+    with writer.block("int main()"):
+        writer.line("char line[96];")
+        writer.line("fgets(line, 96, 0);")
+        writer.line("int n = atoi(line);")
+        writer.line(f"{dispatch}(line, n);")
+        writer.line("return 0;")
+    vulnerable = vulnerable_index is not None
+    dominant = categories[vulnerable_index] if vulnerable else categories[0]
+    return TestCase(
+        name=name, source=writer.source(), vulnerable=vulnerable,
+        vulnerable_lines=frozenset(writer.marked), cwe=cwe or "CWE-000",
+        category=dominant, origin="nvd",
+        meta={"templates": [t.name for t in templates]})
+
+
+def generate_nvd_corpus(count: int, seed: int = 0,
+                        vulnerable_fraction: float = 0.55
+                        ) -> list[TestCase]:
+    """Generate ``count`` NVD-style multi-sink cases.
+
+    The default 55% vulnerable fraction matches the paper's NVD split
+    (54.9% with vulnerabilities).
+    """
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    # Sink builders with a uniform (char *data, int n) sink signature
+    # compose cleanly; the others ship their own harness shapes.
+    pool = [t for t in TEMPLATES if t.name not in
+            ("strcpy_stack_overflow", "format_string", "infinite_loop")]
+    cases: list[TestCase] = []
+    for index in range(count):
+        span = int(rng.integers(2, 4))
+        picks = [pool[int(rng.integers(0, len(pool)))] for _ in range(span)]
+        vulnerable = bool(rng.random() < vulnerable_fraction)
+        target = int(rng.integers(0, span)) if vulnerable else None
+        case_seed = seed * 86_243 + index
+        cases.append(
+            _compose_case(picks, target, case_seed,
+                          name=f"nvd/case_{case_seed}.c"))
+    return cases

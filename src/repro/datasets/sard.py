@@ -1,0 +1,87 @@
+"""Synthetic SARD corpus (the paper's primary training set substitute).
+
+SARD/Juliet organises test cases as good/bad function pairs across CWE
+families; :func:`generate_sard_corpus` reproduces that shape from the
+CWE templates, deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cwe_templates import TEMPLATES, Template, generate_case
+from .manifest import TestCase
+
+__all__ = ["generate_sard_corpus", "corpus_statistics"]
+
+
+def generate_sard_corpus(
+    count: int,
+    seed: int = 0,
+    vulnerable_fraction: float = 0.5,
+    categories: tuple[str, ...] | None = None,
+) -> list[TestCase]:
+    """Generate ``count`` SARD-style cases.
+
+    Args:
+        count: number of programs.
+        seed: master seed (case i derives seed*100003 + i).
+        vulnerable_fraction: fraction built from the flaw variant.
+        categories: restrict template families to these special-token
+            categories ('FC', 'AU', 'PU', 'AE').
+    """
+    pool: list[Template] = [
+        template for template in TEMPLATES
+        if categories is None or template.category in categories
+    ]
+    if not pool:
+        raise ValueError(f"no templates for categories {categories!r}")
+    rng = np.random.default_rng(seed)
+    # Stratified coverage, Juliet-style: round-robin over templates
+    # (shuffled per cycle) with variants drawn at vulnerable_fraction,
+    # then a repair pass guaranteeing every (template, variant) combo
+    # appears when the corpus is big enough.  A plain uniform draw
+    # leaves whole families without one variant at small corpus sizes,
+    # silently blinding detectors to those CWEs.
+    plan: list[tuple[Template, bool]] = []
+    while len(plan) < count:
+        order = rng.permutation(len(pool))
+        for pick in order:
+            if len(plan) >= count:
+                break
+            plan.append((pool[int(pick)],
+                         bool(rng.random() < vulnerable_fraction)))
+    if count >= 2 * len(pool):
+        by_template: dict[str, list[int]] = {}
+        for index, (template, _) in enumerate(plan):
+            by_template.setdefault(template.name, []).append(index)
+        for indices in by_template.values():
+            variants = {plan[i][1] for i in indices}
+            if len(variants) == 1 and len(indices) >= 2:
+                flip = indices[int(rng.integers(0, len(indices)))]
+                template, vulnerable = plan[flip]
+                plan[flip] = (template, not vulnerable)
+    cases: list[TestCase] = []
+    for index, (template, vulnerable) in enumerate(plan):
+        case_seed = seed * 100_003 + index
+        cases.append(
+            generate_case(template, vulnerable=vulnerable,
+                          seed=case_seed, origin="sard",
+                          case_name=(f"sard/{template.name}"
+                                     f"_{case_seed}.c")))
+    return cases
+
+
+def corpus_statistics(cases: list[TestCase]) -> dict[str, dict[str, int]]:
+    """Counts per category and per CWE (Table I style summary)."""
+    by_category: dict[str, dict[str, int]] = {}
+    for case in cases:
+        bucket = by_category.setdefault(
+            case.category, {"vulnerable": 0, "non_vulnerable": 0,
+                            "total": 0})
+        bucket["total"] += 1
+        if case.vulnerable:
+            bucket["vulnerable"] += 1
+        else:
+            bucket["non_vulnerable"] += 1
+    return by_category

@@ -1,0 +1,215 @@
+"""Real-world-style corpus: Xen/QEMU device-emulator miniatures.
+
+The paper's RQ3/RQ4 real-world study runs on eight Xen versions and
+surfaces three vulnerabilities Xen inherited from QEMU (Table VII):
+
+* **CVE-2016-9776** — ``mcf_fec.c``: the Ethernet controller emulator
+  loops while ``size > 0`` but the per-iteration decrement comes from
+  the guest-controlled ``s->emrbr`` register; zero means the loop never
+  terminates (the Fig 6 case study).
+* **CVE-2016-4453** — ``vmware_vga.c``: the FIFO run loop trusts a
+  guest-controlled cursor delta, allowing an unbounded loop.
+* **CVE-2016-9104** — ``9pfs/virtio-9p.c``: ``offset + count`` in the
+  xattr bounds check overflows, bypassing the check and reading out of
+  bounds.
+
+Each miniature preserves the vulnerable code *shape* (loop structure,
+guarded member accesses, the arithmetic of the broken check) inside a
+program our frontend parses and our interpreter executes, so the same
+pipeline that handles SARD cases handles these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cwe_templates import TEMPLATES, generate_case
+from .manifest import TestCase
+
+__all__ = ["cve_2016_9776", "cve_2016_4453", "cve_2016_9104",
+           "CVE_CASES", "generate_xen_corpus"]
+
+
+def cve_2016_9776(*, vulnerable: bool = True) -> TestCase:
+    """mcf_fec receive-loop hang (guest-controlled emrbr of zero)."""
+    guard = "" if vulnerable else """\
+    if (s->emrbr < 1) {
+        s->emrbr = 1;
+    }
+"""
+    source = f"""\
+struct fec_state {{
+    int emrbr;
+    int rx_enabled;
+    int descriptor;
+}};
+
+int fec_read_register(struct fec_state *s, int addr) {{
+    if (addr == 0) {{
+        return s->emrbr;
+    }}
+    return 0;
+}}
+
+void mcf_fec_receive(struct fec_state *s, char *buf, int size) {{
+    int crc = 0;
+    int flags = 0;
+{guard}    while (size > 0) {{
+        int emrbr = s->emrbr;
+        int chunk = size;
+        if (chunk > emrbr) {{
+            chunk = emrbr;
+        }}
+        crc = crc + chunk;
+        size = size - chunk;
+        flags = flags + 1;
+    }}
+    printf("%d %d\\n", crc, flags);
+}}
+
+int main() {{
+    struct fec_state st;
+    struct fec_state *s = &st;
+    char frame[64];
+    fgets(frame, 64, 0);
+    s->emrbr = atoi(frame);
+    s->rx_enabled = 1;
+    mcf_fec_receive(s, frame, 52);
+    return 0;
+}}
+"""
+    lines = source.split("\n")
+    vulnerable_lines = frozenset(
+        number for number, text in enumerate(lines, start=1)
+        if "size = size - chunk;" in text
+        or "int emrbr = s->emrbr;" in text) if vulnerable else frozenset()
+    return TestCase(
+        name="xen/net/mcf_fec.c" + ("" if vulnerable else "#patched"),
+        source=source, vulnerable=vulnerable,
+        vulnerable_lines=vulnerable_lines, cwe="CWE-835", category="AE",
+        origin="xen", meta={"cve": "CVE-2016-9776"})
+
+
+def cve_2016_4453(*, vulnerable: bool = True) -> TestCase:
+    """vmware_vga FIFO run loop with a guest-controlled cursor delta."""
+    guard = "" if vulnerable else """\
+        if (advance < 1) {
+            advance = 1;
+        }
+"""
+    source = f"""\
+struct vga_state {{
+    int fifo_stop;
+    int cursor_cmd;
+}};
+
+void vmsvga_fifo_run(struct vga_state *s, char *fifo, int stop) {{
+    int cursor = 0;
+    int commands = 0;
+    while (cursor < stop) {{
+        int advance = s->cursor_cmd;
+{guard}        cursor = cursor + advance;
+        commands = commands + 1;
+    }}
+    printf("%d\\n", commands);
+}}
+
+int main() {{
+    struct vga_state st;
+    struct vga_state *s = &st;
+    char fifo[64];
+    fgets(fifo, 64, 0);
+    s->cursor_cmd = atoi(fifo);
+    s->fifo_stop = 48;
+    vmsvga_fifo_run(s, fifo, s->fifo_stop);
+    return 0;
+}}
+"""
+    lines = source.split("\n")
+    vulnerable_lines = frozenset(
+        number for number, text in enumerate(lines, start=1)
+        if "cursor = cursor + advance;" in text
+        or "int advance = s->cursor_cmd;" in text) if vulnerable \
+        else frozenset()
+    return TestCase(
+        name="xen/display/vmware_vga.c" + ("" if vulnerable else "#patched"),
+        source=source, vulnerable=vulnerable,
+        vulnerable_lines=vulnerable_lines, cwe="CWE-835", category="AE",
+        origin="xen", meta={"cve": "CVE-2016-4453"})
+
+
+def cve_2016_9104(*, vulnerable: bool = True) -> TestCase:
+    """9pfs xattr integer overflow bypassing the bounds check."""
+    check = ("if (offset + count > 64)" if vulnerable
+             else "if (offset > 64 || count > 64 - offset)")
+    source = f"""\
+void v9fs_xattr_read(char *xattr, int offset, int count) {{
+    char value[64];
+    memset(value, 0, 64);
+    if (offset < 0) {{
+        return;
+    }}
+    {check} {{
+        return;
+    }}
+    int copied = 0;
+    while (copied < count) {{
+        value[offset + copied] = xattr[copied % 8];
+        copied = copied + 1;
+    }}
+    printf("%d\\n", copied);
+}}
+
+int main() {{
+    char request[64];
+    fgets(request, 64, 0);
+    int offset = atoi(request);
+    v9fs_xattr_read(request, offset, 16);
+    return 0;
+}}
+"""
+    lines = source.split("\n")
+    vulnerable_lines = frozenset(
+        number for number, text in enumerate(lines, start=1)
+        if "offset + count > 64" in text
+        or "value[offset + copied]" in text) if vulnerable \
+        else frozenset()
+    return TestCase(
+        name="xen/9pfs/virtio-9p.c" + ("" if vulnerable else "#patched"),
+        source=source, vulnerable=vulnerable,
+        vulnerable_lines=vulnerable_lines, cwe="CWE-190", category="AE",
+        origin="xen", meta={"cve": "CVE-2016-9104"})
+
+
+CVE_CASES = {
+    "CVE-2016-9776": cve_2016_9776,
+    "CVE-2016-4453": cve_2016_4453,
+    "CVE-2016-9104": cve_2016_9104,
+}
+
+
+def generate_xen_corpus(count: int, seed: int = 0,
+                        vulnerable_fraction: float = 0.35
+                        ) -> list[TestCase]:
+    """A Xen-flavoured evaluation corpus.
+
+    Contains the three CVE miniatures (vulnerable + patched versions)
+    plus template cases regenerated with origin='xen', emulating a
+    harder real-software distribution (lower vulnerable rate, same
+    template surface, *disjoint seeds* from the training corpora).
+    """
+    cases: list[TestCase] = []
+    for build in CVE_CASES.values():
+        cases.append(build(vulnerable=True))
+        cases.append(build(vulnerable=False))
+    rng = np.random.default_rng(seed ^ 0xE47)
+    while len(cases) < count:
+        template = TEMPLATES[int(rng.integers(0, len(TEMPLATES)))]
+        vulnerable = bool(rng.random() < vulnerable_fraction)
+        case_seed = 900_000_007 + seed * 50_021 + len(cases)
+        cases.append(
+            generate_case(template, vulnerable=vulnerable,
+                          seed=case_seed, origin="xen",
+                          case_name=f"xen/{template.name}"
+                                    f"_{case_seed}.c"))
+    return cases

@@ -1,0 +1,6 @@
+"""Token vocabulary and word2vec embedding (gensim substitute)."""
+
+from .vocab import PAD_TOKEN, UNK_TOKEN, Vocabulary
+from .word2vec import Word2Vec
+
+__all__ = ["PAD_TOKEN", "UNK_TOKEN", "Vocabulary", "Word2Vec"]

@@ -1,0 +1,72 @@
+"""Token vocabulary with reserved PAD/UNK ids."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["PAD_TOKEN", "UNK_TOKEN", "Vocabulary"]
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+
+
+@dataclass
+class Vocabulary:
+    """Bidirectional token <-> id mapping.
+
+    Id 0 is always PAD and id 1 always UNK; real tokens start at 2 in
+    descending frequency order (ties broken lexicographically so builds
+    are deterministic).
+    """
+
+    token_to_id: dict[str, int] = field(default_factory=dict)
+    id_to_token: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.id_to_token:
+            self.id_to_token = [PAD_TOKEN, UNK_TOKEN]
+            self.token_to_id = {PAD_TOKEN: 0, UNK_TOKEN: 1}
+
+    @classmethod
+    def build(cls, token_streams: Iterable[Sequence[str]],
+              min_count: int = 1,
+              max_size: int | None = None) -> "Vocabulary":
+        """Build from an iterable of token sequences."""
+        counts: Counter[str] = Counter()
+        for stream in token_streams:
+            counts.update(stream)
+        vocab = cls()
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        for token, count in ranked:
+            if count < min_count:
+                continue
+            if max_size is not None and len(vocab) >= max_size:
+                break
+            vocab.add(token)
+        return vocab
+
+    def add(self, token: str) -> int:
+        """Register a token (idempotent); returns its id."""
+        existing = self.token_to_id.get(token)
+        if existing is not None:
+            return existing
+        token_id = len(self.id_to_token)
+        self.token_to_id[token] = token_id
+        self.id_to_token.append(token)
+        return token_id
+
+    def encode(self, tokens: Sequence[str]) -> list[int]:
+        unk = self.token_to_id[UNK_TOKEN]
+        return [self.token_to_id.get(token, unk) for token in tokens]
+
+    def decode(self, ids: Sequence[int]) -> list[str]:
+        return [self.id_to_token[i] if 0 <= i < len(self.id_to_token)
+                else UNK_TOKEN for i in ids]
+
+    def __len__(self) -> int:
+        return len(self.id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.token_to_id

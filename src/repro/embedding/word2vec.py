@@ -1,0 +1,160 @@
+"""Skip-gram word2vec with negative sampling (paper Step IV, Eq. 1).
+
+SEVulDet embeds normalized gadget tokens with a pre-trained word2vec
+model; this is the numpy reimplementation of gensim's skip-gram
+negative-sampling trainer, scaled for token-level code vocabularies
+(a few thousand symbols).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .vocab import Vocabulary
+
+__all__ = ["Word2Vec"]
+
+
+@dataclass
+class _Config:
+    dim: int = 30
+    window: int = 4
+    negatives: int = 5
+    lr: float = 0.025
+    min_lr: float = 1e-4
+    epochs: int = 3
+    seed: int = 13
+
+
+class Word2Vec:
+    """Skip-gram with negative sampling over token-id corpora.
+
+    Args:
+        vocab: vocabulary the corpus is encoded against.
+        dim: embedding dimensionality (the paper uses 30).
+        window: max context distance.
+        negatives: negative samples per positive pair.
+    """
+
+    def __init__(self, vocab: Vocabulary, dim: int = 30, window: int = 4,
+                 negatives: int = 5, seed: int = 13):
+        self.vocab = vocab
+        self.config = _Config(dim=dim, window=window, negatives=negatives,
+                              seed=seed)
+        rng = np.random.default_rng(seed)
+        scale = 0.5 / dim
+        self.input_vectors = rng.uniform(-scale, scale,
+                                         size=(len(vocab), dim))
+        self.output_vectors = np.zeros((len(vocab), dim))
+        self._noise_table: np.ndarray | None = None
+
+    # -- training -----------------------------------------------------------
+
+    def _build_noise_table(self, corpora: Sequence[Sequence[int]],
+                           table_size: int = 1 << 16) -> None:
+        counts = np.ones(len(self.vocab))
+        for corpus in corpora:
+            for token_id in corpus:
+                counts[token_id] += 1
+        probabilities = counts ** 0.75
+        probabilities /= probabilities.sum()
+        rng = np.random.default_rng(self.config.seed + 1)
+        self._noise_table = rng.choice(len(self.vocab), size=table_size,
+                                       p=probabilities)
+
+    def train(self, corpora: Sequence[Sequence[int]],
+              epochs: int | None = None) -> float:
+        """Train on encoded token sequences; returns final mean loss."""
+        config = self.config
+        epochs = epochs if epochs is not None else config.epochs
+        self._build_noise_table(corpora)
+        assert self._noise_table is not None
+        rng = np.random.default_rng(config.seed + 2)
+        total_pairs = max(
+            sum(len(corpus) for corpus in corpora) * epochs, 1)
+        seen = 0
+        last_loss = 0.0
+        for _ in range(epochs):
+            for corpus in corpora:
+                last_loss = self._train_sequence(corpus, rng, seen,
+                                                 total_pairs)
+                seen += len(corpus)
+        return last_loss
+
+    def _train_sequence(self, corpus: Sequence[int],
+                        rng: np.random.Generator, seen: int,
+                        total: int) -> float:
+        config = self.config
+        noise = self._noise_table
+        losses: list[float] = []
+        for position, center in enumerate(corpus):
+            progress = min((seen + position) / total, 1.0)
+            lr = max(config.lr * (1.0 - progress), config.min_lr)
+            span = int(rng.integers(1, config.window + 1))
+            start = max(position - span, 0)
+            for context_pos in range(start,
+                                     min(position + span + 1, len(corpus))):
+                if context_pos == position:
+                    continue
+                context = corpus[context_pos]
+                negatives = noise[rng.integers(0, len(noise),
+                                               size=config.negatives)]
+                losses.append(
+                    self._sgns_update(center, context, negatives, lr))
+        return float(np.mean(losses)) if losses else 0.0
+
+    def _sgns_update(self, center: int, context: int,
+                     negatives: np.ndarray, lr: float) -> float:
+        v = self.input_vectors[center]
+        targets = np.concatenate(([context], negatives))
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+        outputs = self.output_vectors[targets]          # (1+neg, dim)
+        scores = outputs @ v
+        sigmoid = 1.0 / (1.0 + np.exp(-np.clip(scores, -10, 10)))
+        gradient = (sigmoid - labels)                   # (1+neg,)
+        grad_v = gradient @ outputs
+        self.output_vectors[targets] -= lr * np.outer(gradient, v)
+        self.input_vectors[center] -= lr * grad_v
+        eps = 1e-10
+        loss = -(np.log(sigmoid[0] + eps)
+                 + np.log(1.0 - sigmoid[1:] + eps).sum())
+        return float(loss)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The (vocab, dim) input embedding matrix (row 0 = PAD)."""
+        return self.input_vectors
+
+    def vector(self, token: str) -> np.ndarray:
+        token_id = self.vocab.token_to_id.get(token, 1)
+        return self.input_vectors[token_id]
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity between two tokens' vectors."""
+        va, vb = self.vector(a), self.vector(b)
+        denom = (np.linalg.norm(va) * np.linalg.norm(vb)) + 1e-12
+        return float(va @ vb / denom)
+
+    def most_similar(self, token: str, top_k: int = 5
+                     ) -> list[tuple[str, float]]:
+        """Nearest tokens by cosine similarity (excludes PAD/UNK/self)."""
+        target = self.vector(token)
+        norms = np.linalg.norm(self.input_vectors, axis=1) + 1e-12
+        scores = self.input_vectors @ target \
+            / (norms * (np.linalg.norm(target) + 1e-12))
+        order = np.argsort(-scores)
+        results: list[tuple[str, float]] = []
+        for token_id in order:
+            word = self.vocab.id_to_token[token_id]
+            if token_id < 2 or word == token:
+                continue
+            results.append((word, float(scores[token_id])))
+            if len(results) >= top_k:
+                break
+        return results

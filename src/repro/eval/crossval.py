@@ -1,0 +1,58 @@
+"""k-fold cross-validation splits (paper Section IV-B uses five-fold)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["kfold_indices", "kfold_split", "stratified_kfold_indices"]
+
+T = TypeVar("T")
+
+
+def kfold_indices(count: int, k: int,
+                  rng: np.random.Generator | None = None
+                  ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, test_idx) pairs over ``count`` samples."""
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if count < k:
+        raise ValueError(f"cannot {k}-fold split {count} samples")
+    order = np.arange(count)
+    if rng is not None:
+        rng.shuffle(order)
+    folds = np.array_split(order, k)
+    for index in range(k):
+        test = folds[index]
+        train = np.concatenate([folds[j] for j in range(k) if j != index])
+        yield train, test
+
+
+def stratified_kfold_indices(labels: Sequence[int], k: int,
+                             rng: np.random.Generator | None = None
+                             ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """k-fold that preserves the label ratio per fold."""
+    labels_arr = np.asarray(labels)
+    positives = np.flatnonzero(labels_arr == 1)
+    negatives = np.flatnonzero(labels_arr == 0)
+    if rng is not None:
+        rng.shuffle(positives)
+        rng.shuffle(negatives)
+    pos_folds = np.array_split(positives, k)
+    neg_folds = np.array_split(negatives, k)
+    for index in range(k):
+        test = np.concatenate([pos_folds[index], neg_folds[index]])
+        train = np.concatenate(
+            [pos_folds[j] for j in range(k) if j != index]
+            + [neg_folds[j] for j in range(k) if j != index])
+        yield train, test
+
+
+def kfold_split(items: Sequence[T], k: int,
+                rng: np.random.Generator | None = None
+                ) -> Iterator[tuple[list[T], list[T]]]:
+    """Like :func:`kfold_indices` but yields the items themselves."""
+    for train_idx, test_idx in kfold_indices(len(items), k, rng):
+        yield ([items[i] for i in train_idx],
+               [items[i] for i in test_idx])

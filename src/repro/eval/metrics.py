@@ -1,0 +1,85 @@
+"""Detection metrics (paper Section IV-A).
+
+FPR, FNR, Accuracy, Precision and F1 exactly as the paper defines them:
+``A = (TP+TN)/all``, ``P = TP/(TP+FP)``, ``F1 = 2*P*(1-FNR) /
+(P + (1-FNR))`` — note F1 uses recall expressed as ``1 - FNR``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Confusion", "Metrics", "confusion_from", "metrics_from"]
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """Binary confusion counts."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """The paper's five indicators, as fractions in [0, 1]."""
+
+    fpr: float
+    fnr: float
+    accuracy: float
+    precision: float
+    f1: float
+
+    def as_percentages(self) -> dict[str, float]:
+        """Rounded percentage view (matches the tables' formatting)."""
+        return {
+            "FPR(%)": round(self.fpr * 100, 1),
+            "FNR(%)": round(self.fnr * 100, 1),
+            "A(%)": round(self.accuracy * 100, 1),
+            "P(%)": round(self.precision * 100, 1),
+            "F1(%)": round(self.f1 * 100, 1),
+        }
+
+
+def confusion_from(predictions: Sequence[int],
+                   labels: Sequence[int]) -> Confusion:
+    """Build confusion counts from parallel 0/1 sequences."""
+    if len(predictions) != len(labels):
+        raise ValueError(f"length mismatch: {len(predictions)} predictions"
+                         f" vs {len(labels)} labels")
+    tp = fp = tn = fn = 0
+    for predicted, actual in zip(predictions, labels):
+        if actual:
+            if predicted:
+                tp += 1
+            else:
+                fn += 1
+        else:
+            if predicted:
+                fp += 1
+            else:
+                tn += 1
+    return Confusion(tp, fp, tn, fn)
+
+
+def metrics_from(confusion: Confusion) -> Metrics:
+    """Derive the five indicators; empty denominators yield 0."""
+    negatives = confusion.fp + confusion.tn
+    positives = confusion.tp + confusion.fn
+    fpr = confusion.fp / negatives if negatives else 0.0
+    fnr = confusion.fn / positives if positives else 0.0
+    accuracy = ((confusion.tp + confusion.tn) / confusion.total
+                if confusion.total else 0.0)
+    predicted_pos = confusion.tp + confusion.fp
+    precision = confusion.tp / predicted_pos if predicted_pos else 0.0
+    recall = 1.0 - fnr
+    f1 = (2 * precision * recall / (precision + recall)
+          if (precision + recall) > 0 else 0.0)
+    return Metrics(fpr, fnr, accuracy, precision, f1)

@@ -1,0 +1,62 @@
+"""Fixed-width table rendering for experiment reports.
+
+Used by the benchmark suite to persist every regenerated paper table
+under ``benchmarks/results/``, and available to library users for
+their own experiment scripts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["Table"]
+
+
+class Table:
+    """Collects dict rows and renders them as an aligned text table.
+
+    Example::
+
+        table = Table("rq1", "Table II - RQ1")
+        table.add(network="BLSTM", f1=85.2)
+        print(table.render())
+        table.save(Path("results"))
+    """
+
+    def __init__(self, name: str, title: str):
+        self.name = name
+        self.title = title
+        self.rows: list[dict] = []
+
+    def add(self, **row) -> None:
+        """Append one row; column order follows the first row."""
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """The aligned table as text (title + header + rows)."""
+        if not self.rows:
+            return f"{self.title}\n(no rows)\n"
+        headers = list(self.rows[0])
+        widths = {
+            header: max(len(str(header)),
+                        *(len(str(row.get(header, "")))
+                          for row in self.rows))
+            for header in headers
+        }
+        lines = [
+            self.title,
+            " | ".join(str(h).ljust(widths[h]) for h in headers),
+            "-+-".join("-" * widths[h] for h in headers),
+        ]
+        for row in self.rows:
+            lines.append(" | ".join(
+                str(row.get(h, "")).ljust(widths[h]) for h in headers))
+        return "\n".join(lines) + "\n"
+
+    def save(self, directory: str | Path) -> Path:
+        """Write ``<directory>/<name>.txt``; returns the path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.name}.txt"
+        path.write_text(self.render())
+        return path

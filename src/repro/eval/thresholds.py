@@ -1,0 +1,133 @@
+"""Score-threshold analysis: ROC, PR, and operating-point selection.
+
+The paper fixes the decision threshold at 0.8 without showing the
+trade-off curve; this module computes it, so the choice can be examined
+(and the threshold re-derived for a new corpus): ROC points, the area
+under the ROC, precision/recall points, and F1-optimal / target-FPR
+operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .metrics import Metrics, confusion_from, metrics_from
+
+__all__ = ["OperatingPoint", "roc_points", "roc_auc",
+           "precision_recall_points", "sweep_thresholds",
+           "best_f1_threshold", "threshold_for_fpr"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Metrics of one threshold setting."""
+
+    threshold: float
+    metrics: Metrics
+
+
+def _validate(scores: Sequence[float],
+              labels: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+    scores_arr = np.asarray(scores, dtype=float)
+    labels_arr = np.asarray(labels, dtype=int)
+    if scores_arr.shape != labels_arr.shape:
+        raise ValueError("scores and labels must align")
+    if scores_arr.size == 0:
+        raise ValueError("empty score set")
+    return scores_arr, labels_arr
+
+
+def roc_points(scores: Sequence[float], labels: Sequence[int]
+               ) -> list[tuple[float, float]]:
+    """(FPR, TPR) points swept over all distinct score thresholds,
+    sorted by FPR, including the (0,0) and (1,1) endpoints."""
+    scores_arr, labels_arr = _validate(scores, labels)
+    positives = int(labels_arr.sum())
+    negatives = len(labels_arr) - positives
+    points = {(0.0, 0.0), (1.0, 1.0)}
+    for threshold in np.unique(scores_arr):
+        predicted = scores_arr >= threshold
+        tp = int((predicted & (labels_arr == 1)).sum())
+        fp = int((predicted & (labels_arr == 0)).sum())
+        tpr = tp / positives if positives else 0.0
+        fpr = fp / negatives if negatives else 0.0
+        points.add((fpr, tpr))
+    return sorted(points)
+
+
+def roc_auc(scores: Sequence[float], labels: Sequence[int]) -> float:
+    """Area under the ROC curve (trapezoidal over the swept points)."""
+    points = roc_points(scores, labels)
+    area = 0.0
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        area += (x1 - x0) * (y0 + y1) / 2.0
+    return area
+
+
+def precision_recall_points(scores: Sequence[float],
+                            labels: Sequence[int]
+                            ) -> list[tuple[float, float]]:
+    """(recall, precision) points over all distinct thresholds."""
+    scores_arr, labels_arr = _validate(scores, labels)
+    positives = int(labels_arr.sum())
+    points: list[tuple[float, float]] = []
+    for threshold in np.unique(scores_arr):
+        predicted = scores_arr >= threshold
+        tp = int((predicted & (labels_arr == 1)).sum())
+        fp = int((predicted & (labels_arr == 0)).sum())
+        recall = tp / positives if positives else 0.0
+        precision = tp / (tp + fp) if (tp + fp) else 1.0
+        points.append((recall, precision))
+    return sorted(points)
+
+
+def sweep_thresholds(scores: Sequence[float], labels: Sequence[int],
+                     thresholds: Sequence[float] | None = None
+                     ) -> list[OperatingPoint]:
+    """Full metric set per threshold (default: 0.05 grid)."""
+    scores_arr, labels_arr = _validate(scores, labels)
+    if thresholds is None:
+        thresholds = np.round(np.arange(0.05, 1.0, 0.05), 2)
+    results = []
+    for threshold in thresholds:
+        predicted = (scores_arr >= threshold).astype(int)
+        metrics = metrics_from(
+            confusion_from(predicted.tolist(), labels_arr.tolist()))
+        results.append(OperatingPoint(float(threshold), metrics))
+    return results
+
+
+def best_f1_threshold(scores: Sequence[float],
+                      labels: Sequence[int]) -> OperatingPoint:
+    """Threshold maximising F1 over the distinct-score sweep."""
+    scores_arr, labels_arr = _validate(scores, labels)
+    best: OperatingPoint | None = None
+    for threshold in np.unique(scores_arr):
+        predicted = (scores_arr >= threshold).astype(int)
+        metrics = metrics_from(
+            confusion_from(predicted.tolist(), labels_arr.tolist()))
+        if best is None or metrics.f1 > best.metrics.f1:
+            best = OperatingPoint(float(threshold), metrics)
+    assert best is not None
+    return best
+
+
+def threshold_for_fpr(scores: Sequence[float], labels: Sequence[int],
+                      max_fpr: float) -> OperatingPoint:
+    """Smallest threshold whose FPR stays at or below ``max_fpr``.
+
+    Raises ValueError when even the most conservative threshold
+    exceeds the budget (only possible with max_fpr < 0).
+    """
+    scores_arr, labels_arr = _validate(scores, labels)
+    candidates = sorted(np.unique(scores_arr))
+    for threshold in candidates:
+        predicted = (scores_arr >= threshold).astype(int)
+        metrics = metrics_from(
+            confusion_from(predicted.tolist(), labels_arr.tolist()))
+        if metrics.fpr <= max_fpr:
+            return OperatingPoint(float(threshold), metrics)
+    raise ValueError(f"no threshold achieves FPR <= {max_fpr}")

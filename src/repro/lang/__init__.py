@@ -1,0 +1,30 @@
+"""C-subset frontend: lexer, parser, CFG, dependence analysis, PDG,
+call graph, and a memory-safety-checking interpreter (Joern + testbed
+substitute)."""
+
+from .lexer import Token, TokenKind, tokenize
+from .parser import ParseError, parse
+from .cfg import CFG, CFGNode, NodeKind, build_cfg
+from .dominance import control_dependences, dominator_tree, post_dominator_tree
+from .dataflow import collect_def_use, data_dependences, reaching_definitions
+from .pdg import PDG, build_pdg
+from .callgraph import AnalyzedProgram, CallGraph, CallSite, analyze
+from .interp import (ExecutionResult, Interpreter, SafetyViolation,
+                     Timeout, ViolationKind, run_program)
+from .source import SourceFile, strip_preprocessor
+from .intervals import Interval, analyze_intervals, interval_of_expr
+from .unparse import unparse, unparse_expr, unparse_stmt
+
+__all__ = [
+    "Token", "TokenKind", "tokenize", "ParseError", "parse",
+    "CFG", "CFGNode", "NodeKind", "build_cfg",
+    "control_dependences", "dominator_tree", "post_dominator_tree",
+    "collect_def_use", "data_dependences", "reaching_definitions",
+    "PDG", "build_pdg",
+    "AnalyzedProgram", "CallGraph", "CallSite", "analyze",
+    "ExecutionResult", "Interpreter", "SafetyViolation", "Timeout",
+    "ViolationKind", "run_program",
+    "SourceFile", "strip_preprocessor",
+    "Interval", "analyze_intervals", "interval_of_expr",
+    "unparse", "unparse_expr", "unparse_stmt",
+]

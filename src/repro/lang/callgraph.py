@@ -1,0 +1,117 @@
+"""Call graph and the whole-program analysis facade.
+
+:class:`AnalyzedProgram` is the single entry point the slicing layer
+uses: parse once, build every function's PDG, and expose the call graph
+for interprocedural slice assembly (paper Algorithm 1, lines 32-36).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from . import ast_nodes as A
+from .cfg import CFGNode
+from .parser import parse
+from .pdg import PDG, build_pdg
+from .source import SourceFile
+
+__all__ = ["CallSite", "CallGraph", "AnalyzedProgram", "analyze"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One syntactic call from ``caller`` to ``callee``."""
+
+    caller: str
+    callee: str
+    node_id: int  # CFG node id inside the caller
+    line: int
+
+
+class CallGraph:
+    """Static call graph over function names defined in one program."""
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        self.sites: list[CallSite] = []
+
+    def add_function(self, name: str) -> None:
+        self.graph.add_node(name)
+
+    def add_call(self, site: CallSite) -> None:
+        self.sites.append(site)
+        self.graph.add_edge(site.caller, site.callee)
+
+    def callees(self, name: str) -> set[str]:
+        return set(self.graph.successors(name)) if name in self.graph else set()
+
+    def callers(self, name: str) -> set[str]:
+        return set(self.graph.predecessors(name)) if name in self.graph \
+            else set()
+
+    def sites_in(self, caller: str) -> list[CallSite]:
+        return [s for s in self.sites if s.caller == caller]
+
+    def sites_calling(self, callee: str) -> list[CallSite]:
+        return [s for s in self.sites if s.callee == callee]
+
+    def calls(self, caller: str, callee: str) -> bool:
+        return self.graph.has_edge(caller, callee)
+
+
+@dataclass
+class AnalyzedProgram:
+    """Parsed + analyzed program: AST, per-function PDGs, call graph."""
+
+    source: SourceFile
+    unit: A.TranslationUnit
+    pdgs: dict[str, PDG] = field(default_factory=dict)
+    call_graph: CallGraph = field(default_factory=CallGraph)
+
+    @property
+    def function_names(self) -> list[str]:
+        return [f.name for f in self.unit.functions]
+
+    def pdg(self, name: str) -> PDG:
+        return self.pdgs[name]
+
+    def function_of_line(self, line: int) -> str | None:
+        """Name of the function whose body spans ``line``."""
+        for fn in self.unit.functions:
+            end = fn.body.end_line or fn.line
+            if fn.line <= line <= end:
+                return fn.name
+        return None
+
+    def node_at(self, function: str, line: int) -> CFGNode | None:
+        """First statement node on ``line`` of ``function``."""
+        nodes = self.pdgs[function].nodes_on_line(line)
+        return nodes[0] if nodes else None
+
+    def statement_text(self, line: int) -> str:
+        return self.source.line(line).strip()
+
+
+def analyze(source_text: str, path: str = "<memory>") -> AnalyzedProgram:
+    """Parse and fully analyze C source text.
+
+    Builds a PDG per function and the call graph between functions that
+    are defined in the same translation unit.
+    """
+    unit = parse(source_text)
+    program = AnalyzedProgram(SourceFile(path, source_text), unit)
+    defined = {f.name for f in unit.functions}
+    for fn in unit.functions:
+        pdg = build_pdg(fn)
+        program.pdgs[fn.name] = pdg
+        program.call_graph.add_function(fn.name)
+    for fn in unit.functions:
+        pdg = program.pdgs[fn.name]
+        for callee, nodes in pdg.calls_made().items():
+            if callee in defined:
+                for node in nodes:
+                    program.call_graph.add_call(
+                        CallSite(fn.name, callee, node.id, node.line))
+    return program

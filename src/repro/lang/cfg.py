@@ -1,0 +1,309 @@
+"""Control-flow graph construction from the AST.
+
+Each function gets a :class:`CFG` whose nodes are statement-level units
+(one node per simple statement and per control-statement condition),
+mirroring the granularity Joern uses for PDG construction in the paper's
+toolchain.  Edge labels record branch polarity (``true``/``false``) and
+``case``/``default`` dispatch, which downstream control-dependence
+analysis turns into labelled control edges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from . import ast_nodes as A
+
+__all__ = ["NodeKind", "CFGNode", "CFGEdge", "CFG", "build_cfg"]
+
+
+class NodeKind(enum.Enum):
+    ENTRY = "entry"
+    EXIT = "exit"
+    STATEMENT = "statement"
+    CONDITION = "condition"
+    SWITCH = "switch"
+
+
+@dataclass
+class CFGNode:
+    """One control-flow node.
+
+    Attributes:
+        id: dense integer id, unique within the CFG.
+        kind: structural role of the node.
+        ast: underlying AST node (statement, or the control statement a
+            condition belongs to).
+        line: 1-based source line.
+        label: short human-readable description (used in tests and dumps).
+    """
+
+    id: int
+    kind: NodeKind
+    ast: Optional[A.Node]
+    line: int
+    label: str = ""
+
+    def __hash__(self) -> int:
+        return self.id
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CFGNode) and other.id == self.id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CFGNode({self.id}, {self.kind.value}, "
+                f"line={self.line}, {self.label!r})")
+
+
+@dataclass(frozen=True)
+class CFGEdge:
+    src: int
+    dst: int
+    label: str = ""  # '', 'true', 'false', 'case', 'default', 'goto'
+
+
+class CFG:
+    """Control-flow graph of a single function."""
+
+    def __init__(self, function: A.FunctionDef):
+        self.function = function
+        self.nodes: dict[int, CFGNode] = {}
+        self.edges: list[CFGEdge] = []
+        self._succ: dict[int, list[CFGEdge]] = {}
+        self._pred: dict[int, list[CFGEdge]] = {}
+        self._ast_index: dict[int, CFGNode] = {}
+        self.entry = self.add_node(NodeKind.ENTRY, None, function.line,
+                                   f"ENTRY {function.name}")
+        self.exit = self.add_node(NodeKind.EXIT, None,
+                                  function.body.end_line or function.line,
+                                  f"EXIT {function.name}")
+
+    def add_node(self, kind: NodeKind, ast: Optional[A.Node], line: int,
+                 label: str = "") -> CFGNode:
+        """Create and register a new node."""
+        node = CFGNode(len(self.nodes), kind, ast, line, label)
+        self.nodes[node.id] = node
+        self._succ[node.id] = []
+        self._pred[node.id] = []
+        if ast is not None:
+            self._ast_index[id(ast)] = node
+        return node
+
+    def add_edge(self, src: CFGNode, dst: CFGNode, label: str = "") -> None:
+        """Add a directed edge; duplicate (src, dst, label) edges collapse."""
+        edge = CFGEdge(src.id, dst.id, label)
+        if edge in self._succ[src.id]:
+            return
+        self.edges.append(edge)
+        self._succ[src.id].append(edge)
+        self._pred[dst.id].append(edge)
+
+    def successors(self, node: CFGNode) -> Iterator[CFGNode]:
+        for edge in self._succ[node.id]:
+            yield self.nodes[edge.dst]
+
+    def predecessors(self, node: CFGNode) -> Iterator[CFGNode]:
+        for edge in self._pred[node.id]:
+            yield self.nodes[edge.src]
+
+    def out_edges(self, node: CFGNode) -> list[CFGEdge]:
+        return list(self._succ[node.id])
+
+    def in_edges(self, node: CFGNode) -> list[CFGEdge]:
+        return list(self._pred[node.id])
+
+    def statement_nodes(self) -> list[CFGNode]:
+        """All nodes carrying an AST payload, in id order."""
+        return [n for n in self.nodes.values() if n.ast is not None]
+
+    def node_for_ast(self, ast: A.Node) -> Optional[CFGNode]:
+        """CFG node created for a given AST statement, if any."""
+        return self._ast_index.get(id(ast))
+
+
+# 'preds' threading below is a list of (node, edge_label) pairs so that
+# condition branch polarity survives through empty bodies: the dangling
+# false-edge of an if with no else is [(cond, 'false')].
+_Preds = list[tuple[CFGNode, str]]
+
+
+class _Builder:
+    def __init__(self, function: A.FunctionDef):
+        self.cfg = CFG(function)
+        self.labels: dict[str, CFGNode] = {}
+        self.pending_gotos: list[tuple[CFGNode, str]] = []
+
+    def build(self) -> CFG:
+        ends = self._stmt_list(self.cfg.function.body.stmts,
+                               [(self.cfg.entry, "")], None, None)
+        self._link(ends, self.cfg.exit)
+        for src, label in self.pending_gotos:
+            target = self.labels.get(label, self.cfg.exit)
+            self.cfg.add_edge(src, target, "goto")
+        return self.cfg
+
+    def _link(self, preds: _Preds, node: CFGNode) -> None:
+        for pred, label in preds:
+            self.cfg.add_edge(pred, node, label)
+
+    def _stmt_list(self, stmts: list[A.Stmt], preds: _Preds,
+                   brk: Optional[_Preds],
+                   cont: Optional[CFGNode]) -> _Preds:
+        current = preds
+        for stmt in stmts:
+            current = self._stmt(stmt, current, brk, cont)
+        return current
+
+    def _stmt(self, stmt: A.Stmt, preds: _Preds, brk: Optional[_Preds],
+              cont: Optional[CFGNode]) -> _Preds:
+        cfg = self.cfg
+        if isinstance(stmt, A.Block):
+            return self._stmt_list(stmt.stmts, preds, brk, cont)
+        if isinstance(stmt, A.Empty):
+            return preds
+        if isinstance(stmt, A.If):
+            return self._if(stmt, preds, brk, cont)
+        if isinstance(stmt, A.While):
+            return self._while(stmt, preds)
+        if isinstance(stmt, A.DoWhile):
+            return self._do_while(stmt, preds)
+        if isinstance(stmt, A.For):
+            return self._for(stmt, preds, brk, cont)
+        if isinstance(stmt, A.Switch):
+            return self._switch(stmt, preds, cont)
+        if isinstance(stmt, A.Break):
+            node = cfg.add_node(NodeKind.STATEMENT, stmt, stmt.line, "break")
+            self._link(preds, node)
+            if brk is not None:
+                brk.append((node, ""))
+            else:
+                cfg.add_edge(node, cfg.exit)
+            return []
+        if isinstance(stmt, A.Continue):
+            node = cfg.add_node(NodeKind.STATEMENT, stmt, stmt.line,
+                                "continue")
+            self._link(preds, node)
+            if cont is not None:
+                cfg.add_edge(node, cont)
+            else:
+                cfg.add_edge(node, cfg.exit)
+            return []
+        if isinstance(stmt, A.Return):
+            node = cfg.add_node(NodeKind.STATEMENT, stmt, stmt.line, "return")
+            self._link(preds, node)
+            cfg.add_edge(node, cfg.exit)
+            return []
+        if isinstance(stmt, A.Goto):
+            node = cfg.add_node(NodeKind.STATEMENT, stmt, stmt.line,
+                                f"goto {stmt.label}")
+            self._link(preds, node)
+            self.pending_gotos.append((node, stmt.label))
+            return []
+        if isinstance(stmt, A.Label):
+            node = cfg.add_node(NodeKind.STATEMENT, stmt, stmt.line,
+                                f"{stmt.name}:")
+            self._link(preds, node)
+            self.labels[stmt.name] = node
+            return self._stmt(stmt.stmt, [(node, "")], brk, cont)
+        # Decl / ExprStmt / any other simple statement.
+        node = cfg.add_node(NodeKind.STATEMENT, stmt, stmt.line)
+        self._link(preds, node)
+        return [(node, "")]
+
+    def _if(self, stmt: A.If, preds: _Preds, brk: Optional[_Preds],
+            cont: Optional[CFGNode]) -> _Preds:
+        cond = self.cfg.add_node(NodeKind.CONDITION, stmt, stmt.line,
+                                 "elseif" if stmt.is_elseif else "if")
+        self._link(preds, cond)
+        then_ends = self._stmt(stmt.then, [(cond, "true")], brk, cont)
+        if stmt.otherwise is not None:
+            else_ends = self._stmt(stmt.otherwise, [(cond, "false")],
+                                   brk, cont)
+            return then_ends + else_ends
+        return then_ends + [(cond, "false")]
+
+    def _while(self, stmt: A.While, preds: _Preds) -> _Preds:
+        cond = self.cfg.add_node(NodeKind.CONDITION, stmt, stmt.line, "while")
+        self._link(preds, cond)
+        breaks: _Preds = []
+        body_ends = self._stmt(stmt.body, [(cond, "true")], breaks, cond)
+        self._link(body_ends, cond)
+        return [(cond, "false")] + breaks
+
+    def _do_while(self, stmt: A.DoWhile, preds: _Preds) -> _Preds:
+        cond = self.cfg.add_node(NodeKind.CONDITION, stmt,
+                                 stmt.while_line or stmt.line, "dowhile")
+        breaks: _Preds = []
+        body_ends = self._stmt(stmt.body, preds, breaks, cond)
+        self._link(body_ends, cond)
+        first = self._first_node_of(stmt.body)
+        if first is not None:
+            self.cfg.add_edge(cond, first, "true")
+        return [(cond, "false")] + breaks
+
+    def _for(self, stmt: A.For, preds: _Preds, brk: Optional[_Preds],
+             cont: Optional[CFGNode]) -> _Preds:
+        cfg = self.cfg
+        current = preds
+        if stmt.init is not None:
+            current = self._stmt(stmt.init, current, brk, cont)
+        label = "for" if stmt.cond is not None else "for(;;)"
+        cond = cfg.add_node(NodeKind.CONDITION, stmt, stmt.line, label)
+        self._link(current, cond)
+        step_node = None
+        if stmt.step is not None:
+            step_node = cfg.add_node(
+                NodeKind.STATEMENT,
+                A.ExprStmt(stmt.step.line, stmt.step.col, expr=stmt.step),
+                stmt.step.line, "for-step")
+        breaks: _Preds = []
+        cont_target = step_node if step_node is not None else cond
+        body_ends = self._stmt(stmt.body, [(cond, "true")], breaks,
+                               cont_target)
+        if step_node is not None:
+            self._link(body_ends, step_node)
+            cfg.add_edge(step_node, cond)
+        else:
+            self._link(body_ends, cond)
+        if stmt.cond is not None:
+            return [(cond, "false")] + breaks
+        return breaks  # for(;;) only exits via break
+
+    def _switch(self, stmt: A.Switch, preds: _Preds,
+                cont: Optional[CFGNode]) -> _Preds:
+        sw = self.cfg.add_node(NodeKind.SWITCH, stmt, stmt.line, "switch")
+        self._link(preds, sw)
+        breaks: _Preds = []
+        fallthrough: _Preds = []
+        has_default = False
+        for case in stmt.cases:
+            if case.is_default:
+                has_default = True
+                label = "default"
+            else:
+                label = "case"
+            entry_preds = fallthrough + [(sw, label)]
+            fallthrough = self._stmt_list(case.stmts, entry_preds, breaks,
+                                          cont)
+        ends = breaks + fallthrough
+        if not has_default:
+            ends.append((sw, "default"))
+        return ends
+
+    def _first_node_of(self, body: A.Stmt) -> Optional[CFGNode]:
+        """Find the CFG node created for the first statement of a body."""
+        stmt: A.Stmt | None = body
+        while isinstance(stmt, A.Block):
+            stmt = stmt.stmts[0] if stmt.stmts else None
+        if stmt is None:
+            return None
+        if isinstance(stmt, (A.If, A.While, A.For, A.DoWhile, A.Switch)):
+            return self.cfg.node_for_ast(stmt)
+        return self.cfg.node_for_ast(stmt)
+
+
+def build_cfg(function: A.FunctionDef) -> CFG:
+    """Build the control-flow graph of ``function``."""
+    return _Builder(function).build()

@@ -1,0 +1,98 @@
+"""Dominator / post-dominator analysis and control dependence.
+
+Control dependence follows Ferrante, Ottenstein & Warren (TOPLAS 1987),
+the algorithm the paper cites for PDG construction: statement *b* is
+control dependent on predicate *a* exactly when *a* has an outgoing CFG
+edge whose traversal makes execution of *b* inevitable while some other
+edge out of *a* avoids *b*.  Operationally: for each CFG edge (a, b)
+where *b* does not post-dominate *a*, every node on the post-dominator
+tree path from *b* up to (excluding) ipostdom(a) is control dependent on
+*a*, labelled with the edge's branch label.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .cfg import CFG, CFGNode
+
+__all__ = [
+    "dominator_tree",
+    "post_dominator_tree",
+    "control_dependences",
+]
+
+
+def _to_networkx(cfg: CFG) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    graph.add_nodes_from(cfg.nodes)
+    for edge in cfg.edges:
+        graph.add_edge(edge.src, edge.dst)
+    return graph
+
+
+def dominator_tree(cfg: CFG) -> dict[int, int]:
+    """Immediate dominators keyed by node id (entry maps to itself).
+
+    Nodes unreachable from entry are absent from the result.
+    """
+    graph = _to_networkx(cfg)
+    idom = dict(nx.immediate_dominators(graph, cfg.entry.id))
+    idom[cfg.entry.id] = cfg.entry.id  # some nx versions omit the root
+    return idom
+
+
+def post_dominator_tree(cfg: CFG) -> dict[int, int]:
+    """Immediate post-dominators keyed by node id (exit maps to itself).
+
+    Computed as dominators of the reversed CFG rooted at the exit node.
+    Nodes that cannot reach the exit (e.g. bodies of provable infinite
+    loops) are connected to the exit with an auxiliary edge first so that
+    every node receives a post-dominator — matching how practical PDG
+    builders (and Joern) handle non-terminating paths.
+    """
+    graph = _to_networkx(cfg).reverse(copy=True)
+    reachable = set(nx.descendants(graph, cfg.exit.id)) | {cfg.exit.id}
+    for node_id in cfg.nodes:
+        if node_id not in reachable:
+            # Auxiliary edge: pretend the stuck node can reach exit.
+            graph.add_edge(cfg.exit.id, node_id)
+    ipdom = dict(nx.immediate_dominators(graph, cfg.exit.id))
+    ipdom[cfg.exit.id] = cfg.exit.id  # some nx versions omit the root
+    return ipdom
+
+
+def control_dependences(cfg: CFG) -> list[tuple[CFGNode, CFGNode, str]]:
+    """Compute labelled control-dependence pairs.
+
+    Returns:
+        list of ``(controller, dependent, branch_label)`` triples where
+        ``dependent`` executes only when ``controller`` takes the branch
+        carrying ``branch_label``.
+    """
+    ipdom = post_dominator_tree(cfg)
+    result: list[tuple[CFGNode, CFGNode, str]] = []
+    seen: set[tuple[int, int, str]] = set()
+    for edge in cfg.edges:
+        a, b = edge.src, edge.dst
+        if ipdom.get(a) == b:
+            continue  # b post-dominates a via this unique continuation
+        # Walk b up the post-dominator tree until reaching ipdom(a).
+        stop = ipdom.get(a)
+        runner: int | None = b
+        guard = 0
+        while runner is not None and runner != stop:
+            if runner != a:
+                key = (a, runner, edge.label)
+                if key not in seen:
+                    seen.add(key)
+                    result.append((cfg.nodes[a], cfg.nodes[runner],
+                                   edge.label))
+            nxt = ipdom.get(runner)
+            if nxt == runner:  # reached the root (exit)
+                break
+            runner = nxt
+            guard += 1
+            if guard > len(cfg.nodes) + 1:  # malformed tree safety valve
+                break
+    return result

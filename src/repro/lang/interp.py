@@ -1,0 +1,1086 @@
+"""Memory-safety-checking interpreter for the C subset.
+
+Serves two roles in the reproduction:
+
+* the execution substrate for the AFL simulacrum (coverage-guided
+  fuzzing needs to *run* the target and observe crashes/hangs), and
+* a ground-truth oracle: synthetic corpus programs can be executed to
+  confirm that "vulnerable" variants really violate memory safety.
+
+The machine model is deliberately simple — block/offset pointers with
+bounds metadata (an idealised AddressSanitizer) — but the *detection
+surface* matches what the paper's CWE families need: out-of-bounds
+reads/writes, use-after-free, double free, NULL dereference, division
+by zero, signed integer overflow events, and hang detection via a step
+budget (how fuzzing exposes CVE-2016-9776's infinite loop).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from . import ast_nodes as A
+from .parser import parse
+
+__all__ = [
+    "ViolationKind", "SafetyViolation", "Timeout", "ExecutionResult",
+    "Pointer", "Interpreter", "run_program",
+]
+
+_INT_MIN = -(2 ** 31)
+_INT_MAX = 2 ** 31 - 1
+
+
+class ViolationKind(enum.Enum):
+    OUT_OF_BOUNDS_WRITE = "out-of-bounds-write"
+    OUT_OF_BOUNDS_READ = "out-of-bounds-read"
+    USE_AFTER_FREE = "use-after-free"
+    DOUBLE_FREE = "double-free"
+    NULL_DEREFERENCE = "null-dereference"
+    DIVISION_BY_ZERO = "division-by-zero"
+    INTEGER_OVERFLOW = "integer-overflow"
+    UNINITIALIZED_READ = "uninitialized-read"
+    INVALID_FREE = "invalid-free"
+
+
+class SafetyViolation(Exception):
+    """A memory-safety violation detected during execution."""
+
+    def __init__(self, kind: ViolationKind, line: int, detail: str = ""):
+        super().__init__(f"{kind.value} at line {line}: {detail}")
+        self.kind = kind
+        self.line = line
+        self.detail = detail
+
+
+class Timeout(Exception):
+    """Step budget exhausted — treated as a hang by the fuzzer."""
+
+    def __init__(self, steps: int):
+        super().__init__(f"execution exceeded {steps} steps")
+        self.steps = steps
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _GotoSignal(Exception):
+    def __init__(self, label: str):
+        self.label = label
+
+
+class _ExitSignal(Exception):
+    def __init__(self, code: int):
+        self.code = code
+
+
+@dataclass
+class _Block:
+    """One allocation: stack variable, heap chunk, or string literal."""
+
+    id: int
+    data: list[Any]
+    freed: bool = False
+    kind: str = "stack"  # 'stack' | 'heap' | 'literal' | 'global'
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """Block/offset fat pointer."""
+
+    block: int
+    offset: int = 0
+
+    def moved(self, delta: int) -> "Pointer":
+        return Pointer(self.block, self.offset + int(delta))
+
+
+NULL_POINTER = Pointer(-1, 0)
+
+
+def _is_null(value: Any) -> bool:
+    """True for NULL pointers and integer zero."""
+    if isinstance(value, Pointer):
+        return value.block <= 0
+    return not isinstance(value, _Struct) and int(value) == 0
+
+_UNINIT = object()  # sentinel for uninitialized slots
+
+
+@dataclass
+class _Struct:
+    fields: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program execution."""
+
+    ok: bool
+    violation: Optional[SafetyViolation] = None
+    timed_out: bool = False
+    exit_code: int = 0
+    output: str = ""
+    coverage: frozenset[tuple[int, bool]] = frozenset()
+    overflow_events: tuple[int, ...] = ()
+    steps: int = 0
+
+    @property
+    def crashed(self) -> bool:
+        return self.violation is not None
+
+    @property
+    def hung(self) -> bool:
+        return self.timed_out
+
+
+class Interpreter:
+    """AST-walking interpreter with a fat-pointer memory model.
+
+    Args:
+        unit: parsed translation unit.
+        stdin: bytes served to input-reading library calls.
+        max_steps: statement budget before :class:`Timeout`.
+        trap_overflow: when True, signed integer overflow raises a
+            violation; when False it wraps (C behaviour) but is recorded
+            in ``overflow_events``.
+    """
+
+    def __init__(self, unit: A.TranslationUnit, *, stdin: bytes = b"",
+                 max_steps: int = 200_000, trap_overflow: bool = False):
+        self.unit = unit
+        self.functions = {f.name: f for f in unit.functions}
+        self.blocks: dict[int, _Block] = {}
+        self._next_block = 1
+        self.stdin = bytearray(stdin)
+        self.stdin_pos = 0
+        self.output: list[str] = []
+        self.max_steps = max_steps
+        self.steps = 0
+        self.trap_overflow = trap_overflow
+        self.overflow_lines: list[int] = []
+        self.coverage: set[tuple[int, bool]] = set()
+        self.globals: dict[str, Any] = {}
+        self._rand_state = 0x12345678
+        for decl in unit.globals:
+            for d in decl.declarators:
+                self.globals[d.name] = self._initial_value(d, {}, decl.line)
+
+    # -- memory ------------------------------------------------------------
+
+    def _alloc(self, size: int, kind: str, name: str = "",
+               fill: Any = _UNINIT) -> Pointer:
+        block = _Block(self._next_block, [fill] * max(0, int(size)),
+                       kind=kind, name=name)
+        self.blocks[block.id] = block
+        self._next_block += 1
+        return Pointer(block.id, 0)
+
+    def _block_for(self, ptr: Pointer, line: int) -> _Block:
+        if ptr.block <= 0:
+            raise SafetyViolation(ViolationKind.NULL_DEREFERENCE, line,
+                                  "NULL pointer dereferenced")
+        block = self.blocks.get(ptr.block)
+        if block is None:
+            raise SafetyViolation(ViolationKind.USE_AFTER_FREE, line,
+                                  "dangling pointer")
+        if block.freed:
+            raise SafetyViolation(ViolationKind.USE_AFTER_FREE, line,
+                                  f"use of freed block {block.name or block.id}")
+        return block
+
+    def load(self, ptr: Pointer, line: int) -> Any:
+        block = self._block_for(ptr, line)
+        if not 0 <= ptr.offset < len(block.data):
+            raise SafetyViolation(
+                ViolationKind.OUT_OF_BOUNDS_READ, line,
+                f"read offset {ptr.offset} of block size {len(block.data)}")
+        value = block.data[ptr.offset]
+        if value is _UNINIT:
+            return 0  # reading uninitialized memory yields 0 (benign)
+        return value
+
+    def store(self, ptr: Pointer, value: Any, line: int) -> None:
+        block = self._block_for(ptr, line)
+        if not 0 <= ptr.offset < len(block.data):
+            raise SafetyViolation(
+                ViolationKind.OUT_OF_BOUNDS_WRITE, line,
+                f"write offset {ptr.offset} of block size {len(block.data)}")
+        block.data[ptr.offset] = value
+
+    def _free(self, ptr: Pointer, line: int) -> None:
+        if ptr.block <= 0:
+            return  # free(NULL) is a no-op
+        block = self.blocks.get(ptr.block)
+        if block is None:
+            raise SafetyViolation(ViolationKind.INVALID_FREE, line,
+                                  "free of unknown pointer")
+        if block.freed:
+            raise SafetyViolation(ViolationKind.DOUBLE_FREE, line,
+                                  f"double free of block {block.id}")
+        if block.kind != "heap":
+            raise SafetyViolation(ViolationKind.INVALID_FREE, line,
+                                  "free of non-heap pointer")
+        block.freed = True
+
+    def _string_block(self, text: str) -> Pointer:
+        data: list[Any] = [ord(c) & 0xFF for c in text] + [0]
+        block = _Block(self._next_block, data, kind="literal")
+        self.blocks[block.id] = block
+        self._next_block += 1
+        return Pointer(block.id, 0)
+
+    def _read_cstring(self, ptr: Pointer, line: int,
+                      limit: int = 1 << 16) -> str:
+        chars: list[str] = []
+        cursor = ptr
+        for _ in range(limit):
+            value = self.load(cursor, line)
+            if isinstance(value, Pointer):
+                break
+            code = int(value) & 0xFF
+            if code == 0:
+                break
+            chars.append(chr(code))
+            cursor = cursor.moved(1)
+        return "".join(chars)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, entry: str = "main",
+            args: tuple[Any, ...] = ()) -> ExecutionResult:
+        """Execute ``entry`` and package the outcome."""
+        try:
+            value = self.call_function(entry, list(args), line=0)
+            code = int(value) if isinstance(value, (int, float)) else 0
+            return self._result(ok=True, exit_code=code)
+        except SafetyViolation as violation:
+            return self._result(ok=False, violation=violation)
+        except Timeout:
+            return self._result(ok=False, timed_out=True)
+        except _ExitSignal as signal:
+            return self._result(ok=True, exit_code=signal.code)
+        except RecursionError:
+            return self._result(ok=False, timed_out=True)
+
+    def _result(self, *, ok: bool,
+                violation: SafetyViolation | None = None,
+                timed_out: bool = False, exit_code: int = 0
+                ) -> ExecutionResult:
+        return ExecutionResult(
+            ok=ok, violation=violation, timed_out=timed_out,
+            exit_code=exit_code, output="".join(self.output),
+            coverage=frozenset(self.coverage),
+            overflow_events=tuple(self.overflow_lines), steps=self.steps)
+
+    def call_function(self, name: str, args: list[Any], line: int) -> Any:
+        fn = self.functions.get(name)
+        if fn is None:
+            return self._call_library(name, args, line)
+        env: dict[str, Any] = {}
+        for index, param in enumerate(fn.params):
+            env[param.name] = args[index] if index < len(args) else 0
+        try:
+            self._exec_block(fn.body, env)
+        except _ReturnSignal as signal:
+            return signal.value
+        return 0
+
+    def _tick(self, line: int) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise Timeout(self.max_steps)
+
+    def _exec_block(self, block: A.Block, env: dict[str, Any]) -> None:
+        self._exec_stmts(block.stmts, env)
+
+    def _exec_stmts(self, stmts: list[A.Stmt], env: dict[str, Any]) -> None:
+        index = 0
+        while index < len(stmts):
+            stmt = stmts[index]
+            try:
+                self._exec_stmt(stmt, env)
+            except _GotoSignal as signal:
+                target = self._find_label(stmts, signal.label)
+                if target is None:
+                    raise
+                index = target
+                continue
+            index += 1
+
+    def _find_label(self, stmts: list[A.Stmt], label: str) -> int | None:
+        for position, stmt in enumerate(stmts):
+            if isinstance(stmt, A.Label) and stmt.name == label:
+                return position
+        return None
+
+    def _exec_stmt(self, stmt: A.Stmt, env: dict[str, Any]) -> None:
+        self._tick(stmt.line)
+        if isinstance(stmt, A.Block):
+            self._exec_stmts(stmt.stmts, env)
+        elif isinstance(stmt, A.Decl):
+            for d in stmt.declarators:
+                env[d.name] = self._initial_value(d, env, stmt.line)
+        elif isinstance(stmt, A.ExprStmt):
+            self.eval(stmt.expr, env)
+        elif isinstance(stmt, A.If):
+            taken = self._truthy(self.eval(stmt.cond, env))
+            self.coverage.add((stmt.line, taken))
+            if taken:
+                self._exec_stmt(stmt.then, env)
+            elif stmt.otherwise is not None:
+                self._exec_stmt(stmt.otherwise, env)
+        elif isinstance(stmt, A.While):
+            while True:
+                taken = self._truthy(self.eval(stmt.cond, env))
+                self.coverage.add((stmt.line, taken))
+                if not taken:
+                    break
+                self._tick(stmt.line)
+                try:
+                    self._exec_stmt(stmt.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(stmt, A.DoWhile):
+            while True:
+                self._tick(stmt.line)
+                try:
+                    self._exec_stmt(stmt.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                taken = self._truthy(self.eval(stmt.cond, env))
+                self.coverage.add((stmt.while_line or stmt.line, taken))
+                if not taken:
+                    break
+        elif isinstance(stmt, A.For):
+            if stmt.init is not None:
+                self._exec_stmt(stmt.init, env)
+            while True:
+                if stmt.cond is not None:
+                    taken = self._truthy(self.eval(stmt.cond, env))
+                    self.coverage.add((stmt.line, taken))
+                    if not taken:
+                        break
+                self._tick(stmt.line)
+                try:
+                    self._exec_stmt(stmt.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if stmt.step is not None:
+                    self.eval(stmt.step, env)
+        elif isinstance(stmt, A.Switch):
+            self._exec_switch(stmt, env)
+        elif isinstance(stmt, A.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, A.Continue):
+            raise _ContinueSignal()
+        elif isinstance(stmt, A.Return):
+            value = self.eval(stmt.value, env) if stmt.value is not None \
+                else 0
+            raise _ReturnSignal(value)
+        elif isinstance(stmt, A.Goto):
+            raise _GotoSignal(stmt.label)
+        elif isinstance(stmt, A.Label):
+            self._exec_stmt(stmt.stmt, env)
+        elif isinstance(stmt, A.Empty):
+            pass
+        else:  # pragma: no cover - parser produces no other statements
+            raise NotImplementedError(type(stmt).__name__)
+
+    def _exec_switch(self, stmt: A.Switch, env: dict[str, Any]) -> None:
+        selector = self.eval(stmt.expr, env)
+        matched = None
+        default_index = None
+        for index, case in enumerate(stmt.cases):
+            if case.is_default:
+                default_index = index
+            elif matched is None and case.value is not None:
+                if self.eval(case.value, env) == selector:
+                    matched = index
+        start = matched if matched is not None else default_index
+        self.coverage.add((stmt.line, start is not None))
+        if start is None:
+            return
+        try:
+            for case in stmt.cases[start:]:
+                self._exec_stmts(case.stmts, env)
+        except _BreakSignal:
+            pass
+
+    def _initial_value(self, decl: A.Declarator, env: dict[str, Any],
+                       line: int) -> Any:
+        if decl.is_array:
+            size = 0
+            if decl.array_sizes and decl.array_sizes[0] is not None:
+                size = int(self.eval(decl.array_sizes[0], env))
+            init_items: list[Any] = []
+            if isinstance(decl.init, A.InitList):
+                init_items = [self.eval(item, env)
+                              for item in decl.init.items]
+            elif isinstance(decl.init, A.StringLit):
+                text = decl.init.value
+                init_items = [ord(c) & 0xFF for c in text] + [0]
+            if size == 0:
+                size = len(init_items)
+            ptr = self._alloc(size, "stack", name=decl.name)
+            block = self.blocks[ptr.block]
+            for index, item in enumerate(init_items[:size]):
+                block.data[index] = item
+            if init_items:  # partially initialized arrays zero-fill in C
+                for index in range(len(init_items), size):
+                    block.data[index] = 0
+            return ptr
+        if decl.init is not None:
+            value = self.eval(decl.init, env)
+            if decl.is_pointer and isinstance(value, (int, float)) \
+                    and int(value) == 0:
+                return NULL_POINTER
+            return value
+        return NULL_POINTER if decl.is_pointer else 0
+
+    # -- expressions ---------------------------------------------------------
+
+    def _truthy(self, value: Any) -> bool:
+        if isinstance(value, Pointer):
+            return value.block > 0
+        return bool(value)
+
+    def _wrap_int(self, value: int, line: int) -> int:
+        if _INT_MIN <= value <= _INT_MAX:
+            return value
+        self.overflow_lines.append(line)
+        if self.trap_overflow:
+            raise SafetyViolation(ViolationKind.INTEGER_OVERFLOW, line,
+                                  f"value {value} out of int range")
+        wrapped = (value - _INT_MIN) % (2 ** 32) + _INT_MIN
+        return wrapped
+
+    def eval(self, expr: A.Expr, env: dict[str, Any]) -> Any:
+        if isinstance(expr, A.Number):
+            return expr.value
+        if isinstance(expr, A.StringLit):
+            return self._string_block(expr.value)
+        if isinstance(expr, A.CharLit):
+            return expr.value
+        if isinstance(expr, A.Ident):
+            return self._load_name(expr.name, env, expr.line)
+        if isinstance(expr, A.Assign):
+            return self._eval_assign(expr, env)
+        if isinstance(expr, A.Unary):
+            return self._eval_unary(expr, env)
+        if isinstance(expr, A.Binary):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, A.Ternary):
+            if self._truthy(self.eval(expr.cond, env)):
+                return self.eval(expr.then, env)
+            return self.eval(expr.otherwise, env)
+        if isinstance(expr, A.Comma):
+            self.eval(expr.left, env)
+            return self.eval(expr.right, env)
+        if isinstance(expr, A.Call):
+            name = expr.callee_name
+            args = [self.eval(a, env) for a in expr.args]
+            if name is None:
+                raise SafetyViolation(ViolationKind.NULL_DEREFERENCE,
+                                      expr.line, "indirect call unsupported")
+            return self.call_function(name, args, expr.line)
+        if isinstance(expr, A.Index):
+            ptr = self._pointer_to_element(expr, env)
+            return self.load(ptr, expr.line)
+        if isinstance(expr, A.Member):
+            base = self.eval(expr.base, env)
+            struct = self._struct_of(base, expr)
+            return struct.fields.get(expr.name, 0)
+        if isinstance(expr, A.Cast):
+            value = self.eval(expr.expr, env)
+            if isinstance(value, (int, float)) and int(value) == 0 \
+                    and expr.type_name.endswith("*"):
+                return NULL_POINTER
+            return value
+        if isinstance(expr, A.SizeOf):
+            return self._eval_sizeof(expr, env)
+        if isinstance(expr, A.InitList):
+            return [self.eval(item, env) for item in expr.items]
+        raise NotImplementedError(type(expr).__name__)  # pragma: no cover
+
+    def _load_name(self, name: str, env: dict[str, Any], line: int) -> Any:
+        if name == "NULL":
+            return NULL_POINTER
+        if name in ("true", "false"):
+            return 1 if name == "true" else 0
+        if name in env:
+            value = env[name]
+        elif name in self.globals:
+            value = self.globals[name]
+        else:
+            return 0  # unknown identifiers read as 0 (extern constants)
+        if isinstance(value, _Boxed):
+            return self.load(value.ptr, line)
+        return value
+
+    def _struct_of(self, base: Any, expr: A.Member) -> _Struct:
+        if isinstance(base, Pointer):
+            if not expr.arrow and base.block > 0:
+                # 's.f' where s is backed by a one-element struct block.
+                value = self.load(base, expr.line)
+                if isinstance(value, _Struct):
+                    return value
+            block = self._block_for(base, expr.line)
+            if not 0 <= base.offset < len(block.data):
+                raise SafetyViolation(ViolationKind.OUT_OF_BOUNDS_READ,
+                                      expr.line, "struct access out of bounds")
+            slot = block.data[base.offset]
+            if not isinstance(slot, _Struct):
+                slot = _Struct()
+                block.data[base.offset] = slot
+            return slot
+        if isinstance(base, _Struct):
+            return base
+        raise SafetyViolation(ViolationKind.NULL_DEREFERENCE, expr.line,
+                              "member access on non-struct")
+
+    def _eval_sizeof(self, expr: A.SizeOf, env: dict[str, Any]) -> int:
+        sizes = {"char": 1, "short": 2, "int": 4, "long": 8, "float": 4,
+                 "double": 8, "void": 1}
+        if isinstance(expr.arg, str):
+            name = expr.arg.replace("unsigned", "").replace("signed", "")
+            name = name.strip()
+            if name.endswith("*"):
+                return 8
+            return sizes.get(name.split()[-1] if name else "int", 4)
+        if isinstance(expr.arg, A.Ident):
+            value = self._load_name(expr.arg.name, env, expr.line)
+            if isinstance(value, Pointer) and value.block in self.blocks:
+                return len(self.blocks[value.block].data)
+        return 4
+
+    def _lvalue(self, expr: A.Expr,
+                env: dict[str, Any]) -> Callable[[Any], None]:
+        """Return a setter closure for an lvalue expression."""
+        if isinstance(expr, A.Ident):
+            name = expr.name
+
+            def set_name(value: Any) -> None:
+                scope = env if (name in env or name not in self.globals) \
+                    else self.globals
+                current = scope.get(name)
+                if isinstance(current, _Boxed):
+                    self.store(current.ptr, value, expr.line)
+                else:
+                    scope[name] = value
+
+            return set_name
+        if isinstance(expr, A.Index):
+            ptr = self._pointer_to_element(expr, env)
+            return lambda value: self.store(ptr, value, expr.line)
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            target = self.eval(expr.operand, env)
+            if not isinstance(target, Pointer):
+                raise SafetyViolation(ViolationKind.NULL_DEREFERENCE,
+                                      expr.line, "deref of non-pointer")
+            return lambda value: self.store(target, value, expr.line)
+        if isinstance(expr, A.Member):
+            base = self.eval(expr.base, env)
+            struct = self._struct_of(base, expr)
+            name = expr.name
+            return lambda value: struct.fields.__setitem__(name, value)
+        raise SafetyViolation(ViolationKind.NULL_DEREFERENCE, expr.line,
+                              "unsupported lvalue")
+
+    def _pointer_to_element(self, expr: A.Index,
+                            env: dict[str, Any]) -> Pointer:
+        base = self.eval(expr.base, env)
+        index = self.eval(expr.index, env)
+        if not isinstance(base, Pointer):
+            raise SafetyViolation(ViolationKind.NULL_DEREFERENCE, expr.line,
+                                  "indexing a non-pointer")
+        if isinstance(index, Pointer):
+            raise SafetyViolation(ViolationKind.NULL_DEREFERENCE, expr.line,
+                                  "pointer used as index")
+        return base.moved(int(index))
+
+    def _eval_assign(self, expr: A.Assign, env: dict[str, Any]) -> Any:
+        if expr.op == "=":
+            value = self.eval(expr.value, env)
+            self._lvalue(expr.target, env)(value)
+            return value
+        op = expr.op[:-1]
+        current = self.eval(expr.target, env)
+        rhs = self.eval(expr.value, env)
+        value = self._binary_op(op, current, rhs, expr.line)
+        self._lvalue(expr.target, env)(value)
+        return value
+
+    def _eval_unary(self, expr: A.Unary, env: dict[str, Any]) -> Any:
+        op = expr.op
+        if op == "&":
+            return self._address_of(expr.operand, env)
+        if op == "*":
+            target = self.eval(expr.operand, env)
+            if not isinstance(target, Pointer):
+                raise SafetyViolation(ViolationKind.NULL_DEREFERENCE,
+                                      expr.line, "deref of non-pointer")
+            return self.load(target, expr.line)
+        if op in ("++", "--"):
+            current = self.eval(expr.operand, env)
+            delta = 1 if op == "++" else -1
+            if isinstance(current, Pointer):
+                updated: Any = current.moved(delta)
+            else:
+                updated = self._wrap_int(int(current) + delta, expr.line)
+            self._lvalue(expr.operand, env)(updated)
+            return updated if expr.prefix else current
+        value = self.eval(expr.operand, env)
+        if op == "-":
+            return self._wrap_int(-int(value), expr.line) \
+                if isinstance(value, int) else -value
+        if op == "+":
+            return value
+        if op == "!":
+            return 0 if self._truthy(value) else 1
+        if op == "~":
+            return ~int(value)
+        raise NotImplementedError(op)  # pragma: no cover
+
+    def _address_of(self, expr: A.Expr, env: dict[str, Any]) -> Pointer:
+        if isinstance(expr, A.Ident):
+            # Promote the scalar variable into a one-slot block so the
+            # pointer has somewhere to live; writes through the pointer
+            # and direct variable accesses must stay coherent, so the
+            # variable is rebound to a box-aware accessor: we store the
+            # box pointer under a shadow key and keep both in sync via
+            # the box itself being the storage.
+            shadow = f"&{expr.name}"
+            if shadow not in env:
+                box = self._alloc(1, "stack", name=expr.name)
+                self.store(box, env.get(expr.name, 0), expr.line)
+                env[shadow] = box
+                env[expr.name] = _Boxed(box)
+            boxed = env[expr.name]
+            if isinstance(boxed, _Boxed):
+                return boxed.ptr
+            return env[shadow]
+        if isinstance(expr, A.Index):
+            return self._pointer_to_element(expr, env)
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            target = self.eval(expr.operand, env)
+            if isinstance(target, Pointer):
+                return target
+        value = self.eval(expr, env)
+        if isinstance(value, Pointer):
+            return value
+        raise SafetyViolation(ViolationKind.NULL_DEREFERENCE, expr.line,
+                              "cannot take address")
+
+    def _eval_binary(self, expr: A.Binary, env: dict[str, Any]) -> Any:
+        op = expr.op
+        if op == "&&":
+            if not self._truthy(self.eval(expr.left, env)):
+                return 0
+            return 1 if self._truthy(self.eval(expr.right, env)) else 0
+        if op == "||":
+            if self._truthy(self.eval(expr.left, env)):
+                return 1
+            return 1 if self._truthy(self.eval(expr.right, env)) else 0
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        return self._binary_op(op, left, right, expr.line)
+
+    def _binary_op(self, op: str, left: Any, right: Any, line: int) -> Any:
+        if isinstance(left, _Boxed):
+            left = self.load(left.ptr, line)
+        if isinstance(right, _Boxed):
+            right = self.load(right.ptr, line)
+        if isinstance(left, Pointer) or isinstance(right, Pointer):
+            return self._pointer_arith(op, left, right, line)
+        left_num = left if isinstance(left, float) else int(left)
+        right_num = right if isinstance(right, float) else int(right)
+        if op == "+":
+            result = left_num + right_num
+        elif op == "-":
+            result = left_num - right_num
+        elif op == "*":
+            result = left_num * right_num
+        elif op in ("/", "%"):
+            if right_num == 0:
+                raise SafetyViolation(ViolationKind.DIVISION_BY_ZERO, line,
+                                      "division by zero")
+            if isinstance(left_num, float) or isinstance(right_num, float):
+                result = left_num / right_num if op == "/" \
+                    else left_num % right_num
+            else:
+                quotient = abs(left_num) // abs(right_num)
+                if (left_num < 0) != (right_num < 0):
+                    quotient = -quotient
+                result = quotient if op == "/" \
+                    else left_num - quotient * right_num
+        elif op == "<<":
+            result = int(left_num) << (int(right_num) & 63)
+        elif op == ">>":
+            result = int(left_num) >> (int(right_num) & 63)
+        elif op == "&":
+            result = int(left_num) & int(right_num)
+        elif op == "|":
+            result = int(left_num) | int(right_num)
+        elif op == "^":
+            result = int(left_num) ^ int(right_num)
+        elif op == "<":
+            return 1 if left_num < right_num else 0
+        elif op == ">":
+            return 1 if left_num > right_num else 0
+        elif op == "<=":
+            return 1 if left_num <= right_num else 0
+        elif op == ">=":
+            return 1 if left_num >= right_num else 0
+        elif op == "==":
+            return 1 if left_num == right_num else 0
+        elif op == "!=":
+            return 1 if left_num != right_num else 0
+        else:  # pragma: no cover
+            raise NotImplementedError(op)
+        if isinstance(result, int):
+            return self._wrap_int(result, line)
+        return result
+
+    def _pointer_arith(self, op: str, left: Any, right: Any,
+                       line: int) -> Any:
+        if op == "+" and isinstance(left, Pointer):
+            return left.moved(int(right))
+        if op == "+" and isinstance(right, Pointer):
+            return right.moved(int(left))
+        if op == "-" and isinstance(left, Pointer) and \
+                isinstance(right, Pointer):
+            if left.block != right.block:
+                return 0
+            return left.offset - right.offset
+        if op == "-" and isinstance(left, Pointer):
+            return left.moved(-int(right))
+        as_int = (lambda v: (v.block, v.offset) if isinstance(v, Pointer)
+                  else (0, int(v)) if int(v) == 0 else (-2, int(v)))
+        lk, rk = as_int(left), as_int(right)
+        if op == "==":
+            return 1 if lk == rk or (_is_null(left) and _is_null(right)) \
+                else 0
+        if op == "!=":
+            return 0 if lk == rk else 1
+        if op in ("<", ">", "<=", ">="):
+            lo = left.offset if isinstance(left, Pointer) else int(left)
+            ro = right.offset if isinstance(right, Pointer) else int(right)
+            return self._binary_op(op, lo, ro, line)
+        raise SafetyViolation(ViolationKind.NULL_DEREFERENCE, line,
+                              f"invalid pointer arithmetic {op!r}")
+
+    # -- library ------------------------------------------------------------
+
+    def _call_library(self, name: str, args: list[Any], line: int) -> Any:
+        handler = getattr(self, f"_lib_{name}", None)
+        if handler is not None:
+            return handler(args, line)
+        return 0  # unknown externals are harmless no-ops returning 0
+
+    #: Allocation cap: requests beyond this return NULL, modelling OOM
+    #: (and keeping interpreter memory bounded under fuzzed inputs).
+    MAX_ALLOC = 1 << 20
+
+    def _lib_malloc(self, args: list[Any], line: int) -> Pointer:
+        size = int(args[0]) if args else 0
+        if size <= 0 or size > self.MAX_ALLOC:
+            return NULL_POINTER
+        return self._alloc(size, "heap", fill=0)
+
+    def _lib_calloc(self, args: list[Any], line: int) -> Pointer:
+        count = int(args[0]) if args else 0
+        size = int(args[1]) if len(args) > 1 else 1
+        total = count * size
+        if total <= 0 or total > self.MAX_ALLOC:
+            return NULL_POINTER
+        return self._alloc(total, "heap", fill=0)
+
+    def _lib_realloc(self, args: list[Any], line: int) -> Pointer:
+        old = args[0] if args else NULL_POINTER
+        size = int(args[1]) if len(args) > 1 else 0
+        fresh = self._alloc(max(size, 0), "heap", fill=0)
+        if isinstance(old, Pointer) and old.block > 0:
+            old_block = self._block_for(old, line)
+            new_block = self.blocks[fresh.block]
+            for index in range(min(len(old_block.data),
+                                   len(new_block.data))):
+                new_block.data[index] = old_block.data[index]
+            old_block.freed = True
+        return fresh
+
+    def _lib_free(self, args: list[Any], line: int) -> int:
+        if args and isinstance(args[0], Pointer):
+            self._free(args[0], line)
+        return 0
+
+    def _lib_strlen(self, args: list[Any], line: int) -> int:
+        if not args or not isinstance(args[0], Pointer):
+            return 0
+        return len(self._read_cstring(args[0], line))
+
+    def _copy_bytes(self, dest: Pointer, src: Pointer, count: int,
+                    line: int) -> None:
+        for index in range(count):
+            value = self.load(src.moved(index), line)
+            self.store(dest.moved(index), value, line)
+
+    def _lib_memcpy(self, args: list[Any], line: int) -> Any:
+        dest, src, count = args[0], args[1], int(args[2])
+        if isinstance(dest, Pointer) and isinstance(src, Pointer):
+            self._copy_bytes(dest, src, count, line)
+        return dest
+
+    _lib_memmove = _lib_memcpy
+
+    def _lib_memset(self, args: list[Any], line: int) -> Any:
+        dest, value, count = args[0], int(args[1]), int(args[2])
+        if isinstance(dest, Pointer):
+            for index in range(count):
+                self.store(dest.moved(index), value & 0xFF, line)
+        return dest
+
+    def _lib_strcpy(self, args: list[Any], line: int) -> Any:
+        dest, src = args[0], args[1]
+        if isinstance(dest, Pointer) and isinstance(src, Pointer):
+            text = self._read_cstring(src, line)
+            for index, char in enumerate(text):
+                self.store(dest.moved(index), ord(char), line)
+            self.store(dest.moved(len(text)), 0, line)
+        return dest
+
+    def _lib_strncpy(self, args: list[Any], line: int) -> Any:
+        dest, src, count = args[0], args[1], int(args[2])
+        if isinstance(dest, Pointer) and isinstance(src, Pointer):
+            text = self._read_cstring(src, line)
+            for index in range(count):
+                value = ord(text[index]) if index < len(text) else 0
+                self.store(dest.moved(index), value, line)
+        return dest
+
+    def _lib_strcat(self, args: list[Any], line: int) -> Any:
+        dest, src = args[0], args[1]
+        if isinstance(dest, Pointer) and isinstance(src, Pointer):
+            offset = len(self._read_cstring(dest, line))
+            text = self._read_cstring(src, line)
+            for index, char in enumerate(text):
+                self.store(dest.moved(offset + index), ord(char), line)
+            self.store(dest.moved(offset + len(text)), 0, line)
+        return dest
+
+    def _lib_strncat(self, args: list[Any], line: int) -> Any:
+        dest, src, count = args[0], args[1], int(args[2])
+        if isinstance(dest, Pointer) and isinstance(src, Pointer):
+            offset = len(self._read_cstring(dest, line))
+            text = self._read_cstring(src, line)[:count]
+            for index, char in enumerate(text):
+                self.store(dest.moved(offset + index), ord(char), line)
+            self.store(dest.moved(offset + len(text)), 0, line)
+        return dest
+
+    def _lib_strcmp(self, args: list[Any], line: int) -> int:
+        if len(args) < 2 or not all(isinstance(a, Pointer) for a in args[:2]):
+            return 0
+        a = self._read_cstring(args[0], line)
+        b = self._read_cstring(args[1], line)
+        return (a > b) - (a < b)
+
+    def _lib_strncmp(self, args: list[Any], line: int) -> int:
+        if len(args) < 3:
+            return self._lib_strcmp(args, line)
+        count = int(args[2])
+        a = self._read_cstring(args[0], line)[:count]
+        b = self._read_cstring(args[1], line)[:count]
+        return (a > b) - (a < b)
+
+    def _lib_gets(self, args: list[Any], line: int) -> Any:
+        # gets: unbounded read — the canonical overflow source.
+        dest = args[0]
+        data = self._take_input_line()
+        if isinstance(dest, Pointer):
+            for index, byte in enumerate(data):
+                self.store(dest.moved(index), byte, line)
+            self.store(dest.moved(len(data)), 0, line)
+        return dest
+
+    def _lib_fgets(self, args: list[Any], line: int) -> Any:
+        dest = args[0]
+        limit = int(args[1]) if len(args) > 1 else 0
+        data = self._take_input_line()[: max(limit - 1, 0)]
+        if isinstance(dest, Pointer):
+            for index, byte in enumerate(data):
+                self.store(dest.moved(index), byte, line)
+            self.store(dest.moved(len(data)), 0, line)
+        return dest if data else NULL_POINTER
+
+    def _lib_read(self, args: list[Any], line: int) -> int:
+        dest = args[1] if len(args) > 1 else NULL_POINTER
+        count = int(args[2]) if len(args) > 2 else 0
+        data = self._take_input_bytes(count)
+        if isinstance(dest, Pointer):
+            for index, byte in enumerate(data):
+                self.store(dest.moved(index), byte, line)
+        return len(data)
+
+    _lib_recv = _lib_read
+
+    def _lib_atoi(self, args: list[Any], line: int) -> int:
+        if not args or not isinstance(args[0], Pointer):
+            return 0
+        text = self._read_cstring(args[0], line).strip()
+        sign = 1
+        if text[:1] in ("+", "-"):
+            sign = -1 if text[0] == "-" else 1
+            text = text[1:]
+        digits = ""
+        for char in text:
+            if char not in "0123456789":  # isdigit() admits U+00B2 etc.
+                break
+            digits += char
+        return sign * int(digits) if digits else 0
+
+    def _lib_printf(self, args: list[Any], line: int) -> int:
+        rendered = self._format(args, line)
+        self.output.append(rendered)
+        return len(rendered)
+
+    def _lib_fprintf(self, args: list[Any], line: int) -> int:
+        return self._lib_printf(args[1:], line)
+
+    def _lib_snprintf(self, args: list[Any], line: int) -> int:
+        dest = args[0]
+        limit = int(args[1]) if len(args) > 1 else 0
+        rendered = self._format(args[2:], line)[: max(limit - 1, 0)]
+        if isinstance(dest, Pointer):
+            for index, char in enumerate(rendered):
+                self.store(dest.moved(index), ord(char), line)
+            self.store(dest.moved(len(rendered)), 0, line)
+        return len(rendered)
+
+    def _lib_sprintf(self, args: list[Any], line: int) -> int:
+        dest = args[0]
+        rendered = self._format(args[1:], line)
+        if isinstance(dest, Pointer):
+            for index, char in enumerate(rendered):
+                self.store(dest.moved(index), ord(char), line)
+            self.store(dest.moved(len(rendered)), 0, line)
+        return len(rendered)
+
+    def _lib_puts(self, args: list[Any], line: int) -> int:
+        if args and isinstance(args[0], Pointer):
+            self.output.append(self._read_cstring(args[0], line) + "\n")
+        return 0
+
+    def _lib_exit(self, args: list[Any], line: int) -> int:
+        raise _ExitSignal(int(args[0]) if args else 0)
+
+    def _lib_abort(self, args: list[Any], line: int) -> int:
+        raise _ExitSignal(134)
+
+    def _lib_rand(self, args: list[Any], line: int) -> int:
+        # Deterministic LCG so executions are reproducible.
+        self._rand_state = (self._rand_state * 1103515245 + 12345) \
+            % (2 ** 31)
+        return self._rand_state
+
+    def _format(self, args: list[Any], line: int) -> str:
+        if not args or not isinstance(args[0], Pointer):
+            return ""
+        fmt = self._read_cstring(args[0], line)
+        values = list(args[1:])
+        out: list[str] = []
+        index = 0
+        position = 0
+        while position < len(fmt):
+            char = fmt[position]
+            if char != "%" or position + 1 >= len(fmt):
+                out.append(char)
+                position += 1
+                continue
+            position += 1
+            # Skip width/flags.
+            while position < len(fmt) and fmt[position] in "-+ 0123456789.l":
+                position += 1
+            if position >= len(fmt):
+                break
+            spec = fmt[position]
+            position += 1
+            if spec == "%":
+                out.append("%")
+                continue
+            if index >= len(values) and spec in "sn":
+                # %s/%n with no matching argument dereferences stack
+                # garbage — the classic format-string crash.
+                raise SafetyViolation(
+                    ViolationKind.OUT_OF_BOUNDS_READ, line,
+                    f"format conversion %{spec} has no argument")
+            value = values[index] if index < len(values) else 0
+            index += 1
+            if spec in "dioux":
+                out.append(str(int(value)
+                               if not isinstance(value, Pointer)
+                               else value.offset))
+            elif spec == "c":
+                out.append(chr(int(value) & 0xFF)
+                           if not isinstance(value, Pointer) else "?")
+            elif spec == "s":
+                out.append(self._read_cstring(value, line)
+                           if isinstance(value, Pointer) else str(value))
+            elif spec in "feg":
+                out.append(str(float(value)
+                               if not isinstance(value, Pointer) else 0.0))
+            elif spec == "p":
+                out.append(f"0x{value.block:x}:{value.offset:x}"
+                           if isinstance(value, Pointer) else "0x0")
+            else:
+                out.append(spec)
+        return "".join(out)
+
+    def _take_input_line(self) -> bytes:
+        end = self.stdin.find(b"\n", self.stdin_pos)
+        if end == -1:
+            end = len(self.stdin)
+        data = bytes(self.stdin[self.stdin_pos : end])
+        self.stdin_pos = min(end + 1, len(self.stdin))
+        return data
+
+    def _take_input_bytes(self, count: int) -> bytes:
+        data = bytes(self.stdin[self.stdin_pos : self.stdin_pos + count])
+        self.stdin_pos += len(data)
+        return data
+
+
+@dataclass(frozen=True)
+class _Boxed:
+    """A scalar promoted to memory because its address was taken."""
+
+    ptr: Pointer
+
+
+def run_program(source: str, *, stdin: bytes = b"", entry: str = "main",
+                max_steps: int = 200_000,
+                trap_overflow: bool = False) -> ExecutionResult:
+    """Parse and execute C source, returning the :class:`ExecutionResult`."""
+    unit = parse(source)
+    interp = Interpreter(unit, stdin=stdin, max_steps=max_steps,
+                         trap_overflow=trap_overflow)
+    return interp.run(entry=entry)

@@ -1,0 +1,232 @@
+"""Lexer for the C subset used throughout the reproduction.
+
+The lexer turns raw source text into a stream of :class:`Token` objects
+carrying kind, text, line and column.  It is deliberately forgiving: any
+byte sequence lexes (unknown characters become ``ERROR`` tokens) so that
+property-based tests can throw arbitrary input at it, and so that the
+lexical baseline scanners (flawfinder/RATS simulacra) can scan code the
+parser does not fully support.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["TokenKind", "Token", "Lexer", "tokenize", "KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    CHAR = "char"
+    PUNCT = "punct"
+    COMMENT = "comment"
+    ERROR = "error"
+    EOF = "eof"
+
+
+#: C keywords recognised by the frontend (C99 subset plus common extensions).
+KEYWORDS = frozenset(
+    {
+        "auto", "break", "case", "char", "const", "continue", "default",
+        "do", "double", "else", "enum", "extern", "float", "for", "goto",
+        "if", "inline", "int", "long", "register", "restrict", "return",
+        "short", "signed", "sizeof", "static", "struct", "switch",
+        "typedef", "union", "unsigned", "void", "volatile", "while",
+        "bool", "true", "false", "NULL", "size_t", "ssize_t", "uint8_t",
+        "uint16_t", "uint32_t", "uint64_t", "int8_t", "int16_t",
+        "int32_t", "int64_t", "wchar_t",
+    }
+)
+
+# Multi-character punctuators, longest first so maximal munch works.
+_PUNCTUATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}", "#",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: lexical category.
+        text: exact source text of the token.
+        line: 1-based line number of the first character.
+        col: 1-based column number of the first character.
+    """
+
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return True when the token is one of the given keywords."""
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def is_punct(self, *names: str) -> bool:
+        """Return True when the token is one of the given punctuators."""
+        return self.kind is TokenKind.PUNCT and self.text in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"
+
+
+class Lexer:
+    """Streaming lexer over a source string.
+
+    Comments are produced as ``COMMENT`` tokens so callers interested in
+    raw text (e.g. the clone-detection baseline) can see them; the parser
+    filters them out.
+    """
+
+    def __init__(self, source: str):
+        self._src = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._src[index] if index < len(self._src) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        taken = self._src[self._pos : self._pos + count]
+        for ch in taken:
+            if ch == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+        self._pos += count
+        return taken
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token in the source, ending with a single EOF."""
+        while self._pos < len(self._src):
+            ch = self._peek()
+            if ch in " \t\r\n\f\v":
+                self._advance()
+                continue
+            line, col = self._line, self._col
+            if ch == "/" and self._peek(1) == "/":
+                yield Token(TokenKind.COMMENT, self._line_comment(), line, col)
+            elif ch == "/" and self._peek(1) == "*":
+                yield Token(TokenKind.COMMENT, self._block_comment(), line, col)
+            elif ch.isalpha() or ch == "_":
+                text = self._identifier()
+                kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+                yield Token(kind, text, line, col)
+            elif ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                yield Token(TokenKind.NUMBER, self._number(), line, col)
+            elif ch == '"':
+                yield Token(TokenKind.STRING, self._quoted('"'), line, col)
+            elif ch == "'":
+                yield Token(TokenKind.CHAR, self._quoted("'"), line, col)
+            else:
+                punct = self._punctuator()
+                if punct is not None:
+                    yield Token(TokenKind.PUNCT, punct, line, col)
+                else:
+                    yield Token(TokenKind.ERROR, self._advance(), line, col)
+        yield Token(TokenKind.EOF, "", self._line, self._col)
+
+    def _line_comment(self) -> str:
+        start = self._pos
+        while self._pos < len(self._src) and self._peek() != "\n":
+            self._advance()
+        return self._src[start : self._pos]
+
+    def _block_comment(self) -> str:
+        start = self._pos
+        self._advance(2)
+        while self._pos < len(self._src):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                break
+            self._advance()
+        return self._src[start : self._pos]
+
+    def _identifier(self) -> str:
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        return self._src[start : self._pos]
+
+    def _peek_in(self, chars: str, offset: int = 0) -> bool:
+        """Membership test that is False at end of input ('' is a
+        substring of everything, so a bare `in` check would loop)."""
+        ch = self._peek(offset)
+        return bool(ch) and ch in chars
+
+    def _number(self) -> str:
+        start = self._pos
+        if self._peek() == "0" and self._peek_in("xX", 1):
+            self._advance(2)
+            while self._peek().isalnum():
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() == ".":
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            if self._peek_in("eE") and (
+                self._peek(1).isdigit()
+                or (self._peek_in("+-", 1) and self._peek(2).isdigit())
+            ):
+                self._advance()
+                if self._peek_in("+-"):
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+        # Integer/float suffixes (u, l, f combinations).
+        while self._peek_in("uUlLfF"):
+            self._advance()
+        return self._src[start : self._pos]
+
+    def _quoted(self, quote: str) -> str:
+        start = self._pos
+        self._advance()  # opening quote
+        while self._pos < len(self._src) and self._peek() != quote:
+            if self._peek() == "\\" and self._pos + 1 < len(self._src):
+                self._advance(2)
+            elif self._peek() == "\n":
+                break  # unterminated literal: stop at end of line
+            else:
+                self._advance()
+        if self._peek() == quote:
+            self._advance()
+        return self._src[start : self._pos]
+
+    def _punctuator(self) -> str | None:
+        for punct in _PUNCTUATORS:
+            if self._src.startswith(punct, self._pos):
+                self._advance(len(punct))
+                return punct
+        return None
+
+
+def tokenize(source: str, *, keep_comments: bool = False) -> list[Token]:
+    """Tokenize ``source`` into a list ending with an EOF token.
+
+    Args:
+        source: C source text.
+        keep_comments: when False (default) COMMENT tokens are dropped.
+    """
+    toks = list(Lexer(source).tokens())
+    if not keep_comments:
+        toks = [t for t in toks if t.kind is not TokenKind.COMMENT]
+    return toks

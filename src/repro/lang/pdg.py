@@ -1,0 +1,127 @@
+"""Program Dependence Graph (paper Definition 6).
+
+A :class:`PDG` combines the labelled control-dependence edges from
+:mod:`repro.lang.dominance` with the data-dependence edges from
+:mod:`repro.lang.dataflow` over one function's CFG nodes.  Slicing
+(Step I.3 of the paper) is reachability over these edges.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .cfg import CFG, CFGNode, build_cfg
+from .dataflow import DefUse, collect_def_use, data_dependences
+from .dominance import control_dependences
+from . import ast_nodes as A
+
+__all__ = ["PDG", "build_pdg"]
+
+
+class PDG:
+    """Dependence graph of a single function.
+
+    Nodes are CFG node ids; edges carry ``kind`` (``"data"`` or
+    ``"control"``) plus ``var`` (data) or ``branch`` (control) labels.
+    """
+
+    def __init__(self, cfg: CFG, def_use: dict[int, DefUse]):
+        self.cfg = cfg
+        self.def_use = def_use
+        self.graph = nx.MultiDiGraph()
+        self.graph.add_nodes_from(cfg.nodes)
+
+    @property
+    def function_name(self) -> str:
+        return self.cfg.function.name
+
+    def add_data_edge(self, src: CFGNode, dst: CFGNode, var: str) -> None:
+        self.graph.add_edge(src.id, dst.id, kind="data", var=var)
+
+    def add_control_edge(self, src: CFGNode, dst: CFGNode,
+                         branch: str) -> None:
+        self.graph.add_edge(src.id, dst.id, kind="control", branch=branch)
+
+    def node(self, node_id: int) -> CFGNode:
+        return self.cfg.nodes[node_id]
+
+    def nodes_on_line(self, line: int) -> list[CFGNode]:
+        """Statement nodes whose source line equals ``line``."""
+        return [n for n in self.cfg.statement_nodes() if n.line == line]
+
+    def data_edges(self) -> list[tuple[int, int, str]]:
+        return [
+            (u, v, attrs.get("var", ""))
+            for u, v, attrs in self.graph.edges(data=True)
+            if attrs["kind"] == "data"
+        ]
+
+    def control_edges(self) -> list[tuple[int, int, str]]:
+        return [
+            (u, v, attrs.get("branch", ""))
+            for u, v, attrs in self.graph.edges(data=True)
+            if attrs["kind"] == "control"
+        ]
+
+    def backward_closure(self, start_ids: set[int], *,
+                         data: bool = True,
+                         control: bool = True) -> set[int]:
+        """Node ids reachable *backwards* from ``start_ids``."""
+        return self._closure(start_ids, forward=False, data=data,
+                             control=control)
+
+    def forward_closure(self, start_ids: set[int], *,
+                        data: bool = True,
+                        control: bool = True) -> set[int]:
+        """Node ids reachable *forwards* from ``start_ids``."""
+        return self._closure(start_ids, forward=True, data=data,
+                             control=control)
+
+    def _closure(self, start_ids: set[int], *, forward: bool, data: bool,
+                 control: bool) -> set[int]:
+        kinds = set()
+        if data:
+            kinds.add("data")
+        if control:
+            kinds.add("control")
+        visited = set(start_ids)
+        stack = list(start_ids)
+        while stack:
+            current = stack.pop()
+            if forward:
+                neighbours = (
+                    v for _, v, attrs in
+                    self.graph.out_edges(current, data=True)
+                    if attrs["kind"] in kinds
+                )
+            else:
+                neighbours = (
+                    u for u, _, attrs in
+                    self.graph.in_edges(current, data=True)
+                    if attrs["kind"] in kinds
+                )
+            for nb in neighbours:
+                if nb not in visited:
+                    visited.add(nb)
+                    stack.append(nb)
+        return visited
+
+    def calls_made(self) -> dict[str, list[CFGNode]]:
+        """Callee name -> list of CFG nodes containing a call to it."""
+        calls: dict[str, list[CFGNode]] = {}
+        for node in self.cfg.statement_nodes():
+            for name in self.def_use[node.id].called:
+                calls.setdefault(name, []).append(node)
+        return calls
+
+
+def build_pdg(function: A.FunctionDef) -> PDG:
+    """Build the PDG of one function (CFG + dependences)."""
+    cfg = build_cfg(function)
+    def_use = collect_def_use(cfg)
+    pdg = PDG(cfg, def_use)
+    for src, dst, var in data_dependences(cfg, def_use):
+        pdg.add_data_edge(src, dst, var)
+    for controller, dependent, branch in control_dependences(cfg):
+        pdg.add_control_edge(controller, dependent, branch)
+    return pdg

@@ -1,0 +1,53 @@
+"""Source-text helpers shared by the frontend.
+
+The parser does not implement the C preprocessor; instead preprocessor
+lines are blanked out *in place* so every remaining token keeps its
+original line number — line numbers are load-bearing for slicing and for
+Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["strip_preprocessor", "SourceFile"]
+
+
+def strip_preprocessor(source: str) -> str:
+    """Blank out preprocessor directives while preserving line numbers.
+
+    Handles line continuations (``\\`` at end of a directive line) by
+    blanking every continued line as well.
+    """
+    out_lines: list[str] = []
+    in_directive = False
+    for raw in source.split("\n"):
+        stripped = raw.lstrip()
+        if in_directive or stripped.startswith("#"):
+            in_directive = stripped.rstrip().endswith("\\")
+            out_lines.append("")
+        else:
+            out_lines.append(raw)
+    return "\n".join(out_lines)
+
+
+@dataclass
+class SourceFile:
+    """A named piece of C source with convenient line access."""
+
+    path: str
+    text: str
+    lines: list[str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.lines = self.text.split("\n")
+
+    def line(self, number: int) -> str:
+        """Return the 1-based source line, or '' when out of range."""
+        if 1 <= number <= len(self.lines):
+            return self.lines[number - 1]
+        return ""
+
+    def snippet(self, start: int, end: int) -> str:
+        """Return lines ``start``..``end`` inclusive (1-based)."""
+        return "\n".join(self.lines[max(0, start - 1) : end])

@@ -1,0 +1,216 @@
+"""AST -> C source pretty-printer.
+
+``unparse`` renders a parsed translation unit back to compilable C
+subset text; the round-trip property ``parse(unparse(parse(s)))``
+structurally equals ``parse(s)`` is enforced by tests and gives the
+frontend a serialization story (program transformation passes can
+operate on the AST and emit source for the rest of the pipeline).
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as A
+
+__all__ = ["unparse", "unparse_expr", "unparse_stmt"]
+
+_INDENT = "    "
+
+# Binding strengths for parenthesization decisions.
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_UNARY_PRECEDENCE = 11
+_POSTFIX_PRECEDENCE = 12
+
+
+def unparse_expr(expr: A.Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal necessary parentheses."""
+    text, prec = _expr(expr)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _expr(expr: A.Expr) -> tuple[str, int]:
+    if isinstance(expr, A.Ident):
+        return expr.name, _POSTFIX_PRECEDENCE
+    if isinstance(expr, A.Number):
+        return expr.text, _POSTFIX_PRECEDENCE
+    if isinstance(expr, (A.StringLit, A.CharLit)):
+        return expr.text, _POSTFIX_PRECEDENCE
+    if isinstance(expr, A.Binary):
+        prec = _PRECEDENCE[expr.op]
+        left = unparse_expr(expr.left, prec)
+        right = unparse_expr(expr.right, prec + 1)
+        return f"{left} {expr.op} {right}", prec
+    if isinstance(expr, A.Assign):
+        target = unparse_expr(expr.target, _UNARY_PRECEDENCE)
+        value = unparse_expr(expr.value, 0)
+        return f"{target} {expr.op} {value}", 0
+    if isinstance(expr, A.Unary):
+        if expr.prefix:
+            operand = unparse_expr(expr.operand, _UNARY_PRECEDENCE)
+            return f"{expr.op}{operand}", _UNARY_PRECEDENCE
+        operand = unparse_expr(expr.operand, _POSTFIX_PRECEDENCE)
+        return f"{operand}{expr.op}", _POSTFIX_PRECEDENCE
+    if isinstance(expr, A.Call):
+        func = unparse_expr(expr.func, _POSTFIX_PRECEDENCE)
+        args = ", ".join(unparse_expr(a, 0) for a in expr.args)
+        return f"{func}({args})", _POSTFIX_PRECEDENCE
+    if isinstance(expr, A.Index):
+        base = unparse_expr(expr.base, _POSTFIX_PRECEDENCE)
+        return f"{base}[{unparse_expr(expr.index, 0)}]", \
+            _POSTFIX_PRECEDENCE
+    if isinstance(expr, A.Member):
+        base = unparse_expr(expr.base, _POSTFIX_PRECEDENCE)
+        joiner = "->" if expr.arrow else "."
+        return f"{base}{joiner}{expr.name}", _POSTFIX_PRECEDENCE
+    if isinstance(expr, A.Cast):
+        operand = unparse_expr(expr.expr, _UNARY_PRECEDENCE)
+        return f"({expr.type_name}){operand}", _UNARY_PRECEDENCE
+    if isinstance(expr, A.SizeOf):
+        if isinstance(expr.arg, str):
+            return f"sizeof({expr.arg})", _POSTFIX_PRECEDENCE
+        return f"sizeof({unparse_expr(expr.arg, 0)})", \
+            _POSTFIX_PRECEDENCE
+    if isinstance(expr, A.Ternary):
+        cond = unparse_expr(expr.cond, 3)
+        then = unparse_expr(expr.then, 0)
+        otherwise = unparse_expr(expr.otherwise, 0)
+        return f"{cond} ? {then} : {otherwise}", 0
+    if isinstance(expr, A.Comma):
+        return (f"{unparse_expr(expr.left, 0)}, "
+                f"{unparse_expr(expr.right, 0)}"), 0
+    if isinstance(expr, A.InitList):
+        items = ", ".join(unparse_expr(item, 0)
+                          for item in expr.items)
+        return f"{{{items}}}", _POSTFIX_PRECEDENCE
+    raise NotImplementedError(type(expr).__name__)  # pragma: no cover
+
+
+def _declarator(decl: A.Declarator) -> str:
+    text = "*" * decl.pointer_depth + decl.name
+    for size in decl.array_sizes:
+        text += f"[{unparse_expr(size, 0) if size is not None else ''}]"
+    if decl.init is not None:
+        text += f" = {unparse_expr(decl.init, 0)}"
+    return text
+
+
+def unparse_stmt(stmt: A.Stmt, depth: int = 0) -> list[str]:
+    """Render one statement as indented source lines."""
+    pad = _INDENT * depth
+    if isinstance(stmt, A.Block):
+        lines = [pad + "{"]
+        for inner in stmt.stmts:
+            lines.extend(unparse_stmt(inner, depth + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, A.Decl):
+        declarators = ", ".join(_declarator(d) for d in stmt.declarators)
+        return [f"{pad}{stmt.type_name} {declarators};"]
+    if isinstance(stmt, A.ExprStmt):
+        return [f"{pad}{unparse_expr(stmt.expr, 0)};"]
+    if isinstance(stmt, A.If):
+        lines = [f"{pad}if ({unparse_expr(stmt.cond, 0)})"]
+        lines.extend(_braced_body(stmt.then, depth))
+        if stmt.otherwise is not None:
+            if isinstance(stmt.otherwise, A.If) and \
+                    stmt.otherwise.is_elseif:
+                nested = unparse_stmt(stmt.otherwise, depth)
+                nested[0] = f"{pad}else {nested[0].lstrip()}"
+                lines.extend(nested)
+            else:
+                lines.append(f"{pad}else")
+                lines.extend(_braced_body(stmt.otherwise, depth))
+        return lines
+    if isinstance(stmt, A.While):
+        lines = [f"{pad}while ({unparse_expr(stmt.cond, 0)})"]
+        lines.extend(_braced_body(stmt.body, depth))
+        return lines
+    if isinstance(stmt, A.DoWhile):
+        lines = [f"{pad}do"]
+        lines.extend(_braced_body(stmt.body, depth))
+        lines.append(f"{pad}while ({unparse_expr(stmt.cond, 0)});")
+        return lines
+    if isinstance(stmt, A.For):
+        init = ""
+        if isinstance(stmt.init, A.Decl):
+            init = unparse_stmt(stmt.init, 0)[0].rstrip(";")
+        elif isinstance(stmt.init, A.ExprStmt):
+            init = unparse_expr(stmt.init.expr, 0)
+        cond = unparse_expr(stmt.cond, 0) if stmt.cond is not None \
+            else ""
+        step = unparse_expr(stmt.step, 0) if stmt.step is not None \
+            else ""
+        lines = [f"{pad}for ({init}; {cond}; {step})"]
+        lines.extend(_braced_body(stmt.body, depth))
+        return lines
+    if isinstance(stmt, A.Switch):
+        lines = [f"{pad}switch ({unparse_expr(stmt.expr, 0)}) {{"]
+        for case in stmt.cases:
+            if case.is_default:
+                lines.append(f"{pad}default:")
+            else:
+                lines.append(
+                    f"{pad}case {unparse_expr(case.value, 0)}:")
+            for inner in case.stmts:
+                lines.extend(unparse_stmt(inner, depth + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, A.Break):
+        return [pad + "break;"]
+    if isinstance(stmt, A.Continue):
+        return [pad + "continue;"]
+    if isinstance(stmt, A.Return):
+        if stmt.value is None:
+            return [pad + "return;"]
+        return [f"{pad}return {unparse_expr(stmt.value, 0)};"]
+    if isinstance(stmt, A.Goto):
+        return [f"{pad}goto {stmt.label};"]
+    if isinstance(stmt, A.Label):
+        inner = unparse_stmt(stmt.stmt, depth)
+        return [f"{stmt.name}:"] + inner
+    if isinstance(stmt, A.Empty):
+        return [pad + ";"]
+    raise NotImplementedError(type(stmt).__name__)  # pragma: no cover
+
+
+def _braced_body(body: A.Stmt, depth: int) -> list[str]:
+    """Bodies always render as blocks for unambiguous structure."""
+    if isinstance(body, A.Block):
+        return unparse_stmt(body, depth)
+    pad = _INDENT * depth
+    lines = [pad + "{"]
+    lines.extend(unparse_stmt(body, depth + 1))
+    lines.append(pad + "}")
+    return lines
+
+
+def unparse(unit: A.TranslationUnit) -> str:
+    """Render a whole translation unit."""
+    chunks: list[str] = []
+    for struct in unit.structs:
+        fields = "\n".join(
+            f"{_INDENT}{ftype.lstrip('*')} "
+            f"{'*' * ftype.count('*')}{fname};"
+            for ftype, fname in struct.fields)
+        chunks.append(f"struct {struct.name} {{\n{fields}\n}};")
+    for decl in unit.globals:
+        chunks.extend(unparse_stmt(decl, 0))
+    for fn in unit.functions:
+        params = ", ".join(
+            f"{p.type_name} {'*' * p.pointer_depth}{p.name}"
+            + ("[]" if p.is_array else "")
+            for p in fn.params) or "void"
+        pointer = "*" * fn.return_type.count("*")
+        base_type = fn.return_type.lstrip("*")
+        header = f"{base_type} {pointer}{fn.name}({params})"
+        body = "\n".join(unparse_stmt(fn.body, 0))
+        chunks.append(f"{header}\n{body}")
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,11 @@
+"""Detection models: SEVulDet and the BRNN/CNN baselines."""
+
+from .sevuldet import DECISION_THRESHOLD, SEVulDetNet
+from .blstm import BLSTMNet
+from .bgru import BGRUNet
+from .cnn_variants import ABLATION_BUILDERS, cnn_multi_att, cnn_token_att, plain_cnn
+from .multiclass import CWETypeNet
+
+__all__ = ["DECISION_THRESHOLD", "SEVulDetNet", "BLSTMNet", "BGRUNet",
+           "ABLATION_BUILDERS", "cnn_multi_att", "cnn_token_att", "plain_cnn",
+           "CWETypeNet"]

@@ -1,0 +1,52 @@
+"""BGRU baseline (SySeVR's preferred network, paper Table IV column 2).
+
+Same fixed-length contract as the BLSTM; gated recurrent units instead
+of LSTM cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (Bidirectional, Dropout, Embedding, Linear, Module,
+                  Tensor)
+
+__all__ = ["BGRUNet"]
+
+
+class BGRUNet(Module):
+    """Bidirectional-GRU gadget classifier.
+
+    Args:
+        vocab_size: embedding rows.
+        dim: embedding width (SySeVR uses 30).
+        hidden: GRU hidden size per direction.
+        time_steps: the fixed token length tau.
+        dropout: dropout before the dense head (SySeVR: 0.2).
+    """
+
+    def __init__(self, vocab_size: int, dim: int = 30, hidden: int = 32,
+                 time_steps: int = 50, dropout: float = 0.2,
+                 pretrained: np.ndarray | None = None, seed: int = 7):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fixed_length = time_steps
+        self.embedding = Embedding(vocab_size, dim, rng,
+                                   weights=pretrained)
+        self.rnn = Bidirectional(dim, hidden, rng, kind="gru")
+        self.dropout = Dropout(dropout, rng)
+        self.head = Linear(2 * hidden, 1, rng)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        """(batch, time_steps) int ids -> (batch,) logits."""
+        if token_ids.shape[1] != self.fixed_length:
+            raise ValueError(
+                f"BGRU requires exactly {self.fixed_length} tokens, got "
+                f"{token_ids.shape[1]}; apply pad_or_truncate first")
+        embedded = self.embedding(token_ids)
+        _, final = self.rnn(embedded)
+        return self.head(self.dropout(final)).reshape(-1)
+
+    def predict_proba(self, token_ids: np.ndarray) -> np.ndarray:
+        logits = self.forward(token_ids).data
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))

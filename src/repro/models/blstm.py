@@ -1,0 +1,53 @@
+"""BLSTM baseline (VulDeePecker's network, paper Table IV column 1).
+
+Fixed-length input: gadgets are truncated/padded to ``time_steps``
+tokens (Definition 8) before entering the bidirectional LSTM; the final
+forward/backward hidden states feed a dense head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (Bidirectional, Dropout, Embedding, Linear, Module,
+                  Tensor)
+
+__all__ = ["BLSTMNet"]
+
+
+class BLSTMNet(Module):
+    """Bidirectional-LSTM gadget classifier.
+
+    Args:
+        vocab_size: embedding rows.
+        dim: embedding width (VulDeePecker uses 50).
+        hidden: LSTM hidden size per direction.
+        time_steps: the fixed token length tau.
+        dropout: dropout before the dense head (VulDeePecker: 0.5).
+    """
+
+    def __init__(self, vocab_size: int, dim: int = 50, hidden: int = 32,
+                 time_steps: int = 50, dropout: float = 0.5,
+                 pretrained: np.ndarray | None = None, seed: int = 7):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fixed_length = time_steps
+        self.embedding = Embedding(vocab_size, dim, rng,
+                                   weights=pretrained)
+        self.rnn = Bidirectional(dim, hidden, rng, kind="lstm")
+        self.dropout = Dropout(dropout, rng)
+        self.head = Linear(2 * hidden, 1, rng)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        """(batch, time_steps) int ids -> (batch,) logits."""
+        if token_ids.shape[1] != self.fixed_length:
+            raise ValueError(
+                f"BLSTM requires exactly {self.fixed_length} tokens, got "
+                f"{token_ids.shape[1]}; apply pad_or_truncate first")
+        embedded = self.embedding(token_ids)      # (B, T, D)
+        _, final = self.rnn(embedded)             # (B, 2H)
+        return self.head(self.dropout(final)).reshape(-1)
+
+    def predict_proba(self, token_ids: np.ndarray) -> np.ndarray:
+        logits = self.forward(token_ids).data
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))

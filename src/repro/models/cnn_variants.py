@@ -1,0 +1,50 @@
+"""Ablation variants of the SEVulDet network (paper Table III).
+
+* ``plain_cnn``      — CNN + SPP, no attention at all.
+* ``cnn_token_att``  — adds token attention only (Step IV).
+* ``cnn_multi_att``  — the full multilayer attention (Step IV + CBAM),
+  i.e. the SEVulDet network itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sevuldet import SEVulDetNet
+
+__all__ = ["plain_cnn", "cnn_token_att", "cnn_multi_att",
+           "ABLATION_BUILDERS"]
+
+
+def plain_cnn(vocab_size: int, dim: int = 30,
+              pretrained: np.ndarray | None = None,
+              seed: int = 7, **kwargs) -> SEVulDetNet:
+    """CNN without attention (Table III row 1)."""
+    return SEVulDetNet(vocab_size, dim=dim, use_token_attention=False,
+                       use_cbam=False, pretrained=pretrained, seed=seed,
+                       **kwargs)
+
+
+def cnn_token_att(vocab_size: int, dim: int = 30,
+                  pretrained: np.ndarray | None = None,
+                  seed: int = 7, **kwargs) -> SEVulDetNet:
+    """CNN with token attention only (Table III row 2)."""
+    return SEVulDetNet(vocab_size, dim=dim, use_token_attention=True,
+                       use_cbam=False, pretrained=pretrained, seed=seed,
+                       **kwargs)
+
+
+def cnn_multi_att(vocab_size: int, dim: int = 30,
+                  pretrained: np.ndarray | None = None,
+                  seed: int = 7, **kwargs) -> SEVulDetNet:
+    """CNN with the full multilayer attention (Table III row 3)."""
+    return SEVulDetNet(vocab_size, dim=dim, use_token_attention=True,
+                       use_cbam=True, pretrained=pretrained, seed=seed,
+                       **kwargs)
+
+
+ABLATION_BUILDERS = {
+    "CNN": plain_cnn,
+    "CNN-TokenATT": cnn_token_att,
+    "CNN-MultiATT": cnn_multi_att,
+}

@@ -1,0 +1,68 @@
+"""Multiclass CWE-type classification head (paper Fig 2(b)).
+
+The detection phase "outputs vulnerability type and line number (if
+exists)"; binary scoring gives the line, and this model supplies the
+type: the same flexible-length CNN/attention/SPP trunk with a k-way
+softmax head over CWE families, trained on vulnerable gadgets only
+(the mu-VulDeePecker formulation of multiclass gadget typing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (CBAM, Conv1d, Dropout, Embedding, Linear, Module,
+                  SpatialPyramidPooling1d, Tensor, TokenAttention)
+
+__all__ = ["CWETypeNet"]
+
+
+class CWETypeNet(Module):
+    """Flexible-length k-way gadget classifier.
+
+    Args:
+        vocab_size: embedding rows.
+        num_classes: CWE families to distinguish.
+        dim / channels / kernel / dropout: as in SEVulDetNet.
+    """
+
+    fixed_length: int | None = None
+
+    def __init__(self, vocab_size: int, num_classes: int, dim: int = 30,
+                 channels: int = 32, kernel: int = 3,
+                 dropout: float = 0.2,
+                 pretrained: np.ndarray | None = None, seed: int = 7):
+        super().__init__()
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        rng = np.random.default_rng(seed)
+        self.num_classes = num_classes
+        self.embedding = Embedding(vocab_size, dim, rng,
+                                   weights=pretrained)
+        self.token_attention = TokenAttention(dim, rng)
+        self.conv = Conv1d(dim, channels, kernel, rng,
+                           padding=kernel // 2)
+        self.cbam = CBAM(channels, rng)
+        self.spp = SpatialPyramidPooling1d()
+        self.fc1 = Linear(self.spp.output_features(channels), 128, rng)
+        self.fc2 = Linear(128, num_classes, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        """(batch, length) ids -> (batch, num_classes) logits."""
+        embedded = self.token_attention(self.embedding(token_ids))
+        features = self.conv(embedded.transpose(0, 2, 1)).relu()
+        features = self.cbam(features)
+        pooled = self.spp(features)
+        hidden = self.dropout(self.fc1(pooled).relu())
+        return self.fc2(hidden)
+
+    def predict(self, token_ids: np.ndarray) -> np.ndarray:
+        """Most likely class index per sample."""
+        return self.forward(token_ids).data.argmax(axis=1)
+
+    def predict_proba(self, token_ids: np.ndarray) -> np.ndarray:
+        logits = self.forward(token_ids).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)

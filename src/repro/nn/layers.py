@@ -1,0 +1,248 @@
+"""Neural-network layers (Module protocol + the standard zoo).
+
+Modules register parameters and submodules by attribute assignment,
+PyTorch-style: ``self.w = Parameter(...)`` and ``self.fc = Linear(...)``
+are discovered by :meth:`Module.parameters` automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from . import init as initializers
+from .ops import conv1d
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Linear", "Embedding", "Dropout",
+           "Conv1d", "Sequential", "ReLU", "Tanh", "Sigmoid", "Flatten"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as trainable."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class providing parameter discovery and train/eval mode."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def forward(self, *args, **kwargs) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield this module's and all submodules' parameters."""
+        seen: set[int] = set()
+        for module in self.modules():
+            for value in vars(module).values():
+                if isinstance(value, Parameter) and id(value) not in seen:
+                    seen.add(id(value))
+                    yield value
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield self and all transitively-contained submodules."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat name -> array mapping of all parameters."""
+        state: dict[str, np.ndarray] = {}
+        self._collect_state(state, prefix="")
+        return state
+
+    def _collect_state(self, state: dict[str, np.ndarray],
+                       prefix: str) -> None:
+        for attr, value in vars(self).items():
+            key = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                state[key] = value.data
+            elif isinstance(value, Module):
+                value._collect_state(state, prefix=f"{key}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._collect_state(state,
+                                            prefix=f"{key}.{index}.")
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Copy arrays into matching parameters (shapes must agree)."""
+        own = {}
+        self._collect_params(own, prefix="")
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing keys: {sorted(missing)}")
+        for key, param in own.items():
+            array = np.asarray(state[key], dtype=np.float64)
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: "
+                    f"{array.shape} vs {param.data.shape}")
+            param.data = array.copy()
+
+    def _collect_params(self, out: dict[str, Parameter],
+                        prefix: str) -> None:
+        for attr, value in vars(self).items():
+            key = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                out[key] = value
+            elif isinstance(value, Module):
+                value._collect_params(out, prefix=f"{key}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._collect_params(out, prefix=f"{key}.{index}.")
+
+
+class Linear(Module):
+    """Fully-connected layer: ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            initializers.xavier_uniform((in_features, out_features), rng),
+            name="linear.weight")
+        self.bias = Parameter(np.zeros(out_features), name="linear.bias") \
+            if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token-id -> vector lookup with sparse gradient accumulation."""
+
+    def __init__(self, vocab_size: int, dim: int,
+                 rng: np.random.Generator,
+                 weights: np.ndarray | None = None):
+        super().__init__()
+        self.vocab_size = vocab_size
+        self.dim = dim
+        if weights is not None:
+            if weights.shape != (vocab_size, dim):
+                raise ValueError("pretrained embedding shape mismatch")
+            data = np.asarray(weights, dtype=np.float64).copy()
+        else:
+            data = initializers.uniform((vocab_size, dim), rng, 0.5)
+        self.weight = Parameter(data, name="embedding.weight")
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        ids = np.asarray(token_ids, dtype=np.int64)
+        weight = self.weight
+        out_data = weight.data[ids]
+
+        def backward(grad: np.ndarray) -> None:
+            if weight.requires_grad:
+                full = np.zeros_like(weight.data)
+                np.add.at(full, ids.reshape(-1),
+                          grad.reshape(-1, weight.data.shape[1]))
+                weight._accumulate(full)
+
+        probe = Tensor(0.0)
+        return probe._make(out_data, (weight,), backward)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate {rate} outside [0, 1)")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        return x.dropout(self.rate, self._rng)
+
+
+class Conv1d(Module):
+    """1-D convolution over (batch, channels, length)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int,
+                 rng: np.random.Generator, stride: int = 1,
+                 padding: int = 0, bias: bool = True):
+        super().__init__()
+        self.stride = stride
+        self.padding = padding
+        self.kernel = kernel
+        self.weight = Parameter(
+            initializers.he_uniform((out_channels, in_channels, kernel),
+                                    rng),
+            name="conv1d.weight")
+        self.bias = Parameter(np.zeros(out_channels), name="conv1d.bias") \
+            if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv1d(x, self.weight, self.bias, stride=self.stride,
+                      padding=self.padding)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        batch = x.shape[0]
+        return x.reshape(batch, -1)
+
+
+class Sequential(Module):
+    """Run modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.steps = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.steps:
+            x = module(x)
+        return x

@@ -1,0 +1,78 @@
+"""Loss functions for binary vulnerability classification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["bce_loss", "bce_with_logits", "mse_loss",
+           "cross_entropy"]
+
+
+def bce_loss(predictions: Tensor, targets, eps: float = 1e-7) -> Tensor:
+    """Binary cross-entropy over probabilities in (0, 1)."""
+    targets = as_tensor(targets)
+    clipped = Tensor(np.clip(predictions.data, eps, 1.0 - eps))
+    # Re-route the graph through a clip that passes gradient where valid.
+    mask = ((predictions.data > eps)
+            & (predictions.data < 1.0 - eps)).astype(np.float64)
+
+    def backward(grad: np.ndarray) -> None:
+        if predictions.requires_grad:
+            predictions._accumulate(grad * mask)
+
+    probe = Tensor(0.0)
+    safe = probe._make(clipped.data, (predictions,), backward)
+    loss = -(targets * safe.log()
+             + (1.0 - targets) * (1.0 - safe).log())
+    return loss.mean()
+
+
+def bce_with_logits(logits: Tensor, targets) -> Tensor:
+    """Numerically-stable BCE on raw logits:
+    ``max(z, 0) - z*y + log(1 + exp(-|z|))``."""
+    targets = as_tensor(targets)
+    z = logits.data
+    out_data = np.maximum(z, 0) - z * targets.data \
+        + np.log1p(np.exp(-np.abs(z)))
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            sigmoid = 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+            logits._accumulate(grad * (sigmoid - targets.data))
+
+    probe = Tensor(0.0)
+    per_sample = probe._make(out_data, (logits,), backward)
+    return per_sample.mean()
+
+
+def mse_loss(predictions: Tensor, targets) -> Tensor:
+    """Mean squared error."""
+    targets = as_tensor(targets)
+    diff = predictions - targets
+    return (diff * diff).mean()
+
+
+def cross_entropy(logits: Tensor, class_ids) -> Tensor:
+    """Softmax cross-entropy over (batch, classes) logits.
+
+    ``class_ids`` is an int array of target class indices.
+    """
+    targets = np.asarray(class_ids, dtype=np.int64)
+    z = logits.data
+    shifted = z - z.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1,
+                                                     keepdims=True))
+    batch = z.shape[0]
+    out_data = -log_probs[np.arange(batch), targets]
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            softmax = np.exp(log_probs)
+            softmax[np.arange(batch), targets] -= 1.0
+            logits._accumulate(grad[:, None] * softmax)
+
+    probe = Tensor(0.0)
+    per_sample = probe._make(out_data, (logits,), backward)
+    return per_sample.mean()

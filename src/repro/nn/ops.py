@@ -1,0 +1,201 @@
+"""Convolution and pooling primitives for 1-D sequence models.
+
+SEVulDet treats a gadget as a 1-D token sequence whose "image" is
+``(channels, length)``; convolution kernels span the full embedding
+width (paper Step V), so everything here operates on tensors shaped
+``(batch, channels, length)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["conv1d", "max_pool1d", "avg_pool1d",
+           "adaptive_max_pool1d", "adaptive_avg_pool1d"]
+
+
+def _im2col(data: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """(B, C, L) -> (B, out_len, C*kernel) patch matrix."""
+    batch, channels, length = data.shape
+    out_len = (length - kernel) // stride + 1
+    stride_b, stride_c, stride_l = data.strides
+    patches = np.lib.stride_tricks.as_strided(
+        data,
+        shape=(batch, out_len, channels, kernel),
+        strides=(stride_b, stride_l * stride, stride_c, stride_l),
+        writeable=False,
+    )
+    return patches.reshape(batch, out_len, channels * kernel)
+
+
+def conv1d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """1-D cross-correlation.
+
+    Args:
+        x: input of shape (batch, in_channels, length).
+        weight: kernels of shape (out_channels, in_channels, kernel).
+        bias: optional (out_channels,).
+        stride: hop between applications.
+        padding: symmetric zero padding on the length axis.
+
+    Returns:
+        Tensor of shape (batch, out_channels, out_length).
+    """
+    if padding > 0:
+        x = x.pad1d(padding, padding)
+    batch, in_channels, length = x.shape
+    out_channels, w_in, kernel = weight.shape
+    if w_in != in_channels:
+        raise ValueError(f"channel mismatch: input {in_channels}, "
+                         f"weight {w_in}")
+    if length < kernel:
+        raise ValueError(f"input length {length} shorter than kernel "
+                         f"{kernel}; pad the input")
+    out_len = (length - kernel) // stride + 1
+
+    cols = _im2col(x.data, kernel, stride)  # (B, out_len, C*k)
+    w_flat = weight.data.reshape(out_channels, -1)  # (O, C*k)
+    out_data = np.einsum("bok,ck->bco", cols, w_flat, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data[None, :, None]
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray) -> None:
+        # grad: (B, O, out_len)
+        if weight.requires_grad:
+            grad_w = np.einsum("bco,bok->ck", grad, cols, optimize=True)
+            weight._accumulate(grad_w.reshape(weight.data.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        if x.requires_grad:
+            grad_cols = np.einsum("bco,ck->bok", grad, w_flat,
+                                  optimize=True)
+            grad_cols = grad_cols.reshape(batch, out_len, in_channels,
+                                          kernel)
+            grad_x = np.zeros((batch, in_channels, length))
+            for position in range(out_len):
+                start = position * stride
+                grad_x[:, :, start : start + kernel] += \
+                    grad_cols[:, position]
+            x._accumulate(grad_x)
+
+    probe = Tensor(0.0)
+    return probe._make(out_data, tuple(parents), backward)
+
+
+def max_pool1d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over the length axis of (B, C, L)."""
+    stride = stride or kernel
+    batch, channels, length = x.shape
+    out_len = max((length - kernel) // stride + 1, 0)
+    if out_len == 0:
+        raise ValueError(f"input length {length} shorter than pooling "
+                         f"window {kernel}")
+    windows = np.stack(
+        [x.data[:, :, p * stride : p * stride + kernel]
+         for p in range(out_len)], axis=2)  # (B, C, out_len, k)
+    out_data = windows.max(axis=3)
+    arg = windows.argmax(axis=3)  # (B, C, out_len)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_x = np.zeros_like(x.data)
+        b_idx, c_idx, p_idx = np.indices(arg.shape)
+        positions = p_idx * stride + arg
+        np.add.at(grad_x, (b_idx, c_idx, positions), grad)
+        x._accumulate(grad_x)
+
+    probe = Tensor(0.0)
+    return probe._make(out_data, (x,), backward)
+
+
+def avg_pool1d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over the length axis of (B, C, L)."""
+    stride = stride or kernel
+    batch, channels, length = x.shape
+    out_len = max((length - kernel) // stride + 1, 0)
+    if out_len == 0:
+        raise ValueError(f"input length {length} shorter than pooling "
+                         f"window {kernel}")
+    windows = np.stack(
+        [x.data[:, :, p * stride : p * stride + kernel]
+         for p in range(out_len)], axis=2)
+    out_data = windows.mean(axis=3)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_x = np.zeros_like(x.data)
+        for position in range(out_len):
+            start = position * stride
+            grad_x[:, :, start : start + kernel] += \
+                grad[:, :, position : position + 1] / kernel
+        x._accumulate(grad_x)
+
+    probe = Tensor(0.0)
+    return probe._make(out_data, (x,), backward)
+
+
+def _adaptive_bounds(length: int, bins: int) -> list[tuple[int, int]]:
+    """Split [0, length) into `bins` contiguous spans (PyTorch rule)."""
+    return [
+        (
+            (b * length) // bins,
+            max(-(-((b + 1) * length) // bins), (b * length) // bins + 1),
+        )
+        for b in range(bins)
+    ]
+
+
+def adaptive_max_pool1d(x: Tensor, bins: int) -> Tensor:
+    """Max pool (B, C, L) down to exactly (B, C, bins) for any L >= 1."""
+    batch, channels, length = x.shape
+    bounds = _adaptive_bounds(length, bins)
+    outs = []
+    args = []
+    for start, end in bounds:
+        end = min(end, length)
+        if end <= start:
+            start, end = min(start, length - 1), min(start, length - 1) + 1
+        window = x.data[:, :, start:end]
+        outs.append(window.max(axis=2))
+        args.append(window.argmax(axis=2) + start)
+    out_data = np.stack(outs, axis=2)
+    arg = np.stack(args, axis=2)  # absolute positions
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_x = np.zeros_like(x.data)
+        b_idx, c_idx, _ = np.indices(arg.shape)
+        np.add.at(grad_x, (b_idx, c_idx, arg), grad)
+        x._accumulate(grad_x)
+
+    probe = Tensor(0.0)
+    return probe._make(out_data, (x,), backward)
+
+
+def adaptive_avg_pool1d(x: Tensor, bins: int) -> Tensor:
+    """Average pool (B, C, L) down to exactly (B, C, bins)."""
+    batch, channels, length = x.shape
+    bounds = [(min(s, length - 1), max(min(e, length), min(s, length - 1) + 1))
+              for s, e in _adaptive_bounds(length, bins)]
+    out_data = np.stack(
+        [x.data[:, :, s:e].mean(axis=2) for s, e in bounds], axis=2)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_x = np.zeros_like(x.data)
+        for index, (start, end) in enumerate(bounds):
+            grad_x[:, :, start:end] += \
+                grad[:, :, index : index + 1] / (end - start)
+        x._accumulate(grad_x)
+
+    probe = Tensor(0.0)
+    return probe._make(out_data, (x,), backward)

@@ -1,0 +1,142 @@
+"""Recurrent layers: LSTM, GRU, and bidirectional wrappers.
+
+These power the baseline detectors the paper compares against —
+VulDeePecker's BLSTM and SySeVR's BGRU — including their fixed-length
+requirement: the models consume ``(batch, time, features)`` tensors
+whose time dimension was truncated/padded upstream (paper Definition 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init as initializers
+from .layers import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["LSTMCell", "GRUCell", "RNNLayer", "Bidirectional"]
+
+
+class LSTMCell(Module):
+    """Standard LSTM cell (forget-gate bias initialised to 1)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w = Parameter(initializers.xavier_uniform(
+            (input_size + hidden_size, 4 * hidden_size), rng),
+            name="lstm.w")
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate
+        self.b = Parameter(bias, name="lstm.b")
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor
+                ) -> tuple[Tensor, Tensor]:
+        hidden = self.hidden_size
+        stacked = Tensor.concat([x, h], axis=1)
+        gates = stacked @ self.w + self.b
+        i = gates[:, 0:hidden].sigmoid()
+        f = gates[:, hidden : 2 * hidden].sigmoid()
+        g = gates[:, 2 * hidden : 3 * hidden].tanh()
+        o = gates[:, 3 * hidden : 4 * hidden].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+    def initial_state(self, batch: int) -> tuple[Tensor, Tensor]:
+        return (Tensor(np.zeros((batch, self.hidden_size))),
+                Tensor(np.zeros((batch, self.hidden_size))))
+
+
+class GRUCell(Module):
+    """Standard GRU cell."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_zr = Parameter(initializers.xavier_uniform(
+            (input_size + hidden_size, 2 * hidden_size), rng),
+            name="gru.w_zr")
+        self.b_zr = Parameter(np.zeros(2 * hidden_size), name="gru.b_zr")
+        self.w_h = Parameter(initializers.xavier_uniform(
+            (input_size + hidden_size, hidden_size), rng), name="gru.w_h")
+        self.b_h = Parameter(np.zeros(hidden_size), name="gru.b_h")
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        hidden = self.hidden_size
+        stacked = Tensor.concat([x, h], axis=1)
+        zr = stacked @ self.w_zr + self.b_zr
+        z = zr[:, 0:hidden].sigmoid()
+        r = zr[:, hidden : 2 * hidden].sigmoid()
+        candidate_in = Tensor.concat([x, r * h], axis=1)
+        h_tilde = (candidate_in @ self.w_h + self.b_h).tanh()
+        return (1.0 - z) * h + z * h_tilde
+
+    def initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+
+class RNNLayer(Module):
+    """Unidirectional recurrence over (batch, time, features).
+
+    Args:
+        kind: 'lstm' or 'gru'.
+        reverse: process the sequence back-to-front.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, kind: str = "lstm",
+                 reverse: bool = False):
+        super().__init__()
+        if kind not in ("lstm", "gru"):
+            raise ValueError(f"unknown RNN kind {kind!r}")
+        self.kind = kind
+        self.reverse = reverse
+        self.cell: Module
+        if kind == "lstm":
+            self.cell = LSTMCell(input_size, hidden_size, rng)
+        else:
+            self.cell = GRUCell(input_size, hidden_size, rng)
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """Returns (outputs (B, T, H), final hidden (B, H))."""
+        batch, time, _ = x.shape
+        order = range(time - 1, -1, -1) if self.reverse else range(time)
+        outputs: list[Tensor] = [Tensor(0.0)] * time
+        if self.kind == "lstm":
+            h, c = self.cell.initial_state(batch)
+            for t in order:
+                h, c = self.cell(x[:, t, :], h, c)
+                outputs[t] = h
+        else:
+            h = self.cell.initial_state(batch)
+            for t in order:
+                h = self.cell(x[:, t, :], h)
+                outputs[t] = h
+        stacked = Tensor.stack(outputs, axis=1)
+        return stacked, h
+
+
+class Bidirectional(Module):
+    """Concatenate forward and backward RNN outputs feature-wise."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, kind: str = "lstm"):
+        super().__init__()
+        self.forward_rnn = RNNLayer(input_size, hidden_size, rng, kind,
+                                    reverse=False)
+        self.backward_rnn = RNNLayer(input_size, hidden_size, rng, kind,
+                                     reverse=True)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """Returns (outputs (B, T, 2H), final hidden (B, 2H))."""
+        fwd_out, fwd_h = self.forward_rnn(x)
+        bwd_out, bwd_h = self.backward_rnn(x)
+        outputs = Tensor.concat([fwd_out, bwd_out], axis=2)
+        final = Tensor.concat([fwd_h, bwd_h], axis=1)
+        return outputs, final

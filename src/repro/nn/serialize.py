@@ -1,0 +1,40 @@
+"""Model parameter persistence (npz archives)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(model: Module, path: str | Path,
+               metadata: dict | None = None) -> None:
+    """Save all parameters (and optional JSON metadata) to ``path``."""
+    path = Path(path)
+    state = model.state_dict()
+    payload = dict(state)
+    if metadata is not None:
+        payload["__metadata__"] = np.frombuffer(
+            json.dumps(metadata).encode(), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_model(model: Module, path: str | Path) -> dict:
+    """Load parameters into ``model``; returns saved metadata (or {})."""
+    path = Path(path)
+    with np.load(path) as archive:
+        metadata = {}
+        state = {}
+        for key in archive.files:
+            if key == "__metadata__":
+                metadata = json.loads(archive[key].tobytes().decode())
+            else:
+                state[key] = archive[key]
+    model.load_state_dict(state)
+    return metadata

@@ -1,0 +1,52 @@
+"""Spatial pyramid pooling for flexible-length sequences (paper Step V).
+
+The SPP layer maps a ``(batch, channels, length)`` feature map of *any*
+length to a fixed ``(batch, (4 + 2 + 1) * channels)`` vector by max-
+pooling over 4, 2, and 1 adaptive spatial bins and concatenating — the
+mechanism that frees SEVulDet from the RNNs' truncate/pad requirement
+(Definition 8).
+"""
+
+from __future__ import annotations
+
+from .layers import Module
+from .ops import adaptive_avg_pool1d, adaptive_max_pool1d
+from .tensor import Tensor
+
+__all__ = ["SpatialPyramidPooling1d"]
+
+
+class SpatialPyramidPooling1d(Module):
+    """Concatenated adaptive pooling over a bin pyramid.
+
+    Args:
+        bins: pyramid levels; the paper uses (4, 2, 1).
+        mode: 'max' (paper) or 'avg'.
+    """
+
+    def __init__(self, bins: tuple[int, ...] = (4, 2, 1),
+                 mode: str = "max"):
+        super().__init__()
+        if not bins:
+            raise ValueError("SPP needs at least one bin level")
+        if mode not in ("max", "avg"):
+            raise ValueError(f"unknown SPP mode {mode!r}")
+        self.bins = tuple(bins)
+        self.mode = mode
+
+    def output_features(self, channels: int) -> int:
+        """Fixed output width for a given channel count."""
+        return sum(self.bins) * channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        """(batch, channels, length) -> (batch, sum(bins) * channels)."""
+        batch, channels, length = x.shape
+        if length < 1:
+            raise ValueError("SPP input must have length >= 1")
+        pool = adaptive_max_pool1d if self.mode == "max" \
+            else adaptive_avg_pool1d
+        pieces = []
+        for bin_count in self.bins:
+            pooled = pool(x, bin_count)              # (B, C, bin)
+            pieces.append(pooled.reshape(batch, channels * bin_count))
+        return Tensor.concat(pieces, axis=1)

@@ -1,0 +1,479 @@
+"""Reverse-mode autograd over numpy arrays.
+
+The paper's models were built on a GPU DL framework; offline we provide
+the same mathematics: a :class:`Tensor` wrapping an ``ndarray`` with a
+gradient slot and a backward closure, plus the operator set the SEVulDet
+architecture needs (dense algebra, broadcasting arithmetic, activation
+functions, reductions, indexing, concatenation).  Convolution and
+pooling live in :mod:`repro.nn.ops`.
+
+Gradient correctness is enforced by numerical-gradient property tests
+in ``tests/nn``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (inference mode)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum-reduce ``grad`` back to ``shape`` (undo numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were 1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A numpy array with reverse-mode autograd.
+
+    Attributes:
+        data: the underlying float64 ndarray.
+        grad: accumulated gradient (same shape), or None.
+        requires_grad: whether backward should flow into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name")
+    __array_priority__ = 100  # numpy defers binary ops to Tensor
+
+    def __init__(self, data, requires_grad: bool = False,
+                 name: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad and _GRAD_ENABLED
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: tuple["Tensor", ...] = ()
+        self.name = name
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    # -- basic protocol ---------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0])
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    # -- graph mechanics --------------------------------------------------------
+
+    def _make(self, data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if grad is None:
+            if self.size != 1:
+                raise ValueError("backward() without grad requires a "
+                                 "scalar tensor")
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        self._accumulate(np.asarray(grad))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data ** 2))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent
+                                 * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    # (..., K) @ (K,) -> (...): d_self = grad[..., None]*v
+                    self._accumulate(grad[..., None] * other.data)
+                elif self.data.ndim == 1:
+                    # (K,) @ (K, N) -> (N,): d_self = W @ grad
+                    self._accumulate(other.data @ grad)
+                else:
+                    self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(np.outer(self.data, grad))
+                elif other.data.ndim == 1:
+                    # d_other = sum over leading dims of grad * rows
+                    other._accumulate(
+                        (grad[..., None] * self.data).reshape(
+                            -1, self.data.shape[-1]).sum(axis=0))
+                else:
+                    left = np.swapaxes(self.data, -1, -2) @ grad
+                    other._accumulate(left)
+
+        return self._make(out_data, (self, other), backward)
+
+    # -- elementwise functions ----------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(np.clip(self.data, -500, 500))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(np.maximum(self.data, 1e-300))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / np.maximum(self.data, 1e-300))
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500)))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    def leaky_relu(self, slope: float = 0.01) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, slope * self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.where(mask, 1.0, slope))
+
+        return self._make(out_data, (self,), backward)
+
+    # -- reductions -----------------------------------------------------------------
+
+    def sum(self, axis: int | tuple[int, ...] | None = None,
+            keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            expanded = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    expanded = np.expand_dims(expanded, ax)
+            self._accumulate(np.broadcast_to(expanded, self.data.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None,
+             keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            expanded = grad if keepdims else np.expand_dims(grad, axis)
+            max_kept = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == max_kept)
+            # Split gradient across ties to keep it a valid subgradient.
+            counts = mask.sum(axis=axis, keepdims=True)
+            self._accumulate(np.broadcast_to(expanded, self.data.shape)
+                             * mask / counts)
+
+        return self._make(out_data, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            self._accumulate(out_data * (grad - dot))
+
+        return self._make(out_data, (self,), backward)
+
+    # -- shape ops -------------------------------------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        original = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        order = axes or tuple(reversed(range(self.data.ndim)))
+        inverse = np.argsort(order)
+        out_data = self.data.transpose(order)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return self._make(out_data, (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, key, grad)
+                self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    @staticmethod
+    def concat(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        datas = [t.data for t in tensors]
+        out_data = np.concatenate(datas, axis=axis)
+        sizes = [d.shape[axis] for d in datas]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for index, tensor in enumerate(tensors):
+                if tensor.requires_grad:
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(offsets[index], offsets[index + 1])
+                    tensor._accumulate(grad[tuple(slicer)])
+
+        probe = Tensor(0.0)
+        return probe._make(out_data, tuple(tensors), backward)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        datas = [t.data for t in tensors]
+        out_data = np.stack(datas, axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            slices = np.moveaxis(grad, axis, 0)
+            for index, tensor in enumerate(tensors):
+                if tensor.requires_grad:
+                    tensor._accumulate(slices[index])
+
+        probe = Tensor(0.0)
+        return probe._make(out_data, tuple(tensors), backward)
+
+    def pad1d(self, left: int, right: int) -> "Tensor":
+        """Zero-pad the last axis."""
+        width = [(0, 0)] * (self.data.ndim - 1) + [(left, right)]
+        out_data = np.pad(self.data, width)
+        length = self.data.shape[-1]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                slicer = [slice(None)] * (grad.ndim - 1) \
+                    + [slice(left, left + length)]
+                self._accumulate(grad[tuple(slicer)])
+
+        return self._make(out_data, (self,), backward)
+
+    def dropout(self, rate: float, rng: np.random.Generator) -> "Tensor":
+        """Inverted dropout (scales at train time)."""
+        if rate <= 0.0:
+            return self
+        keep = 1.0 - rate
+        mask = (rng.random(self.data.shape) < keep) / keep
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce numbers / arrays / Tensors into a Tensor."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)

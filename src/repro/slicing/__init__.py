@@ -1,0 +1,21 @@
+"""Gadget machinery: special tokens, slicing, classic and
+path-sensitive gadget assembly, normalization, labeling."""
+
+from .special_tokens import SlicingCriterion, TokenCategory, find_special_tokens
+from .slicer import Slice, compute_slice
+from .gadget import CodeGadget, GadgetLine, assemble_classic_gadget, classic_gadget
+from .path_sensitive import (ControlRange, assemble_path_sensitive_gadget,
+                             brace_ranges, extract_control_ranges,
+                             path_sensitive_gadget)
+from .normalize import NormalizedGadget, Normalizer, normalize_gadget
+from .labeling import MislabelAuditor, VulnerabilityManifest, label_gadget, label_gadgets
+
+__all__ = [
+    "SlicingCriterion", "TokenCategory", "find_special_tokens",
+    "Slice", "compute_slice",
+    "CodeGadget", "GadgetLine", "assemble_classic_gadget", "classic_gadget",
+    "ControlRange", "assemble_path_sensitive_gadget", "brace_ranges",
+    "extract_control_ranges", "path_sensitive_gadget",
+    "NormalizedGadget", "Normalizer", "normalize_gadget",
+    "MislabelAuditor", "VulnerabilityManifest", "label_gadget", "label_gadgets",
+]

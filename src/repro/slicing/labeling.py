@@ -1,0 +1,116 @@
+"""Gadget labeling (paper Step II).
+
+A gadget heuristically inherits label 1 when it covers any line the
+manifest marks vulnerable — the paper notes this can mislabel gadgets
+whose statements coincide with vulnerable ones, and prescribes k-fold
+cross-validation to *narrow down the check range*: gadgets that are
+repeatedly misclassified across folds are surfaced for (in the paper,
+manual; here, oracle-driven) relabeling.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from .gadget import CodeGadget
+
+__all__ = ["VulnerabilityManifest", "label_gadget", "label_gadgets",
+           "MislabelAuditor"]
+
+
+@dataclass
+class VulnerabilityManifest:
+    """Ground-truth vulnerable lines, SARD-manifest style.
+
+    Attributes:
+        path: source file path the entries refer to.
+        vulnerable_lines: line numbers flagged as flawed.
+        cwe: CWE identifier of the flaw ('' when unknown).
+    """
+
+    path: str
+    vulnerable_lines: frozenset[int]
+    cwe: str = ""
+
+    def covers(self, gadget: CodeGadget) -> bool:
+        return any(line.line in self.vulnerable_lines
+                   for line in gadget.lines)
+
+
+def label_gadget(gadget: CodeGadget,
+                 manifest: VulnerabilityManifest | None) -> int:
+    """Label one gadget from its manifest (1 = vulnerable)."""
+    if manifest is None:
+        return 0
+    return 1 if manifest.covers(gadget) else 0
+
+
+def label_gadgets(gadgets: Iterable[CodeGadget],
+                  manifests: dict[str, VulnerabilityManifest]
+                  ) -> list[CodeGadget]:
+    """Label gadgets in place by their source path; returns the list."""
+    result = []
+    for gadget in gadgets:
+        manifest = manifests.get(gadget.source_path)
+        gadget.label = label_gadget(gadget, manifest)
+        result.append(gadget)
+    return result
+
+
+@dataclass
+class MislabelAuditor:
+    """k-fold misclassification audit (paper Step II).
+
+    Train/evaluate ``classify`` over k folds and count, per sample, how
+    often the prediction disagrees with the current label.  Samples
+    crossing ``threshold`` disagreements are relabel candidates; an
+    optional ``oracle`` (standing in for the paper's manual judgment)
+    decides their final label.
+    """
+
+    k: int = 5
+    threshold: int = 2
+    disagreements: Counter = field(default_factory=Counter)
+
+    def audit(
+        self,
+        samples: Sequence,
+        labels: Sequence[int],
+        classify: Callable[[Sequence, Sequence[int], Sequence], list[int]],
+        *,
+        rounds: int = 1,
+    ) -> list[int]:
+        """Return indices of samples that look mislabeled.
+
+        Args:
+            samples: the gadget feature objects.
+            labels: current labels, parallel to samples.
+            classify: callable (train_x, train_y, test_x) -> predictions.
+            rounds: how many times to repeat the k-fold pass.
+        """
+        count = len(samples)
+        if count < self.k:
+            return []
+        for _ in range(rounds):
+            for fold in range(self.k):
+                test_idx = list(range(fold, count, self.k))
+                train_idx = [i for i in range(count) if i % self.k != fold]
+                train_x = [samples[i] for i in train_idx]
+                train_y = [labels[i] for i in train_idx]
+                test_x = [samples[i] for i in test_idx]
+                predictions = classify(train_x, train_y, test_x)
+                for local, sample_index in enumerate(test_idx):
+                    if predictions[local] != labels[sample_index]:
+                        self.disagreements[sample_index] += 1
+        return sorted(index for index, hits in self.disagreements.items()
+                      if hits >= self.threshold)
+
+    def relabel(self, labels: list[int], suspicious: list[int],
+                oracle: Callable[[int], int]) -> list[int]:
+        """Apply the oracle's judgment to the suspicious samples."""
+        updated = list(labels)
+        for index in suspicious:
+            updated[index] = oracle(index)
+        return updated

@@ -1,0 +1,111 @@
+"""Gadget normalization (paper Step III).
+
+User-defined function and variable names carry no vulnerability signal
+but inflate the vocabulary, so they are renamed in a mapping style to
+``fun1, fun2, ...`` / ``var1, var2, ...``.  Macros, library/API function
+names, keywords, and constants stay intact; non-ASCII characters are
+removed.  The result is the symbolic token sequence the embedding step
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.dataflow import LIBRARY_FUNCTIONS
+from ..lang.lexer import KEYWORDS, TokenKind, tokenize
+from .gadget import CodeGadget
+
+__all__ = ["NormalizedGadget", "Normalizer", "normalize_gadget",
+           "tokenize_gadget_text"]
+
+
+def _ascii_only(text: str) -> str:
+    return text.encode("ascii", errors="ignore").decode("ascii")
+
+
+@dataclass
+class NormalizedGadget:
+    """Symbolic token sequence of one gadget.
+
+    Attributes:
+        tokens: the normalized token stream.
+        var_map / fun_map: original name -> symbolic name.
+        gadget: the source gadget (kept for label/metadata access).
+    """
+
+    tokens: list[str]
+    var_map: dict[str, str]
+    fun_map: dict[str, str]
+    gadget: CodeGadget | None = None
+
+    @property
+    def label(self) -> int | None:
+        return self.gadget.label if self.gadget is not None else None
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+@dataclass
+class Normalizer:
+    """Stateful renamer: one instance per gadget keeps mappings
+    consistent across all of the gadget's lines."""
+
+    keep_names: frozenset[str] = frozenset(LIBRARY_FUNCTIONS)
+    var_map: dict[str, str] = field(default_factory=dict)
+    fun_map: dict[str, str] = field(default_factory=dict)
+
+    def _symbol_for(self, name: str, *, is_call: bool) -> str:
+        if name in self.keep_names or name in KEYWORDS:
+            return name
+        if is_call:
+            if name not in self.fun_map:
+                self.fun_map[name] = f"fun{len(self.fun_map) + 1}"
+            return self.fun_map[name]
+        if name in self.fun_map:  # function name used without call parens
+            return self.fun_map[name]
+        if name not in self.var_map:
+            self.var_map[name] = f"var{len(self.var_map) + 1}"
+        return self.var_map[name]
+
+    def normalize_text(self, text: str) -> list[str]:
+        """Tokenize and normalize one chunk of gadget text."""
+        tokens = tokenize(_ascii_only(text))
+        out: list[str] = []
+        for index, token in enumerate(tokens):
+            if token.kind is TokenKind.EOF:
+                break
+            if token.kind is TokenKind.IDENT:
+                is_call = (index + 1 < len(tokens)
+                           and tokens[index + 1].is_punct("("))
+                out.append(self._symbol_for(token.text, is_call=is_call))
+            elif token.kind is TokenKind.STRING:
+                out.append('"STR"')
+            elif token.kind is TokenKind.CHAR:
+                out.append(token.text)
+            elif token.kind is TokenKind.ERROR:
+                continue  # stray bytes add nothing
+            else:
+                out.append(token.text)
+        return out
+
+
+def normalize_gadget(gadget: CodeGadget,
+                     keep_names: frozenset[str] | None = None
+                     ) -> NormalizedGadget:
+    """Normalize a gadget into its symbolic token sequence."""
+    normalizer = Normalizer(keep_names=keep_names
+                            or frozenset(LIBRARY_FUNCTIONS))
+    tokens: list[str] = []
+    for line in gadget.lines:
+        tokens.extend(normalizer.normalize_text(line.text))
+    return NormalizedGadget(tokens, dict(normalizer.var_map),
+                            dict(normalizer.fun_map), gadget)
+
+
+def tokenize_gadget_text(text: str) -> list[str]:
+    """Tokenize gadget text *without* renaming (used by baselines that
+    need original identifiers, e.g. VUDDY at abstraction level 0)."""
+    return [t.text for t in tokenize(_ascii_only(text))
+            if t.kind is not TokenKind.EOF]

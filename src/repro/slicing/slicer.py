@@ -1,0 +1,148 @@
+"""Forward/backward program slicing on PDGs (paper Step I.3).
+
+Slices start at a :class:`~repro.slicing.special_tokens.SlicingCriterion`
+and follow both data- and control-dependence edges — data dependence to
+find attack-reachable statements, control dependence to keep the guard
+semantics (paper Section III-B, Step I.3).  Interprocedural expansion
+follows the call graph: backward through callers of the criterion
+function, forward into callees invoked by sliced statements, exactly the
+two directions VulDeePecker's formalisation composes gadgets from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.callgraph import AnalyzedProgram
+from .special_tokens import SlicingCriterion
+
+__all__ = ["Slice", "compute_slice"]
+
+
+@dataclass
+class Slice:
+    """An interprocedural slice: per-function sets of CFG node ids."""
+
+    criterion: SlicingCriterion
+    nodes: dict[str, set[int]] = field(default_factory=dict)
+
+    def add(self, function: str, node_id: int) -> None:
+        self.nodes.setdefault(function, set()).add(node_id)
+
+    def functions(self) -> list[str]:
+        return sorted(self.nodes)
+
+    def lines(self, program: AnalyzedProgram) -> dict[str, set[int]]:
+        """Per-function source-line sets covered by the slice."""
+        result: dict[str, set[int]] = {}
+        for fn_name, ids in self.nodes.items():
+            pdg = program.pdg(fn_name)
+            lines = {
+                pdg.node(node_id).line
+                for node_id in ids
+                if pdg.node(node_id).ast is not None
+            }
+            if lines:
+                result[fn_name] = lines
+        return result
+
+    def total_nodes(self) -> int:
+        return sum(len(ids) for ids in self.nodes.values())
+
+
+def _criterion_nodes(program: AnalyzedProgram,
+                     criterion: SlicingCriterion) -> set[int]:
+    pdg = program.pdg(criterion.function)
+    return {n.id for n in pdg.nodes_on_line(criterion.line)}
+
+
+def compute_slice(
+    program: AnalyzedProgram,
+    criterion: SlicingCriterion,
+    *,
+    use_control: bool = True,
+    interprocedural: bool = True,
+    max_functions: int = 12,
+) -> Slice:
+    """Compute the combined forward+backward slice of a criterion.
+
+    Args:
+        program: analyzed program.
+        criterion: the special token anchoring the slice.
+        use_control: include control-dependence edges (switching this
+            off reproduces VulDeePecker's data-only gadgets).
+        interprocedural: expand through the call graph.
+        max_functions: hard cap on visited functions (defensive bound
+            for pathological call graphs).
+    """
+    result = Slice(criterion)
+    if criterion.function not in program.pdgs:
+        return result
+    start = _criterion_nodes(program, criterion)
+    if not start:
+        return result
+
+    _slice_within(program, criterion.function, start, result,
+                  use_control=use_control)
+
+    if not interprocedural:
+        return result
+
+    # Backward interprocedural step: the criterion's function may be
+    # reached from callers; their call-site statements (and everything
+    # those depend on) belong to the backward slice.
+    visited = {criterion.function}
+    frontier = [criterion.function]
+    while frontier and len(visited) < max_functions:
+        callee = frontier.pop()
+        for site in program.call_graph.sites_calling(callee):
+            if site.caller in visited or site.caller not in program.pdgs:
+                continue
+            visited.add(site.caller)
+            frontier.append(site.caller)
+            seed = {
+                s.node_id
+                for s in program.call_graph.sites_calling(callee)
+                if s.caller == site.caller
+            }
+            caller_pdg = program.pdg(site.caller)
+            backward = caller_pdg.backward_closure(
+                seed, control=use_control)
+            for node_id in backward:
+                if caller_pdg.node(node_id).ast is not None:
+                    result.add(site.caller, node_id)
+
+    # Forward interprocedural step: calls made *by sliced statements*
+    # carry data into callees; take the callee-side forward slice from
+    # its entry (parameters).
+    sliced_functions = list(result.nodes)
+    for fn_name in sliced_functions:
+        if len(visited) >= max_functions:
+            break
+        pdg = program.pdg(fn_name)
+        sliced_ids = result.nodes[fn_name]
+        for site in program.call_graph.sites_in(fn_name):
+            if site.node_id not in sliced_ids:
+                continue
+            callee = site.callee
+            if callee in visited or callee not in program.pdgs:
+                continue
+            visited.add(callee)
+            callee_pdg = program.pdg(callee)
+            forward = callee_pdg.forward_closure(
+                {callee_pdg.cfg.entry.id}, control=use_control)
+            for node_id in forward:
+                if callee_pdg.node(node_id).ast is not None:
+                    result.add(callee, node_id)
+    return result
+
+
+def _slice_within(program: AnalyzedProgram, function: str,
+                  start: set[int], result: Slice, *,
+                  use_control: bool) -> None:
+    pdg = program.pdg(function)
+    backward = pdg.backward_closure(start, control=use_control)
+    forward = pdg.forward_closure(start, control=use_control)
+    for node_id in backward | forward:
+        if pdg.node(node_id).ast is not None:
+            result.add(function, node_id)

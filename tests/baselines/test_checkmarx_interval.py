@@ -1,0 +1,92 @@
+"""Tests for the Checkmarx baseline's interval-precision mode."""
+
+import pytest
+
+from repro.baselines.checkmarx import CheckmarxScanner
+
+CLAMPED = """\
+void f(char *data, int n) {
+    char dest[16];
+    if (n > 15) {
+        n = 15;
+    }
+    if (n < 0) {
+        n = 0;
+    }
+    strncpy(dest, data, n);
+}
+int main() {
+    char line[64];
+    fgets(line, 64, 0);
+    f(line, atoi(line));
+    return 0;
+}
+"""
+
+UNCLAMPED = """\
+void f(char *data, int n) {
+    char dest[16];
+    strncpy(dest, data, n);
+}
+int main() {
+    char line[64];
+    fgets(line, 64, 0);
+    f(line, atoi(line));
+    return 0;
+}
+"""
+
+CONSTANT_LENGTH = """\
+void f(char *data) {
+    char dest[16];
+    memcpy(dest, data, 8);
+}
+int main() {
+    char line[64];
+    fgets(line, 64, 0);
+    f(line);
+    return 0;
+}
+"""
+
+OVERSIZED_CONSTANT = CONSTANT_LENGTH.replace(
+    "memcpy(dest, data, 8);", "memcpy(dest, data, 64);")
+
+
+class TestIntervalPrecision:
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError):
+            CheckmarxScanner(precision="quantum")
+
+    def test_clamped_flow_discharged(self):
+        scanner = CheckmarxScanner(precision="interval")
+        assert not scanner.flags(CLAMPED)
+
+    def test_unclamped_flow_still_reported(self):
+        scanner = CheckmarxScanner(precision="interval")
+        assert scanner.flags(UNCLAMPED)
+
+    def test_constant_in_bounds_discharged(self):
+        scanner = CheckmarxScanner(precision="interval")
+        assert not scanner.flags(CONSTANT_LENGTH)
+
+    def test_constant_out_of_bounds_reported(self):
+        scanner = CheckmarxScanner(precision="interval")
+        assert scanner.flags(OVERSIZED_CONSTANT)
+
+    def test_syntactic_mode_unchanged_on_unclamped(self):
+        assert CheckmarxScanner().flags(UNCLAMPED)
+
+    def test_interval_mode_never_adds_findings(self):
+        """Interval precision only discharges findings, never creates
+        new ones."""
+        for source in (CLAMPED, UNCLAMPED, CONSTANT_LENGTH,
+                       OVERSIZED_CONSTANT):
+            syntactic = {(f.sink_line, f.sink)
+                         for f in CheckmarxScanner(
+                             report_sanitized=True).scan(source)}
+            interval = {(f.sink_line, f.sink)
+                        for f in CheckmarxScanner(
+                            report_sanitized=True,
+                            precision="interval").scan(source)}
+            assert interval == syntactic

@@ -1,0 +1,153 @@
+"""Tests for the lexical and dataflow static-analysis baselines."""
+
+from repro.baselines.checkmarx import CheckmarxScanner
+from repro.baselines.flawfinder import FlawfinderScanner
+from repro.baselines.rats import RatsScanner
+
+STRCPY_BAD = """\
+void f(char *data) {
+    char buf[8];
+    strcpy(buf, data);
+}
+int main() {
+    char line[64];
+    fgets(line, 64, 0);
+    f(line);
+    return 0;
+}
+"""
+
+GUARDED_STRCPY = STRCPY_BAD.replace(
+    "    strcpy(buf, data);",
+    "    if (strlen(data) < 8) {\n        strcpy(buf, data);\n    }")
+
+INDEX_BUG = """\
+void f(char *data, int n) {
+    int table[8];
+    table[n] = 1;
+}
+int main() {
+    char line[64];
+    fgets(line, 64, 0);
+    f(line, atoi(line));
+    return 0;
+}
+"""
+
+
+class TestFlawfinder:
+    def test_flags_strcpy(self):
+        scanner = FlawfinderScanner()
+        findings = scanner.scan(STRCPY_BAD)
+        assert any(f.function == "strcpy" for f in findings)
+        assert scanner.flags(STRCPY_BAD)
+
+    def test_guarded_strcpy_still_flagged(self):
+        """No dataflow: guards don't silence it — the FP source."""
+        assert FlawfinderScanner().flags(GUARDED_STRCPY)
+
+    def test_misses_index_bug(self):
+        """No risky call involved — the FN source."""
+        assert not FlawfinderScanner().flags(INDEX_BUG)
+
+    def test_constant_format_downgraded(self):
+        source = 'void f() { printf("hello\\n"); }'
+        findings = FlawfinderScanner(min_risk=2).scan(source)
+        assert not any(f.function == "printf" for f in findings)
+
+    def test_variable_format_flagged(self):
+        source = "void f(char *s) { printf(s); }"
+        findings = FlawfinderScanner(min_risk=2).scan(source)
+        assert any(f.function == "printf" for f in findings)
+
+    def test_identifier_without_call_not_flagged(self):
+        source = "void f() { int strcpy = 1; strcpy = 2; }"
+        assert not FlawfinderScanner().scan(source)
+
+    def test_min_risk_threshold(self):
+        low = FlawfinderScanner(min_risk=1).scan(STRCPY_BAD)
+        high = FlawfinderScanner(min_risk=5).scan(STRCPY_BAD)
+        assert len(low) > len(high)
+
+    def test_finding_carries_line(self):
+        findings = FlawfinderScanner().scan(STRCPY_BAD)
+        strcpy = next(f for f in findings if f.function == "strcpy")
+        assert strcpy.line == 3
+
+
+class TestRats:
+    def test_flags_strcpy(self):
+        assert RatsScanner().flags(STRCPY_BAD)
+
+    def test_severity_threshold(self):
+        high_only = RatsScanner(min_severity="High")
+        medium = RatsScanner(min_severity="Medium")
+        source = "void f(char *d) { memcpy(d, d, 4); }"
+        assert medium.flags(source)
+        assert not high_only.flags(source)
+
+    def test_unknown_severity_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            RatsScanner(min_severity="Extreme")
+
+    def test_constant_format_downgraded(self):
+        source = 'void f() { printf("x"); }'
+        assert not RatsScanner().flags(source)
+
+    def test_differs_from_flawfinder(self):
+        """The two rule DBs disagree somewhere (free is Medium in our
+        RATS DB, absent from Flawfinder's)."""
+        source = "void f(char *p) { free(p); }"
+        assert RatsScanner().flags(source)
+        assert not FlawfinderScanner().flags(source)
+
+
+class TestCheckmarx:
+    def test_taint_source_to_sink(self):
+        assert CheckmarxScanner().flags(STRCPY_BAD)
+
+    def test_guard_on_flow_suppresses(self):
+        """Placement-blind sanitizer recognition: the guard silences
+        the finding even though a cleverer attacker-chosen path might
+        not be covered."""
+        assert not CheckmarxScanner().flags(GUARDED_STRCPY)
+
+    def test_placement_blindness_fig1(self):
+        """The Fig 1 vulnerable variant fools Checkmarx: the guard
+        exists somewhere on the chain, so the flow looks sanitized."""
+        vuln = """\
+void f(char *data, int n) {
+    char dest[10];
+    if (n < 10) {
+        dest[0] = 0;
+    }
+    strncpy(dest, data, n);
+}
+int main() {
+    char line[64];
+    fgets(line, 64, 0);
+    f(line, atoi(line));
+    return 0;
+}
+"""
+        assert not CheckmarxScanner().flags(vuln)  # false negative
+
+    def test_audit_mode_reports_sanitized(self):
+        scanner = CheckmarxScanner(report_sanitized=True)
+        findings = scanner.scan(GUARDED_STRCPY)
+        assert any(f.sanitized for f in findings)
+
+    def test_constant_sink_args_safe(self):
+        source = 'void f() { char b[16]; strcpy(b, "const"); }'
+        assert not CheckmarxScanner().flags(source)
+
+    def test_unparseable_source_no_crash(self):
+        assert not CheckmarxScanner().flags("this is not C at all {{{")
+
+    def test_finding_fields(self):
+        findings = CheckmarxScanner().scan(STRCPY_BAD)
+        finding = findings[0]
+        assert finding.sink == "strcpy"
+        assert finding.function == "f"
+        assert finding.sink_line == 3

@@ -1,0 +1,166 @@
+"""Tests for the VUDDY clone detector and the AFL fuzzing simulacrum."""
+
+import pytest
+
+from repro.baselines.afl import AFLFuzzer
+from repro.baselines.vuddy import VuddyScanner, abstract_function
+from repro.datasets.xen import cve_2016_4453, cve_2016_9104, cve_2016_9776
+
+VULN_FN = """\
+void parse_header(char *data, int n) {
+    char window[16];
+    int cursor = 0;
+    strcpy(window, data);
+    cursor = cursor + n;
+    printf("%d", cursor);
+}
+"""
+
+RENAMED_CLONE = VULN_FN.replace("parse_header", "decode_frame") \
+                       .replace("window", "scratch") \
+                       .replace("cursor", "position")
+
+PATCHED = VULN_FN.replace(
+    "    strcpy(window, data);",
+    "    if (strlen(data) < 16) {\n        strcpy(window, data);\n    }")
+
+
+class TestVuddy:
+    def test_exact_clone_detected(self):
+        scanner = VuddyScanner()
+        scanner.add_vulnerable(VULN_FN)
+        assert scanner.flags(VULN_FN)
+
+    def test_renamed_clone_detected(self):
+        """Abstraction level 4 makes identifier renames invisible."""
+        scanner = VuddyScanner()
+        scanner.add_vulnerable(VULN_FN)
+        assert scanner.flags(RENAMED_CLONE)
+
+    def test_patched_function_not_matched(self):
+        scanner = VuddyScanner()
+        scanner.add_vulnerable(VULN_FN)
+        assert not scanner.flags(PATCHED)
+
+    def test_unrelated_code_not_matched(self):
+        scanner = VuddyScanner()
+        scanner.add_vulnerable(VULN_FN)
+        assert not scanner.flags("int add(int a, int b) "
+                                 "{ int t = a; t = t + b; "
+                                 "t = t * 2; return t; }")
+
+    def test_empty_database_flags_nothing(self):
+        assert not VuddyScanner().flags(VULN_FN)
+
+    def test_main_wrappers_excluded(self):
+        harness = VULN_FN + ("int main() {\nchar l[64];\n"
+                             "fgets(l, 64, 0);\nparse_header(l, 1);\n"
+                             "return 0;\n}\n")
+        other = ("void g(char *d) { printf(\"%s\", d); }\n"
+                 "int main() {\nchar l[64];\nfgets(l, 64, 0);\n"
+                 "g(l);\nreturn 0;\n}\n")
+        scanner = VuddyScanner()
+        scanner.add_vulnerable(harness)
+        assert not scanner.flags(other)
+
+    def test_abstraction_replaces_names(self):
+        text = abstract_function(VULN_FN, 1, 7,
+                                 frozenset({"data", "n"}),
+                                 frozenset({"window", "cursor"}))
+        assert "FPARAM" in text and "LVAR" in text and "DTYPE" in text
+        assert "window" not in text
+
+    def test_add_vulnerable_returns_count(self):
+        scanner = VuddyScanner()
+        assert scanner.add_vulnerable(VULN_FN) == 1
+        assert scanner.add_vulnerable(VULN_FN) == 0  # duplicate
+
+
+class TestAFL:
+    def test_finds_planted_overflow(self):
+        source = """\
+int main() {
+    char line[32];
+    char buf[4];
+    fgets(line, 32, 0);
+    int n = atoi(line);
+    if (n > 20) {
+        buf[n] = 1;
+    }
+    return 0;
+}
+"""
+        report = AFLFuzzer(source, max_execs=600, seed=1).run()
+        assert any(c.kind == "out-of-bounds-write"
+                   for c in report.crashes)
+
+    def test_finds_hang(self):
+        case = cve_2016_9776(vulnerable=True)
+        report = AFLFuzzer(case.source, max_execs=500, max_steps=4000,
+                           seed=1).run()
+        assert report.hangs
+
+    def test_finds_4453(self):
+        case = cve_2016_4453(vulnerable=True)
+        report = AFLFuzzer(case.source, max_execs=500, max_steps=4000,
+                           seed=1).run()
+        assert report.hangs
+
+    def test_misses_magic_offset_9104(self):
+        """The paper's observation: the special offset defeats fuzzing."""
+        case = cve_2016_9104(vulnerable=True)
+        report = AFLFuzzer(case.source, max_execs=800, max_steps=4000,
+                           seed=1).run()
+        assert not report.found_anything
+
+    def test_clean_target_yields_nothing(self):
+        source = """\
+int main() {
+    char line[32];
+    fgets(line, 32, 0);
+    int n = atoi(line);
+    if (n > 4) { n = 4; }
+    printf("%d", n);
+    return 0;
+}
+"""
+        report = AFLFuzzer(source, max_execs=400, seed=2).run()
+        assert not report.found_anything
+        assert report.executions == 400
+
+    def test_coverage_grows(self):
+        case = cve_2016_9104(vulnerable=True)
+        fuzzer = AFLFuzzer(case.source, max_execs=300, max_steps=4000,
+                           seed=3)
+        report = fuzzer.run()
+        assert len(report.coverage) >= 2
+        assert report.queue_size >= 1
+
+    def test_budget_respected(self):
+        case = cve_2016_9104(vulnerable=True)
+        report = AFLFuzzer(case.source, max_execs=123,
+                           max_steps=4000, seed=3).run()
+        assert report.executions <= 123
+
+    def test_crash_dedup(self):
+        source = """\
+int main() {
+    char line[8];
+    char buf[2];
+    fgets(line, 8, 0);
+    buf[atoi(line) + 2] = 1;
+    return 0;
+}
+"""
+        report = AFLFuzzer(source, max_execs=400, seed=4).run()
+        keys = [(c.kind, c.line) for c in report.crashes]
+        assert len(keys) == len(set(keys))
+
+    def test_deterministic_given_seed(self):
+        case = cve_2016_9776(vulnerable=True)
+        a = AFLFuzzer(case.source, max_execs=200, max_steps=3000,
+                      seed=7).run()
+        b = AFLFuzzer(case.source, max_execs=200, max_steps=3000,
+                      seed=7).run()
+        assert len(a.coverage) == len(b.coverage)
+        assert bool(a.hangs) == bool(b.hangs)

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+VULN_SOURCE = """\
+void f(char *data) {
+    char buf[4];
+    strcpy(buf, data);
+}
+int main() {
+    char line[64];
+    fgets(line, 64, 0);
+    f(line);
+    return 0;
+}
+"""
+
+HANG_SOURCE = """\
+int main() {
+    char line[16];
+    fgets(line, 16, 0);
+    int n = atoi(line);
+    int left = 50;
+    while (left > 0) {
+        left = left - n;
+    }
+    return 0;
+}
+"""
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_args(self):
+        args = build_parser().parse_args(
+            ["train", "--cases", "10", "--out", "m.npz"])
+        assert args.command == "train"
+        assert args.cases == 10
+
+    def test_scale_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "galactic", "train",
+                                       "--out", "m.npz"])
+
+
+class TestGadgetsCommand:
+    def test_prints_gadgets(self, tmp_path, capsys):
+        target = tmp_path / "t.c"
+        target.write_text(VULN_SOURCE)
+        assert main(["gadgets", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "strcpy" in out
+        assert "path-sensitive" in out
+
+    def test_unparseable_file(self, tmp_path, capsys):
+        target = tmp_path / "bad.c"
+        target.write_text("not a C file {{{")
+        assert main(["gadgets", str(target)]) == 1
+
+
+class TestFuzzCommand:
+    def test_finds_hang(self, tmp_path, capsys):
+        target = tmp_path / "hang.c"
+        target.write_text(HANG_SOURCE)
+        code = main(["fuzz", str(target), "--execs", "300",
+                     "--max-steps", "3000"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "HANG" in out
+
+    def test_clean_target_exit_zero(self, tmp_path, capsys):
+        target = tmp_path / "ok.c"
+        target.write_text(
+            "int main() { printf(\"ok\"); return 0; }")
+        assert main(["fuzz", str(target), "--execs", "100"]) == 0
+
+
+class TestTrainScanRoundtrip:
+    def test_train_then_scan(self, tmp_path, capsys):
+        model = tmp_path / "model.npz"
+        code = main(["train", "--cases", "60", "--nvd-cases", "0",
+                     "--seed", "3", "--out", str(model)])
+        assert code == 0
+        assert model.exists()
+
+        target = tmp_path / "vuln.c"
+        target.write_text(VULN_SOURCE)
+        clean = tmp_path / "clean.c"
+        clean.write_text("int main() { int a = 1; return a; }")
+        capsys.readouterr()
+        exit_code = main(["scan", str(target), str(clean),
+                          "--model", str(model),
+                          "--threshold", "0.5"])
+        out = capsys.readouterr().out
+        assert f"{clean}: clean" in out
+        # the vulnerable file should be flagged by the trained model
+        assert exit_code == 1
+        assert "suspicious" in out
+
+
+class TestExportCorpus:
+    def test_export_and_reimport(self, tmp_path, capsys):
+        code = main(["export-corpus", "--cases", "8", "--seed", "2",
+                     "--dir", str(tmp_path / "corpus")])
+        assert code == 0
+        from repro.datasets.manifest_xml import import_corpus
+        cases = import_corpus(tmp_path / "corpus")
+        assert len(cases) == 8
+
+    def test_export_xen_kind(self, tmp_path):
+        code = main(["export-corpus", "--cases", "10", "--kind", "xen",
+                     "--dir", str(tmp_path / "xen")])
+        assert code == 0
+        from repro.datasets.manifest_xml import import_corpus
+        cases = import_corpus(tmp_path / "xen")
+        assert any("cve" in case.meta for case in cases)

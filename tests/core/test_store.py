@@ -1,0 +1,61 @@
+"""Tests for gadget-dataset persistence."""
+
+import pytest
+
+from repro.core.pipeline import extract_gadgets
+from repro.core.store import iter_gadgets, load_gadgets, save_gadgets
+from repro.datasets.sard import generate_sard_corpus
+
+
+@pytest.fixture(scope="module")
+def gadgets():
+    return extract_gadgets(generate_sard_corpus(15, seed=91))
+
+
+class TestStore:
+    def test_roundtrip(self, gadgets, tmp_path):
+        path = tmp_path / "gadgets.jsonl"
+        count = save_gadgets(gadgets, path)
+        assert count == len(gadgets)
+        restored = load_gadgets(path)
+        assert len(restored) == len(gadgets)
+        for original, loaded in zip(gadgets, restored):
+            assert loaded.tokens == original.tokens
+            assert loaded.label == original.label
+            assert loaded.category == original.category
+            assert loaded.cwe == original.cwe
+            assert loaded.criterion == original.criterion
+            assert loaded.kind == original.kind
+
+    def test_streaming_matches_bulk(self, gadgets, tmp_path):
+        path = tmp_path / "gadgets.jsonl"
+        save_gadgets(gadgets, path)
+        streamed = [g.tokens for g in iter_gadgets(path)]
+        assert streamed == [g.tokens for g in load_gadgets(path)]
+
+    def test_restored_gadgets_encode(self, gadgets, tmp_path):
+        from repro.core.pipeline import encode_gadgets
+        path = tmp_path / "gadgets.jsonl"
+        save_gadgets(gadgets, path)
+        dataset = encode_gadgets(load_gadgets(path), dim=8,
+                                 w2v_epochs=0)
+        assert len(dataset.samples) == len(gadgets)
+
+    def test_corrupt_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\nnot json\n")
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_gadgets(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"v": 99}\n')
+        with pytest.raises(ValueError, match="version"):
+            load_gadgets(path)
+
+    def test_blank_lines_skipped(self, gadgets, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        save_gadgets(gadgets[:2], path)
+        padded = path.read_text().replace("\n", "\n\n")
+        path.write_text(padded)
+        assert len(load_gadgets(path)) == 2

@@ -1,0 +1,85 @@
+"""Tests for the dependent-noise generator (slice-visible distractors)."""
+
+import numpy as np
+
+from repro.datasets.codegen import CodeWriter, NamePool, noise_statements
+from repro.lang.callgraph import analyze
+from repro.slicing.slicer import compute_slice
+from repro.slicing.special_tokens import find_special_tokens
+
+
+def build_sink(noise_count: int, seed: int, live: str | None,
+               buffer: str | None = None):
+    rng = np.random.default_rng(seed)
+    writer = CodeWriter()
+    names = NamePool(rng)
+    with writer.block("void sink(char *data, int n)"):
+        writer.line("char buf[8];")
+        noise_statements(writer, names, rng, noise_count, live=live,
+                         buffer=buffer, buffer_size=8)
+        writer.line("strncpy(buf, data, n);")
+    writer.blank()
+    with writer.block("int main()"):
+        writer.line("char line[64];")
+        writer.line("fgets(line, 64, 0);")
+        writer.line("sink(line, atoi(line));")
+        writer.line("return 0;")
+    return writer.source()
+
+
+class TestDependentNoise:
+    def test_dependent_noise_parses(self):
+        for seed in range(6):
+            analyze(build_sink(5, seed, live="n"))
+
+    def test_buffer_noise_enters_slice(self):
+        """Buffer-targeted noise (weak defs of the criterion's buffer)
+        must join the gadget slice — that is its entire purpose."""
+        source = build_sink(6, seed=3, live="n", buffer="buf")
+        program = analyze(source)
+        criterion = [c for c in find_special_tokens(program)
+                     if c.token == "strncpy"][0]
+        with_noise = compute_slice(program, criterion).total_nodes()
+
+        bare = build_sink(0, seed=3, live="n")
+        bare_program = analyze(bare)
+        bare_criterion = [c for c in find_special_tokens(bare_program)
+                          if c.token == "strncpy"][0]
+        without = compute_slice(bare_program,
+                                bare_criterion).total_nodes()
+        assert with_noise > without
+
+    def test_dependent_noise_never_writes_live(self):
+        """The distractors read `n` but must not redefine it, or they
+        would change the flaw semantics."""
+        from repro.lang.cfg import build_cfg
+        from repro.lang.dataflow import collect_def_use
+        from repro.lang.parser import parse
+        for seed in range(8):
+            source = build_sink(6, seed, live="n")
+            unit = parse(source)
+            sink = unit.function("sink")
+            cfg = build_cfg(sink)
+            def_use = collect_def_use(cfg)
+            for node in cfg.statement_nodes():
+                if node.line == 3:  # buf decl
+                    continue
+                if "strncpy" in source.split("\n")[node.line - 1]:
+                    continue
+                assert "n" not in def_use[node.id].strong_defs, \
+                    source.split("\n")[node.line - 1]
+
+    def test_pointer_live_uses_strlen(self):
+        rng = np.random.default_rng(5)
+        writer = CodeWriter()
+        names = NamePool(rng)
+        with writer.block("void sink(char *data)"):
+            noise_statements(writer, names, rng, 6, live="data",
+                             live_is_pointer=True)
+        text = writer.source()
+        assert "strlen(data)" in text
+        analyze(text)
+
+    def test_without_live_no_data_dependence(self):
+        source = build_sink(5, seed=7, live=None)
+        assert " n +" not in source.replace("data, n)", "")

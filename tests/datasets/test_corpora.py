@@ -1,0 +1,153 @@
+"""Tests for the SARD / NVD / Xen corpus generators."""
+
+import pytest
+
+from repro.datasets.nvd import generate_nvd_corpus
+from repro.datasets.sard import corpus_statistics, generate_sard_corpus
+from repro.datasets.xen import (CVE_CASES, cve_2016_4453, cve_2016_9104,
+                                cve_2016_9776, generate_xen_corpus)
+from repro.lang.callgraph import analyze
+from repro.lang.interp import run_program
+
+
+class TestSardCorpus:
+    def test_count_and_determinism(self):
+        a = generate_sard_corpus(25, seed=7)
+        b = generate_sard_corpus(25, seed=7)
+        assert len(a) == 25
+        assert [c.source for c in a] == [c.source for c in b]
+
+    def test_vulnerable_fraction_roughly_respected(self):
+        cases = generate_sard_corpus(200, seed=3,
+                                     vulnerable_fraction=0.3)
+        fraction = sum(c.vulnerable for c in cases) / len(cases)
+        assert 0.2 < fraction < 0.4
+
+    def test_category_restriction(self):
+        cases = generate_sard_corpus(30, seed=1, categories=("PU",))
+        assert all(c.category == "PU" for c in cases)
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(ValueError):
+            generate_sard_corpus(5, categories=("XX",))
+
+    def test_all_parse(self):
+        for case in generate_sard_corpus(40, seed=2):
+            analyze(case.source)
+
+    def test_unique_names(self):
+        cases = generate_sard_corpus(50, seed=4)
+        names = [c.name for c in cases]
+        assert len(names) == len(set(names))
+
+    def test_statistics_shape(self):
+        stats = corpus_statistics(generate_sard_corpus(60, seed=5))
+        for bucket in stats.values():
+            assert bucket["total"] == \
+                bucket["vulnerable"] + bucket["non_vulnerable"]
+
+
+class TestNvdCorpus:
+    def test_cases_parse_and_are_multi_function(self):
+        for case in generate_nvd_corpus(12, seed=6):
+            program = analyze(case.source)
+            assert len(program.function_names) >= 4  # sinks+dispatch+main
+
+    def test_vulnerable_case_marks_lines(self):
+        cases = generate_nvd_corpus(20, seed=6)
+        for case in cases:
+            if case.vulnerable:
+                assert case.vulnerable_lines
+            else:
+                assert not case.vulnerable_lines
+
+    def test_origin_tag(self):
+        assert all(c.origin == "nvd"
+                   for c in generate_nvd_corpus(5, seed=1))
+
+    def test_dispatcher_routes_to_vulnerable_sink(self):
+        """At least one vulnerable NVD case actually misbehaves when
+        driven through its dispatcher."""
+        cases = [c for c in generate_nvd_corpus(30, seed=9)
+                 if c.vulnerable]
+        triggers = [b"0\n", b"9999\n", b"-5\n", b"1\n", b"2\n", b"3\n",
+                    b"9998\n", b"9997\n"]
+        hits = 0
+        for case in cases[:10]:
+            for stdin in triggers:
+                result = run_program(case.source, stdin=stdin,
+                                     max_steps=20_000)
+                if result.crashed or result.hung:
+                    hits += 1
+                    break
+        assert hits >= 5
+
+
+class TestXenCorpus:
+    def test_contains_all_three_cves(self):
+        cases = generate_xen_corpus(10, seed=0)
+        cves = {c.meta.get("cve") for c in cases if "cve" in c.meta}
+        assert cves == set(CVE_CASES)
+
+    def test_count_met(self):
+        assert len(generate_xen_corpus(25, seed=0)) == 25
+
+    def test_seeds_disjoint_from_sard(self):
+        sard_names = {c.name for c in generate_sard_corpus(50, seed=0)}
+        xen_names = {c.name for c in generate_xen_corpus(50, seed=0)}
+        assert not sard_names & xen_names
+
+    def test_all_parse(self):
+        for case in generate_xen_corpus(15, seed=1):
+            analyze(case.source)
+
+
+class TestCVEMiniatures:
+    def test_9776_hangs_on_zero_emrbr(self):
+        case = cve_2016_9776(vulnerable=True)
+        result = run_program(case.source, stdin=b"0\n", max_steps=5000)
+        assert result.hung
+
+    def test_9776_patched_terminates(self):
+        case = cve_2016_9776(vulnerable=False)
+        result = run_program(case.source, stdin=b"0\n", max_steps=5000)
+        assert result.ok
+
+    def test_4453_hangs_on_zero_advance(self):
+        case = cve_2016_4453(vulnerable=True)
+        result = run_program(case.source, stdin=b"0\n", max_steps=5000)
+        assert result.hung
+
+    def test_4453_patched_terminates(self):
+        case = cve_2016_4453(vulnerable=False)
+        assert run_program(case.source, stdin=b"0\n",
+                           max_steps=5000).ok
+
+    def test_9104_magic_offset_overflows(self):
+        case = cve_2016_9104(vulnerable=True)
+        result = run_program(case.source, stdin=b"2147483640\n",
+                             max_steps=30_000)
+        assert result.crashed
+
+    def test_9104_mundane_offsets_survive(self):
+        case = cve_2016_9104(vulnerable=True)
+        for stdin in (b"0\n", b"10\n", b"100\n", b"-3\n",
+                      b"2000000000\n"):
+            result = run_program(case.source, stdin=stdin,
+                                 max_steps=30_000)
+            assert result.ok, stdin
+
+    def test_9104_patched_survives_magic(self):
+        case = cve_2016_9104(vulnerable=False)
+        assert run_program(case.source, stdin=b"2147483640\n",
+                           max_steps=30_000).ok
+
+    def test_vulnerable_lines_point_at_flaw(self):
+        case = cve_2016_9776(vulnerable=True)
+        lines = case.source.split("\n")
+        assert any("emrbr" in lines[n - 1]
+                   for n in case.vulnerable_lines)
+
+    def test_cases_carry_cve_ids(self):
+        for cve, build in CVE_CASES.items():
+            assert build().meta["cve"] == cve

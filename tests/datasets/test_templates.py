@@ -1,0 +1,136 @@
+"""Tests for CWE templates and program generation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.codegen import CodeWriter, NamePool
+from repro.datasets.cwe_templates import (TEMPLATES, generate_case,
+                                          template_names)
+from repro.lang.callgraph import analyze
+from repro.lang.interp import run_program
+
+TRIGGERS = [b"0\n", b"9999\n", b"-5\n", b"A" * 60 + b"\n",
+            b"%s%s%s\n", b"2000000000\n", b"1\n", b"7\n",
+            b"22\n", b"100000\n", b"2147483646\n"]
+
+
+def misbehaves(source: str) -> bool:
+    for stdin in TRIGGERS:
+        result = run_program(source, stdin=stdin, max_steps=20_000)
+        if result.crashed or result.hung:
+            return True
+    return False
+
+
+class TestCodeWriter:
+    def test_line_numbers_tracked(self):
+        writer = CodeWriter()
+        assert writer.line("int a;") == 1
+        assert writer.line("int b;") == 2
+
+    def test_marking(self):
+        writer = CodeWriter()
+        writer.line("ok;")
+        writer.line("bad;", mark=True)
+        assert writer.marked == {2}
+
+    def test_block_indents_and_closes(self):
+        writer = CodeWriter()
+        with writer.block("if (x)"):
+            writer.line("y = 1;")
+        assert writer.lines == ["if (x) {", "    y = 1;", "}"]
+
+    def test_source_ends_with_newline(self):
+        writer = CodeWriter()
+        writer.line("x;")
+        assert writer.source().endswith("\n")
+
+
+class TestNamePool:
+    def test_reserved_names_never_issued(self):
+        pool = NamePool(np.random.default_rng(0))
+        issued = {pool.var() for _ in range(200)}
+        assert not issued & NamePool.RESERVED
+
+    def test_no_collisions(self):
+        pool = NamePool(np.random.default_rng(0))
+        names = [pool.var() for _ in range(100)] \
+            + [pool.func() for _ in range(100)]
+        assert len(names) == len(set(names))
+
+    def test_reserve_extends(self):
+        pool = NamePool(np.random.default_rng(0))
+        pool.reserve("special")
+        assert all(pool.var() != "special" for _ in range(50))
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("template", TEMPLATES,
+                             ids=lambda t: t.name)
+    def test_both_variants_parse_and_analyze(self, template):
+        for vulnerable in (True, False):
+            case = generate_case(template, vulnerable=vulnerable, seed=4)
+            program = analyze(case.source)
+            assert "main" in program.function_names
+
+    @pytest.mark.parametrize("template", TEMPLATES,
+                             ids=lambda t: t.name)
+    def test_vulnerable_variant_misbehaves(self, template):
+        case = generate_case(template, vulnerable=True, seed=4)
+        assert misbehaves(case.source), template.name
+
+    @pytest.mark.parametrize("template", TEMPLATES,
+                             ids=lambda t: t.name)
+    def test_patched_variant_clean(self, template):
+        case = generate_case(template, vulnerable=False, seed=4)
+        assert not misbehaves(case.source), template.name
+
+    def test_vulnerable_lines_marked_only_when_vulnerable(self):
+        template = TEMPLATES[0]
+        bad = generate_case(template, vulnerable=True, seed=1)
+        good = generate_case(template, vulnerable=False, seed=1)
+        assert bad.vulnerable_lines
+        assert bad.vulnerable
+        assert not good.vulnerable
+
+    def test_vulnerable_line_text_plausible(self):
+        template = TEMPLATES[0]  # strcpy overflow
+        case = generate_case(template, vulnerable=True, seed=2)
+        lines = case.source.split("\n")
+        for number in case.vulnerable_lines:
+            assert "strcpy" in lines[number - 1]
+
+    def test_deterministic_generation(self):
+        template = TEMPLATES[3]
+        a = generate_case(template, vulnerable=True, seed=9)
+        b = generate_case(template, vulnerable=True, seed=9)
+        assert a.source == b.source
+
+    def test_different_seeds_differ(self):
+        template = TEMPLATES[0]
+        a = generate_case(template, vulnerable=True, seed=1)
+        b = generate_case(template, vulnerable=True, seed=2)
+        assert a.source != b.source
+
+    def test_case_metadata(self):
+        case = generate_case(TEMPLATES[0], vulnerable=True, seed=5,
+                             origin="sard")
+        assert case.origin == "sard"
+        assert case.cwe.startswith("CWE-")
+        assert case.category in ("FC", "AU", "PU", "AE")
+        assert case.meta["template"] == TEMPLATES[0].name
+
+    def test_all_four_categories_covered(self):
+        assert {t.category for t in TEMPLATES} == \
+            {"FC", "AU", "PU", "AE"}
+
+    def test_template_names_unique(self):
+        names = template_names()
+        assert len(names) == len(set(names))
+
+    def test_manifest_conversion(self):
+        case = generate_case(TEMPLATES[0], vulnerable=True, seed=5)
+        manifest = case.manifest()
+        assert manifest.vulnerable_lines == case.vulnerable_lines
+        good = generate_case(TEMPLATES[0], vulnerable=False, seed=5)
+        assert good.manifest().vulnerable_lines == frozenset()

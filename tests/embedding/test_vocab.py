@@ -1,0 +1,57 @@
+"""Tests for the vocabulary."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.embedding.vocab import PAD_TOKEN, UNK_TOKEN, Vocabulary
+
+
+class TestVocabulary:
+    def test_reserved_ids(self):
+        vocab = Vocabulary()
+        assert vocab.token_to_id[PAD_TOKEN] == 0
+        assert vocab.token_to_id[UNK_TOKEN] == 1
+
+    def test_build_frequency_order(self):
+        vocab = Vocabulary.build([["b", "a", "a"], ["a", "b", "c"]])
+        assert vocab.token_to_id["a"] == 2  # most frequent first
+        assert vocab.token_to_id["b"] == 3
+        assert vocab.token_to_id["c"] == 4
+
+    def test_build_ties_broken_lexicographically(self):
+        vocab = Vocabulary.build([["z", "a"]])
+        assert vocab.token_to_id["a"] < vocab.token_to_id["z"]
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary.build([["a", "a", "b"]], min_count=2)
+        assert "a" in vocab and "b" not in vocab
+
+    def test_max_size_caps(self):
+        vocab = Vocabulary.build([["a", "a", "b", "c"]], max_size=3)
+        assert len(vocab) == 3  # PAD, UNK, 'a'
+
+    def test_encode_unknown_maps_to_unk(self):
+        vocab = Vocabulary.build([["a"]])
+        assert vocab.encode(["a", "zzz"]) == [2, 1]
+
+    def test_decode_out_of_range(self):
+        vocab = Vocabulary.build([["a"]])
+        assert vocab.decode([999]) == [UNK_TOKEN]
+
+    def test_add_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("x")
+        assert vocab.add("x") == first
+
+    @given(st.lists(st.text(alphabet="abcxyz_", min_size=1, max_size=6),
+                    min_size=1, max_size=30))
+    def test_roundtrip_property(self, tokens):
+        vocab = Vocabulary.build([tokens])
+        assert vocab.decode(vocab.encode(tokens)) == tokens
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=3),
+                    min_size=0, max_size=20))
+    def test_ids_dense(self, tokens):
+        vocab = Vocabulary.build([tokens])
+        assert sorted(vocab.token_to_id.values()) == \
+            list(range(len(vocab)))

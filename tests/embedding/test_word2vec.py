@@ -1,0 +1,71 @@
+"""Tests for the skip-gram word2vec trainer."""
+
+import numpy as np
+
+from repro.embedding.vocab import Vocabulary
+from repro.embedding.word2vec import Word2Vec
+
+
+def make_corpus():
+    """Two token 'languages': tokens co-occurring within their group."""
+    group_a = ["alpha", "beta", "gamma"]
+    group_b = ["delta", "epsilon", "zeta"]
+    rng = np.random.default_rng(3)
+    sentences = []
+    for _ in range(120):
+        group = group_a if rng.random() < 0.5 else group_b
+        sentences.append([group[int(rng.integers(0, 3))]
+                          for _ in range(8)])
+    return sentences
+
+
+class TestWord2Vec:
+    def test_training_reduces_loss(self):
+        sentences = make_corpus()
+        vocab = Vocabulary.build(sentences)
+        encoded = [vocab.encode(s) for s in sentences]
+        model = Word2Vec(vocab, dim=12, seed=1)
+        first = model.train(encoded[:10], epochs=1)
+        final = model.train(encoded, epochs=2)
+        assert final < first
+
+    def test_cooccurring_tokens_more_similar(self):
+        sentences = make_corpus()
+        vocab = Vocabulary.build(sentences)
+        encoded = [vocab.encode(s) for s in sentences]
+        model = Word2Vec(vocab, dim=12, seed=1)
+        model.train(encoded, epochs=3)
+        same_group = model.similarity("alpha", "beta")
+        cross_group = model.similarity("alpha", "delta")
+        assert same_group > cross_group
+
+    def test_most_similar_excludes_self_and_reserved(self):
+        sentences = make_corpus()
+        vocab = Vocabulary.build(sentences)
+        model = Word2Vec(vocab, dim=8, seed=1)
+        model.train([vocab.encode(s) for s in sentences], epochs=1)
+        neighbours = model.most_similar("alpha", top_k=3)
+        names = [n for n, _ in neighbours]
+        assert "alpha" not in names
+        assert "<pad>" not in names and "<unk>" not in names
+        assert len(neighbours) == 3
+
+    def test_vectors_shape(self):
+        vocab = Vocabulary.build([["a", "b"]])
+        model = Word2Vec(vocab, dim=5)
+        assert model.vectors.shape == (len(vocab), 5)
+
+    def test_deterministic_given_seed(self):
+        sentences = make_corpus()[:20]
+        vocab = Vocabulary.build(sentences)
+        encoded = [vocab.encode(s) for s in sentences]
+        a = Word2Vec(vocab, dim=6, seed=9)
+        b = Word2Vec(vocab, dim=6, seed=9)
+        a.train(encoded, epochs=1)
+        b.train(encoded, epochs=1)
+        assert np.allclose(a.vectors, b.vectors)
+
+    def test_unknown_token_vector_is_unk(self):
+        vocab = Vocabulary.build([["a"]])
+        model = Word2Vec(vocab, dim=4)
+        assert np.allclose(model.vector("zzz"), model.input_vectors[1])

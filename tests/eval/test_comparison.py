@@ -1,0 +1,98 @@
+"""Tests for the framework-comparison harness."""
+
+import pytest
+
+from repro.core.config import Scale
+from repro.datasets.sard import generate_sard_corpus
+from repro.eval.comparison import (FRAMEWORKS, evaluate_static_tool,
+                                   train_and_evaluate)
+
+TINY = Scale("tiny", cases_per_experiment=20, dim=8, channels=8,
+             hidden=8, epochs=3, batch_size=16, time_steps=20,
+             w2v_epochs=1, learning_rate=5e-3)
+
+
+class TestFrameworkSpecs:
+    def test_all_paper_systems_registered(self):
+        assert {"VulDeePecker", "SySeVR", "SEVulDet"} <= set(FRAMEWORKS)
+
+    def test_vuldeepecker_is_fc_only_data_only(self):
+        spec = FRAMEWORKS["VulDeePecker"]
+        assert spec.categories == ("FC",)
+        assert not spec.use_control
+        assert spec.gadget_kind == "classic"
+
+    def test_sysevr_uses_control(self):
+        spec = FRAMEWORKS["SySeVR"]
+        assert spec.use_control
+        assert spec.categories is None
+
+    def test_sevuldet_is_path_sensitive(self):
+        assert FRAMEWORKS["SEVulDet"].gadget_kind == "path-sensitive"
+
+
+class TestTrainAndEvaluate:
+    @pytest.fixture(scope="class")
+    def corpora(self):
+        return (generate_sard_corpus(24, seed=51),
+                generate_sard_corpus(10, seed=52))
+
+    def test_sevuldet_runs_end_to_end(self, corpora):
+        train, test = corpora
+        metrics, dataset = train_and_evaluate(
+            FRAMEWORKS["SEVulDet"], train, test, TINY, seed=1)
+        assert 0.0 <= metrics.f1 <= 1.0
+        assert len(dataset.samples) > 0
+
+    def test_fixed_length_framework_runs(self, corpora):
+        train, test = corpora
+        metrics, _ = train_and_evaluate(
+            FRAMEWORKS["SySeVR"], train, test, TINY, seed=1)
+        assert 0.0 <= metrics.accuracy <= 1.0
+
+    def test_gadget_kind_override(self, corpora):
+        train, test = corpora
+        metrics, dataset = train_and_evaluate(
+            FRAMEWORKS["BLSTM"], train, test, TINY, seed=1,
+            gadget_kind="path-sensitive")
+        assert dataset.gadgets[0].kind == "path-sensitive"
+
+    def test_category_override(self, corpora):
+        train, test = corpora
+        _, dataset = train_and_evaluate(
+            FRAMEWORKS["SEVulDet"], train, test, TINY, seed=1,
+            categories=("AU",))
+        assert all(g.category == "AU" for g in dataset.gadgets)
+
+    def test_empty_gadgets_raises(self):
+        with pytest.raises(ValueError):
+            train_and_evaluate(FRAMEWORKS["SEVulDet"], [], [], TINY)
+
+
+class TestStaticToolEvaluation:
+    def test_perfect_oracle_tool(self):
+        cases = generate_sard_corpus(20, seed=53)
+        truth = {c.name: c.vulnerable for c in cases}
+
+        class Oracle:
+            name = "Oracle"
+
+            def flags(self, source):
+                return any(c.source == source and c.vulnerable
+                           for c in cases)
+
+        metrics = evaluate_static_tool(Oracle(), cases)
+        assert metrics.accuracy == 1.0
+
+    def test_always_negative_tool(self):
+        cases = generate_sard_corpus(20, seed=54)
+
+        class Mute:
+            name = "Mute"
+
+            def flags(self, source):
+                return False
+
+        metrics = evaluate_static_tool(Mute(), cases)
+        assert metrics.fpr == 0.0
+        assert metrics.fnr == 1.0

@@ -1,0 +1,134 @@
+"""Tests for metrics and cross-validation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.crossval import (kfold_indices, kfold_split,
+                                 stratified_kfold_indices)
+from repro.eval.metrics import (Confusion, confusion_from, metrics_from)
+
+
+class TestConfusion:
+    def test_counts(self):
+        confusion = confusion_from([1, 1, 0, 0, 1], [1, 0, 0, 1, 1])
+        assert (confusion.tp, confusion.fp, confusion.tn,
+                confusion.fn) == (2, 1, 1, 1)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_from([1], [1, 0])
+
+    def test_total(self):
+        assert confusion_from([1, 0], [0, 1]).total == 2
+
+
+class TestMetrics:
+    def test_perfect_classifier(self):
+        metrics = metrics_from(confusion_from([1, 0, 1], [1, 0, 1]))
+        assert metrics.accuracy == 1.0
+        assert metrics.f1 == 1.0
+        assert metrics.fpr == 0.0 and metrics.fnr == 0.0
+
+    def test_always_positive(self):
+        metrics = metrics_from(confusion_from([1, 1, 1, 1],
+                                              [1, 0, 0, 0]))
+        assert metrics.fpr == 1.0
+        assert metrics.fnr == 0.0
+        assert metrics.precision == 0.25
+
+    def test_paper_f1_formula(self):
+        """F1 = 2 P (1-FNR) / (P + (1-FNR)) — the paper's wording."""
+        confusion = Confusion(tp=6, fp=2, tn=10, fn=4)
+        metrics = metrics_from(confusion)
+        precision = 6 / 8
+        recall = 1 - metrics.fnr
+        expected = 2 * precision * recall / (precision + recall)
+        assert abs(metrics.f1 - expected) < 1e-12
+
+    def test_empty_denominators_zero(self):
+        metrics = metrics_from(Confusion(0, 0, 0, 0))
+        assert metrics.f1 == 0.0
+        assert metrics.accuracy == 0.0
+
+    def test_percentage_rendering(self):
+        metrics = metrics_from(Confusion(tp=1, fp=0, tn=1, fn=0))
+        row = metrics.as_percentages()
+        assert row["A(%)"] == 100.0 and row["F1(%)"] == 100.0
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                    min_size=1, max_size=60))
+    def test_metric_ranges(self, pairs):
+        predictions = [p for p, _ in pairs]
+        labels = [l for _, l in pairs]
+        metrics = metrics_from(confusion_from(predictions, labels))
+        for value in (metrics.fpr, metrics.fnr, metrics.accuracy,
+                      metrics.precision, metrics.f1):
+            assert 0.0 <= value <= 1.0
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=60))
+    def test_accuracy_identity(self, labels):
+        metrics = metrics_from(confusion_from(labels, labels))
+        assert metrics.accuracy == 1.0
+
+
+class TestKFold:
+    def test_partitions_cover_everything_once(self):
+        seen = []
+        for _, test in kfold_indices(23, 5):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_train_test_disjoint(self):
+        for train, test in kfold_indices(20, 4):
+            assert not set(train.tolist()) & set(test.tolist())
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(10, 1))
+        with pytest.raises(ValueError):
+            list(kfold_indices(3, 5))
+
+    def test_shuffled_with_rng(self):
+        plain = [t.tolist() for _, t in kfold_indices(12, 3)]
+        shuffled = [t.tolist() for _, t in
+                    kfold_indices(12, 3, np.random.default_rng(1))]
+        assert plain != shuffled
+
+    def test_stratified_preserves_ratio(self):
+        labels = [1] * 10 + [0] * 40
+        for _, test in stratified_kfold_indices(labels, 5):
+            positives = sum(labels[i] for i in test)
+            assert positives == 2  # 10 positives / 5 folds
+
+    def test_kfold_split_returns_items(self):
+        items = list("abcdefgh")
+        for train, test in kfold_split(items, 4):
+            assert set(train) | set(test) == set(items)
+            assert not set(train) & set(test)
+
+
+class TestTableRendering:
+    def test_render_alignment(self):
+        from repro.eval.report import Table
+        table = Table("t", "Title")
+        table.add(name="a", value=1)
+        table.add(name="longer", value=22)
+        text = table.render()
+        lines = text.split("\n")
+        assert lines[0] == "Title"
+        assert "name   | value" in text
+        assert len({len(l) for l in lines[1:4]}) == 1  # aligned
+
+    def test_empty_table(self):
+        from repro.eval.report import Table
+        assert "(no rows)" in Table("t", "Empty").render()
+
+    def test_save_writes_file(self, tmp_path):
+        from repro.eval.report import Table
+        table = Table("myname", "T")
+        table.add(x=1)
+        path = table.save(tmp_path)
+        assert path.name == "myname.txt"
+        assert "x" in path.read_text()

@@ -1,0 +1,67 @@
+"""Tests for paired bootstrap significance comparison."""
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import paired_bootstrap
+
+
+def make_data(n=400, quality_a=0.9, quality_b=0.6, seed=0):
+    """Synthetic scores: each system outputs label-correlated scores
+    with its own noise level (lower quality = more noise)."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=n)
+    noise_a = rng.normal(0, 1 - quality_a, size=n)
+    noise_b = rng.normal(0, 1 - quality_b, size=n)
+    scores_a = np.clip(labels * quality_a + 0.5 * (1 - quality_a)
+                       + noise_a, 0, 1)
+    scores_b = np.clip(labels * quality_b + 0.5 * (1 - quality_b)
+                       + noise_b, 0, 1)
+    return scores_a, scores_b, labels
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_significant(self):
+        scores_a, scores_b, labels = make_data()
+        result = paired_bootstrap(scores_a, scores_b, labels,
+                                  resamples=500, seed=1)
+        assert result.delta > 0
+        assert result.significant
+        assert result.wins > 0.95
+        assert result.p_value < 0.05
+
+    def test_identical_systems_not_significant(self):
+        scores_a, _, labels = make_data()
+        result = paired_bootstrap(scores_a, scores_a, labels,
+                                  resamples=300, seed=1)
+        assert result.delta == 0.0
+        assert not result.significant
+        assert result.ci_low <= 0.0 <= result.ci_high
+
+    def test_symmetry(self):
+        scores_a, scores_b, labels = make_data()
+        forward = paired_bootstrap(scores_a, scores_b, labels,
+                                   resamples=300, seed=2)
+        backward = paired_bootstrap(scores_b, scores_a, labels,
+                                    resamples=300, seed=2)
+        assert abs(forward.delta + backward.delta) < 1e-12
+
+    def test_ci_ordered(self):
+        scores_a, scores_b, labels = make_data(seed=5)
+        result = paired_bootstrap(scores_a, scores_b, labels,
+                                  resamples=200, seed=3)
+        assert result.ci_low <= result.ci_high
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([0.5], [0.5, 0.6], [1, 0])
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [], [])
+
+    def test_deterministic_given_seed(self):
+        scores_a, scores_b, labels = make_data()
+        one = paired_bootstrap(scores_a, scores_b, labels,
+                               resamples=200, seed=7)
+        two = paired_bootstrap(scores_a, scores_b, labels,
+                               resamples=200, seed=7)
+        assert one == two

@@ -1,0 +1,92 @@
+"""Tests for ROC / threshold-sweep analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.thresholds import (best_f1_threshold,
+                                   precision_recall_points, roc_auc,
+                                   roc_points, sweep_thresholds,
+                                   threshold_for_fpr)
+
+PERFECT_SCORES = [0.9, 0.8, 0.2, 0.1]
+PERFECT_LABELS = [1, 1, 0, 0]
+
+
+class TestROC:
+    def test_perfect_separation_auc_one(self):
+        assert roc_auc(PERFECT_SCORES, PERFECT_LABELS) == 1.0
+
+    def test_random_scores_auc_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(4000)
+        labels = rng.integers(0, 2, size=4000)
+        assert abs(roc_auc(scores, labels) - 0.5) < 0.05
+
+    def test_inverted_scores_auc_zero(self):
+        assert roc_auc([0.1, 0.2, 0.8, 0.9], [1, 1, 0, 0]) == 0.0
+
+    def test_points_monotone_in_fpr(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(100)
+        labels = rng.integers(0, 2, size=100)
+        points = roc_points(scores, labels)
+        fprs = [fpr for fpr, _ in points]
+        assert fprs == sorted(fprs)
+
+    def test_endpoints_present(self):
+        points = roc_points(PERFECT_SCORES, PERFECT_LABELS)
+        assert (0.0, 0.0) in points
+        assert (1.0, 1.0) in points
+
+    def test_mismatched_inputs_raise(self):
+        with pytest.raises(ValueError):
+            roc_points([0.5], [1, 0])
+        with pytest.raises(ValueError):
+            roc_points([], [])
+
+    @given(st.lists(st.tuples(st.floats(0, 1), st.integers(0, 1)),
+                    min_size=2, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_auc_in_unit_interval(self, pairs):
+        scores = [s for s, _ in pairs]
+        labels = [l for _, l in pairs]
+        assert 0.0 <= roc_auc(scores, labels) <= 1.0
+
+
+class TestSweeps:
+    def test_sweep_covers_grid(self):
+        points = sweep_thresholds(PERFECT_SCORES, PERFECT_LABELS)
+        assert len(points) == 19
+        thresholds = [p.threshold for p in points]
+        assert thresholds == sorted(thresholds)
+
+    def test_best_f1_on_separable_data(self):
+        best = best_f1_threshold(PERFECT_SCORES, PERFECT_LABELS)
+        assert best.metrics.f1 == 1.0
+        assert 0.2 < best.threshold <= 0.8
+
+    def test_threshold_for_fpr_budget(self):
+        point = threshold_for_fpr(PERFECT_SCORES, PERFECT_LABELS,
+                                  max_fpr=0.0)
+        assert point.metrics.fpr == 0.0
+        assert point.metrics.fnr == 0.0  # separable data
+
+    def test_threshold_for_fpr_impossible(self):
+        with pytest.raises(ValueError):
+            threshold_for_fpr(PERFECT_SCORES, PERFECT_LABELS,
+                              max_fpr=-0.1)
+
+    def test_precision_recall_points(self):
+        points = precision_recall_points(PERFECT_SCORES,
+                                         PERFECT_LABELS)
+        assert (1.0, 1.0) in points  # perfect classifier point
+
+    def test_raising_threshold_never_raises_fpr(self):
+        rng = np.random.default_rng(3)
+        scores = rng.random(200)
+        labels = rng.integers(0, 2, size=200)
+        points = sweep_thresholds(scores, labels)
+        fprs = [p.metrics.fpr for p in points]
+        assert all(a >= b for a, b in zip(fprs, fprs[1:]))

@@ -1,0 +1,185 @@
+"""Unit tests for CFG construction."""
+
+from repro.lang.cfg import NodeKind, build_cfg
+from repro.lang.parser import parse
+
+
+def cfg_of(body: str, params: str = "int n"):
+    unit = parse(f"void f({params}) {{\n{body}\n}}")
+    return build_cfg(unit.functions[0])
+
+
+def labels_of(cfg, node):
+    return sorted(edge.label for edge in cfg.out_edges(node))
+
+
+class TestLinear:
+    def test_straight_line_chain(self):
+        cfg = cfg_of("int a = 1;\nint b = a;\nint c = b;")
+        stmts = cfg.statement_nodes()
+        assert len(stmts) == 3
+        # entry -> a -> b -> c -> exit
+        assert list(cfg.successors(cfg.entry)) == [stmts[0]]
+        assert list(cfg.successors(stmts[2])) == [cfg.exit]
+
+    def test_entry_and_exit_exist(self):
+        cfg = cfg_of(";")
+        assert cfg.entry.kind is NodeKind.ENTRY
+        assert cfg.exit.kind is NodeKind.EXIT
+
+    def test_empty_function_links_entry_to_exit(self):
+        cfg = cfg_of("")
+        assert cfg.exit in list(cfg.successors(cfg.entry))
+
+
+class TestIf:
+    def test_if_has_true_false_edges(self):
+        cfg = cfg_of("if (n) { n = 1; }\nreturn;")
+        cond = next(x for x in cfg.nodes.values()
+                    if x.kind is NodeKind.CONDITION)
+        assert labels_of(cfg, cond) == ["false", "true"]
+
+    def test_if_else_both_branches_reach_join(self):
+        cfg = cfg_of("int a;\nif (n) { a = 1; } else { a = 2; }\nint b = a;")
+        join = [x for x in cfg.statement_nodes() if x.line == 4][0]
+        preds = list(cfg.predecessors(join))
+        assert len(preds) == 2
+
+    def test_elseif_condition_labelled(self):
+        cfg = cfg_of("if (n) { n = 1; } else if (n > 2) { n = 2; }")
+        labels = [x.label for x in cfg.nodes.values()
+                  if x.kind is NodeKind.CONDITION]
+        assert "if" in labels and "elseif" in labels
+
+
+class TestLoops:
+    def test_while_back_edge(self):
+        cfg = cfg_of("while (n) { n--; }")
+        cond = next(x for x in cfg.nodes.values()
+                    if x.kind is NodeKind.CONDITION)
+        body = cfg.statement_nodes()[-1]
+        assert cond in list(cfg.successors(body))
+
+    def test_while_false_exit(self):
+        cfg = cfg_of("while (n) { n--; }\nreturn;")
+        cond = next(x for x in cfg.nodes.values()
+                    if x.kind is NodeKind.CONDITION)
+        false_edges = [e for e in cfg.out_edges(cond)
+                       if e.label == "false"]
+        assert len(false_edges) == 1
+
+    def test_for_creates_init_cond_step(self):
+        cfg = cfg_of("for (int i = 0; i < n; i++) { n--; }")
+        assert any(x.label == "for-step" for x in cfg.nodes.values())
+        assert any(x.label == "for" for x in cfg.nodes.values())
+
+    def test_for_without_cond_exits_only_by_break(self):
+        cfg = cfg_of("for (;;) { if (n) { break; } }\nreturn;")
+        ret = next(x for x in cfg.statement_nodes() if x.label == "return")
+        brk = next(x for x in cfg.statement_nodes() if x.label == "break")
+        assert ret in list(cfg.successors(brk))
+
+    def test_do_while_body_precedes_condition(self):
+        cfg = cfg_of("do { n--; } while (n);")
+        cond = next(x for x in cfg.nodes.values() if x.label == "dowhile")
+        body = next(x for x in cfg.statement_nodes()
+                    if x.label not in ("dowhile",))
+        assert cond in list(cfg.successors(body))
+        assert body in list(cfg.successors(cond))  # back edge
+
+    def test_continue_targets_loop_head(self):
+        cfg = cfg_of("while (n) { if (n > 2) { continue; } n--; }")
+        cont = next(x for x in cfg.statement_nodes()
+                    if x.label == "continue")
+        target = list(cfg.successors(cont))[0]
+        assert target.label == "while"
+
+    def test_continue_in_for_targets_step(self):
+        cfg = cfg_of("for (int i = 0; i < n; i++) { continue; }")
+        cont = next(x for x in cfg.statement_nodes()
+                    if x.label == "continue")
+        assert list(cfg.successors(cont))[0].label == "for-step"
+
+
+class TestSwitch:
+    def test_switch_case_edges(self):
+        cfg = cfg_of(
+            "switch (n) { case 1: n = 1; break; default: n = 0; break; }")
+        sw = next(x for x in cfg.nodes.values()
+                  if x.kind is NodeKind.SWITCH)
+        assert labels_of(cfg, sw) == ["case", "default"]
+
+    def test_switch_without_default_falls_through(self):
+        cfg = cfg_of("switch (n) { case 1: n = 1; break; }\nreturn;")
+        sw = next(x for x in cfg.nodes.values()
+                  if x.kind is NodeKind.SWITCH)
+        ret = next(x for x in cfg.statement_nodes()
+                   if x.label == "return")
+        assert ret in list(cfg.successors(sw))
+
+    def test_case_fallthrough(self):
+        cfg = cfg_of("switch (n) { case 1: n = 1; case 2: n = 2; }")
+        first = next(x for x in cfg.statement_nodes() if x.line == 2)
+        succs = list(cfg.successors(first))
+        assert any(s.ast is not None for s in succs)
+
+
+class TestJumps:
+    def test_return_goes_to_exit(self):
+        cfg = cfg_of("return;\nn = 1;")
+        ret = next(x for x in cfg.statement_nodes()
+                   if x.label == "return")
+        assert list(cfg.successors(ret)) == [cfg.exit]
+
+    def test_statement_after_return_unreachable(self):
+        cfg = cfg_of("return;\nn = 1;")
+        dead = next(x for x in cfg.statement_nodes() if x.line == 3)
+        assert list(cfg.predecessors(dead)) == []
+
+    def test_goto_forward(self):
+        cfg = cfg_of("goto out;\nn = 1;\nout: return;")
+        goto = next(x for x in cfg.statement_nodes()
+                    if x.label.startswith("goto"))
+        label = next(x for x in cfg.statement_nodes()
+                     if x.label == "out:")
+        assert label in list(cfg.successors(goto))
+
+    def test_goto_backward(self):
+        cfg = cfg_of("top: n--;\nif (n) { goto top; }")
+        goto = next(x for x in cfg.statement_nodes()
+                    if x.label.startswith("goto"))
+        label = next(x for x in cfg.statement_nodes()
+                     if x.label == "top:")
+        assert label in list(cfg.successors(goto))
+
+    def test_goto_unknown_label_goes_to_exit(self):
+        cfg = cfg_of("goto nowhere;")
+        goto = next(x for x in cfg.statement_nodes()
+                    if x.label.startswith("goto"))
+        assert cfg.exit in list(cfg.successors(goto))
+
+
+class TestStructure:
+    def test_node_ids_dense_and_unique(self):
+        cfg = cfg_of("if (n) { n = 1; } else { n = 2; }")
+        ids = sorted(cfg.nodes)
+        assert ids == list(range(len(ids)))
+
+    def test_no_duplicate_edges(self):
+        cfg = cfg_of("if (n) { n = 1; }")
+        seen = set()
+        for edge in cfg.edges:
+            key = (edge.src, edge.dst, edge.label)
+            assert key not in seen
+            seen.add(key)
+
+    def test_node_for_ast_roundtrip(self):
+        cfg = cfg_of("int a = 1;")
+        node = cfg.statement_nodes()[0]
+        assert cfg.node_for_ast(node.ast) is node
+
+    def test_all_reachable_nodes_reach_exit_or_loop(self):
+        cfg = cfg_of("while (n) { n--; }\nreturn;")
+        # every statement node has at least one successor
+        for node in cfg.statement_nodes():
+            assert list(cfg.successors(node))

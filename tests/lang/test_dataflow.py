@@ -1,0 +1,154 @@
+"""Tests for def/use extraction and reaching definitions."""
+
+from repro.lang.cfg import build_cfg
+from repro.lang.dataflow import (collect_def_use, data_dependences,
+                                 reaching_definitions)
+from repro.lang.parser import parse
+
+
+def analyzed(body: str, params: str = "char *data, int n"):
+    unit = parse(f"void f({params}) {{\n{body}\n}}")
+    cfg = build_cfg(unit.functions[0])
+    return cfg, collect_def_use(cfg)
+
+
+def node_on_line(cfg, line):
+    return next(x for x in cfg.statement_nodes() if x.line == line)
+
+
+def dd_lines(cfg, def_use):
+    return {(d.line, u.line, var)
+            for d, u, var in data_dependences(cfg, def_use)}
+
+
+class TestDefUse:
+    def test_declaration_defines(self):
+        cfg, du = analyzed("int a = n;")
+        node = node_on_line(cfg, 2)
+        assert "a" in du[node.id].strong_defs
+        assert "n" in du[node.id].uses
+
+    def test_plain_assignment_strong_def_no_use(self):
+        cfg, du = analyzed("int a;\na = 5;")
+        node = node_on_line(cfg, 3)
+        assert "a" in du[node.id].strong_defs
+        assert "a" not in du[node.id].uses
+
+    def test_compound_assignment_reads_target(self):
+        cfg, du = analyzed("int a = 0;\na += n;")
+        node = node_on_line(cfg, 3)
+        assert "a" in du[node.id].strong_defs
+        assert "a" in du[node.id].uses
+
+    def test_array_write_is_weak_def(self):
+        cfg, du = analyzed("char buf[4];\nbuf[n] = 1;")
+        node = node_on_line(cfg, 3)
+        assert "buf" in du[node.id].weak_defs
+        assert "buf" not in du[node.id].strong_defs
+        assert "n" in du[node.id].uses
+
+    def test_pointer_deref_write(self):
+        cfg, du = analyzed("char *p = data;\n*p = 1;")
+        node = node_on_line(cfg, 3)
+        assert "p" in du[node.id].weak_defs
+
+    def test_increment_defines(self):
+        cfg, du = analyzed("n++;")
+        node = node_on_line(cfg, 2)
+        assert "n" in du[node.id].strong_defs
+
+    def test_library_write_model_strncpy(self):
+        cfg, du = analyzed("char dest[8];\nstrncpy(dest, data, n);")
+        node = node_on_line(cfg, 3)
+        assert "dest" in du[node.id].weak_defs
+        assert {"data", "n"} <= du[node.id].uses
+
+    def test_address_of_argument_is_weak_def(self):
+        cfg, du = analyzed("int x = 0;\nscanf(\"%d\", &x);")
+        node = node_on_line(cfg, 3)
+        assert "x" in du[node.id].weak_defs
+
+    def test_pointer_passed_to_user_function_weak_def(self):
+        cfg, du = analyzed("char buf[8];\nfill(buf, n);")
+        node = node_on_line(cfg, 3)
+        assert "buf" in du[node.id].weak_defs
+
+    def test_scalar_to_user_function_not_def(self):
+        cfg, du = analyzed("helper(n);")
+        node = node_on_line(cfg, 2)
+        assert "n" not in du[node.id].weak_defs
+
+    def test_entry_defines_parameters(self):
+        cfg, du = analyzed("return;")
+        assert {"data", "n"} <= du[cfg.entry.id].strong_defs
+
+    def test_condition_uses(self):
+        cfg, du = analyzed("if (n > 3) { return; }")
+        cond = next(x for x in cfg.nodes.values() if x.label == "if")
+        assert "n" in du[cond.id].uses
+
+    def test_callee_names_recorded_not_used(self):
+        cfg, du = analyzed("int a = strlen(data);")
+        node = node_on_line(cfg, 2)
+        assert "strlen" in du[node.id].called
+        assert "strlen" not in du[node.id].uses
+
+    def test_null_not_a_use(self):
+        cfg, du = analyzed("char *p = NULL;")
+        node = node_on_line(cfg, 2)
+        assert "NULL" not in du[node.id].uses
+
+
+class TestReachingDefinitions:
+    def test_simple_chain(self):
+        cfg, du = analyzed("int a = 1;\nint b = a;")
+        assert (2, 3, "a") in dd_lines(cfg, du)
+
+    def test_strong_def_kills(self):
+        cfg, du = analyzed("int a = 1;\na = 2;\nint b = a;")
+        deps = dd_lines(cfg, du)
+        assert (3, 4, "a") in deps
+        assert (2, 4, "a") not in deps
+
+    def test_weak_def_does_not_kill(self):
+        cfg, du = analyzed(
+            "char buf[4];\nbuf[0] = 1;\nprintf(\"%s\", buf);")
+        deps = dd_lines(cfg, du)
+        assert (2, 4, "buf") in deps  # declaration still reaches
+        assert (3, 4, "buf") in deps  # and so does the element write
+
+    def test_branch_merge_both_defs_reach(self):
+        cfg, du = analyzed(
+            "int a;\nif (n) {\na = 1;\n} else {\na = 2;\n}\nint b = a;")
+        deps = dd_lines(cfg, du)
+        assert (4, 8, "a") in deps
+        assert (6, 8, "a") in deps
+
+    def test_loop_carried_dependence(self):
+        cfg, du = analyzed("int s = 0;\nwhile (n) {\ns = s + 1;\n}")
+        deps = dd_lines(cfg, du)
+        assert (4, 4, "s") not in deps  # self-dep excluded
+        assert (2, 4, "s") in deps
+
+    def test_loop_variable_reaches_condition(self):
+        cfg, du = analyzed("while (n) {\nn--;\n}")
+        deps = dd_lines(cfg, du)
+        assert (3, 2, "n") in deps  # decrement flows back to condition
+
+    def test_param_def_reaches_use(self):
+        cfg, du = analyzed("int a = n;")
+        entry_deps = {(d.id, u.line, v)
+                      for d, u, v in data_dependences(cfg, du)}
+        assert (cfg.entry.id, 2, "n") in entry_deps
+
+    def test_unreachable_code_gets_no_deps(self):
+        cfg, du = analyzed("return;\nint a = n;")
+        reach = reaching_definitions(cfg, du)
+        dead = node_on_line(cfg, 3)
+        assert reach[dead.id] == set()
+
+    def test_no_duplicate_dependences(self):
+        cfg, du = analyzed("int a = 1;\nint b = a + a;")
+        triples = [(d.id, u.id, v)
+                   for d, u, v in data_dependences(cfg, du)]
+        assert len(triples) == len(set(triples))

@@ -1,0 +1,124 @@
+"""Tests for dominator analysis and control dependence, including a
+brute-force cross-check of the post-dominator computation."""
+
+import networkx as nx
+
+from repro.lang.cfg import NodeKind, build_cfg
+from repro.lang.dominance import (control_dependences, dominator_tree,
+                                  post_dominator_tree)
+from repro.lang.parser import parse
+
+
+def cfg_of(body: str):
+    unit = parse(f"void f(int n) {{\n{body}\n}}")
+    return build_cfg(unit.functions[0])
+
+
+def cd_pairs(cfg):
+    """(controller line, dependent line, label) triples."""
+    return {(a.line, b.line, label)
+            for a, b, label in control_dependences(cfg)}
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = cfg_of("if (n) { n = 1; }\nreturn;")
+        idom = dominator_tree(cfg)
+        for node_id in idom:
+            runner = node_id
+            while runner != cfg.entry.id:
+                runner = idom[runner]
+            assert runner == cfg.entry.id
+
+    def test_exit_postdominates_everything_reachable(self):
+        cfg = cfg_of("if (n) { n = 1; } else { n = 2; }")
+        ipdom = post_dominator_tree(cfg)
+        for node_id in cfg.nodes:
+            runner = node_id
+            seen = set()
+            while runner != cfg.exit.id and runner not in seen:
+                seen.add(runner)
+                runner = ipdom[runner]
+            assert runner == cfg.exit.id
+
+    def test_brute_force_postdominators(self):
+        """ipdom via networkx must agree with the set-based definition:
+        p post-dominates n iff p is on every n->exit path."""
+        cfg = cfg_of("if (n) { n = 1; }\nwhile (n) { n--; }\nreturn;")
+        graph = nx.DiGraph()
+        graph.add_nodes_from(cfg.nodes)
+        for edge in cfg.edges:
+            graph.add_edge(edge.src, edge.dst)
+        ipdom = post_dominator_tree(cfg)
+
+        def postdominates(p, n):
+            if p == n or p == cfg.exit.id:
+                return True  # exit post-dominates every node
+            pruned = graph.copy()
+            pruned.remove_node(p)
+            if not pruned.has_node(n):
+                return True
+            return not nx.has_path(pruned, n, cfg.exit.id)
+
+        for node_id, parent in ipdom.items():
+            if node_id == cfg.exit.id:
+                continue
+            assert postdominates(parent, node_id), (node_id, parent)
+
+
+class TestControlDependence:
+    def test_then_branch_depends_on_if(self):
+        cfg = cfg_of("if (n) {\nn = 1;\n}\nreturn;")
+        assert (2, 3, "true") in cd_pairs(cfg)
+
+    def test_else_branch_negative_dependence(self):
+        cfg = cfg_of("if (n) {\nn = 1;\n} else {\nn = 2;\n}")
+        pairs = cd_pairs(cfg)
+        assert (2, 3, "true") in pairs
+        assert (2, 5, "false") in pairs
+
+    def test_statement_after_join_not_dependent(self):
+        cfg = cfg_of("if (n) {\nn = 1;\n}\nint x = 2;")
+        pairs = cd_pairs(cfg)
+        assert not any(dep == 5 for _, dep, _ in pairs)
+
+    def test_loop_body_depends_on_condition(self):
+        cfg = cfg_of("while (n) {\nn--;\n}")
+        assert (2, 3, "true") in cd_pairs(cfg)
+
+    def test_while_condition_self_dependence(self):
+        # A loop condition controls its own re-execution.
+        cfg = cfg_of("while (n) {\nn--;\n}")
+        # (cond controls body; body->cond edge makes cond depend on
+        # itself in FOW formulation — we exclude self loops.)
+        assert all(a != b for a, b, _ in cd_pairs(cfg))
+
+    def test_nested_if_transitive_structure(self):
+        cfg = cfg_of("if (n) {\nif (n > 1) {\nn = 2;\n}\n}")
+        pairs = cd_pairs(cfg)
+        assert (2, 3, "true") in pairs   # outer controls inner cond
+        assert (3, 4, "true") in pairs   # inner controls assignment
+
+    def test_switch_case_dependence(self):
+        cfg = cfg_of("switch (n) {\ncase 1:\nn = 1;\nbreak;\n}")
+        pairs = cd_pairs(cfg)
+        assert any(a == 2 and label == "case" for a, _, label in pairs)
+
+    def test_break_makes_following_code_dependent(self):
+        cfg = cfg_of("while (n) {\nif (n > 5) {\nbreak;\n}\nn--;\n}")
+        pairs = cd_pairs(cfg)
+        # n-- executes only when the inner if took its false branch
+        assert (3, 6, "false") in pairs
+
+    def test_infinite_loop_body_gets_postdominator(self):
+        # for(;;) body cannot reach exit; auxiliary edge must still
+        # assign post-dominators without crashing.
+        cfg = cfg_of("for (;;) {\nn = 1;\n}")
+        ipdom = post_dominator_tree(cfg)
+        assert set(ipdom) >= set(cfg.nodes)
+
+    def test_labels_match_cfg_edges(self):
+        cfg = cfg_of("if (n) {\nn = 1;\n} else {\nn = 2;\n}")
+        for _, _, label in control_dependences(cfg):
+            assert label in ("true", "false", "case", "default", "",
+                             "goto")

@@ -1,0 +1,318 @@
+"""Tests for the memory-safety-checking interpreter."""
+
+import pytest
+
+from repro.lang.interp import (Interpreter, Pointer, ViolationKind,
+                               run_program)
+from repro.lang.parser import parse
+
+
+def run(body: str, stdin: bytes = b"", max_steps: int = 50_000,
+        trap_overflow: bool = False):
+    return run_program(f"int main() {{\n{body}\nreturn 0;\n}}",
+                       stdin=stdin, max_steps=max_steps,
+                       trap_overflow=trap_overflow)
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        result = run('printf("%d", (7 + 3) * 2 - 5 / 2);')
+        assert result.output == "18"
+
+    def test_c_division_truncates_toward_zero(self):
+        result = run('printf("%d %d", -7 / 2, 7 / -2);')
+        assert result.output == "-3 -3"
+
+    def test_modulo_sign_follows_dividend(self):
+        result = run('printf("%d %d", -7 % 2, 7 % -2);')
+        assert result.output == "-1 1"
+
+    def test_division_by_zero_detected(self):
+        result = run("int a = 1 / 0;")
+        assert result.violation.kind is ViolationKind.DIVISION_BY_ZERO
+
+    def test_modulo_by_zero_detected(self):
+        result = run("int a = 1 % 0;")
+        assert result.violation.kind is ViolationKind.DIVISION_BY_ZERO
+
+    def test_int_overflow_wraps_by_default(self):
+        result = run('int a = 2147483647;\na = a + 1;\nprintf("%d", a);')
+        assert result.ok
+        assert result.output == "-2147483648"
+        assert result.overflow_events
+
+    def test_int_overflow_traps_when_asked(self):
+        result = run("int a = 2147483647;\na = a + 1;",
+                     trap_overflow=True)
+        assert result.violation.kind is ViolationKind.INTEGER_OVERFLOW
+
+    def test_bitwise_and_shifts(self):
+        result = run('printf("%d %d %d", 6 & 3, 6 | 3, 1 << 4);')
+        assert result.output == "2 7 16"
+
+    def test_comparisons_produce_01(self):
+        result = run('printf("%d%d%d", 2 < 3, 3 <= 2, 4 == 4);')
+        assert result.output == "101"
+
+    def test_logical_short_circuit(self):
+        # The right operand would divide by zero; && must skip it.
+        result = run("int a = 0;\nint b = a && (1 / a);")
+        assert result.ok
+
+    def test_ternary(self):
+        result = run('printf("%d", 1 ? 10 : 20);')
+        assert result.output == "10"
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        result = run('if (0) { printf("a"); } else { printf("b"); }')
+        assert result.output == "b"
+
+    def test_while_loop(self):
+        result = run('int i = 0;\nwhile (i < 3) { i++; }\nprintf("%d", i);')
+        assert result.output == "3"
+
+    def test_for_loop_sum(self):
+        result = run("int s = 0;\nfor (int i = 1; i <= 4; i++) { s += i; }\n"
+                     'printf("%d", s);')
+        assert result.output == "10"
+
+    def test_do_while_runs_once(self):
+        result = run('int i = 9;\ndo { printf("x"); } while (i < 5);')
+        assert result.output == "x"
+
+    def test_break_and_continue(self):
+        result = run(
+            "int s = 0;\nfor (int i = 0; i < 10; i++) {\n"
+            "if (i == 2) { continue; }\nif (i == 5) { break; }\ns += i;\n}\n"
+            'printf("%d", s);')
+        assert result.output == "8"  # 0+1+3+4
+
+    def test_switch_dispatch(self):
+        result = run('switch (2) { case 1: printf("a"); break; '
+                     'case 2: printf("b"); break; default: printf("c"); }')
+        assert result.output == "b"
+
+    def test_switch_fallthrough(self):
+        result = run('switch (1) { case 1: printf("a"); '
+                     'case 2: printf("b"); break; default: printf("c"); }')
+        assert result.output == "ab"
+
+    def test_switch_default(self):
+        result = run('switch (9) { case 1: printf("a"); break; '
+                     'default: printf("d"); }')
+        assert result.output == "d"
+
+    def test_goto(self):
+        result = run('goto skip;\nprintf("a");\nskip: printf("b");')
+        assert result.output == "b"
+
+    def test_infinite_loop_times_out(self):
+        result = run("while (1) { }", max_steps=500)
+        assert result.hung
+
+    def test_function_call_and_return(self):
+        source = ("int twice(int x) { return x * 2; }\n"
+                  'int main() { printf("%d", twice(21)); return 0; }')
+        assert run_program(source).output == "42"
+
+    def test_recursion(self):
+        source = ("int fact(int n) { if (n < 2) { return 1; } "
+                  "return n * fact(n - 1); }\n"
+                  'int main() { printf("%d", fact(5)); return 0; }')
+        assert run_program(source).output == "120"
+
+    def test_exit_code(self):
+        result = run("exit(3);")
+        assert result.exit_code == 3
+
+
+class TestMemorySafety:
+    def test_oob_write_detected(self):
+        result = run("char buf[4];\nbuf[4] = 1;")
+        assert result.violation.kind is ViolationKind.OUT_OF_BOUNDS_WRITE
+
+    def test_oob_read_detected(self):
+        result = run("char buf[4];\nchar c = buf[9];")
+        assert result.violation.kind is ViolationKind.OUT_OF_BOUNDS_READ
+
+    def test_negative_index_detected(self):
+        result = run("char buf[4];\nbuf[-1] = 1;")
+        assert result.violation.kind is ViolationKind.OUT_OF_BOUNDS_WRITE
+
+    def test_in_bounds_access_ok(self):
+        result = run("char buf[4];\nbuf[3] = 65;\nprintf(\"%c\", buf[3]);")
+        assert result.ok and result.output == "A"
+
+    def test_use_after_free(self):
+        result = run("char *p = (char *)malloc(4);\nfree(p);\np[0] = 1;")
+        assert result.violation.kind is ViolationKind.USE_AFTER_FREE
+
+    def test_double_free(self):
+        result = run("char *p = (char *)malloc(4);\nfree(p);\nfree(p);")
+        assert result.violation.kind is ViolationKind.DOUBLE_FREE
+
+    def test_free_null_is_noop(self):
+        result = run("char *p = NULL;\nfree(p);")
+        assert result.ok
+
+    def test_free_stack_pointer_invalid(self):
+        result = run("char buf[4];\nfree(buf);")
+        assert result.violation.kind is ViolationKind.INVALID_FREE
+
+    def test_null_deref(self):
+        result = run("char *p = NULL;\np[0] = 1;")
+        assert result.violation.kind is ViolationKind.NULL_DEREFERENCE
+
+    def test_malloc_zero_returns_null(self):
+        result = run('char *p = (char *)malloc(0);\n'
+                     'if (p == NULL) { printf("null"); }')
+        assert result.output == "null"
+
+    def test_huge_malloc_returns_null(self):
+        result = run('char *p = (char *)malloc(99999999);\n'
+                     'if (p == NULL) { printf("null"); }')
+        assert result.output == "null"
+
+    def test_violation_records_line(self):
+        result = run("char buf[2];\nbuf[5] = 1;")
+        assert result.violation.line == 3
+
+
+class TestLibrary:
+    def test_strcpy_and_strlen(self):
+        result = run('char buf[16];\nstrcpy(buf, "hello");\n'
+                     'printf("%d", strlen(buf));')
+        assert result.output == "5"
+
+    def test_strncpy_truncates(self):
+        result = run('char buf[16];\nmemset(buf, 0, 16);\n'
+                     'strncpy(buf, "hello", 2);\nprintf("%s", buf);')
+        assert result.output == "he"
+
+    def test_strcat(self):
+        result = run('char buf[16];\nstrcpy(buf, "ab");\n'
+                     'strcat(buf, "cd");\nprintf("%s", buf);')
+        assert result.output == "abcd"
+
+    def test_strcmp(self):
+        result = run('printf("%d %d", strcmp("a", "a"), '
+                     'strcmp("a", "b") < 0);')
+        assert result.output == "0 1"
+
+    def test_memcpy(self):
+        result = run('char a[4] = "xyz";\nchar b[4];\nmemcpy(b, a, 4);\n'
+                     'printf("%s", b);')
+        assert result.output == "xyz"
+
+    def test_fgets_respects_limit(self):
+        result = run('char buf[8];\nfgets(buf, 4, 0);\nprintf("%s", buf);',
+                     stdin=b"abcdefgh\n")
+        assert result.output == "abc"
+
+    def test_gets_is_unbounded(self):
+        result = run("char buf[4];\ngets(buf);", stdin=b"aaaaaaaaaa\n")
+        assert result.violation.kind is ViolationKind.OUT_OF_BOUNDS_WRITE
+
+    def test_atoi(self):
+        result = run('printf("%d %d %d", atoi("42"), atoi("-7"), '
+                     'atoi("12ab"));')
+        assert result.output == "42 -7 12"
+
+    def test_atoi_empty_and_garbage(self):
+        result = run('printf("%d %d", atoi(""), atoi("xyz"));')
+        assert result.output == "0 0"
+
+    def test_snprintf_bounds(self):
+        result = run('char buf[8];\nsnprintf(buf, 4, "%d", 123456);\n'
+                     'printf("%s", buf);')
+        assert result.output == "123"
+
+    def test_format_string_missing_arg_crashes(self):
+        result = run('printf("%s");')
+        assert result.violation.kind is ViolationKind.OUT_OF_BOUNDS_READ
+
+    def test_unknown_library_function_is_noop(self):
+        result = run('some_unknown_call(1, 2);\nprintf("ok");')
+        assert result.output == "ok"
+
+    def test_calloc_zeroes(self):
+        result = run('int *p = (int *)calloc(4, 1);\n'
+                     'printf("%d", p[0] + p[3]);')
+        assert result.output == "0"
+
+    def test_realloc_copies(self):
+        result = run("char *p = (char *)malloc(2);\np[0] = 65;\n"
+                     "char *q = (char *)realloc(p, 8);\n"
+                     'printf("%c", q[0]);')
+        assert result.output == "A"
+
+    def test_realloc_frees_old_block(self):
+        result = run("char *p = (char *)malloc(2);\n"
+                      "char *q = (char *)realloc(p, 8);\np[0] = 1;")
+        assert result.violation.kind is ViolationKind.USE_AFTER_FREE
+
+
+class TestPointers:
+    def test_address_of_scalar(self):
+        source = ("void inc(int *x) { *x = *x + 1; }\n"
+                  "int main() { int v = 4; inc(&v); "
+                  'printf("%d", v); return 0; }')
+        assert run_program(source).output == "5"
+
+    def test_pointer_arithmetic(self):
+        result = run('char buf[4] = "abc";\nchar *p = buf;\np = p + 1;\n'
+                     'printf("%c", *p);')
+        assert result.output == "b"
+
+    def test_pointer_difference(self):
+        result = run("char buf[8];\nchar *a = buf;\nchar *b = buf + 5;\n"
+                     'printf("%d", b - a);')
+        assert result.output == "5"
+
+    def test_struct_member_access(self):
+        source = ("struct pair { int x; int y; };\n"
+                  "int main() {\nstruct pair p;\nstruct pair *q = &p;\n"
+                  "q->x = 3;\nq->y = 4;\n"
+                  'printf("%d", q->x + q->y);\nreturn 0;\n}')
+        assert run_program(source).output == "7"
+
+    def test_sizeof_array(self):
+        result = run('char buf[10];\nprintf("%d", sizeof(buf));')
+        assert result.output == "10"
+
+    def test_sizeof_types(self):
+        result = run('printf("%d %d %d", sizeof(char), sizeof(int), '
+                     "sizeof(char *));")
+        assert result.output == "1 4 8"
+
+
+class TestCoverage:
+    def test_branch_coverage_recorded(self):
+        result = run("if (1) { int a = 1; }\nif (0) { int b = 2; }")
+        assert (2, True) in result.coverage
+        assert (3, False) in result.coverage
+
+    def test_coverage_differs_between_inputs(self):
+        source = ("int main() {\nchar l[8];\nfgets(l, 8, 0);\n"
+                  "int n = atoi(l);\nif (n > 5) { n = 0; }\nreturn 0;\n}")
+        high = run_program(source, stdin=b"9\n").coverage
+        low = run_program(source, stdin=b"1\n").coverage
+        assert high != low
+
+    def test_steps_counted(self):
+        assert run("int a = 1;\nint b = 2;").steps >= 2
+
+
+class TestDeterminism:
+    def test_rand_is_deterministic(self):
+        first = run('printf("%d", rand());').output
+        second = run('printf("%d", rand());').output
+        assert first == second
+
+    def test_interpreter_reusable_via_fresh_instances(self):
+        unit = parse('int main() { printf("x"); return 0; }')
+        out1 = Interpreter(unit).run().output
+        out2 = Interpreter(unit).run().output
+        assert out1 == out2 == "x"

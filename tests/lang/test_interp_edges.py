@@ -1,0 +1,139 @@
+"""Edge-case interpreter tests: formatting, pointers, struct misc."""
+
+from repro.lang.interp import ViolationKind, run_program
+
+
+def run(body: str, stdin: bytes = b"", **kwargs):
+    return run_program(f"int main() {{\n{body}\nreturn 0;\n}}",
+                       stdin=stdin, **kwargs)
+
+
+class TestFormatting:
+    def test_percent_literal(self):
+        assert run('printf("100%%");').output == "100%"
+
+    def test_char_spec(self):
+        assert run('printf("%c%c", 72, 105);').output == "Hi"
+
+    def test_width_flags_skipped(self):
+        assert run('printf("%02d", 7);').output == "7"
+
+    def test_float_spec(self):
+        result = run('printf("%f", 1);')
+        assert result.output.startswith("1")
+
+    def test_pointer_spec(self):
+        result = run('char b[4];\nprintf("%p", b);')
+        assert result.output.startswith("0x")
+
+    def test_unknown_spec_passthrough(self):
+        assert run('printf("%q", 1);').output == "q"
+
+    def test_extra_args_ignored(self):
+        assert run('printf("%d", 1, 2, 3);').output == "1"
+
+    def test_missing_int_arg_is_zero(self):
+        assert run('printf("%d");').output == "0"
+
+
+class TestPointerEdges:
+    def test_null_comparisons(self):
+        result = run('char *p = NULL;\nchar b[2];\nchar *q = b;\n'
+                     'printf("%d%d%d", p == NULL, q == NULL, '
+                     "q != NULL);")
+        assert result.output == "101"
+
+    def test_pointer_ordering_same_block(self):
+        result = run("char b[8];\nchar *lo = b + 1;\nchar *hi = b + 5;"
+                     '\nprintf("%d%d", lo < hi, hi <= lo);')
+        assert result.output == "10"
+
+    def test_negative_pointer_offset_read_caught(self):
+        result = run("char b[4];\nchar *p = b;\np = p - 2;\n"
+                     "char c = *p;")
+        assert result.violation is not None
+        assert result.violation.kind is ViolationKind.OUT_OF_BOUNDS_READ
+
+    def test_string_literal_is_readonly_block_readable(self):
+        result = run('char *s = "abc";\nprintf("%c%d", s[1], s[3]);')
+        assert result.output == "b0"  # NUL terminator readable
+
+    def test_string_literal_oob(self):
+        result = run('char *s = "abc";\nchar c = s[10];')
+        assert result.violation is not None
+
+    def test_prefix_vs_postfix_increment(self):
+        result = run("int i = 5;\nint a = i++;\nint b = ++i;\n"
+                     'printf("%d %d %d", a, b, i);')
+        assert result.output == "5 7 7"
+
+    def test_pointer_increment_walks_buffer(self):
+        result = run('char b[4] = "xyz";\nchar *p = b;\np++;\n'
+                     'printf("%c", *p);')
+        assert result.output == "y"
+
+
+class TestStructsAndScopes:
+    def test_nested_struct_pointer_fields(self):
+        source = """
+struct inner { int depth; };
+struct outer { int id; };
+int main() {
+    struct outer o;
+    struct outer *po = &o;
+    po->id = 3;
+    struct inner i;
+    struct inner *pi = &i;
+    pi->depth = po->id * 2;
+    printf("%d", pi->depth);
+    return 0;
+}
+"""
+        assert run_program(source).output == "6"
+
+    def test_struct_field_defaults_to_zero(self):
+        source = """
+struct s { int x; };
+int main() {
+    struct s v;
+    struct s *p = &v;
+    printf("%d", p->x);
+    return 0;
+}
+"""
+        assert run_program(source).output == "0"
+
+    def test_global_variable_read_write(self):
+        source = """
+int counter = 10;
+void bump() { counter = counter + 5; }
+int main() { bump(); bump(); printf("%d", counter); return 0; }
+"""
+        assert run_program(source).output == "20"
+
+    def test_goto_inside_nested_block(self):
+        result = run('int n = 0;\nif (1) {\ngoto out;\n}\nn = 9;\n'
+                     'out: printf("%d", n);')
+        assert result.output == "0"
+
+    def test_switch_on_expression(self):
+        result = run('int n = 7;\nswitch (n % 3) {\ncase 0: '
+                     'printf("a"); break;\ncase 1: printf("b"); '
+                     'break;\ndefault: printf("c");\n}')
+        assert result.output == "b"
+
+
+class TestBudgets:
+    def test_steps_budget_configurable(self):
+        slow = run("int i = 0;\nwhile (i < 1000) { i++; }",
+                   max_steps=100)
+        assert slow.hung
+        fast = run("int i = 0;\nwhile (i < 10) { i++; }",
+                   max_steps=100)
+        assert fast.ok
+
+    def test_deep_recursion_reported_as_hang(self):
+        source = ("int f(int n) { return f(n + 1); }\n"
+                  "int main() { return f(0); }")
+        result = run_program(source, max_steps=100_000)
+        assert result.hung or result.crashed

@@ -1,0 +1,127 @@
+"""Differential property tests for the interpreter.
+
+Random straight-line integer programs are generated together with a
+Python reference evaluation; the interpreter must agree exactly
+(including C's truncating division and int32 wrap-around).
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.lang.interp import run_program
+
+_INT_MIN, _INT_MAX = -(2 ** 31), 2 ** 31 - 1
+
+
+def _wrap(value: int) -> int:
+    return (value - _INT_MIN) % (2 ** 32) + _INT_MIN
+
+
+def _c_div(a: int, b: int) -> int:
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def _c_mod(a: int, b: int) -> int:
+    return a - _c_div(a, b) * b
+
+
+@st.composite
+def straight_line_programs(draw):
+    """(source, expected_final_value) pairs over variables a, b, c."""
+    values = {"a": draw(st.integers(-1000, 1000)),
+              "b": draw(st.integers(-1000, 1000)),
+              "c": draw(st.integers(-1000, 1000))}
+    lines = [f"int {name} = {value};" for name, value in values.items()]
+    for _ in range(draw(st.integers(1, 8))):
+        target = draw(st.sampled_from(sorted(values)))
+        left = draw(st.sampled_from(sorted(values)))
+        right = draw(st.sampled_from(sorted(values)))
+        op = draw(st.sampled_from(["+", "-", "*", "/", "%", "&", "|",
+                                   "^"]))
+        if op in ("/", "%") and values[right] == 0:
+            op = "+"
+        lines.append(f"{target} = {left} {op} {right};")
+        lhs, rhs = values[left], values[right]
+        if op == "+":
+            values[target] = _wrap(lhs + rhs)
+        elif op == "-":
+            values[target] = _wrap(lhs - rhs)
+        elif op == "*":
+            values[target] = _wrap(lhs * rhs)
+        elif op == "/":
+            values[target] = _c_div(lhs, rhs)
+        elif op == "%":
+            values[target] = _c_mod(lhs, rhs)
+        elif op == "&":
+            values[target] = lhs & rhs
+        elif op == "|":
+            values[target] = lhs | rhs
+        elif op == "^":
+            values[target] = lhs ^ rhs
+    body = "\n".join(lines)
+    source = (f"int main() {{\n{body}\n"
+              f'printf("%d", a);\nreturn 0;\n}}')
+    return source, values["a"]
+
+
+class TestDifferentialExecution:
+    @given(straight_line_programs())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_python_reference(self, program):
+        source, expected = program
+        result = run_program(source)
+        assert result.ok, source
+        assert result.output == str(expected), source
+
+    @given(st.integers(-10_000, 10_000), st.integers(-10_000, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_comparison_operators(self, a, b):
+        source = (f"int main() {{\nint a = {a};\nint b = {b};\n"
+                  'printf("%d%d%d%d%d%d", a < b, a <= b, a > b, '
+                  "a >= b, a == b, a != b);\nreturn 0;\n}")
+        expected = "".join(str(int(check)) for check in
+                           (a < b, a <= b, a > b, a >= b, a == b,
+                            a != b))
+        assert run_program(source).output == expected
+
+    @given(st.integers(0, 63), st.integers(-1000, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_shifts(self, shift, value):
+        source = (f"int main() {{\nint v = {value};\n"
+                  f'printf("%d", v << {shift % 16});\nreturn 0;\n}}')
+        expected = _wrap(value << (shift % 16))
+        assert run_program(source).output == str(expected)
+
+    @given(st.lists(st.integers(0, 255), min_size=0, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_atoi_fgets_roundtrip(self, payload):
+        """Numeric stdin reaches the program faithfully via
+        fgets + atoi."""
+        number = int("".join(chr(b) for b in payload
+                             if chr(b) in "0123456789")[:5] or "0")
+        assume(number >= 0)
+        source = ("int main() {\nchar line[32];\nfgets(line, 32, 0);\n"
+                  'printf("%d", atoi(line));\nreturn 0;\n}')
+        stdin = str(number).encode() + b"\n"
+        assert run_program(source, stdin=stdin).output == str(number)
+
+    @given(st.integers(1, 30), st.integers(0, 29))
+    @settings(max_examples=50, deadline=None)
+    def test_array_store_load_roundtrip(self, size, index):
+        assume(index < size)
+        source = (f"int main() {{\nint arr[{size}];\n"
+                  f"arr[{index}] = 4242;\n"
+                  f'printf("%d", arr[{index}]);\nreturn 0;\n}}')
+        assert run_program(source).output == "4242"
+
+    @given(st.integers(0, 30), st.integers(1, 30))
+    @settings(max_examples=50, deadline=None)
+    def test_oob_detected_iff_out_of_bounds(self, index, size):
+        source = (f"int main() {{\nint arr[{size}];\n"
+                  f"arr[{index}] = 1;\nreturn 0;\n}}")
+        result = run_program(source)
+        if index < size:
+            assert result.ok
+        else:
+            assert result.crashed

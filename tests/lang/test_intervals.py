@@ -1,0 +1,155 @@
+"""Tests for interval abstract interpretation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.cfg import build_cfg
+from repro.lang.intervals import (Interval, analyze_intervals,
+                                  interval_of_expr)
+from repro.lang.parser import parse
+
+INF = float("inf")
+
+
+def states_for(body: str, params: str = "int n"):
+    unit = parse(f"void f({params}) {{\n{body}\n}}")
+    cfg = build_cfg(unit.functions[0])
+    return cfg, analyze_intervals(cfg)
+
+
+def state_at_line(body: str, line: int, params: str = "int n"):
+    cfg, states = states_for(body, params)
+    node = next(x for x in cfg.statement_nodes() if x.line == line)
+    return states[node.id]
+
+
+class TestIntervalAlgebra:
+    def test_const(self):
+        assert Interval.const(5) == Interval(5, 5)
+        assert Interval.const(5).is_constant
+
+    def test_join(self):
+        assert Interval(1, 3).join(Interval(5, 9)) == Interval(1, 9)
+
+    def test_meet(self):
+        assert Interval(1, 5).meet(Interval(3, 9)) == Interval(3, 5)
+
+    def test_meet_disjoint_is_empty(self):
+        assert Interval(1, 2).meet(Interval(5, 6)).is_empty
+
+    def test_add_sub(self):
+        a, b = Interval(1, 2), Interval(10, 20)
+        assert a.add(b) == Interval(11, 22)
+        assert b.sub(a) == Interval(8, 19)
+
+    def test_mul_signs(self):
+        assert Interval(-2, 3).mul(Interval(4, 5)) == Interval(-10, 15)
+
+    def test_widen_unstable_bounds(self):
+        widened = Interval(0, 5).widen(Interval(0, 9))
+        assert widened == Interval(0, INF)
+        assert Interval(0, 5).widen(Interval(-1, 5)) == \
+            Interval(-INF, 5)
+
+    def test_widen_stable_is_identity(self):
+        assert Interval(0, 5).widen(Interval(1, 4)) == Interval(0, 5)
+
+    @given(st.integers(-50, 50), st.integers(-50, 50),
+           st.integers(-50, 50), st.integers(-50, 50))
+    @settings(max_examples=80)
+    def test_mul_soundness(self, a_lo, a_hi, b_lo, b_hi):
+        a = Interval(min(a_lo, a_hi), max(a_lo, a_hi))
+        b = Interval(min(b_lo, b_hi), max(b_lo, b_hi))
+        product = a.mul(b)
+        for x in (a.lo, a.hi):
+            for y in (b.lo, b.hi):
+                assert product.contains(x * y)
+
+
+class TestAnalysis:
+    def test_constant_propagation(self):
+        state = state_at_line("int a = 4;\nint b = a + 1;\nint c = b;",
+                              line=4)
+        assert state["b"] == Interval(5, 5)
+
+    def test_branch_refinement_true_edge(self):
+        state = state_at_line(
+            "if (n < 10) {\nint inside = n;\n}", line=3)
+        assert state["n"].hi == 9
+
+    def test_branch_refinement_false_edge(self):
+        state = state_at_line(
+            "int a;\nif (n < 10) {\na = 1;\n} else {\na = 2;\n}",
+            line=6)
+        assert state["n"].lo == 10
+
+    def test_conjunction_refinement(self):
+        state = state_at_line(
+            "if (n >= 0 && n < 8) {\nint inside = n;\n}", line=3)
+        assert state["n"] == Interval(0, 7)
+
+    def test_join_after_if(self):
+        state = state_at_line(
+            "int a;\nif (n) {\na = 1;\n} else {\na = 5;\n}\n"
+            "int after = a;", line=8)
+        assert state["a"] == Interval(1, 5)
+
+    def test_loop_widens_to_infinity(self):
+        state = state_at_line(
+            "int i = 0;\nwhile (n) {\ni = i + 1;\n}\nint done = i;",
+            line=6)
+        assert state["i"].lo == 0
+        assert state["i"].hi == INF
+
+    def test_loop_counter_bounded_by_condition(self):
+        state = state_at_line(
+            "int i = 0;\nwhile (i < 10) {\nint body = i;\ni = i + 1;"
+            "\n}", line=4)
+        assert state["i"].hi <= 9
+
+    def test_clamp_pattern(self):
+        """The guard-family pattern: after clamping, the copy length is
+        provably below the buffer size."""
+        state = state_at_line(
+            "int len = n;\nif (len > 7) {\nlen = 7;\n}\n"
+            "if (len < 0) {\nlen = 0;\n}\nint use = len;", line=9)
+        assert state["len"] == Interval(0, 7)
+
+    def test_modulo_bound(self):
+        state = state_at_line("int m = n % 5;\nint use = m;", line=3,
+                              params="int n")
+        assert state["m"].hi == 4
+
+    def test_strlen_nonnegative(self):
+        state = state_at_line(
+            "int len = strlen(data);\nint use = len;", line=3,
+            params="char *data")
+        assert state["len"].lo == 0
+
+    def test_parameters_start_top(self):
+        state = state_at_line("int a = n;", line=2)
+        assert state["n"] == Interval.top()
+
+    def test_unknown_call_result_is_top(self):
+        state = state_at_line("int a = mystery();\nint b = a;", line=3)
+        assert state["a"] == Interval.top()
+
+    def test_termination_on_nested_loops(self):
+        cfg, states = states_for(
+            "for (int i = 0; i < n; i++) {\n"
+            "for (int j = 0; j < i; j++) {\nint x = i + j;\n}\n}")
+        assert states  # fixed point reached
+
+
+class TestExprEvaluation:
+    def test_ternary_joins(self):
+        unit = parse("void f(int n) { int a = n ? 1 : 9; }")
+        decl = unit.functions[0].body.stmts[0]
+        value = interval_of_expr(decl.declarators[0].init, {})
+        assert value == Interval(1, 9)
+
+    def test_comparison_is_boolean(self):
+        unit = parse("void f(int n) { int a = n < 5; }")
+        decl = unit.functions[0].body.stmts[0]
+        assert interval_of_expr(decl.declarators[0].init, {}) == \
+            Interval(0, 1)

@@ -1,0 +1,247 @@
+"""Unit tests for the recursive-descent parser."""
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang.parser import ParseError, parse
+
+
+def first_stmt(source_body: str) -> A.Stmt:
+    unit = parse(f"void f() {{ {source_body} }}")
+    return unit.functions[0].body.stmts[0]
+
+
+def first_expr(expression: str) -> A.Expr:
+    stmt = first_stmt(f"{expression};")
+    assert isinstance(stmt, A.ExprStmt)
+    return stmt.expr
+
+
+class TestTopLevel:
+    def test_function_definition(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        fn = unit.functions[0]
+        assert fn.name == "add"
+        assert fn.return_type == "int"
+        assert [p.name for p in fn.params] == ["a", "b"]
+
+    def test_void_param_list(self):
+        unit = parse("int f(void) { return 0; }")
+        assert unit.functions[0].params == []
+
+    def test_pointer_return_type(self):
+        unit = parse("char *dup(char *s) { return s; }")
+        assert unit.functions[0].return_type == "*char"
+
+    def test_prototype_skipped(self):
+        unit = parse("int f(int x);\nint f(int x) { return x; }")
+        assert len(unit.functions) == 1
+
+    def test_global_declaration(self):
+        unit = parse("int counter = 0;\nvoid f() { counter = 1; }")
+        assert len(unit.globals) == 1
+        assert unit.globals[0].declarators[0].name == "counter"
+
+    def test_struct_definition(self):
+        unit = parse("struct point { int x; int y; };")
+        assert unit.structs[0].name == "point"
+        assert ("int", "x") in unit.structs[0].fields
+
+    def test_typedef_registers_type(self):
+        unit = parse("typedef unsigned int uint;\nvoid f() { uint x = 1; }")
+        decl = unit.functions[0].body.stmts[0]
+        assert isinstance(decl, A.Decl)
+
+    def test_preprocessor_lines_ignored(self):
+        unit = parse("#include <stdio.h>\n#define N 10\nint f() { return 0; }")
+        assert unit.functions[0].line == 3
+
+    def test_function_lookup(self):
+        unit = parse("void a() {}\nvoid b() {}")
+        assert unit.function("b") is not None
+        assert unit.function("missing") is None
+
+    def test_garbage_at_top_level_raises(self):
+        with pytest.raises(ParseError):
+            parse("+++")
+
+
+class TestStatements:
+    def test_if_else_chain_structure(self):
+        stmt = first_stmt("if (1) {} else if (2) {} else {}")
+        assert isinstance(stmt, A.If)
+        assert not stmt.is_elseif
+        child = stmt.otherwise
+        assert isinstance(child, A.If) and child.is_elseif
+        assert isinstance(child.otherwise, A.Block)
+
+    def test_else_line_recorded(self):
+        unit = parse("void f(int n) {\n  if (n) {\n  }\n  else {\n    n = 1;\n  }\n}")
+        stmt = unit.functions[0].body.stmts[0]
+        assert stmt.else_line == 4
+
+    def test_while_loop(self):
+        stmt = first_stmt("while (x > 0) x--;")
+        assert isinstance(stmt, A.While)
+
+    def test_do_while_records_while_line(self):
+        unit = parse("void f(int x) {\n  do {\n    x--;\n  } while (x);\n}")
+        stmt = unit.functions[0].body.stmts[0]
+        assert isinstance(stmt, A.DoWhile)
+        assert stmt.while_line == 4
+
+    def test_for_with_declaration_init(self):
+        stmt = first_stmt("for (int i = 0; i < 10; i++) {}")
+        assert isinstance(stmt, A.For)
+        assert isinstance(stmt.init, A.Decl)
+
+    def test_for_with_empty_clauses(self):
+        stmt = first_stmt("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_switch_cases_and_default(self):
+        stmt = first_stmt(
+            "switch (x) { case 1: break; case 2: break; default: break; }")
+        assert isinstance(stmt, A.Switch)
+        assert len(stmt.cases) == 3
+        assert stmt.cases[2].is_default
+
+    def test_switch_statement_before_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void f(int x) { switch (x) { x = 1; case 1: break; } }")
+
+    def test_goto_and_label(self):
+        unit = parse("void f() { goto end; end: return; }")
+        stmts = unit.functions[0].body.stmts
+        assert isinstance(stmts[0], A.Goto)
+        assert isinstance(stmts[1], A.Label)
+        assert stmts[1].name == "end"
+
+    def test_declaration_multiple_declarators(self):
+        stmt = first_stmt("int a = 1, b, *c;")
+        assert isinstance(stmt, A.Decl)
+        names = [d.name for d in stmt.declarators]
+        assert names == ["a", "b", "c"]
+        assert stmt.declarators[2].is_pointer
+
+    def test_array_declaration_with_size(self):
+        stmt = first_stmt("char buf[32];")
+        decl = stmt.declarators[0]
+        assert decl.is_array
+        assert decl.array_sizes[0].value == 32
+
+    def test_array_initializer_list(self):
+        stmt = first_stmt("int a[3] = {1, 2, 3};")
+        assert isinstance(stmt.declarators[0].init, A.InitList)
+
+    def test_block_end_line(self):
+        unit = parse("void f() {\n  int x;\n}\n")
+        assert unit.functions[0].body.end_line == 3
+
+    def test_empty_statement(self):
+        stmt = first_stmt(";")
+        assert isinstance(stmt, A.Empty)
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError):
+            parse("void f() { int x;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = first_expr("a + b * c")
+        assert isinstance(expr, A.Binary) and expr.op == "+"
+        assert isinstance(expr.right, A.Binary) and expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = first_expr("(a + b) * c")
+        assert expr.op == "*"
+
+    def test_assignment_right_associative(self):
+        expr = first_expr("a = b = c")
+        assert isinstance(expr, A.Assign)
+        assert isinstance(expr.value, A.Assign)
+
+    def test_compound_assignment(self):
+        expr = first_expr("a += 2")
+        assert isinstance(expr, A.Assign) and expr.op == "+="
+
+    def test_ternary(self):
+        expr = first_expr("a ? b : c")
+        assert isinstance(expr, A.Ternary)
+
+    def test_call_with_args(self):
+        expr = first_expr("memcpy(dst, src, n)")
+        assert isinstance(expr, A.Call)
+        assert expr.callee_name == "memcpy"
+        assert len(expr.args) == 3
+
+    def test_nested_index(self):
+        expr = first_expr("m[i][j]")
+        assert isinstance(expr, A.Index)
+        assert isinstance(expr.base, A.Index)
+
+    def test_member_dot_and_arrow(self):
+        dot = first_expr("s.field")
+        arrow = first_expr("p->field")
+        assert isinstance(dot, A.Member) and not dot.arrow
+        assert isinstance(arrow, A.Member) and arrow.arrow
+
+    def test_cast_expression(self):
+        expr = first_expr("(char *)p")
+        assert isinstance(expr, A.Cast)
+        assert expr.type_name == "char*"
+
+    def test_sizeof_type(self):
+        expr = first_expr("sizeof(int)")
+        assert isinstance(expr, A.SizeOf)
+        assert expr.arg == "int"
+
+    def test_sizeof_expression(self):
+        expr = first_expr("sizeof buf")
+        assert isinstance(expr, A.SizeOf)
+        assert isinstance(expr.arg, A.Ident)
+
+    def test_unary_operators(self):
+        for op in ("-", "!", "~", "*", "&"):
+            expr = first_expr(f"{op}x")
+            assert isinstance(expr, A.Unary) and expr.op == op
+
+    def test_postfix_increment(self):
+        expr = first_expr("x++")
+        assert isinstance(expr, A.Unary)
+        assert not expr.prefix
+
+    def test_logical_short_circuit_precedence(self):
+        expr = first_expr("a || b && c")
+        assert expr.op == "||"
+
+    def test_comma_expression(self):
+        expr = first_expr("(a = 1, b = 2)")
+        assert isinstance(expr, A.Comma)
+
+    def test_adjacent_string_concatenation(self):
+        expr = first_expr('"a" "b"')
+        assert isinstance(expr, A.StringLit)
+        assert expr.value == "ab"
+
+    def test_number_value_property(self):
+        assert first_expr("0x10").value == 16
+        assert first_expr("2.5").value == 2.5
+
+    def test_char_literal_value(self):
+        assert first_expr("'A'").value == 65
+        assert first_expr(r"'\n'").value == 10
+
+
+class TestWalk:
+    def test_walk_visits_all_statements(self):
+        unit = parse("void f(int n) { if (n) { n = 1; } while (n) { n--; } }")
+        nodes = list(A.walk(unit.functions[0].body))
+        assert any(isinstance(n, A.If) for n in nodes)
+        assert any(isinstance(n, A.While) for n in nodes)
+
+    def test_walk_preorder_root_first(self):
+        unit = parse("void f() { int x = 1 + 2; }")
+        nodes = list(A.walk(unit.functions[0].body))
+        assert isinstance(nodes[0], A.Block)

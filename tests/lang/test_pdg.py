@@ -1,0 +1,89 @@
+"""Tests for PDG construction and closure queries."""
+
+from repro.lang.parser import parse
+from repro.lang.pdg import build_pdg
+
+
+def pdg_of(body: str, params: str = "char *data, int n"):
+    unit = parse(f"void f({params}) {{\n{body}\n}}")
+    return build_pdg(unit.functions[0])
+
+
+def data_lines(pdg):
+    return {(pdg.node(u).line, pdg.node(v).line, var)
+            for u, v, var in pdg.data_edges()}
+
+
+def control_lines(pdg):
+    return {(pdg.node(u).line, pdg.node(v).line, br)
+            for u, v, br in pdg.control_edges()}
+
+
+class TestConstruction:
+    def test_data_edges_present(self):
+        pdg = pdg_of("int a = n;\nint b = a;")
+        assert (2, 3, "a") in data_lines(pdg)
+
+    def test_control_edges_present(self):
+        pdg = pdg_of("if (n) {\nn = 1;\n}")
+        assert (2, 3, "true") in control_lines(pdg)
+
+    def test_function_name_property(self):
+        assert pdg_of("return;").function_name == "f"
+
+    def test_nodes_on_line(self):
+        pdg = pdg_of("int a = 1; int b = 2;")
+        assert len(pdg.nodes_on_line(2)) == 2
+
+    def test_calls_made(self):
+        pdg = pdg_of("strncpy(data, data, n);\nint x = strlen(data);")
+        calls = pdg.calls_made()
+        assert "strncpy" in calls and "strlen" in calls
+
+
+class TestClosures:
+    def test_backward_closure_pulls_definitions(self):
+        pdg = pdg_of("int a = n;\nint b = a;\nint c = b;")
+        start = {x.id for x in pdg.nodes_on_line(4)}
+        closure = pdg.backward_closure(start)
+        lines = {pdg.node(i).line for i in closure
+                 if pdg.node(i).ast is not None}
+        assert {2, 3, 4} <= lines
+
+    def test_forward_closure_pulls_uses(self):
+        pdg = pdg_of("int a = n;\nint b = a;\nint c = b;")
+        start = {x.id for x in pdg.nodes_on_line(2)}
+        closure = pdg.forward_closure(start)
+        lines = {pdg.node(i).line for i in closure
+                 if pdg.node(i).ast is not None}
+        assert {2, 3, 4} <= lines
+
+    def test_control_flag_excludes_guards(self):
+        pdg = pdg_of("int a = 0;\nif (n) {\na = 1;\n}\nint b = a;")
+        start = {x.id for x in pdg.nodes_on_line(6)}
+        with_control = pdg.backward_closure(start, control=True)
+        without = pdg.backward_closure(start, control=False)
+        lines_with = {pdg.node(i).line for i in with_control}
+        lines_without = {pdg.node(i).line for i in without}
+        assert 3 in lines_with       # the if guard
+        assert 3 not in lines_without
+
+    def test_closure_is_monotone(self):
+        pdg = pdg_of("int a = n;\nint b = a;")
+        small = pdg.backward_closure({pdg.nodes_on_line(3)[0].id})
+        bigger = pdg.backward_closure(
+            {pdg.nodes_on_line(3)[0].id, pdg.nodes_on_line(2)[0].id})
+        assert small <= bigger
+
+    def test_closure_contains_start(self):
+        pdg = pdg_of("int a = 1;")
+        start = {pdg.nodes_on_line(2)[0].id}
+        assert start <= pdg.backward_closure(start)
+        assert start <= pdg.forward_closure(start)
+
+    def test_closure_idempotent(self):
+        pdg = pdg_of("int a = n;\nint b = a;\nif (b) {\nint c = b;\n}")
+        start = {x.id for x in pdg.nodes_on_line(5)}
+        once = pdg.backward_closure(start)
+        twice = pdg.backward_closure(once)
+        assert once == twice

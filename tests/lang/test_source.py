@@ -1,0 +1,48 @@
+"""Tests for source-text helpers."""
+
+from repro.lang.source import SourceFile, strip_preprocessor
+
+
+class TestStripPreprocessor:
+    def test_simple_directive_blanked(self):
+        result = strip_preprocessor("#include <stdio.h>\nint x;")
+        assert result == "\nint x;"
+
+    def test_indented_directive_blanked(self):
+        result = strip_preprocessor("   #define N 1\nint x;")
+        assert result.split("\n")[0] == ""
+
+    def test_line_continuation_blanks_following_lines(self):
+        source = "#define LONG \\\n    more \\\n    end\nint x;"
+        lines = strip_preprocessor(source).split("\n")
+        assert lines[:3] == ["", "", ""]
+        assert lines[3] == "int x;"
+
+    def test_hash_inside_code_untouched(self):
+        source = 'char *s = "#not a directive";'
+        assert strip_preprocessor(source) == source
+
+    def test_line_count_preserved(self):
+        source = "#if X\nint a;\n#endif\nint b;\n"
+        assert strip_preprocessor(source).count("\n") == \
+            source.count("\n")
+
+
+class TestSourceFile:
+    def test_line_access_one_based(self):
+        src = SourceFile("f.c", "first\nsecond\nthird")
+        assert src.line(1) == "first"
+        assert src.line(3) == "third"
+
+    def test_out_of_range_lines_empty(self):
+        src = SourceFile("f.c", "only")
+        assert src.line(0) == ""
+        assert src.line(99) == ""
+
+    def test_snippet_inclusive(self):
+        src = SourceFile("f.c", "a\nb\nc\nd")
+        assert src.snippet(2, 3) == "b\nc"
+
+    def test_snippet_clamps(self):
+        src = SourceFile("f.c", "a\nb")
+        assert src.snippet(1, 99) == "a\nb"

@@ -1,0 +1,78 @@
+"""Serialization round-trips for the full model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.models.bgru import BGRUNet
+from repro.models.blstm import BLSTMNet
+from repro.models.multiclass import CWETypeNet
+from repro.models.sevuldet import SEVulDetNet
+from repro.nn import load_model, save_model
+
+
+def assert_same_outputs(a, b, ids):
+    a.eval(), b.eval()
+    assert np.allclose(a(ids).data, b(ids).data)
+
+
+class TestModelRoundTrips:
+    def test_sevuldet(self, tmp_path):
+        source = SEVulDetNet(vocab_size=40, dim=8, channels=8, seed=1)
+        path = tmp_path / "sevuldet.npz"
+        save_model(source, path)
+        target = SEVulDetNet(vocab_size=40, dim=8, channels=8, seed=99)
+        load_model(target, path)
+        ids = np.random.default_rng(0).integers(0, 40, size=(3, 15))
+        assert_same_outputs(source, target, ids)
+
+    def test_sevuldet_without_attention(self, tmp_path):
+        source = SEVulDetNet(vocab_size=40, dim=8, channels=8, seed=1,
+                             use_token_attention=False, use_cbam=False)
+        path = tmp_path / "cnn.npz"
+        save_model(source, path)
+        target = SEVulDetNet(vocab_size=40, dim=8, channels=8,
+                             seed=99, use_token_attention=False,
+                             use_cbam=False)
+        load_model(target, path)
+        ids = np.random.default_rng(0).integers(0, 40, size=(2, 9))
+        assert_same_outputs(source, target, ids)
+
+    @pytest.mark.parametrize("cls", [BLSTMNet, BGRUNet])
+    def test_brnn(self, cls, tmp_path):
+        source = cls(vocab_size=30, dim=6, hidden=5, time_steps=8,
+                     seed=1)
+        path = tmp_path / "rnn.npz"
+        save_model(source, path)
+        target = cls(vocab_size=30, dim=6, hidden=5, time_steps=8,
+                     seed=99)
+        load_model(target, path)
+        ids = np.zeros((2, 8), dtype=np.int64)
+        assert_same_outputs(source, target, ids)
+
+    def test_multiclass(self, tmp_path):
+        source = CWETypeNet(vocab_size=30, num_classes=4, dim=8,
+                            channels=8, seed=1)
+        path = tmp_path / "typer.npz"
+        save_model(source, path)
+        target = CWETypeNet(vocab_size=30, num_classes=4, dim=8,
+                            channels=8, seed=99)
+        load_model(target, path)
+        ids = np.random.default_rng(0).integers(0, 30, size=(2, 7))
+        assert_same_outputs(source, target, ids)
+
+    def test_mismatched_architecture_rejected(self, tmp_path):
+        source = SEVulDetNet(vocab_size=40, dim=8, channels=8)
+        path = tmp_path / "m.npz"
+        save_model(source, path)
+        smaller = SEVulDetNet(vocab_size=40, dim=4, channels=8)
+        with pytest.raises(ValueError):
+            load_model(smaller, path)
+
+    def test_ablation_variant_mismatch_rejected(self, tmp_path):
+        source = SEVulDetNet(vocab_size=40, dim=8, channels=8,
+                             use_cbam=False)
+        path = tmp_path / "m.npz"
+        save_model(source, path)
+        full = SEVulDetNet(vocab_size=40, dim=8, channels=8)
+        with pytest.raises(KeyError):
+            load_model(full, path)

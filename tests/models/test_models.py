@@ -1,0 +1,112 @@
+"""Tests for the SEVulDet network and the BRNN baselines."""
+
+import numpy as np
+import pytest
+
+from repro.models.bgru import BGRUNet
+from repro.models.blstm import BLSTMNet
+from repro.models.cnn_variants import (ABLATION_BUILDERS, cnn_multi_att,
+                                       cnn_token_att, plain_cnn)
+from repro.models.sevuldet import DECISION_THRESHOLD, SEVulDetNet
+
+
+class TestSEVulDetNet:
+    def test_flexible_length_forward(self):
+        model = SEVulDetNet(vocab_size=20, dim=8, channels=8)
+        for length in (5, 17, 60):
+            ids = np.random.default_rng(0).integers(
+                0, 20, size=(3, length))
+            logits = model(ids)
+            assert logits.shape == (3,)
+
+    def test_fixed_length_attribute_none(self):
+        assert SEVulDetNet(10).fixed_length is None
+
+    def test_predict_proba_in_01(self):
+        model = SEVulDetNet(vocab_size=20, dim=8, channels=8)
+        ids = np.zeros((2, 10), dtype=np.int64)
+        probs = model.predict_proba(ids)
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_decision_threshold_is_papers(self):
+        assert DECISION_THRESHOLD == 0.8
+
+    def test_attention_weights_hook(self):
+        model = SEVulDetNet(vocab_size=20, dim=8, channels=8)
+        ids = np.random.default_rng(0).integers(0, 20, size=(1, 12))
+        weights = model.attention_weights(ids)
+        assert weights.shape == (1, 12)
+        assert abs(weights.sum() - 1.0) < 1e-9
+
+    def test_attention_hook_requires_token_attention(self):
+        model = SEVulDetNet(vocab_size=20, dim=8, channels=8,
+                            use_token_attention=False)
+        with pytest.raises(ValueError):
+            model.attention_weights(np.zeros((1, 5), dtype=np.int64))
+
+    def test_pretrained_embeddings_loaded(self):
+        weights = np.random.default_rng(0).normal(size=(20, 8))
+        model = SEVulDetNet(vocab_size=20, dim=8, pretrained=weights)
+        assert np.allclose(model.embedding.weight.data, weights)
+
+    def test_seed_determinism(self):
+        ids = np.arange(10).reshape(1, 10) % 5
+        a = SEVulDetNet(5, dim=6, channels=4, seed=3)
+        b = SEVulDetNet(5, dim=6, channels=4, seed=3)
+        a.eval(), b.eval()
+        assert np.allclose(a(ids).data, b(ids).data)
+
+    def test_gradients_reach_embedding(self):
+        model = SEVulDetNet(vocab_size=10, dim=6, channels=4)
+        ids = np.array([[1, 2, 3, 4, 5]])
+        model(ids).sum().backward()
+        assert model.embedding.weight.grad is not None
+        assert np.abs(model.embedding.weight.grad).sum() > 0
+
+
+class TestAblationVariants:
+    def test_plain_cnn_has_no_attention(self):
+        model = plain_cnn(10, dim=6)
+        assert not model.use_token_attention and not model.use_cbam
+
+    def test_token_att_variant(self):
+        model = cnn_token_att(10, dim=6)
+        assert model.use_token_attention and not model.use_cbam
+
+    def test_multi_att_variant(self):
+        model = cnn_multi_att(10, dim=6)
+        assert model.use_token_attention and model.use_cbam
+
+    def test_registry_names_match_table3(self):
+        assert set(ABLATION_BUILDERS) == \
+            {"CNN", "CNN-TokenATT", "CNN-MultiATT"}
+
+    def test_param_counts_increase_with_attention(self):
+        base = plain_cnn(10, dim=6).num_parameters()
+        token = cnn_token_att(10, dim=6).num_parameters()
+        multi = cnn_multi_att(10, dim=6).num_parameters()
+        assert base < token < multi
+
+
+class TestBRNNBaselines:
+    @pytest.mark.parametrize("cls", [BLSTMNet, BGRUNet])
+    def test_forward_shape(self, cls):
+        model = cls(vocab_size=15, dim=8, hidden=6, time_steps=12)
+        ids = np.zeros((4, 12), dtype=np.int64)
+        assert model(ids).shape == (4,)
+
+    @pytest.mark.parametrize("cls", [BLSTMNet, BGRUNet])
+    def test_wrong_length_rejected(self, cls):
+        model = cls(vocab_size=15, dim=8, hidden=6, time_steps=12)
+        with pytest.raises(ValueError):
+            model(np.zeros((2, 9), dtype=np.int64))
+
+    @pytest.mark.parametrize("cls", [BLSTMNet, BGRUNet])
+    def test_fixed_length_attribute(self, cls):
+        assert cls(10, time_steps=37).fixed_length == 37
+
+    def test_predict_proba(self):
+        model = BLSTMNet(vocab_size=10, dim=4, hidden=4, time_steps=6)
+        probs = model.predict_proba(np.zeros((3, 6), dtype=np.int64))
+        assert probs.shape == (3,)
+        assert ((probs >= 0) & (probs <= 1)).all()

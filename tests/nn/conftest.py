@@ -1,0 +1,33 @@
+"""Shared helpers for nn tests: numerical gradient checking."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def numerical_gradient(func, array, eps=1e-6):
+    """Central-difference gradient of scalar ``func()`` w.r.t. ``array``
+    (mutated in place probe-by-probe)."""
+    grad = np.zeros_like(array)
+    it = np.nditer(array, flags=["multi_index"])
+    while not it.finished:
+        index = it.multi_index
+        original = array[index]
+        array[index] = original + eps
+        plus = func()
+        array[index] = original - eps
+        minus = func()
+        array[index] = original
+        grad[index] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def assert_grad_close(analytic, numeric, atol=1e-6):
+    __tracebackhide__ = True
+    worst = np.abs(analytic - numeric).max()
+    assert worst < atol, f"gradient mismatch: max |diff| = {worst}"

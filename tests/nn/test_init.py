@@ -1,0 +1,58 @@
+"""Tests for parameter initializers (variance scaling, determinism)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init as initializers
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestVarianceScaling:
+    def test_xavier_uniform_bounds(self, rng):
+        weights = initializers.xavier_uniform((200, 300), rng)
+        limit = np.sqrt(6.0 / (200 + 300))
+        assert np.abs(weights).max() <= limit
+        assert np.abs(weights).max() > 0.8 * limit  # actually spans
+
+    def test_xavier_normal_std(self, rng):
+        weights = initializers.xavier_normal((400, 400), rng)
+        expected = np.sqrt(2.0 / 800)
+        assert abs(weights.std() - expected) / expected < 0.1
+
+    def test_he_uniform_fan_in_only(self, rng):
+        narrow = initializers.he_uniform((100, 10), rng)
+        wide = initializers.he_uniform((1000, 10), rng)
+        assert np.abs(narrow).max() > np.abs(wide).max()
+
+    def test_he_normal_std(self, rng):
+        weights = initializers.he_normal((500, 100), rng)
+        expected = np.sqrt(2.0 / 500)
+        assert abs(weights.std() - expected) / expected < 0.1
+
+    def test_conv_fans_use_receptive_field(self, rng):
+        # (out, in, kernel): fan_in = in * kernel
+        small_kernel = initializers.he_uniform((8, 4, 1), rng)
+        big_kernel = initializers.he_uniform((8, 4, 25), rng)
+        assert np.abs(small_kernel).max() > np.abs(big_kernel).max()
+
+    def test_uniform_limit(self, rng):
+        weights = initializers.uniform((50, 50), rng, limit=0.2)
+        assert np.abs(weights).max() <= 0.2
+
+    def test_zeros(self):
+        assert not initializers.zeros((3, 3)).any()
+
+    def test_deterministic_given_generator_state(self):
+        a = initializers.xavier_uniform(
+            (10, 10), np.random.default_rng(7))
+        b = initializers.xavier_uniform(
+            (10, 10), np.random.default_rng(7))
+        assert np.allclose(a, b)
+
+    def test_vector_shape(self, rng):
+        bias_like = initializers.xavier_uniform((32,), rng)
+        assert bias_like.shape == (32,)

@@ -1,0 +1,165 @@
+"""Tests for Module machinery and the layer zoo."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Conv1d, Dropout, Embedding, Flatten, Linear,
+                      Module, Parameter, ReLU, Sequential, Sigmoid,
+                      Tanh, Tensor)
+
+from .conftest import assert_grad_close, numerical_gradient
+
+
+class TestModuleProtocol:
+    def test_parameters_discovered_recursively(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc1 = Linear(4, 8, rng)
+                self.fc2 = Linear(8, 2, rng)
+
+        params = list(Net().parameters())
+        assert len(params) == 4  # two weights, two biases
+
+    def test_parameters_in_lists_discovered(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.blocks = [Linear(2, 2, rng), Linear(2, 2, rng)]
+
+        assert len(list(Net().parameters())) == 4
+
+    def test_num_parameters(self, rng):
+        layer = Linear(4, 3, rng)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_train_eval_propagates(self, rng):
+        net = Sequential(Linear(2, 2, rng), Dropout(0.5, rng))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self, rng):
+        layer = Linear(3, 2, rng)
+        layer(Tensor(rng.normal(size=(1, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self, rng):
+        src = Linear(3, 2, rng)
+        dst = Linear(3, 2, np.random.default_rng(999))
+        dst.load_state_dict(src.state_dict())
+        assert np.allclose(src.weight.data, dst.weight.data)
+
+    def test_load_state_dict_missing_key_raises(self, rng):
+        layer = Linear(3, 2, rng)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({})
+
+    def test_load_state_dict_shape_mismatch_raises(self, rng):
+        layer = Linear(3, 2, rng)
+        bad = {key: np.zeros((1, 1))
+               for key in layer.state_dict()}
+        with pytest.raises(ValueError):
+            layer.load_state_dict(bad)
+
+
+class TestLinear:
+    def test_forward_values(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        out = layer(Tensor(x))
+        expected = x @ layer.weight.data + layer.bias.data
+        assert np.allclose(out.data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, rng, bias=False)
+        assert layer.bias is None
+
+    def test_gradients(self, rng):
+        layer = Linear(3, 2, rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        (layer(x) ** 2).sum().backward()
+
+        def loss():
+            out = Tensor(x.data) @ Tensor(layer.weight.data) \
+                + Tensor(layer.bias.data)
+            return float((out.data ** 2).sum())
+
+        assert_grad_close(layer.weight.grad,
+                          numerical_gradient(loss, layer.weight.data),
+                          1e-5)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = Embedding(10, 4, rng)
+        ids = np.array([[1, 2], [3, 1]])
+        out = emb(ids)
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out.data[0, 0], emb.weight.data[1])
+
+    def test_gradient_scatter_accumulates_repeats(self, rng):
+        emb = Embedding(5, 3, rng)
+        ids = np.array([[1, 1, 2]])
+        emb(ids).sum().backward()
+        assert np.allclose(emb.weight.grad[1], 2.0)
+        assert np.allclose(emb.weight.grad[2], 1.0)
+        assert np.allclose(emb.weight.grad[0], 0.0)
+
+    def test_pretrained_weights_used(self, rng):
+        weights = rng.normal(size=(6, 4))
+        emb = Embedding(6, 4, rng, weights=weights)
+        assert np.allclose(emb.weight.data, weights)
+
+    def test_pretrained_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            Embedding(6, 4, rng, weights=np.zeros((3, 3)))
+
+
+class TestDropout:
+    def test_identity_in_eval(self, rng):
+        layer = Dropout(0.9, rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(100,)))
+        assert np.allclose(layer(x).data, x.data)
+
+    def test_masks_in_train(self, rng):
+        layer = Dropout(0.5, rng)
+        x = Tensor(np.ones(1000))
+        out = layer(x)
+        assert (out.data == 0).any()
+
+    def test_invalid_rate_raises(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.5, rng)
+
+    def test_zero_rate_is_identity(self, rng):
+        layer = Dropout(0.0, rng)
+        x = Tensor(np.ones(10))
+        assert layer(x) is x
+
+
+class TestConvLayerAndActivations:
+    def test_conv_layer_shape(self, rng):
+        layer = Conv1d(3, 8, 3, rng, padding=1)
+        out = layer(Tensor(rng.normal(size=(2, 3, 10))))
+        assert out.shape == (2, 8, 10)
+
+    def test_activation_modules(self, rng):
+        x = Tensor(rng.normal(size=(5,)))
+        assert np.allclose(ReLU()(x).data, np.maximum(x.data, 0))
+        assert np.allclose(Tanh()(x).data, np.tanh(x.data))
+        assert np.allclose(Sigmoid()(x).data,
+                           1 / (1 + np.exp(-x.data)))
+
+    def test_flatten(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        assert Flatten()(x).shape == (2, 12)
+
+    def test_sequential_composes(self, rng):
+        net = Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 1, rng))
+        out = net(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 1)

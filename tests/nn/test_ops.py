@@ -1,0 +1,141 @@
+"""Gradient and shape tests for convolution and pooling ops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.ops import (adaptive_avg_pool1d, adaptive_max_pool1d,
+                          avg_pool1d, conv1d, max_pool1d)
+
+from .conftest import assert_grad_close, numerical_gradient
+
+
+class TestConv1d:
+    def test_output_shape(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 10)))
+        w = Tensor(rng.normal(size=(5, 3, 3)))
+        assert conv1d(x, w).shape == (2, 5, 8)
+
+    def test_padding_preserves_length(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 7)))
+        w = Tensor(rng.normal(size=(4, 2, 3)))
+        assert conv1d(x, w, padding=1).shape == (1, 4, 7)
+
+    def test_stride(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 9)))
+        w = Tensor(rng.normal(size=(4, 2, 3)))
+        assert conv1d(x, w, stride=2).shape == (1, 4, 4)
+
+    def test_known_values(self):
+        # Single channel, identity-ish kernel.
+        x = Tensor(np.array([[[1.0, 2.0, 3.0, 4.0]]]))
+        w = Tensor(np.array([[[1.0, 0.0]]]))
+        out = conv1d(x, w)
+        assert np.allclose(out.data, [[[1.0, 2.0, 3.0]]])
+
+    def test_gradients(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8)), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (conv1d(x, w, b, padding=1) ** 2).sum().backward()
+
+        def loss():
+            return float((conv1d(Tensor(x.data), Tensor(w.data),
+                                 Tensor(b.data), padding=1).data ** 2
+                          ).sum())
+
+        assert_grad_close(x.grad, numerical_gradient(loss, x.data), 1e-5)
+        assert_grad_close(w.grad, numerical_gradient(loss, w.data), 1e-5)
+        assert_grad_close(b.grad, numerical_gradient(loss, b.data), 1e-5)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 8)))
+        w = Tensor(rng.normal(size=(4, 2, 3)))
+        with pytest.raises(ValueError):
+            conv1d(x, w)
+
+    def test_too_short_input_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 2)))
+        w = Tensor(rng.normal(size=(4, 2, 5)))
+        with pytest.raises(ValueError):
+            conv1d(x, w)
+
+
+class TestFixedPooling:
+    def test_max_pool_values(self):
+        x = Tensor(np.array([[[1.0, 3.0, 2.0, 5.0]]]))
+        out = max_pool1d(x, kernel=2)
+        assert np.allclose(out.data, [[[3.0, 5.0]]])
+
+    def test_avg_pool_values(self):
+        x = Tensor(np.array([[[1.0, 3.0, 2.0, 6.0]]]))
+        out = avg_pool1d(x, kernel=2)
+        assert np.allclose(out.data, [[[2.0, 4.0]]])
+
+    def test_max_pool_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8)), requires_grad=True)
+        (max_pool1d(x, 2) ** 2).sum().backward()
+        numeric = numerical_gradient(
+            lambda: float((max_pool1d(Tensor(x.data), 2).data ** 2
+                           ).sum()), x.data)
+        assert_grad_close(x.grad, numeric, 1e-5)
+
+    def test_avg_pool_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8)), requires_grad=True)
+        (avg_pool1d(x, 2) ** 2).sum().backward()
+        numeric = numerical_gradient(
+            lambda: float((avg_pool1d(Tensor(x.data), 2).data ** 2
+                           ).sum()), x.data)
+        assert_grad_close(x.grad, numeric, 1e-5)
+
+    def test_window_larger_than_input_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 3)))
+        with pytest.raises(ValueError):
+            max_pool1d(x, kernel=5)
+
+
+class TestAdaptivePooling:
+    @pytest.mark.parametrize("length", [1, 2, 3, 4, 5, 7, 16, 100])
+    @pytest.mark.parametrize("bins", [1, 2, 4])
+    def test_output_always_bins_wide(self, rng, length, bins):
+        x = Tensor(rng.normal(size=(2, 3, length)))
+        assert adaptive_max_pool1d(x, bins).shape == (2, 3, bins)
+        assert adaptive_avg_pool1d(x, bins).shape == (2, 3, bins)
+
+    def test_bins_partition_input(self):
+        x = Tensor(np.arange(8.0).reshape(1, 1, 8))
+        out = adaptive_max_pool1d(x, 4)
+        assert np.allclose(out.data, [[[1.0, 3.0, 5.0, 7.0]]])
+
+    def test_single_bin_is_global_max(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 17)))
+        out = adaptive_max_pool1d(x, 1)
+        assert np.allclose(out.data[:, :, 0], x.data.max(axis=2))
+
+    def test_avg_single_bin_is_global_mean(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 9)))
+        out = adaptive_avg_pool1d(x, 1)
+        assert np.allclose(out.data[:, :, 0], x.data.mean(axis=2))
+
+    def test_adaptive_max_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 7)), requires_grad=True)
+        (adaptive_max_pool1d(x, 4) ** 2).sum().backward()
+        numeric = numerical_gradient(
+            lambda: float((adaptive_max_pool1d(Tensor(x.data), 4).data
+                           ** 2).sum()), x.data)
+        assert_grad_close(x.grad, numeric, 1e-5)
+
+    def test_adaptive_avg_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 7)), requires_grad=True)
+        (adaptive_avg_pool1d(x, 4) ** 2).sum().backward()
+        numeric = numerical_gradient(
+            lambda: float((adaptive_avg_pool1d(Tensor(x.data), 4).data
+                           ** 2).sum()), x.data)
+        assert_grad_close(x.grad, numeric, 1e-5)
+
+    def test_shorter_than_bins_input(self, rng):
+        # length 2 with 4 bins: bins reuse elements, never crash
+        x = Tensor(rng.normal(size=(1, 2, 2)), requires_grad=True)
+        out = adaptive_max_pool1d(x, 4)
+        assert out.shape == (1, 2, 4)
+        out.sum().backward()

@@ -1,0 +1,186 @@
+"""Tests for optimizers, losses, batching, and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, Linear, Parameter, SGD, Sample, Tensor,
+                      bce_loss, bce_with_logits, bucketed_batches,
+                      clip_grad_norm, fixed_length_batches, load_model,
+                      mse_loss, pad_or_truncate, save_model)
+
+from .conftest import assert_grad_close, numerical_gradient
+
+
+def quadratic_param():
+    return Parameter(np.array([5.0, -3.0]))
+
+
+class TestSGD:
+    def test_descends_quadratic(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_momentum_accelerates(self):
+        plain, heavy = quadratic_param(), quadratic_param()
+        for p, momentum in ((plain, 0.0), (heavy, 0.9)):
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                (p * p).sum().backward()
+                opt.step()
+        assert np.abs(heavy.data).sum() < np.abs(plain.data).sum()
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no backward happened; must not crash
+        assert np.allclose(p.data, [5.0, -3.0])
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-2
+
+    def test_bias_correction_first_step_magnitude(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1)
+        opt.zero_grad()
+        (p * 2.0).sum().backward()
+        opt.step()
+        # first Adam step is ~lr regardless of gradient scale
+        assert abs((1.0 - p.data[0]) - 0.1) < 1e-6
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.array([3.0, 4.0]))
+        p.grad = np.array([30.0, 40.0])
+        norm = clip_grad_norm([p], max_norm=5.0)
+        assert abs(norm - 50.0) < 1e-9
+        assert abs(np.linalg.norm(p.grad) - 5.0) < 1e-9
+
+    def test_clip_noop_under_limit(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        clip_grad_norm([p], max_norm=5.0)
+        assert np.allclose(p.grad, [0.5])
+
+
+class TestLosses:
+    def test_bce_with_logits_matches_reference(self, rng):
+        logits = Tensor(rng.normal(size=(8,)), requires_grad=True)
+        targets = rng.integers(0, 2, size=8).astype(float)
+        loss = bce_with_logits(logits, targets)
+        probs = 1 / (1 + np.exp(-logits.data))
+        reference = -(targets * np.log(probs)
+                      + (1 - targets) * np.log(1 - probs)).mean()
+        assert abs(float(loss.data) - reference) < 1e-9
+
+    def test_bce_with_logits_gradient(self, rng):
+        logits = Tensor(rng.normal(size=(6,)), requires_grad=True)
+        targets = rng.integers(0, 2, size=6).astype(float)
+        bce_with_logits(logits, targets).backward()
+        numeric = numerical_gradient(
+            lambda: float(bce_with_logits(Tensor(logits.data),
+                                          targets).data),
+            logits.data)
+        assert_grad_close(logits.grad, numeric, 1e-6)
+
+    def test_bce_with_logits_stable_at_extremes(self):
+        logits = Tensor(np.array([1000.0, -1000.0]))
+        loss = bce_with_logits(logits, np.array([1.0, 0.0]))
+        assert float(loss.data) < 1e-6
+
+    def test_bce_loss_on_probabilities(self, rng):
+        probs = Tensor(rng.uniform(0.1, 0.9, size=(5,)),
+                       requires_grad=True)
+        targets = rng.integers(0, 2, size=5).astype(float)
+        bce_loss(probs, targets).backward()
+        numeric = numerical_gradient(
+            lambda: float(bce_loss(Tensor(probs.data), targets).data),
+            probs.data)
+        assert_grad_close(probs.grad, numeric, 1e-5)
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = mse_loss(pred, np.array([0.0, 0.0]))
+        assert abs(float(loss.data) - 2.5) < 1e-9
+
+
+class TestBatching:
+    def samples(self):
+        return [Sample(tuple(range(length)), length % 2)
+                for length in (3, 3, 5, 5, 5, 8)]
+
+    def test_pad_or_truncate(self):
+        assert pad_or_truncate([1, 2, 3], 5) == [1, 2, 3, 0, 0]
+        assert pad_or_truncate([1, 2, 3, 4], 2) == [1, 2]
+
+    def test_fixed_length_batches_shapes(self):
+        batches = list(fixed_length_batches(self.samples(), length=4,
+                                            batch_size=4))
+        assert all(ids.shape[1] == 4 for ids, _ in batches)
+        assert sum(len(labels) for _, labels in batches) == 6
+
+    def test_bucketed_batches_no_padding(self):
+        batches = list(bucketed_batches(self.samples(), batch_size=8))
+        lengths = sorted(ids.shape[1] for ids, _ in batches)
+        assert lengths == [3, 5, 8]
+
+    def test_bucketed_batches_cover_all_samples(self):
+        total = sum(len(labels) for _, labels
+                    in bucketed_batches(self.samples(), batch_size=2))
+        assert total == 6
+
+    def test_bucketed_min_length_pads_tiny(self):
+        samples = [Sample((1,), 0)]
+        ((ids, _),) = list(bucketed_batches(samples, 4, min_length=4))
+        assert ids.shape == (1, 4)
+
+    def test_shuffling_is_seeded(self):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        a = [ids.tolist() for ids, _ in
+             fixed_length_batches(self.samples(), 4, 2, rng1)]
+        b = [ids.tolist() for ids, _ in
+             fixed_length_batches(self.samples(), 4, 2, rng2)]
+        assert a == b
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        src = Linear(4, 3, rng)
+        path = tmp_path / "model.npz"
+        save_model(src, path, metadata={"kind": "test"})
+        dst = Linear(4, 3, np.random.default_rng(999))
+        metadata = load_model(dst, path)
+        assert metadata == {"kind": "test"}
+        assert np.allclose(src.weight.data, dst.weight.data)
+        assert np.allclose(src.bias.data, dst.bias.data)
+
+    def test_save_without_metadata(self, rng, tmp_path):
+        src = Linear(2, 2, rng)
+        path = tmp_path / "model.npz"
+        save_model(src, path)
+        assert load_model(Linear(2, 2, rng), path) == {}

@@ -1,0 +1,201 @@
+"""Tests for RNN cells, attention blocks, and spatial pyramid pooling."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (CBAM, Adam, Bidirectional, ChannelAttention,
+                      GRUCell, LSTMCell, RNNLayer, SpatialAttention,
+                      SpatialPyramidPooling1d, Tensor, TokenAttention,
+                      bce_with_logits, Linear)
+
+from .conftest import assert_grad_close, numerical_gradient
+
+
+class TestCells:
+    def test_lstm_cell_shapes(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        h, c = cell.initial_state(3)
+        h2, c2 = cell(Tensor(rng.normal(size=(3, 4))), h, c)
+        assert h2.shape == (3, 6) and c2.shape == (3, 6)
+
+    def test_lstm_forget_bias_initialised(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        assert np.allclose(cell.b.data[6:12], 1.0)
+
+    def test_gru_cell_shapes(self, rng):
+        cell = GRUCell(4, 6, rng)
+        h = cell.initial_state(3)
+        h2 = cell(Tensor(rng.normal(size=(3, 4))), h)
+        assert h2.shape == (3, 6)
+
+    def test_gru_zero_update_gate_keeps_state(self, rng):
+        cell = GRUCell(2, 3, rng)
+        # Force update gate to ~0 by driving its logit very negative.
+        cell.w_zr.data[:, :3] = 0.0
+        cell.b_zr.data[:3] = -50.0
+        h = Tensor(rng.normal(size=(1, 3)))
+        h2 = cell(Tensor(rng.normal(size=(1, 2))), h)
+        assert np.allclose(h2.data, h.data, atol=1e-8)
+
+
+class TestRNNLayers:
+    def test_unidirectional_output_shapes(self, rng):
+        layer = RNNLayer(4, 6, rng, kind="lstm")
+        outputs, final = layer(Tensor(rng.normal(size=(2, 5, 4))))
+        assert outputs.shape == (2, 5, 6)
+        assert final.shape == (2, 6)
+
+    def test_reverse_processes_backwards(self, rng):
+        fwd = RNNLayer(2, 3, rng, kind="gru")
+        bwd = RNNLayer(2, 3, np.random.default_rng(1), kind="gru",
+                       reverse=True)
+        x = Tensor(rng.normal(size=(1, 4, 2)))
+        fwd_out, fwd_final = fwd(x)
+        bwd_out, bwd_final = bwd(x)
+        # the backward layer's final state is its t=0 output
+        assert np.allclose(bwd_out.data[:, 0, :], bwd_final.data)
+        assert np.allclose(fwd_out.data[:, -1, :], fwd_final.data)
+
+    def test_unknown_kind_raises(self, rng):
+        with pytest.raises(ValueError):
+            RNNLayer(2, 3, rng, kind="transformer")
+
+    def test_bidirectional_concatenates(self, rng):
+        layer = Bidirectional(4, 6, rng, kind="lstm")
+        outputs, final = layer(Tensor(rng.normal(size=(2, 5, 4))))
+        assert outputs.shape == (2, 5, 12)
+        assert final.shape == (2, 12)
+
+    def test_lstm_learns_sign_task(self, rng):
+        layer = Bidirectional(3, 8, rng, kind="lstm")
+        head = Linear(16, 1, rng)
+        opt = Adam(list(layer.parameters()) + list(head.parameters()),
+                   lr=0.02)
+        x = rng.normal(size=(48, 5, 3))
+        y = (x.mean(axis=(1, 2)) > 0).astype(float)
+        for _ in range(25):
+            opt.zero_grad()
+            _, final = layer(Tensor(x))
+            loss = bce_with_logits(head(final).reshape(-1), y)
+            loss.backward()
+            opt.step()
+        _, final = layer(Tensor(x))
+        accuracy = (((head(final).data.reshape(-1)) > 0) == y).mean()
+        assert accuracy > 0.9
+
+
+class TestTokenAttention:
+    def test_weights_sum_to_one(self, rng):
+        attention = TokenAttention(6, rng)
+        attention(Tensor(rng.normal(size=(3, 7, 6))))
+        assert np.allclose(attention.last_weights.sum(axis=1), 1.0)
+
+    def test_output_shape_preserved(self, rng):
+        attention = TokenAttention(6, rng)
+        out = attention(Tensor(rng.normal(size=(3, 7, 6))))
+        assert out.shape == (3, 7, 6)
+
+    def test_gradient_flows_to_input(self, rng):
+        attention = TokenAttention(4, rng)
+        x = Tensor(rng.normal(size=(2, 5, 4)), requires_grad=True)
+        attention(x).sum().backward()
+        numeric = numerical_gradient(
+            lambda: float(attention(Tensor(x.data)).data.sum()), x.data)
+        assert_grad_close(x.grad, numeric, 1e-5)
+
+    def test_attention_prefers_matching_token(self, rng):
+        """A token aligned with the context vector gets more weight."""
+        attention = TokenAttention(4, rng)
+        x = np.zeros((1, 3, 4))
+        # craft embeddings: token 1 aligned with u_w through tanh(proj)
+        attention.proj.weight.data = np.eye(4)
+        attention.proj.bias.data = np.zeros(4)
+        attention.context.data = np.array([10.0, 0, 0, 0])
+        x[0, 1, 0] = 3.0
+        attention(Tensor(x))
+        weights = attention.last_weights[0]
+        assert weights[1] > weights[0]
+        assert weights[1] > weights[2]
+
+
+class TestCBAM:
+    def test_channel_attention_shape(self, rng):
+        attention = ChannelAttention(8, rng)
+        out = attention(Tensor(rng.normal(size=(2, 8, 11))))
+        assert out.shape == (2, 8, 11)
+        assert attention.last_weights.shape == (2, 8)
+
+    def test_channel_weights_in_01(self, rng):
+        attention = ChannelAttention(8, rng)
+        attention(Tensor(rng.normal(size=(2, 8, 11))))
+        assert ((attention.last_weights >= 0)
+                & (attention.last_weights <= 1)).all()
+
+    def test_spatial_attention_shape(self, rng):
+        attention = SpatialAttention(rng)
+        out = attention(Tensor(rng.normal(size=(2, 8, 11))))
+        assert out.shape == (2, 8, 11)
+        assert attention.last_weights.shape == (2, 1, 11)
+
+    def test_spatial_kernel_must_be_odd(self, rng):
+        with pytest.raises(ValueError):
+            SpatialAttention(rng, kernel=4)
+
+    def test_cbam_sequential_composition(self, rng):
+        cbam = CBAM(8, rng)
+        x = Tensor(rng.normal(size=(2, 8, 9)), requires_grad=True)
+        out = cbam(x)
+        assert out.shape == x.shape
+        out.sum().backward()
+        assert x.grad is not None
+
+    def test_cbam_gradient_check(self, rng):
+        cbam = CBAM(4, rng, reduction=2, kernel=3)
+        x = Tensor(rng.normal(size=(1, 4, 6)), requires_grad=True)
+        cbam(x).sum().backward()
+        numeric = numerical_gradient(
+            lambda: float(cbam(Tensor(x.data)).data.sum()), x.data)
+        assert_grad_close(x.grad, numeric, 1e-5)
+
+
+class TestSPP:
+    def test_fixed_output_width(self, rng):
+        spp = SpatialPyramidPooling1d(bins=(4, 2, 1))
+        for length in (1, 3, 7, 50, 333):
+            out = spp(Tensor(rng.normal(size=(2, 8, length))))
+            assert out.shape == (2, 7 * 8)
+
+    def test_output_features_helper(self):
+        spp = SpatialPyramidPooling1d(bins=(4, 2, 1))
+        assert spp.output_features(16) == 112
+
+    def test_avg_mode(self, rng):
+        spp = SpatialPyramidPooling1d(bins=(2, 1), mode="avg")
+        x = Tensor(rng.normal(size=(1, 3, 10)))
+        out = spp(x)
+        assert np.allclose(out.data[0, 6:9],
+                           x.data[0].mean(axis=1))
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            SpatialPyramidPooling1d(bins=())
+        with pytest.raises(ValueError):
+            SpatialPyramidPooling1d(mode="median")
+
+    def test_gradient_check(self, rng):
+        spp = SpatialPyramidPooling1d()
+        x = Tensor(rng.normal(size=(2, 3, 9)), requires_grad=True)
+        (spp(x) ** 2).sum().backward()
+        numeric = numerical_gradient(
+            lambda: float((spp(Tensor(x.data)).data ** 2).sum()), x.data)
+        assert_grad_close(x.grad, numeric, 1e-5)
+
+    def test_pyramid_layout(self):
+        """Layout is [level-4 block | level-2 block | level-1 block];
+        the final block holds the per-channel global max."""
+        channels = 2
+        x = Tensor(np.arange(24.0).reshape(1, channels, 12))
+        spp = SpatialPyramidPooling1d(bins=(4, 2, 1))
+        out = spp(x).data[0]
+        level1_block = out[4 * channels + 2 * channels:]
+        assert np.allclose(level1_block, x.data.max(axis=2)[0])

@@ -1,0 +1,103 @@
+"""Numerical gradient checks for the recurrent cells and layers."""
+
+import numpy as np
+
+from repro.nn import Bidirectional, GRUCell, LSTMCell, RNNLayer, Tensor
+
+from .conftest import assert_grad_close, numerical_gradient
+
+
+class TestLSTMGradients:
+    def test_cell_weight_gradient(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        x = rng.normal(size=(2, 3))
+        h0 = rng.normal(size=(2, 4))
+        c0 = rng.normal(size=(2, 4))
+
+        def loss():
+            h, c = cell(Tensor(x), Tensor(h0), Tensor(c0))
+            return float((h.data ** 2).sum() + (c.data ** 2).sum())
+
+        h, c = cell(Tensor(x), Tensor(h0), Tensor(c0))
+        ((h * h).sum() + (c * c).sum()).backward()
+        assert_grad_close(cell.w.grad,
+                          numerical_gradient(loss, cell.w.data), 1e-5)
+        assert_grad_close(cell.b.grad,
+                          numerical_gradient(loss, cell.b.data), 1e-5)
+
+    def test_unrolled_sequence_gradient(self, rng):
+        layer = RNNLayer(2, 3, rng, kind="lstm")
+        x_data = rng.normal(size=(1, 4, 2))
+
+        def loss():
+            outputs, final = layer(Tensor(x_data))
+            return float((final.data ** 2).sum())
+
+        x = Tensor(x_data.copy(), requires_grad=True)
+        _, final = layer(x)
+        (final * final).sum().backward()
+        assert_grad_close(x.grad, numerical_gradient(loss, x_data),
+                          1e-5)
+
+
+class TestGRUGradients:
+    def test_cell_weight_gradients(self, rng):
+        cell = GRUCell(3, 4, rng)
+        x = rng.normal(size=(2, 3))
+        h0 = rng.normal(size=(2, 4))
+
+        def loss():
+            h = cell(Tensor(x), Tensor(h0))
+            return float((h.data ** 2).sum())
+
+        h = cell(Tensor(x), Tensor(h0))
+        (h * h).sum().backward()
+        for param in (cell.w_zr, cell.b_zr, cell.w_h, cell.b_h):
+            assert_grad_close(param.grad,
+                              numerical_gradient(loss, param.data),
+                              1e-5)
+
+    def test_input_gradient_through_time(self, rng):
+        layer = RNNLayer(2, 3, rng, kind="gru", reverse=True)
+        x_data = rng.normal(size=(1, 3, 2))
+
+        def loss():
+            outputs, _ = layer(Tensor(x_data))
+            return float((outputs.data ** 2).sum())
+
+        x = Tensor(x_data.copy(), requires_grad=True)
+        outputs, _ = layer(x)
+        (outputs * outputs).sum().backward()
+        assert_grad_close(x.grad, numerical_gradient(loss, x_data),
+                          1e-5)
+
+
+class TestBidirectionalGradients:
+    def test_both_directions_receive_gradient(self, rng):
+        layer = Bidirectional(2, 3, rng, kind="gru")
+        x = Tensor(rng.normal(size=(2, 4, 2)), requires_grad=True)
+        _, final = layer(x)
+        (final * final).sum().backward()
+        fwd_grad = sum(
+            float(np.abs(p.grad).sum())
+            for p in layer.forward_rnn.parameters()
+            if p.grad is not None)
+        bwd_grad = sum(
+            float(np.abs(p.grad).sum())
+            for p in layer.backward_rnn.parameters()
+            if p.grad is not None)
+        assert fwd_grad > 0 and bwd_grad > 0
+
+    def test_input_gradient_numerical(self, rng):
+        layer = Bidirectional(2, 2, rng, kind="lstm")
+        x_data = rng.normal(size=(1, 3, 2))
+
+        def loss():
+            _, final = layer(Tensor(x_data))
+            return float((final.data ** 2).sum())
+
+        x = Tensor(x_data.copy(), requires_grad=True)
+        _, final = layer(x)
+        (final * final).sum().backward()
+        assert_grad_close(x.grad, numerical_gradient(loss, x_data),
+                          1e-5)

@@ -1,0 +1,293 @@
+"""Autograd engine tests: every op checked against numerical gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, no_grad
+
+from .conftest import assert_grad_close, numerical_gradient
+
+
+def check_unary(op, shape, rng, data=None, atol=1e-6):
+    x = Tensor(data if data is not None
+               else rng.normal(size=shape), requires_grad=True)
+    out = op(x)
+    out.sum().backward()
+    numeric = numerical_gradient(
+        lambda: float(op(Tensor(x.data)).data.sum()), x.data)
+    assert_grad_close(x.grad, numeric, atol)
+
+
+class TestElementwiseGradients:
+    def test_add(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_mul(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, b.data)
+        assert np.allclose(b.grad, a.data)
+
+    def test_div(self, rng):
+        check_unary(lambda x: x / 3.0, (2, 3), rng)
+
+    def test_rdiv(self, rng):
+        x = Tensor(rng.uniform(1.0, 2.0, size=(2, 3)),
+                   requires_grad=True)
+        (1.0 / x).sum().backward()
+        numeric = numerical_gradient(
+            lambda: float((1.0 / Tensor(x.data)).data.sum()), x.data)
+        assert_grad_close(x.grad, numeric)
+
+    def test_pow(self, rng):
+        x = Tensor(rng.uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+        (x ** 3).sum().backward()
+        assert_grad_close(x.grad, 3 * x.data ** 2)
+
+    def test_neg_and_sub(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (a - b).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, -1.0)
+
+    def test_exp(self, rng):
+        check_unary(lambda x: x.exp(), (3, 2), rng)
+
+    def test_log(self, rng):
+        x = np.abs(rng.normal(size=(3, 2))) + 0.5
+        check_unary(lambda t: t.log(), None, rng, data=x)
+
+    def test_tanh(self, rng):
+        check_unary(lambda x: x.tanh(), (5,), rng)
+
+    def test_sigmoid(self, rng):
+        check_unary(lambda x: x.sigmoid(), (5,), rng)
+
+    def test_relu(self, rng):
+        data = rng.normal(size=(10,))
+        data[np.abs(data) < 1e-3] = 0.5  # avoid kink
+        check_unary(lambda x: x.relu(), None, rng, data=data)
+
+    def test_leaky_relu(self, rng):
+        data = rng.normal(size=(10,))
+        data[np.abs(data) < 1e-3] = 0.5
+        check_unary(lambda x: x.leaky_relu(0.1), None, rng, data=data)
+
+
+class TestBroadcasting:
+    def test_broadcast_add_reduces_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_broadcast_mul_keepdim(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 1)), requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == (3, 1)
+        assert_grad_close(b.grad, a.data.sum(axis=1, keepdims=True))
+
+    def test_scalar_broadcast(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        (a * 5.0).sum().backward()
+        assert np.allclose(a.grad, 5.0)
+
+
+class TestMatmul:
+    def test_matrix_matrix(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        na = numerical_gradient(
+            lambda: float((Tensor(a.data) @ Tensor(b.data)).data.sum()),
+            a.data)
+        nb = numerical_gradient(
+            lambda: float((Tensor(a.data) @ Tensor(b.data)).data.sum()),
+            b.data)
+        assert_grad_close(a.grad, na)
+        assert_grad_close(b.grad, nb)
+
+    def test_batched_matrix(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        nb = numerical_gradient(
+            lambda: float((Tensor(a.data) @ Tensor(b.data)).data.sum()),
+            b.data)
+        assert_grad_close(b.grad, nb)
+
+    def test_matrix_vector(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        v = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a @ v).sum().backward()
+        nv = numerical_gradient(
+            lambda: float((Tensor(a.data) @ Tensor(v.data)).data.sum()),
+            v.data)
+        assert_grad_close(v.grad, nv)
+
+    def test_batched_tensor_vector(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        v = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a @ v).sum().backward()
+        na = numerical_gradient(
+            lambda: float((Tensor(a.data) @ Tensor(v.data)).data.sum()),
+            a.data)
+        nv = numerical_gradient(
+            lambda: float((Tensor(a.data) @ Tensor(v.data)).data.sum()),
+            v.data)
+        assert_grad_close(a.grad, na)
+        assert_grad_close(v.grad, nv)
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        check_unary(lambda x: x.sum() * 1.0, (3, 4), rng)
+
+    def test_sum_axis(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        x.sum(axis=1).sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_mean(self, rng):
+        x = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, 1.0 / 20)
+
+    def test_mean_axis(self, rng):
+        x = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        x.mean(axis=0).sum().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_max_routes_gradient_to_argmax(self, rng):
+        x = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_splits_ties(self):
+        x = Tensor(np.array([[3.0, 3.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.5, 0.5]])
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)))
+        out = x.softmax(axis=1)
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+
+    def test_softmax_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 5)), requires_grad=True)
+        weights = rng.normal(size=(2, 5))
+        (x.softmax(axis=1) * weights).sum().backward()
+        numeric = numerical_gradient(
+            lambda: float((Tensor(x.data).softmax(axis=1).data
+                           * weights).sum()), x.data)
+        assert_grad_close(x.grad, numeric)
+
+
+class TestShapeOps:
+    def test_reshape_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        x.reshape(3, 4).sum().backward()
+        assert x.grad.shape == (2, 6)
+        assert np.allclose(x.grad, 1.0)
+
+    def test_transpose_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        weights = rng.normal(size=(4, 3, 2))
+        (x.transpose(2, 1, 0) * weights).sum().backward()
+        assert_grad_close(x.grad, weights.transpose(2, 1, 0))
+
+    def test_getitem_gradient_scatter(self, rng):
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        x[1:3].sum().backward()
+        expected = np.zeros((5, 3))
+        expected[1:3] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_concat_gradient_split(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        Tensor.concat([a, b], axis=1).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (2, 2)
+
+    def test_stack_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        weights = rng.normal(size=(2, 3))
+        (Tensor.stack([a, b], axis=0) * weights).sum().backward()
+        assert_grad_close(a.grad, weights[0])
+        assert_grad_close(b.grad, weights[1])
+
+    def test_pad1d_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        x.pad1d(2, 1).sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_pad1d_shape(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5)))
+        assert x.pad1d(2, 3).shape == (1, 2, 10)
+
+
+class TestEngine:
+    def test_grad_accumulates_over_reuse(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (x + x).sum().backward()
+        assert np.allclose(x.grad, 2.0)
+
+    def test_diamond_graph(self, rng):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0
+        z = x * 4.0
+        (y + z).sum().backward()
+        assert np.allclose(x.grad, 7.0)
+
+    def test_backward_requires_scalar(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_no_grad_context(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        with no_grad():
+            out = x * 2
+        assert not out.requires_grad
+        assert out._parents == ()
+
+    def test_zero_grad(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        x.sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_detach_breaks_graph(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+
+    def test_as_tensor_idempotent(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1, 2]), Tensor)
+
+    def test_dropout_scales_and_masks(self, rng):
+        x = Tensor(np.ones((1000,)), requires_grad=True)
+        out = x.dropout(0.5, rng)
+        kept = out.data != 0
+        assert 0.3 < kept.mean() < 0.7
+        assert np.allclose(out.data[kept], 2.0)
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        out = x
+        for _ in range(3000):
+            out = out * 1.0
+        out.sum().backward()  # iterative topo sort must handle depth
+        assert np.allclose(x.grad, 1.0)

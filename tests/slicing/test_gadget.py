@@ -1,0 +1,91 @@
+"""Tests for classic gadget assembly (Step III ordering rules)."""
+
+from repro.lang.callgraph import analyze
+from repro.slicing.gadget import classic_gadget, order_functions
+from repro.slicing.special_tokens import find_special_tokens
+
+
+def gadget_for(source, token):
+    program = analyze(source)
+    criterion = [c for c in find_special_tokens(program)
+                 if c.token == token][0]
+    return program, classic_gadget(program, criterion)
+
+
+class TestAssembly:
+    SOURCE = """\
+void f(char *data, int n) {
+    char dest[8];
+    int pad = 7;
+    strncpy(dest, data, n);
+    printf("%s", dest);
+}
+"""
+
+    def test_lines_in_source_order(self):
+        _, gadget = gadget_for(self.SOURCE, "strncpy")
+        numbers = gadget.line_numbers()
+        assert numbers == sorted(numbers)
+
+    def test_criterion_role_marked(self):
+        _, gadget = gadget_for(self.SOURCE, "strncpy")
+        criterion_lines = [l for l in gadget.lines
+                           if l.role == "criterion"]
+        assert len(criterion_lines) == 1
+        assert criterion_lines[0].line == 4
+
+    def test_unrelated_statement_excluded(self):
+        _, gadget = gadget_for(self.SOURCE, "strncpy")
+        assert 3 not in gadget.line_numbers()
+
+    def test_text_joins_statements(self):
+        _, gadget = gadget_for(self.SOURCE, "strncpy")
+        assert "strncpy(dest, data, n);" in gadget.text()
+
+    def test_len_matches_lines(self):
+        _, gadget = gadget_for(self.SOURCE, "strncpy")
+        assert len(gadget) == len(gadget.lines)
+
+    def test_source_path_recorded(self):
+        program, gadget = gadget_for(self.SOURCE, "strncpy")
+        assert gadget.source_path == program.source.path
+
+
+class TestFunctionOrdering:
+    SOURCE = """\
+void leaf(char *b, int n) {
+    char d[4];
+    memcpy(d, b, n);
+}
+
+void mid(char *b, int n) {
+    leaf(b, n);
+}
+
+int main() {
+    char line[8];
+    fgets(line, 8, 0);
+    mid(line, 3);
+    return 0;
+}
+"""
+
+    def test_topological_caller_first(self):
+        program = analyze(self.SOURCE)
+        ordered = order_functions(program, ["leaf", "main", "mid"])
+        assert ordered.index("main") < ordered.index("mid") \
+            < ordered.index("leaf")
+
+    def test_unrelated_functions_keep_source_order(self):
+        program = analyze("void a() {}\nvoid b() {}\nvoid c() {}")
+        assert order_functions(program, ["c", "a", "b"]) == \
+            ["a", "b", "c"]
+
+    def test_recursive_cycle_falls_back_to_source_order(self):
+        program = analyze(
+            "int a(int n) { return b(n); }\nint b(int n) { return a(n); }")
+        assert order_functions(program, ["b", "a"]) == ["a", "b"]
+
+    def test_gadget_spans_functions(self):
+        _, gadget = gadget_for(self.SOURCE, "memcpy")
+        assert set(gadget.functions()) >= {"leaf", "mid", "main"}

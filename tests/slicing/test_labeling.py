@@ -1,0 +1,76 @@
+"""Tests for gadget labeling and the k-fold mislabel audit."""
+
+from repro.lang.callgraph import analyze
+from repro.slicing.gadget import classic_gadget
+from repro.slicing.labeling import (MislabelAuditor, VulnerabilityManifest,
+                                    label_gadget, label_gadgets)
+from repro.slicing.special_tokens import find_special_tokens
+
+SOURCE = """\
+void f(char *data, int n) {
+    char dest[8];
+    strncpy(dest, data, n);
+}
+"""
+
+
+def make_gadget():
+    program = analyze(SOURCE, path="case.c")
+    criterion = [c for c in find_special_tokens(program)
+                 if c.token == "strncpy"][0]
+    return classic_gadget(program, criterion)
+
+
+class TestLabeling:
+    def test_vulnerable_line_labels_one(self):
+        manifest = VulnerabilityManifest("case.c", frozenset({3}))
+        assert label_gadget(make_gadget(), manifest) == 1
+
+    def test_untouched_line_labels_zero(self):
+        manifest = VulnerabilityManifest("case.c", frozenset({99}))
+        assert label_gadget(make_gadget(), manifest) == 0
+
+    def test_missing_manifest_labels_zero(self):
+        assert label_gadget(make_gadget(), None) == 0
+
+    def test_label_gadgets_by_path(self):
+        gadget = make_gadget()
+        manifests = {"case.c": VulnerabilityManifest("case.c",
+                                                     frozenset({3}))}
+        (labeled,) = label_gadgets([gadget], manifests)
+        assert labeled.label == 1
+
+    def test_manifest_covers(self):
+        manifest = VulnerabilityManifest("case.c", frozenset({2}))
+        assert manifest.covers(make_gadget())
+
+
+class TestMislabelAudit:
+    def test_flipped_labels_detected(self):
+        # Feature = the true label; classifier = majority vote of
+        # identical features. Flip two labels; audit must find them.
+        samples = [0] * 10 + [1] * 10
+        labels = list(samples)
+        labels[3] = 1   # mislabeled
+        labels[15] = 0  # mislabeled
+
+        def classify(train_x, train_y, test_x):
+            return list(test_x)  # a perfect classifier on features
+
+        auditor = MislabelAuditor(k=5, threshold=1)
+        suspicious = auditor.audit(samples, labels, classify)
+        assert 3 in suspicious and 15 in suspicious
+        clean = set(range(20)) - {3, 15}
+        assert not (set(suspicious) & clean)
+
+    def test_relabel_applies_oracle(self):
+        auditor = MislabelAuditor()
+        labels = [0, 1, 0]
+        updated = auditor.relabel(labels, [1], lambda i: 0)
+        assert updated == [0, 0, 0]
+        assert labels == [0, 1, 0]  # original untouched
+
+    def test_too_few_samples_returns_empty(self):
+        auditor = MislabelAuditor(k=5)
+        assert auditor.audit([1, 2], [0, 1],
+                             lambda a, b, c: [0] * len(c)) == []

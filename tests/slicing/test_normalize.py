@@ -1,0 +1,109 @@
+"""Tests for gadget normalization (Step III)."""
+
+from repro.lang.callgraph import analyze
+from repro.slicing.gadget import classic_gadget
+from repro.slicing.normalize import (Normalizer, normalize_gadget,
+                                     tokenize_gadget_text)
+from repro.slicing.special_tokens import find_special_tokens
+
+
+def normalized_tokens(text):
+    return Normalizer().normalize_text(text)
+
+
+class TestRenaming:
+    def test_variables_renamed_in_order(self):
+        tokens = normalized_tokens("alpha = beta + alpha;")
+        assert tokens == ["var1", "=", "var2", "+", "var1", ";"]
+
+    def test_user_function_renamed(self):
+        tokens = normalized_tokens("process_input(x);")
+        assert tokens[0] == "fun1"
+
+    def test_library_function_kept(self):
+        tokens = normalized_tokens("strncpy(dest, src, n);")
+        assert tokens[0] == "strncpy"
+
+    def test_keywords_kept(self):
+        tokens = normalized_tokens("if (x) return;")
+        assert "if" in tokens and "return" in tokens
+
+    def test_numbers_kept(self):
+        tokens = normalized_tokens("x = 42;")
+        assert "42" in tokens
+
+    def test_strings_collapsed(self):
+        tokens = normalized_tokens('printf("secret value %d", x);')
+        assert '"STR"' in tokens
+        assert not any("secret" in t for t in tokens)
+
+    def test_function_name_without_call_reuses_mapping(self):
+        normalizer = Normalizer()
+        first = normalizer.normalize_text("handler(1);")
+        second = normalizer.normalize_text("cb = handler;")
+        assert first[0] == "fun1"
+        assert second[2] == "fun1"
+
+    def test_mapping_consistent_across_lines(self):
+        normalizer = Normalizer()
+        a = normalizer.normalize_text("total = 0;")
+        b = normalizer.normalize_text("total = total + 1;")
+        assert a[0] == b[0] == "var1"
+
+    def test_non_ascii_stripped(self):
+        tokens = normalized_tokens("x = 1; // café 中文")
+        assert all(t.isascii() for t in tokens)
+
+
+class TestGadgetNormalization:
+    SOURCE = """\
+void copy_it(char *incoming, int amount) {
+    char storage[8];
+    strncpy(storage, incoming, amount);
+}
+"""
+
+    def gadget(self):
+        program = analyze(self.SOURCE)
+        criterion = [c for c in find_special_tokens(program)
+                     if c.token == "strncpy"][0]
+        return classic_gadget(program, criterion)
+
+    def test_normalize_gadget_produces_tokens(self):
+        result = normalize_gadget(self.gadget())
+        assert "strncpy" in result.tokens
+        assert "storage" not in result.tokens
+
+    def test_var_map_recorded(self):
+        result = normalize_gadget(self.gadget())
+        assert set(result.var_map) >= {"storage", "incoming", "amount"}
+
+    def test_same_source_same_tokens(self):
+        one = normalize_gadget(self.gadget())
+        two = normalize_gadget(self.gadget())
+        assert one.tokens == two.tokens
+
+    def test_alpha_renamed_sources_collide(self):
+        """Two gadgets differing only in identifier names normalize to
+        the same token stream — the reason Step III exists."""
+        other = self.SOURCE.replace("storage", "bucket") \
+                           .replace("incoming", "payload") \
+                           .replace("amount", "weight") \
+                           .replace("copy_it", "move_it")
+        program = analyze(other)
+        criterion = [c for c in find_special_tokens(program)
+                     if c.token == "strncpy"][0]
+        from repro.slicing.gadget import classic_gadget as cg
+        assert normalize_gadget(self.gadget()).tokens == \
+            normalize_gadget(cg(program, criterion)).tokens
+
+    def test_label_passthrough(self):
+        gadget = self.gadget()
+        gadget.label = 1
+        assert normalize_gadget(gadget).label == 1
+
+
+class TestRawTokenizer:
+    def test_tokenize_gadget_text_keeps_names(self):
+        tokens = tokenize_gadget_text("alpha = beta;")
+        assert tokens == ["alpha", "=", "beta", ";"]

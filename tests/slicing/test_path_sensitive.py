@@ -1,0 +1,262 @@
+"""Tests for Algorithm 1 — control ranges and path-sensitive gadgets.
+
+The central theorem of the paper's motivating example is asserted here:
+the guarded/unguarded pair produces identical classic gadgets but
+distinct path-sensitive gadgets.
+"""
+
+from repro.lang.callgraph import analyze
+from repro.slicing.gadget import classic_gadget
+from repro.slicing.path_sensitive import (brace_ranges,
+                                          extract_control_ranges,
+                                          path_sensitive_gadget)
+from repro.slicing.special_tokens import find_special_tokens
+
+SAFE = """\
+void fun1(char *data, int n) {
+    char dest[10];
+    if (n < 10) {
+        dest[0] = 65;
+        strncpy(dest, data, n);
+    }
+}
+"""
+
+VULN = """\
+void fun1(char *data, int n) {
+    char dest[10];
+    if (n < 10) {
+        dest[0] = 65;
+    }
+    strncpy(dest, data, n);
+}
+"""
+
+
+def gadget_pair(source, token="strncpy"):
+    program = analyze(source)
+    criterion = [c for c in find_special_tokens(program)
+                 if c.token == token][0]
+    return (classic_gadget(program, criterion),
+            path_sensitive_gadget(program, criterion))
+
+
+class TestMotivatingExample:
+    def test_classic_gadgets_identical(self):
+        cg_safe, _ = gadget_pair(SAFE)
+        cg_vuln, _ = gadget_pair(VULN)
+        assert cg_safe.text() == cg_vuln.text()
+
+    def test_path_sensitive_gadgets_differ(self):
+        _, ps_safe = gadget_pair(SAFE)
+        _, ps_vuln = gadget_pair(VULN)
+        assert ps_safe.text() != ps_vuln.text()
+
+    def test_safe_copy_inside_scope(self):
+        _, ps = gadget_pair(SAFE)
+        roles = [(line.role, line.text) for line in ps.lines]
+        crit_index = next(i for i, (role, _) in enumerate(roles)
+                          if role == "criterion")
+        end_index = next(i for i, (role, _) in enumerate(roles)
+                         if role == "control-end")
+        assert crit_index < end_index
+
+    def test_vuln_copy_outside_scope(self):
+        _, ps = gadget_pair(VULN)
+        roles = [line.role for line in ps.lines]
+        crit_index = roles.index("criterion")
+        end_index = roles.index("control-end")
+        assert end_index < crit_index
+
+
+class TestControlRanges:
+    SOURCE = """\
+void f(int n) {
+    if (n < 0) {
+        n = 0;
+    } else if (n > 100) {
+        n = 100;
+    } else {
+        n = n + 1;
+    }
+    for (int i = 0; i < n; i++) {
+        n--;
+    }
+    while (n) {
+        n--;
+    }
+    do {
+        n++;
+    } while (n < 3);
+    switch (n) {
+    case 1:
+        n = 1;
+        break;
+    default:
+        break;
+    }
+}
+"""
+
+    def ranges(self):
+        return extract_control_ranges(analyze(self.SOURCE), "f")
+
+    def test_all_eight_kinds_found(self):
+        kinds = {r.kind for r in self.ranges()}
+        assert kinds >= {"if", "elseif", "else", "for", "while",
+                         "dowhile", "switch", "case"}
+
+    def test_if_range_spans_then_branch(self):
+        if_range = next(r for r in self.ranges() if r.kind == "if")
+        assert if_range.header_line == 2
+        assert if_range.contains(3)
+        assert not if_range.contains(7)
+
+    def test_elseif_bound_to_if(self):
+        elseif = next(r for r in self.ranges() if r.kind == "elseif")
+        assert 2 in elseif.bound
+
+    def test_else_bound_to_chain(self):
+        else_range = next(r for r in self.ranges() if r.kind == "else")
+        assert 2 in else_range.bound
+        assert 4 in else_range.bound
+
+    def test_case_bound_to_switch(self):
+        case = next(r for r in self.ranges() if r.kind == "case")
+        switch = next(r for r in self.ranges() if r.kind == "switch")
+        assert switch.header_line in case.bound
+
+    def test_dowhile_range_includes_while_line(self):
+        dowhile = next(r for r in self.ranges() if r.kind == "dowhile")
+        assert dowhile.contains(17)
+
+    def test_unknown_function_yields_no_ranges(self):
+        assert extract_control_ranges(analyze(self.SOURCE), "ghost") == []
+
+
+class TestBraceRanges:
+    def test_simple_pairs(self):
+        pairs = brace_ranges(["int f() {", "  if (x) {", "  }", "}"])
+        assert (2, 3) in pairs
+        assert (1, 4) in pairs
+
+    def test_braces_in_strings_ignored(self):
+        pairs = brace_ranges(['char *s = "{";', "{", "}"])
+        assert pairs == [(2, 3)]
+
+    def test_braces_in_comments_ignored(self):
+        pairs = brace_ranges(["// {", "/* { */", "{", "}"])
+        assert pairs == [(3, 4)]
+
+    def test_same_line_pair(self):
+        pairs = brace_ranges(["if (x) { y = 1; }"])
+        assert pairs == [(1, 1)]
+
+    def test_unbalanced_close_ignored(self):
+        assert brace_ranges(["}"]) == []
+
+
+class TestGadgetStructure:
+    def test_boundary_lines_marked(self):
+        _, ps = gadget_pair(SAFE)
+        roles = {line.role for line in ps.lines}
+        assert "control-end" in roles
+        assert "criterion" in roles
+
+    def test_lines_sorted_within_function(self):
+        _, ps = gadget_pair(SAFE)
+        numbers = [line.line for line in ps.lines]
+        assert numbers == sorted(numbers)
+
+    def test_kind_label(self):
+        cg, ps = gadget_pair(SAFE)
+        assert cg.kind == "classic"
+        assert ps.kind == "path-sensitive"
+
+    def test_ps_gadget_is_superset_of_classic_lines(self):
+        cg, ps = gadget_pair(SAFE)
+        assert set(cg.line_numbers()) <= set(ps.line_numbers())
+
+
+class TestInterproceduralOrdering:
+    SOURCE = """\
+void callee(char *buf, int n) {
+    char dest[8];
+    strncpy(dest, buf, n);
+}
+
+int main() {
+    char line[16];
+    fgets(line, 16, 0);
+    callee(line, 9);
+    return 0;
+}
+"""
+
+    def test_caller_before_callee(self):
+        program = analyze(self.SOURCE)
+        criterion = [c for c in find_special_tokens(program)
+                     if c.token == "strncpy"][0]
+        gadget = path_sensitive_gadget(program, criterion)
+        functions = gadget.functions()
+        assert functions.index("main") < functions.index("callee")
+
+
+class TestPaperFig3Walkthrough:
+    """The paper's Fig 3: an if / else if / else chain with the
+    criterion inside the else range; Algorithm 1 must insert the else
+    header before the criterion and the closing brace after it, and
+    bind the whole chain."""
+
+    SOURCE = """\
+void fun1(char *data) {
+    char dest[10];
+    int n = strlen(data);
+    if (n < 5) {
+        dest[0] = 1;
+    } else if (n < 10) {
+        dest[1] = 2;
+    } else {
+        dest[2] = 3;
+        strncpy(dest, data, n);
+        dest[3] = 4;
+    }
+    printf("%s", dest);
+}
+"""
+
+    def gadget(self):
+        program = analyze(self.SOURCE)
+        criterion = [c for c in find_special_tokens(program)
+                     if c.token == "strncpy"][0]
+        return path_sensitive_gadget(program, criterion)
+
+    def test_else_header_precedes_criterion(self):
+        lines = self.gadget().lines
+        else_index = next(i for i, l in enumerate(lines)
+                          if "else {" in l.text and "if" not in l.text)
+        crit_index = next(i for i, l in enumerate(lines)
+                          if l.role == "criterion")
+        assert else_index < crit_index
+
+    def test_closing_brace_follows_criterion(self):
+        lines = self.gadget().lines
+        crit_index = next(i for i, l in enumerate(lines)
+                          if l.role == "criterion")
+        assert any(l.role == "control-end" and i > crit_index
+                   for i, l in enumerate(lines))
+
+    def test_chain_headers_all_present(self):
+        texts = [l.text for l in self.gadget().lines]
+        assert any("if (n < 5)" in t for t in texts)
+        assert any("else if (n < 10)" in t for t in texts)
+
+    def test_else_chain_binding(self):
+        program = analyze(self.SOURCE)
+        ranges = extract_control_ranges(program, "fun1")
+        else_range = next(r for r in ranges if r.kind == "else")
+        if_header = next(r for r in ranges if r.kind == "if").header_line
+        elseif_header = next(r for r in ranges
+                             if r.kind == "elseif").header_line
+        assert if_header in else_range.bound
+        assert elseif_header in else_range.bound

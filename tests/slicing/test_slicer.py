@@ -1,0 +1,115 @@
+"""Tests for forward/backward interprocedural slicing."""
+
+from repro.lang.callgraph import analyze
+from repro.slicing.slicer import compute_slice
+from repro.slicing.special_tokens import (SlicingCriterion, TokenCategory,
+                                          find_special_tokens)
+
+
+def slice_for(source, token, line=None, **kwargs):
+    program = analyze(source)
+    crits = [c for c in find_special_tokens(program)
+             if c.token == token and (line is None or c.line == line)]
+    assert crits, f"no criterion for {token}"
+    return program, compute_slice(program, crits[0], **kwargs)
+
+
+INTRA = """\
+void f(char *data, int n) {
+    char dest[8];
+    int unrelated = 42;
+    int len = n;
+    if (len < 8) {
+        strncpy(dest, data, len);
+    }
+    printf("%d", unrelated);
+}
+"""
+
+
+class TestIntraprocedural:
+    def test_backward_includes_definitions(self):
+        program, result = slice_for(INTRA, "strncpy")
+        lines = result.lines(program)["f"]
+        assert {2, 4, 6} <= lines
+
+    def test_guard_included_with_control(self):
+        program, result = slice_for(INTRA, "strncpy", use_control=True)
+        assert 5 in result.lines(program)["f"]
+
+    def test_guard_excluded_without_control(self):
+        program, result = slice_for(INTRA, "strncpy", use_control=False)
+        assert 5 not in result.lines(program)["f"]
+
+    def test_unrelated_statement_excluded(self):
+        program, result = slice_for(INTRA, "strncpy")
+        assert 3 not in result.lines(program)["f"]
+
+    def test_forward_part_includes_uses(self):
+        source = ("void f(char *data) {\nint n = strlen(data);\n"
+                  "int m = n + 1;\nprintf(\"%d\", m);\n}")
+        program, result = slice_for(source, "strlen")
+        lines = result.lines(program)["f"]
+        assert {2, 3, 4} <= lines
+
+    def test_total_nodes_counts(self):
+        program, result = slice_for(INTRA, "strncpy")
+        assert result.total_nodes() == \
+            sum(len(v) for v in result.nodes.values())
+
+
+INTER = """\
+void sink(char *buf, int len) {
+    char dest[8];
+    strncpy(dest, buf, len);
+}
+
+void source_fn(char *input) {
+    int len = strlen(input);
+    sink(input, len);
+}
+
+int main() {
+    char line[32];
+    fgets(line, 32, 0);
+    source_fn(line);
+    return 0;
+}
+"""
+
+
+class TestInterprocedural:
+    def test_backward_reaches_callers(self):
+        program, result = slice_for(INTER, "strncpy")
+        assert "source_fn" in result.nodes
+        assert "main" in result.nodes
+
+    def test_caller_lines_relevant(self):
+        program, result = slice_for(INTER, "strncpy")
+        lines = result.lines(program)
+        assert 8 in lines["source_fn"]   # the call to sink
+        assert 14 in lines["main"]       # the call to source_fn
+
+    def test_interprocedural_disabled(self):
+        program, result = slice_for(INTER, "strncpy",
+                                    interprocedural=False)
+        assert set(result.nodes) == {"sink"}
+
+    def test_forward_descends_into_callee(self):
+        # Criterion in source_fn; sink's body should join forward.
+        program = analyze(INTER)
+        crits = [c for c in find_special_tokens(program)
+                 if c.token == "strlen"]
+        result = compute_slice(program, crits[0])
+        assert "sink" in result.nodes
+
+    def test_missing_function_yields_empty_slice(self):
+        program = analyze(INTER)
+        ghost = SlicingCriterion("ghost", 1,
+                                 TokenCategory.FUNCTION_CALL, "strcpy")
+        result = compute_slice(program, ghost)
+        assert result.nodes == {}
+
+    def test_max_functions_cap(self):
+        program, result = slice_for(INTER, "strncpy", max_functions=1)
+        assert set(result.nodes) == {"sink"}

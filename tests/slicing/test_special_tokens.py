@@ -1,0 +1,114 @@
+"""Tests for special-token (slicing criterion) detection."""
+
+from repro.lang.callgraph import analyze
+from repro.slicing.special_tokens import TokenCategory, find_special_tokens
+
+
+def criteria_of(source, categories=None):
+    return find_special_tokens(analyze(source), categories)
+
+
+def by_category(criteria):
+    grouped = {}
+    for c in criteria:
+        grouped.setdefault(c.category, []).append(c)
+    return grouped
+
+
+class TestFunctionCalls:
+    def test_risky_library_call_detected(self):
+        crits = criteria_of(
+            "void f(char *d) {\nchar b[4];\nstrcpy(b, d);\n}")
+        fc = [c for c in crits if c.category is TokenCategory.FUNCTION_CALL]
+        assert any(c.token == "strcpy" and c.line == 3 for c in fc)
+
+    def test_benign_user_call_not_fc(self):
+        crits = criteria_of("void g() {}\nvoid f() { g(); }")
+        assert not [c for c in crits
+                    if c.category is TokenCategory.FUNCTION_CALL]
+
+    def test_each_call_site_counted(self):
+        crits = criteria_of(
+            "void f(char *d) {\nmemcpy(d, d, 1);\nmemcpy(d, d, 2);\n}")
+        fc = [c for c in crits if c.token == "memcpy"]
+        assert {c.line for c in fc} == {2, 3}
+
+
+class TestArrayUsage:
+    def test_array_index_detected(self):
+        crits = criteria_of("void f(int n) {\nint a[4];\na[n] = 1;\n}")
+        au = [c for c in crits if c.category is TokenCategory.ARRAY_USAGE]
+        assert any(c.token == "a" and c.line == 3 for c in au)
+
+    def test_pointer_indexing_counts_as_pointer_usage(self):
+        crits = criteria_of("void f(char *p, int n) {\np[n] = 1;\n}")
+        pu = [c for c in crits
+              if c.category is TokenCategory.POINTER_USAGE]
+        assert any(c.token == "p" for c in pu)
+
+    def test_declared_array_indexing_stays_array_usage(self):
+        crits = criteria_of("void f(int n) {\nint a[4];\na[n] = 1;\n}")
+        au = [c for c in crits if c.category is TokenCategory.ARRAY_USAGE]
+        assert any(c.token == "a" and c.line == 3 for c in au)
+
+
+class TestPointerUsage:
+    def test_deref_detected(self):
+        crits = criteria_of("void f(char *p) {\n*p = 1;\n}")
+        pu = [c for c in crits if c.category is TokenCategory.POINTER_USAGE]
+        assert any(c.token == "p" and c.line == 2 for c in pu)
+
+    def test_arrow_member_detected(self):
+        crits = criteria_of(
+            "struct s { int x; };\nvoid f(struct s *p) {\np->x = 1;\n}")
+        pu = [c for c in crits if c.category is TokenCategory.POINTER_USAGE]
+        assert any(c.token == "p" for c in pu)
+
+    def test_pointer_declaration_detected(self):
+        crits = criteria_of("void f() {\nchar *p = NULL;\n}")
+        pu = [c for c in crits if c.category is TokenCategory.POINTER_USAGE]
+        assert any(c.token == "p" for c in pu)
+
+
+class TestArithmetic:
+    def test_binary_arith_on_variable(self):
+        crits = criteria_of("void f(int n) {\nint a = n * 4;\n}")
+        ae = [c for c in crits
+              if c.category is TokenCategory.ARITHMETIC_EXPR]
+        assert any(c.token == "*" and c.line == 2 for c in ae)
+
+    def test_constant_folding_not_interesting(self):
+        crits = criteria_of("void f() {\nint a = 2 + 3;\n}")
+        ae = [c for c in crits
+              if c.category is TokenCategory.ARITHMETIC_EXPR]
+        assert not ae
+
+    def test_compound_assign_detected(self):
+        crits = criteria_of("void f(int n) {\nn -= 3;\n}")
+        ae = [c for c in crits
+              if c.category is TokenCategory.ARITHMETIC_EXPR]
+        assert any(c.token == "-" for c in ae)
+
+
+class TestFiltering:
+    SOURCE = ("void f(char *d, int n) {\nchar b[8];\nstrcpy(b, d);\n"
+              "b[n] = 1;\nint x = n + 1;\n*d = 2;\n}")
+
+    def test_category_filter(self):
+        only_fc = criteria_of(
+            self.SOURCE, frozenset({TokenCategory.FUNCTION_CALL}))
+        assert {c.category for c in only_fc} == \
+            {TokenCategory.FUNCTION_CALL}
+
+    def test_all_four_categories_found(self):
+        grouped = by_category(criteria_of(self.SOURCE))
+        assert set(grouped) == set(TokenCategory)
+
+    def test_sorted_deterministic(self):
+        first = criteria_of(self.SOURCE)
+        second = criteria_of(self.SOURCE)
+        assert first == second
+
+    def test_no_duplicates(self):
+        crits = criteria_of(self.SOURCE)
+        assert len(crits) == len(set(crits))
