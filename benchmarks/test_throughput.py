@@ -56,6 +56,43 @@ def test_extract_gadgets_per_case_throughput(benchmark, sample_case):
     assert gadgets
 
 
+@pytest.fixture(scope="module")
+def extraction_corpus():
+    from repro.datasets.sard import generate_sard_corpus
+    return generate_sard_corpus(8, seed=11)
+
+
+def test_extract_gadgets_parallel_throughput(benchmark,
+                                             extraction_corpus):
+    """Process-pool fan-out including pool startup cost."""
+    serial = extract_gadgets(extraction_corpus)
+    gadgets = benchmark(extract_gadgets, extraction_corpus, workers=2)
+    assert gadgets == serial
+
+
+def test_extract_gadgets_warm_cache_throughput(benchmark,
+                                               extraction_corpus,
+                                               tmp_path_factory):
+    """Warm-cache rerun: every case served without frontend work."""
+    from repro.core.telemetry import Telemetry
+
+    cache_dir = tmp_path_factory.mktemp("gadget-cache")
+    serial = extract_gadgets(extraction_corpus)
+    extract_gadgets(extraction_corpus, cache=cache_dir)  # fill
+
+    telemetry = Telemetry()
+
+    def warm_run():
+        return extract_gadgets(extraction_corpus, cache=cache_dir,
+                               telemetry=telemetry)
+
+    gadgets = benchmark(warm_run)
+    assert gadgets == serial
+    assert telemetry.get("cache_misses") == 0
+    assert telemetry.get("cache_hits") > 0
+    assert telemetry.calls("analyze") == 0
+
+
 @pytest.mark.parametrize("length", [32, 128, 512])
 def test_sevuldet_forward_throughput(benchmark, length):
     """Flexible-length forward pass cost vs sequence length."""

@@ -6,6 +6,7 @@
     python -m repro scan target.c --model detector.npz
     python -m repro fuzz target.c --execs 800
     python -m repro gadgets target.c --kind path-sensitive
+    python -m repro extract --cases 200 --workers 4 --out gadgets.jsonl
     python -m repro export-corpus --cases 100 --dir ./corpus
 """
 
@@ -19,6 +20,7 @@ from .baselines.afl import AFLFuzzer
 from .core.config import SCALE_PRESETS, current_scale
 from .core.detector import SEVulDet
 from .core.pipeline import extract_gadgets
+from .core.telemetry import Telemetry
 from .datasets.manifest import TestCase
 from .datasets.nvd import generate_nvd_corpus
 from .datasets.sard import generate_sard_corpus
@@ -46,6 +48,15 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=7)
     train.add_argument("--out", type=Path, required=True,
                        help="where to save the trained model (.npz)")
+    train.add_argument("--workers", type=int, default=0,
+                       help="extraction worker processes "
+                            "(0 = serial, default)")
+    train.add_argument("--cache-dir", type=Path, default=None,
+                       help="content-addressed extraction cache "
+                            "directory (reruns skip the frontend)")
+    train.add_argument("--stats", action="store_true",
+                       help="print extraction telemetry "
+                            "(stage timings + counters)")
 
     scan = commands.add_parser(
         "scan", help="scan C files with a trained detector")
@@ -67,6 +78,29 @@ def build_parser() -> argparse.ArgumentParser:
     gadgets.add_argument("--kind",
                          choices=("path-sensitive", "classic"),
                          default="path-sensitive")
+
+    extract = commands.add_parser(
+        "extract",
+        help="extract labeled gadgets from a generated corpus "
+             "(parallel + cached) and write them to .jsonl")
+    extract.add_argument("--cases", type=int, default=150,
+                         help="number of SARD-style programs")
+    extract.add_argument("--nvd-cases", type=int, default=0,
+                         help="number of NVD-style programs")
+    extract.add_argument("--seed", type=int, default=7)
+    extract.add_argument("--kind",
+                         choices=("path-sensitive", "classic"),
+                         default="path-sensitive")
+    extract.add_argument("--workers", type=int, default=0,
+                         help="extraction worker processes "
+                              "(0 = serial, default)")
+    extract.add_argument("--cache-dir", type=Path, default=None,
+                         help="content-addressed extraction cache "
+                              "directory")
+    extract.add_argument("--out", type=Path, required=True,
+                         help="output gadget dataset (.jsonl)")
+    extract.add_argument("--stats", action="store_true",
+                         help="print extraction telemetry")
 
     export = commands.add_parser(
         "export-corpus",
@@ -95,11 +129,35 @@ def _cmd_train(args: argparse.Namespace) -> int:
     vulnerable = sum(case.vulnerable for case in corpus)
     print(f"training on {len(corpus)} programs "
           f"({vulnerable} vulnerable) at scale {scale.name!r} ...")
-    detector = SEVulDet(scale=scale, seed=args.seed)
+    detector = SEVulDet(scale=scale, seed=args.seed,
+                        workers=args.workers, cache=args.cache_dir)
     report = detector.fit(corpus)
     detector.save(args.out)
     print(f"final loss {report.final_loss:.4f}; model saved to "
           f"{args.out}")
+    if args.stats:
+        print(detector.telemetry.summary())
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    from .core.store import save_gadgets
+
+    corpus = generate_sard_corpus(args.cases, seed=args.seed)
+    if args.nvd_cases > 0:
+        corpus += generate_nvd_corpus(args.nvd_cases,
+                                      seed=args.seed + 1)
+    telemetry = Telemetry()
+    gadgets = extract_gadgets(corpus, kind=args.kind,
+                              workers=args.workers,
+                              cache=args.cache_dir,
+                              telemetry=telemetry)
+    count = save_gadgets(gadgets, args.out)
+    vulnerable = sum(g.label for g in gadgets)
+    print(f"extracted {count} gadgets ({vulnerable} vulnerable) from "
+          f"{len(corpus)} programs -> {args.out}")
+    if args.stats:
+        print(telemetry.summary())
     return 0
 
 
@@ -185,6 +243,7 @@ _COMMANDS = {
     "scan": _cmd_scan,
     "fuzz": _cmd_fuzz,
     "gadgets": _cmd_gadgets,
+    "extract": _cmd_extract,
     "export-corpus": _cmd_export_corpus,
 }
 

@@ -8,6 +8,8 @@ from .detector import Finding, SEVulDet
 from .attention_hook import TokenWeight, attention_report, weights_by_line
 from .cwe_typing import CWETyper
 from .store import iter_gadgets, load_gadgets, save_gadgets
+from .cache import GadgetCache
+from .telemetry import Telemetry
 
 __all__ = [
     "FRAMEWORK_HYPERPARAMS", "SCALE_PRESETS", "HyperParams", "Scale",
@@ -18,4 +20,5 @@ __all__ = [
     "Finding", "SEVulDet",
     "TokenWeight", "attention_report", "weights_by_line",
     "CWETyper", "iter_gadgets", "load_gadgets", "save_gadgets",
+    "GadgetCache", "Telemetry",
 ]

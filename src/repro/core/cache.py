@@ -1,0 +1,90 @@
+"""Content-addressed gadget extraction cache.
+
+The frontend (parse -> CFG -> PDG -> slice -> normalize) dominates
+preprocessing cost at corpus scale, and protocols like 5-fold cross
+validation re-extract the *same* cases many times.  This cache keys
+each case's extracted gadgets by a hash of (case content, extraction
+config, pipeline version) so repeated runs skip the frontend entirely.
+
+Entries are stored as one JSON-lines shard per (case, config) key in a
+two-level fan-out directory, reusing :mod:`repro.core.store`'s record
+format — the cache is therefore diff-able, append-friendly, and safe
+to prune with plain ``rm``.  Writes go through a temp file + rename so
+concurrent extractors (process pools, parallel test runs) never
+observe a torn shard; a corrupt or unreadable shard degrades to a
+cache miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Sequence
+
+from ..datasets.manifest import TestCase
+from ..slicing.normalize import NORMALIZE_VERSION
+from .pipeline import PIPELINE_VERSION, LabeledGadget
+from .store import load_gadgets, save_gadgets
+
+__all__ = ["GadgetCache"]
+
+
+class GadgetCache:
+    """On-disk cache of per-case extraction results.
+
+    Args:
+        root: cache directory (created lazily on first write).
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def key_for(self, case: TestCase, config_token: str) -> str:
+        """Cache key for one case under one extraction config."""
+        digest = hashlib.sha256()
+        digest.update(case.fingerprint().encode("utf-8"))
+        digest.update(b"|")
+        digest.update(config_token.encode("utf-8"))
+        digest.update(f"|pipeline={PIPELINE_VERSION};"
+                      f"normalize={NORMALIZE_VERSION}".encode("utf-8"))
+        return digest.hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.jsonl"
+
+    def get(self, key: str) -> list[LabeledGadget] | None:
+        """Cached gadgets for ``key``, or None on a miss.
+
+        An unreadable or corrupt shard counts as a miss — the caller
+        re-extracts and overwrites it.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            return load_gadgets(path)
+        except (ValueError, OSError):
+            return None
+
+    def put(self, key: str, gadgets: Sequence[LabeledGadget]) -> None:
+        """Store ``gadgets`` under ``key`` (atomic replace)."""
+        save_gadgets(gadgets, self.path_for(key), atomic=True)
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        """Number of cached shards."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.jsonl"))
+
+    def clear(self) -> int:
+        """Delete every shard; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for shard in self.root.glob("*/*.jsonl"):
+            shard.unlink()
+            removed += 1
+        return removed

@@ -43,7 +43,8 @@ class CWETyper:
     def fit(self, gadgets: Sequence[LabeledGadget], *,
             epochs: int = 12, batch_size: int = 16,
             lr: float = 3e-3,
-            pretrained: np.ndarray | None = None) -> list[float]:
+            pretrained: np.ndarray | None = None,
+            id_aliases: np.ndarray | None = None) -> list[float]:
         """Train on vulnerable gadgets; returns per-epoch losses."""
         training = [g for g in gadgets if g.label == 1 and g.cwe]
         if not training:
@@ -59,6 +60,8 @@ class CWETyper:
         self.model = CWETypeNet(len(self.vocab), len(self.classes),
                                 dim=self.dim, channels=self.channels,
                                 pretrained=pretrained, seed=self.seed)
+        if id_aliases is not None:
+            self.model.embedding.id_aliases = id_aliases
         params = list(self.model.parameters())
         optimizer = Adam(params, lr=lr)
         rng = np.random.default_rng(self.seed)

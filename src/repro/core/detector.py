@@ -24,6 +24,7 @@ from .cwe_typing import CWETyper
 from .pipeline import (EncodedDataset, LabeledGadget, TrainReport,
                        encode_gadgets, extract_gadgets, predict_proba,
                        train_classifier)
+from .telemetry import Telemetry
 
 __all__ = ["Finding", "SEVulDet"]
 
@@ -59,6 +60,12 @@ class SEVulDet:
         threshold: decision threshold (paper: 0.8).
         gadget_kind: 'path-sensitive' (default) or 'classic' for
             ablation studies.
+        workers: fan gadget extraction out over this many processes
+            during :meth:`fit` (0 keeps the serial path).
+        cache: extraction cache (GadgetCache or directory path) that
+            lets repeated fits skip the frontend for unchanged cases.
+        telemetry: extraction stage timings and counters, accumulated
+            across :meth:`fit` calls.
     """
 
     scale: Scale = field(default_factory=current_scale)
@@ -69,12 +76,18 @@ class SEVulDet:
     model: SEVulDetNet | None = None
     dataset: EncodedDataset | None = None
     typer: CWETyper | None = None
+    workers: int = 0
+    cache: object | None = None
+    telemetry: Telemetry = field(default_factory=Telemetry)
 
     def fit(self, cases: Sequence[TestCase],
             epochs: int | None = None) -> TrainReport:
         """Train on labelled corpus programs."""
         gadgets = extract_gadgets(cases, kind=self.gadget_kind,
-                                  categories=self.categories)
+                                  categories=self.categories,
+                                  workers=self.workers,
+                                  cache=self.cache,
+                                  telemetry=self.telemetry)
         if not gadgets:
             raise ValueError("no gadgets could be extracted from the "
                              "training corpus")
@@ -85,6 +98,7 @@ class SEVulDet:
             len(self.dataset.vocab), dim=self.scale.dim,
             channels=self.scale.channels,
             pretrained=self.dataset.word2vec.vectors, seed=self.seed)
+        self.dataset.bind_embedding_aliases(self.model)
         return train_classifier(
             self.model, self.dataset.samples,
             epochs=epochs if epochs is not None else self.scale.epochs,
@@ -102,7 +116,8 @@ class SEVulDet:
                               seed=self.seed)
         return self.typer.fit(
             self.dataset.gadgets, epochs=epochs,
-            pretrained=self.dataset.word2vec.vectors)
+            pretrained=self.dataset.word2vec.vectors,
+            id_aliases=self.dataset.id_aliases)
 
     def _require_trained(self) -> tuple[SEVulDetNet, Vocabulary]:
         if self.model is None or self.dataset is None:
@@ -160,12 +175,17 @@ class SEVulDet:
         needed.
         """
         model, vocab = self._require_trained()
+        aliases = model.embedding.id_aliases
+        rare_ids = ([] if aliases is None else
+                    [int(i) for i in np.flatnonzero(
+                        aliases != np.arange(len(aliases)))])
         save_model(model, path, metadata={
             "tokens": vocab.id_to_token,
             "threshold": self.threshold,
             "gadget_kind": self.gadget_kind,
             "dim": self.scale.dim,
             "channels": self.scale.channels,
+            "rare_token_ids": rare_ids,
         })
 
     def load(self, path: str | Path) -> None:
@@ -186,9 +206,16 @@ class SEVulDet:
         model = SEVulDetNet(len(vocab), dim=metadata["dim"],
                             channels=metadata["channels"])
         load_model(model, path)
+        rare_ids = metadata.get("rare_token_ids", [])
+        id_aliases = None
+        if rare_ids:
+            id_aliases = np.arange(len(vocab), dtype=np.int64)
+            id_aliases[rare_ids] = 1
+            model.embedding.id_aliases = id_aliases
         self.model = model
         self.threshold = metadata["threshold"]
         self.gadget_kind = metadata["gadget_kind"]
         word2vec = Word2Vec(vocab, dim=metadata["dim"])
         word2vec.input_vectors = model.embedding.weight.data.copy()
-        self.dataset = EncodedDataset([], vocab, word2vec)
+        self.dataset = EncodedDataset([], vocab, word2vec,
+                                      id_aliases=id_aliases)

@@ -8,7 +8,11 @@ model and the BRNN baselines share (Step V).
 
 from __future__ import annotations
 
+import itertools
+import logging
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -28,10 +32,18 @@ from ..slicing.normalize import NormalizedGadget, normalize_gadget
 from ..slicing.path_sensitive import path_sensitive_gadget
 from ..slicing.special_tokens import (SlicingCriterion, TokenCategory,
                                       find_special_tokens)
+from .telemetry import Telemetry
 
-__all__ = ["LabeledGadget", "EncodedDataset", "extract_gadgets",
-           "encode_gadgets", "train_classifier", "predict_proba",
-           "evaluate_classifier", "TrainReport"]
+__all__ = ["PIPELINE_VERSION", "LabeledGadget", "EncodedDataset",
+           "extract_gadgets", "encode_gadgets", "train_classifier",
+           "predict_proba", "evaluate_classifier", "TrainReport"]
+
+logger = logging.getLogger(__name__)
+
+#: Bump when extraction semantics change (slicing order, labeling,
+#: gadget assembly, ...) — folded into extraction cache keys so stale
+#: cached gadgets are never served across pipeline revisions.
+PIPELINE_VERSION = 2
 
 _CATEGORY_MAP = {
     "FC": TokenCategory.FUNCTION_CALL,
@@ -58,6 +70,78 @@ class LabeledGadget:
         return Sample(tuple(vocab.encode(list(self.tokens))), self.label)
 
 
+@dataclass(frozen=True)
+class _ExtractConfig:
+    """Per-run extraction knobs, picklable for worker processes."""
+
+    kind: str
+    wanted: frozenset[TokenCategory] | None
+    use_control: bool
+    keep_gadget: bool
+
+    def cache_token(self) -> str:
+        """Stable string folded into extraction cache keys."""
+        categories = ("*" if self.wanted is None else
+                      ",".join(sorted(c.value for c in self.wanted)))
+        return (f"kind={self.kind};categories={categories};"
+                f"control={int(self.use_control)}")
+
+
+def _extract_case(case: TestCase, config: _ExtractConfig
+                  ) -> tuple[list[LabeledGadget], dict]:
+    """Pure per-case body of :func:`extract_gadgets`.
+
+    Analyzes, slices, labels, and normalizes one program, returning its
+    un-deduplicated gadgets in deterministic criterion order plus a
+    telemetry snapshot.  Depends only on its arguments, so it runs
+    identically inline or in a worker process.
+    """
+    local = Telemetry()
+    try:
+        with local.stage("analyze"):
+            program = analyze(case.source, path=case.name)
+    except ParseError:
+        local.count("cases_skipped")
+        return [], local.as_dict()
+    local.count("cases_parsed")
+    manifest = case.manifest()
+    gadgets: list[LabeledGadget] = []
+    for criterion in find_special_tokens(program, config.wanted):
+        with local.stage("slice"):
+            if config.kind == "path-sensitive":
+                gadget = path_sensitive_gadget(program, criterion)
+            else:
+                gadget = classic_gadget(program, criterion,
+                                        use_control=config.use_control)
+        if not gadget.lines:
+            continue
+        gadget.label = label_gadget(gadget, manifest)
+        with local.stage("normalize"):
+            normalized = normalize_gadget(gadget)
+        gadgets.append(
+            LabeledGadget(
+                tokens=tuple(normalized.tokens),
+                label=gadget.label,
+                category=criterion.category.value,
+                case_name=case.name,
+                criterion=criterion,
+                kind=config.kind,
+                gadget=gadget if config.keep_gadget else None,
+                cwe=case.cwe))
+    local.count("gadgets_extracted", len(gadgets))
+    return gadgets, local.as_dict()
+
+
+def _coerce_cache(cache):
+    """Accept a GadgetCache, a directory path, or None."""
+    if cache is None:
+        return None
+    if isinstance(cache, (str, Path)):
+        from .cache import GadgetCache
+        return GadgetCache(cache)
+    return cache
+
+
 def extract_gadgets(
     cases: Sequence[TestCase],
     kind: str = "path-sensitive",
@@ -66,8 +150,17 @@ def extract_gadgets(
     use_control: bool = True,
     deduplicate: bool = True,
     keep_gadget: bool = False,
+    workers: int = 0,
+    cache=None,
+    telemetry: Telemetry | None = None,
 ) -> list[LabeledGadget]:
     """Steps I-III: slice, assemble, label, and normalize every case.
+
+    Cases are processed independently (optionally fanned out over a
+    process pool and/or served from a content-addressed cache) and the
+    per-case gadget lists are concatenated in corpus order before
+    deduplication, so the output is byte-identical no matter how the
+    work was scheduled.
 
     Args:
         cases: corpus programs.
@@ -81,55 +174,114 @@ def extract_gadgets(
             paper does after merging corpora.
         keep_gadget: retain the raw gadget object (needed by the
             attention visualization, costs memory otherwise).
+        workers: fan the per-case work out over this many processes
+            (0 or 1 keeps the serial in-process path).
+        cache: a :class:`~repro.core.cache.GadgetCache`, a cache
+            directory path, or None.  Hits skip the frontend entirely;
+            ignored when ``keep_gadget`` is set because the on-disk
+            record format does not persist raw gadget objects.
+        telemetry: optional accumulator for stage timings and counters
+            (cases parsed/skipped, gadgets, dedup and cache hits).
     """
     if kind not in ("path-sensitive", "classic"):
         raise ValueError(f"unknown gadget kind {kind!r}")
     wanted = None
     if categories is not None:
         wanted = frozenset(_CATEGORY_MAP[c] for c in categories)
+    config = _ExtractConfig(kind=kind, wanted=wanted,
+                            use_control=use_control,
+                            keep_gadget=keep_gadget)
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    telemetry.count("cases_total", len(cases))
+
+    gadget_cache = None if keep_gadget else _coerce_cache(cache)
+    if cache is not None and keep_gadget:
+        logger.warning("extract_gadgets: cache disabled because "
+                       "keep_gadget=True retains raw gadget objects "
+                       "the cache format does not persist")
+
+    per_case: list[list[LabeledGadget] | None] = [None] * len(cases)
+    keys: list[str | None] = [None] * len(cases)
+    pending = list(range(len(cases)))
+    if gadget_cache is not None:
+        pending = []
+        with telemetry.stage("cache-lookup"):
+            for index, case in enumerate(cases):
+                key = gadget_cache.key_for(case, config.cache_token())
+                keys[index] = key
+                hit = gadget_cache.get(key)
+                if hit is None:
+                    telemetry.count("cache_misses")
+                    pending.append(index)
+                else:
+                    telemetry.count("cache_hits")
+                    per_case[index] = hit
+
+    if workers > 1 and len(pending) > 1:
+        with telemetry.stage("extract"):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunksize = max(1, len(pending) // (workers * 4))
+                outcomes = list(pool.map(
+                    _extract_case, [cases[i] for i in pending],
+                    itertools.repeat(config), chunksize=chunksize))
+    else:
+        with telemetry.stage("extract"):
+            outcomes = [_extract_case(cases[i], config)
+                        for i in pending]
+
+    skipped_names: list[str] = []
+    for index, (gadgets, stats) in zip(pending, outcomes):
+        per_case[index] = gadgets
+        telemetry.merge_dict(stats)
+        skipped = stats.get("counters", {}).get("cases_skipped", 0)
+        if skipped:
+            skipped_names.append(cases[index].name)
+        elif gadget_cache is not None:
+            # parse failures are deliberately not cached: re-failing is
+            # cheap and keeps the skip diagnostics visible on reruns
+            with telemetry.stage("cache-store"):
+                gadget_cache.put(keys[index], gadgets)
+
     results: list[LabeledGadget] = []
     seen: set[tuple[tuple[str, ...], int]] = set()
-    for case in cases:
-        try:
-            program = analyze(case.source, path=case.name)
-        except ParseError:
-            continue  # real pipelines skip unparseable units
-        manifest = case.manifest()
-        for criterion in find_special_tokens(program, wanted):
-            if kind == "path-sensitive":
-                gadget = path_sensitive_gadget(program, criterion)
-            else:
-                gadget = classic_gadget(program, criterion,
-                                        use_control=use_control)
-            if not gadget.lines:
-                continue
-            gadget.label = label_gadget(gadget, manifest)
-            normalized = normalize_gadget(gadget)
-            key = (tuple(normalized.tokens), gadget.label)
-            if deduplicate and key in seen:
-                continue
-            seen.add(key)
-            results.append(
-                LabeledGadget(
-                    tokens=tuple(normalized.tokens),
-                    label=gadget.label,
-                    category=criterion.category.value,
-                    case_name=case.name,
-                    criterion=criterion,
-                    kind=kind,
-                    gadget=gadget if keep_gadget else None,
-                    cwe=case.cwe))
+    dedup_hits = 0
+    for case_gadgets in per_case:
+        for labeled in case_gadgets or ():
+            key = (labeled.tokens, labeled.label)
+            if deduplicate:
+                if key in seen:
+                    dedup_hits += 1
+                    continue
+                seen.add(key)
+            results.append(labeled)
+    telemetry.count("dedup_hits", dedup_hits)
+    telemetry.count("gadgets_emitted", len(results))
+    if skipped_names:
+        shown = ", ".join(skipped_names[:5])
+        if len(skipped_names) > 5:
+            shown += ", ..."
+        logger.warning("extract_gadgets: skipped %d/%d unparseable "
+                       "case(s): %s", len(skipped_names), len(cases),
+                       shown)
     return results
 
 
 @dataclass
 class EncodedDataset:
-    """Vocabulary + pretrained embeddings + encoded samples."""
+    """Vocabulary + pretrained embeddings + encoded samples.
+
+    ``id_aliases`` carries the embedding-level min_count trimming: an
+    identity id map except rare token ids point at UNK.  Samples keep
+    their lossless full-vocabulary ids; models that should treat rare
+    constants as UNK attach the alias table to their embedding layer
+    (see :meth:`bind_embedding_aliases`).
+    """
 
     samples: list[Sample]
     vocab: Vocabulary
     word2vec: Word2Vec
     gadgets: list[LabeledGadget] = field(default_factory=list)
+    id_aliases: np.ndarray | None = None
 
     @property
     def labels(self) -> np.ndarray:
@@ -137,6 +289,12 @@ class EncodedDataset:
 
     def subset(self, indices: Sequence[int]) -> list[Sample]:
         return [self.samples[i] for i in indices]
+
+    def bind_embedding_aliases(self, model) -> None:
+        """Attach the rare-token alias table to ``model.embedding``."""
+        embedding = getattr(model, "embedding", None)
+        if embedding is not None and self.id_aliases is not None:
+            embedding.id_aliases = self.id_aliases
 
 
 def encode_gadgets(gadgets: Sequence[LabeledGadget], dim: int = 30,
@@ -146,22 +304,36 @@ def encode_gadgets(gadgets: Sequence[LabeledGadget], dim: int = 30,
                    min_count: int = 2) -> EncodedDataset:
     """Step IV input side: build vocab, pretrain word2vec, encode.
 
-    ``min_count`` trims tokens (mostly rare numeric constants) seen
-    fewer times from the vocabulary; they encode as UNK, exactly as
-    gensim's word2vec (min_count=5 by default) did in the paper's
-    toolchain.  Rare-constant trimming is what lets patterns learned
-    on one instantiation of a CWE template transfer to instantiations
-    with different buffer sizes and thresholds.
+    The vocabulary keeps *every* token so id<->token roundtrips are
+    exact.  ``min_count`` trims tokens (mostly rare numeric constants)
+    seen fewer times at the *embedding* level, exactly where gensim's
+    word2vec (min_count=5 by default) applied it in the paper's
+    toolchain: rare tokens train as UNK in word2vec and the returned
+    ``id_aliases`` table lets classifier embeddings route them to
+    UNK's row too.  That embedding-level rare-constant generalization
+    is what lets patterns learned on one instantiation of a CWE
+    template transfer to instantiations with different buffer sizes
+    and thresholds — without ever losing the literal token.
     """
     if vocab is None:
-        vocab = Vocabulary.build([list(g.tokens) for g in gadgets],
-                                 min_count=min_count)
+        vocab = Vocabulary.build([list(g.tokens) for g in gadgets])
+    corpora = [vocab.encode(list(g.tokens)) for g in gadgets]
+    id_aliases = np.arange(len(vocab), dtype=np.int64)
+    if min_count > 1:
+        counts: dict[int, int] = {}
+        for corpus in corpora:
+            for token_id in corpus:
+                counts[token_id] = counts.get(token_id, 0) + 1
+        for token_id, count in counts.items():
+            if token_id >= 2 and count < min_count:
+                id_aliases[token_id] = 1
     if word2vec is None:
         word2vec = Word2Vec(vocab, dim=dim, seed=seed)
-        corpora = [vocab.encode(list(g.tokens)) for g in gadgets]
-        word2vec.train(corpora, epochs=w2v_epochs)
+        word2vec.train(corpora, epochs=w2v_epochs,
+                       min_count=min_count)
     samples = [g.sample(vocab) for g in gadgets]
-    return EncodedDataset(samples, vocab, word2vec, list(gadgets))
+    return EncodedDataset(samples, vocab, word2vec, list(gadgets),
+                          id_aliases=id_aliases)
 
 
 @dataclass

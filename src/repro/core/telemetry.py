@@ -1,0 +1,109 @@
+"""Stage-level pipeline instrumentation (wall time + counters).
+
+Extraction at corpus scale is the hot path the ROADMAP targets; this
+module gives it a lightweight, dependency-free observability layer.  A
+:class:`Telemetry` object accumulates named counters (cases parsed,
+cases skipped, gadgets emitted, dedup hits, cache hits/misses, ...) and
+per-stage wall-clock timings.  Worker processes build their own
+instances and the fan-in :meth:`Telemetry.merge`\\ s them, so the same
+object works for the serial path, the process pool, and warm-cache
+runs alike.  The CLI prints :meth:`Telemetry.summary`; tests and
+benchmarks assert on the raw counters.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Telemetry"]
+
+
+@dataclass
+class Telemetry:
+    """Named counters plus per-stage wall-time accumulators."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    stage_calls: dict[str, int] = field(default_factory=dict)
+
+    # -- counters ------------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never counted)."""
+        return self.counters.get(name, 0)
+
+    # -- stages --------------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager timing one invocation of stage ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_stage(name, time.perf_counter() - start)
+
+    def add_stage(self, name: str, seconds: float,
+                  calls: int = 1) -> None:
+        """Record ``seconds`` of wall time (and ``calls`` invocations)
+        against stage ``name``."""
+        self.stage_seconds[name] = \
+            self.stage_seconds.get(name, 0.0) + seconds
+        self.stage_calls[name] = self.stage_calls.get(name, 0) + calls
+
+    def seconds(self, name: str) -> float:
+        """Accumulated wall time of stage ``name``."""
+        return self.stage_seconds.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        """Accumulated invocation count of stage ``name``."""
+        return self.stage_calls.get(name, 0)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "Telemetry") -> "Telemetry":
+        """Fold another instance (e.g. from a worker) into this one."""
+        for name, value in other.counters.items():
+            self.count(name, value)
+        for name, seconds in other.stage_seconds.items():
+            self.add_stage(name, seconds,
+                           calls=other.stage_calls.get(name, 0))
+        return self
+
+    def merge_dict(self, data: dict) -> "Telemetry":
+        """Fold an :meth:`as_dict` payload (picklable worker result)."""
+        for name, value in data.get("counters", {}).items():
+            self.count(name, int(value))
+        calls = data.get("stage_calls", {})
+        for name, seconds in data.get("stage_seconds", {}).items():
+            self.add_stage(name, float(seconds),
+                           calls=int(calls.get(name, 0)))
+        return self
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (JSON/pickle friendly)."""
+        return {
+            "counters": dict(self.counters),
+            "stage_seconds": dict(self.stage_seconds),
+            "stage_calls": dict(self.stage_calls),
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line report (counters then stages)."""
+        lines = ["telemetry:"]
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<24s} {self.counters[name]}")
+        for name in sorted(self.stage_seconds):
+            lines.append(
+                f"  stage {name:<18s} {self.stage_seconds[name]:9.4f}s"
+                f"  ({self.stage_calls.get(name, 0)} calls)")
+        if len(lines) == 1:
+            lines.append("  (empty)")
+        return "\n".join(lines)

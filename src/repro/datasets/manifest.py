@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from ..slicing.labeling import VulnerabilityManifest
@@ -37,6 +38,24 @@ class TestCase:
     category: str
     origin: str = "sard"
     meta: dict = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Content hash over everything gadget extraction reads.
+
+        Covers the source text plus the ground-truth fields that feed
+        labeling (name, vulnerable flag/lines, CWE) — the
+        content-addressed extraction cache keys on this, so editing a
+        case or relabeling it invalidates its cached gadgets.
+        """
+        digest = hashlib.sha256()
+        parts = (self.name, self.source, str(int(self.vulnerable)),
+                 ",".join(str(line) for line
+                          in sorted(self.vulnerable_lines)),
+                 self.cwe)
+        for part in parts:
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
 
     def manifest(self) -> VulnerabilityManifest:
         """The labeling manifest for this case."""

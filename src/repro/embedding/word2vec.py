@@ -66,10 +66,22 @@ class Word2Vec:
                                        p=probabilities)
 
     def train(self, corpora: Sequence[Sequence[int]],
-              epochs: int | None = None) -> float:
-        """Train on encoded token sequences; returns final mean loss."""
+              epochs: int | None = None, min_count: int = 1) -> float:
+        """Train on encoded token sequences; returns final mean loss.
+
+        ``min_count`` reproduces gensim's rare-token trimming at the
+        *training* level: token ids seen fewer than ``min_count`` times
+        across the corpora train as UNK, and after training their
+        embedding rows are tied to the UNK row.  The vocabulary itself
+        is untouched, so id<->token roundtrips stay exact while every
+        rare constant still shares one generalized embedding.
+        """
         config = self.config
         epochs = epochs if epochs is not None else config.epochs
+        rare_ids = self._rare_ids(corpora, min_count)
+        if rare_ids:
+            corpora = [[1 if token_id in rare_ids else token_id
+                        for token_id in corpus] for corpus in corpora]
         self._build_noise_table(corpora)
         assert self._noise_table is not None
         rng = np.random.default_rng(config.seed + 2)
@@ -82,7 +94,23 @@ class Word2Vec:
                 last_loss = self._train_sequence(corpus, rng, seen,
                                                  total_pairs)
                 seen += len(corpus)
+        if rare_ids:
+            rows = sorted(rare_ids)
+            self.input_vectors[rows] = self.input_vectors[1]
+            self.output_vectors[rows] = self.output_vectors[1]
         return last_loss
+
+    def _rare_ids(self, corpora: Sequence[Sequence[int]],
+                  min_count: int) -> set[int]:
+        """Real-token ids (>= 2) occurring fewer than min_count times."""
+        if min_count <= 1:
+            return set()
+        counts: dict[int, int] = {}
+        for corpus in corpora:
+            for token_id in corpus:
+                counts[token_id] = counts.get(token_id, 0) + 1
+        return {token_id for token_id, count in counts.items()
+                if token_id >= 2 and count < min_count}
 
     def _train_sequence(self, corpus: Sequence[int],
                         rng: np.random.Generator, seen: int,

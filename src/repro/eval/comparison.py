@@ -124,6 +124,7 @@ def train_and_evaluate(
                              w2v_epochs=scale.w2v_epochs, seed=seed)
     model = spec.build_model(len(dataset.vocab), scale,
                              dataset.word2vec.vectors, seed)
+    dataset.bind_embedding_aliases(model)
     # Fixed-length models batch at 64 (VulDeePecker's Table IV value);
     # it also amortises the per-timestep recurrence loop, which
     # dominates BRNN training cost on CPU.

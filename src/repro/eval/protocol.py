@@ -122,6 +122,7 @@ def cross_validate(
             stratified_kfold_indices(labels, k, rng)):
         model = model_builder(len(dataset.vocab),
                               dataset.word2vec.vectors)
+        dataset.bind_embedding_aliases(model)
         train_samples = [dataset.samples[i] for i in train_idx]
         test_samples = [dataset.samples[i] for i in test_idx]
         train_classifier(model, train_samples, epochs=epochs,

@@ -144,14 +144,25 @@ class Linear(Module):
 
 
 class Embedding(Module):
-    """Token-id -> vector lookup with sparse gradient accumulation."""
+    """Token-id -> vector lookup with sparse gradient accumulation.
+
+    ``id_aliases`` (optional, settable after construction) is an int
+    array of length ``vocab_size`` applied to ids before lookup.  It
+    implements embedding-level token merging — e.g. gensim-style
+    min_count trimming, where rare tokens keep their vocabulary ids
+    (so encode/decode stays lossless) but share UNK's embedding row
+    for both the forward lookup and the gradient accumulation.
+    """
 
     def __init__(self, vocab_size: int, dim: int,
                  rng: np.random.Generator,
-                 weights: np.ndarray | None = None):
+                 weights: np.ndarray | None = None,
+                 id_aliases: np.ndarray | None = None):
         super().__init__()
         self.vocab_size = vocab_size
         self.dim = dim
+        self.id_aliases = (None if id_aliases is None
+                           else np.asarray(id_aliases, dtype=np.int64))
         if weights is not None:
             if weights.shape != (vocab_size, dim):
                 raise ValueError("pretrained embedding shape mismatch")
@@ -162,6 +173,8 @@ class Embedding(Module):
 
     def forward(self, token_ids: np.ndarray) -> Tensor:
         ids = np.asarray(token_ids, dtype=np.int64)
+        if self.id_aliases is not None:
+            ids = self.id_aliases[ids]
         weight = self.weight
         out_data = weight.data[ids]
 

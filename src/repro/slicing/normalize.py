@@ -16,8 +16,13 @@ from ..lang.dataflow import LIBRARY_FUNCTIONS
 from ..lang.lexer import KEYWORDS, TokenKind, tokenize
 from .gadget import CodeGadget
 
-__all__ = ["NormalizedGadget", "Normalizer", "normalize_gadget",
-           "tokenize_gadget_text"]
+__all__ = ["NORMALIZE_VERSION", "NormalizedGadget", "Normalizer",
+           "normalize_gadget", "tokenize_gadget_text"]
+
+#: Bump when normalization output changes for the same input — the
+#: content-addressed extraction cache folds this into its keys so stale
+#: token streams can never be served after a normalizer change.
+NORMALIZE_VERSION = 1
 
 
 def _ascii_only(text: str) -> str:

@@ -103,6 +103,42 @@ class TestTrainScanRoundtrip:
         assert "suspicious" in out
 
 
+class TestExtractCommand:
+    def test_extract_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "gadgets.jsonl"
+        code = main(["extract", "--cases", "8", "--seed", "5",
+                     "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        from repro.core.store import load_gadgets
+        gadgets = load_gadgets(out)
+        assert gadgets
+        assert f"extracted {len(gadgets)} gadgets" in \
+            capsys.readouterr().out
+
+    def test_extract_stats_and_cache(self, tmp_path, capsys):
+        out = tmp_path / "gadgets.jsonl"
+        cache = tmp_path / "cache"
+        for _ in range(2):
+            assert main(["extract", "--cases", "6", "--seed", "5",
+                         "--workers", "2", "--cache-dir", str(cache),
+                         "--out", str(out), "--stats"]) == 0
+        stats = capsys.readouterr().out
+        assert "telemetry:" in stats
+        assert "cache_hits" in stats
+
+    def test_extract_parallel_matches_serial_output(self, tmp_path):
+        from repro.core.store import load_gadgets
+        serial_out = tmp_path / "serial.jsonl"
+        parallel_out = tmp_path / "parallel.jsonl"
+        main(["extract", "--cases", "6", "--seed", "5",
+              "--out", str(serial_out)])
+        main(["extract", "--cases", "6", "--seed", "5",
+              "--workers", "2", "--out", str(parallel_out)])
+        assert serial_out.read_text() == parallel_out.read_text()
+        assert load_gadgets(serial_out) == load_gadgets(parallel_out)
+
+
 class TestExportCorpus:
     def test_export_and_reimport(self, tmp_path, capsys):
         code = main(["export-corpus", "--cases", "8", "--seed", "2",

@@ -104,6 +104,29 @@ class TestEncoding:
         assert dataset.labels.tolist() == \
             [g.label for g in gadgets[:20]]
 
+    def test_id_aliases_route_rare_tokens_to_unk(self, gadgets):
+        dataset = encode_gadgets(gadgets[:10], dim=8, w2v_epochs=0,
+                                 min_count=2)
+        aliases = dataset.id_aliases
+        assert aliases is not None and len(aliases) == \
+            len(dataset.vocab)
+        counts = {}
+        for sample in dataset.samples:
+            for token_id in sample.token_ids:
+                counts[token_id] = counts.get(token_id, 0) + 1
+        for token_id, count in counts.items():
+            expected = 1 if token_id >= 2 and count < 2 else token_id
+            assert aliases[token_id] == expected
+        # samples themselves stay lossless — aliasing is embedding-only
+        assert all(1 not in s.token_ids for s in dataset.samples)
+
+    def test_bind_embedding_aliases(self, gadgets):
+        dataset = encode_gadgets(gadgets[:10], dim=8, w2v_epochs=0)
+        model = SEVulDetNet(len(dataset.vocab), dim=8, channels=8)
+        assert model.embedding.id_aliases is None
+        dataset.bind_embedding_aliases(model)
+        assert model.embedding.id_aliases is dataset.id_aliases
+
 
 class TestTraining:
     def test_training_reduces_loss(self, gadgets):

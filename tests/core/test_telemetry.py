@@ -1,0 +1,79 @@
+"""Tests for the stage-instrumentation layer."""
+
+from repro.core.telemetry import Telemetry
+
+
+class TestCounters:
+    def test_count_and_get(self):
+        telemetry = Telemetry()
+        assert telemetry.get("cases") == 0
+        telemetry.count("cases")
+        telemetry.count("cases", 4)
+        assert telemetry.get("cases") == 5
+
+    def test_independent_counters(self):
+        telemetry = Telemetry()
+        telemetry.count("a", 2)
+        telemetry.count("b", 3)
+        assert telemetry.get("a") == 2
+        assert telemetry.get("b") == 3
+
+
+class TestStages:
+    def test_stage_accumulates_time_and_calls(self):
+        telemetry = Telemetry()
+        for _ in range(3):
+            with telemetry.stage("parse"):
+                pass
+        assert telemetry.calls("parse") == 3
+        assert telemetry.seconds("parse") >= 0.0
+
+    def test_stage_records_on_exception(self):
+        telemetry = Telemetry()
+        try:
+            with telemetry.stage("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert telemetry.calls("boom") == 1
+
+    def test_add_stage_direct(self):
+        telemetry = Telemetry()
+        telemetry.add_stage("slice", 1.5, calls=7)
+        telemetry.add_stage("slice", 0.5, calls=3)
+        assert telemetry.seconds("slice") == 2.0
+        assert telemetry.calls("slice") == 10
+
+
+class TestAggregation:
+    def test_merge(self):
+        a = Telemetry()
+        a.count("hits", 1)
+        a.add_stage("parse", 1.0, calls=2)
+        b = Telemetry()
+        b.count("hits", 2)
+        b.count("misses", 5)
+        b.add_stage("parse", 0.25, calls=1)
+        a.merge(b)
+        assert a.get("hits") == 3
+        assert a.get("misses") == 5
+        assert a.seconds("parse") == 1.25
+        assert a.calls("parse") == 3
+
+    def test_dict_roundtrip(self):
+        a = Telemetry()
+        a.count("hits", 4)
+        a.add_stage("parse", 0.5, calls=2)
+        restored = Telemetry().merge_dict(a.as_dict())
+        assert restored.as_dict() == a.as_dict()
+
+    def test_summary_lists_counters_and_stages(self):
+        telemetry = Telemetry()
+        telemetry.count("cache_hits", 9)
+        telemetry.add_stage("analyze", 0.1)
+        text = telemetry.summary()
+        assert "cache_hits" in text and "9" in text
+        assert "analyze" in text
+
+    def test_summary_empty(self):
+        assert "(empty)" in Telemetry().summary()

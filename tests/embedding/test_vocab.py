@@ -49,6 +49,19 @@ class TestVocabulary:
         vocab = Vocabulary.build([tokens])
         assert vocab.decode(vocab.encode(tokens)) == tokens
 
+    @given(st.data(),
+           st.lists(st.text(alphabet="abcxyz_09", min_size=1,
+                            max_size=6),
+                    min_size=1, max_size=30))
+    def test_in_vocab_streams_roundtrip(self, data, corpus_tokens):
+        """encode -> decode is the identity for ANY stream drawn from
+        the vocabulary, however rare its tokens are in the corpus."""
+        vocab = Vocabulary.build([corpus_tokens])
+        members = sorted(vocab.token_to_id)
+        stream = data.draw(st.lists(st.sampled_from(members),
+                                    min_size=0, max_size=40))
+        assert vocab.decode(vocab.encode(stream)) == stream
+
     @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=3),
                     min_size=0, max_size=20))
     def test_ids_dense(self, tokens):

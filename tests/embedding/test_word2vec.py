@@ -69,3 +69,42 @@ class TestWord2Vec:
         vocab = Vocabulary.build([["a"]])
         model = Word2Vec(vocab, dim=4)
         assert np.allclose(model.vector("zzz"), model.input_vectors[1])
+
+
+class TestMinCount:
+    """Gensim-style rare-token trimming at the *training* level: the
+    vocabulary keeps every token, but tokens under min_count train as
+    UNK and end up sharing UNK's embedding row."""
+
+    def make_encoded(self):
+        sentences = make_corpus()
+        sentences[0] = sentences[0][:6] + ["rare14", "rare99"]
+        vocab = Vocabulary.build(sentences)
+        return vocab, [vocab.encode(s) for s in sentences]
+
+    def test_rare_vectors_tied_to_unk(self):
+        vocab, encoded = self.make_encoded()
+        model = Word2Vec(vocab, dim=8, seed=2)
+        model.train(encoded, epochs=1, min_count=2)
+        for rare in ("rare14", "rare99"):
+            assert np.allclose(model.vector(rare),
+                               model.input_vectors[1])
+
+    def test_rare_tokens_stay_in_vocab(self):
+        vocab, _ = self.make_encoded()
+        assert "rare14" in vocab and "rare99" in vocab
+
+    def test_frequent_vectors_not_tied(self):
+        vocab, encoded = self.make_encoded()
+        model = Word2Vec(vocab, dim=8, seed=2)
+        model.train(encoded, epochs=1, min_count=2)
+        assert not np.allclose(model.vector("alpha"),
+                               model.input_vectors[1])
+
+    def test_min_count_one_is_noop(self):
+        vocab, encoded = self.make_encoded()
+        a = Word2Vec(vocab, dim=8, seed=2)
+        b = Word2Vec(vocab, dim=8, seed=2)
+        a.train(encoded, epochs=1)
+        b.train(encoded, epochs=1, min_count=1)
+        assert np.allclose(a.vectors, b.vectors)

@@ -27,7 +27,25 @@ def numerical_gradient(func, array, eps=1e-6):
     return grad
 
 
-def assert_grad_close(analytic, numeric, atol=1e-6):
+def assert_grad_close(analytic, numeric, atol=1e-6, rtol=1e-5):
+    """np.allclose-style check: |analytic - numeric| <= atol + rtol*scale.
+
+    The relative term keeps the comparison meaningful for chains whose
+    true gradients reach 1e17 — there an absolute tolerance would fail
+    even when both gradients agree to 10 significant digits.  ``scale``
+    is the per-element |numeric| floored at the array-wide max: central
+    differences of a scalar loss all share one absolute noise floor of
+    about ulp(|loss|)/(2*eps), which tracks the *largest* component,
+    so small components cannot be held to their own relative scale.
+    """
     __tracebackhide__ = True
-    worst = np.abs(analytic - numeric).max()
-    assert worst < atol, f"gradient mismatch: max |diff| = {worst}"
+    analytic = np.asarray(analytic)
+    numeric = np.asarray(numeric)
+    scale = np.maximum(np.abs(numeric),
+                       np.abs(numeric).max(initial=0.0))
+    diff = np.abs(analytic - numeric)
+    bound = atol + rtol * scale
+    if not (diff <= bound).all():
+        worst = (diff - bound).max()
+        assert False, (f"gradient mismatch: max |diff| - tol = {worst} "
+                       f"(atol={atol}, rtol={rtol})")

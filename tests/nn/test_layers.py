@@ -118,6 +118,28 @@ class TestEmbedding:
         with pytest.raises(ValueError):
             Embedding(6, 4, rng, weights=np.zeros((3, 3)))
 
+    def test_id_aliases_route_lookup(self, rng):
+        aliases = np.arange(6)
+        aliases[4] = 1  # rare token 4 shares UNK's row
+        emb = Embedding(6, 3, rng, id_aliases=aliases)
+        out = emb(np.array([[4, 1]]))
+        assert np.allclose(out.data[0, 0], emb.weight.data[1])
+        assert np.allclose(out.data[0, 0], out.data[0, 1])
+
+    def test_id_aliases_route_gradients(self, rng):
+        aliases = np.arange(6)
+        aliases[4] = 1
+        emb = Embedding(6, 3, rng, id_aliases=aliases)
+        emb(np.array([[4, 1]])).sum().backward()
+        assert np.allclose(emb.weight.grad[1], 2.0)  # both hits
+        assert np.allclose(emb.weight.grad[4], 0.0)  # never touched
+
+    def test_id_aliases_settable_after_construction(self, rng):
+        emb = Embedding(6, 3, rng)
+        emb.id_aliases = np.array([0, 1, 1, 1, 1, 1])
+        out = emb(np.array([[5]]))
+        assert np.allclose(out.data[0, 0], emb.weight.data[1])
+
 
 class TestDropout:
     def test_identity_in_eval(self, rng):
