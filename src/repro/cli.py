@@ -55,8 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="content-addressed extraction cache "
                             "directory (reruns skip the frontend)")
     train.add_argument("--stats", action="store_true",
-                       help="print extraction telemetry "
-                            "(stage timings + counters)")
+                       help="print pipeline telemetry (stage timings, "
+                            "counters, training throughput rates)")
 
     scan = commands.add_parser(
         "scan", help="scan C files with a trained detector")

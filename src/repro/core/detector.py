@@ -63,9 +63,10 @@ class SEVulDet:
         workers: fan gadget extraction out over this many processes
             during :meth:`fit` (0 keeps the serial path).
         cache: extraction cache (GadgetCache or directory path) that
-            lets repeated fits skip the frontend for unchanged cases.
-        telemetry: extraction stage timings and counters, accumulated
-            across :meth:`fit` calls.
+            lets repeated fits *and* repeated detection skip the
+            frontend for unchanged cases.
+        telemetry: extraction + training stage timings and counters,
+            accumulated across :meth:`fit` / :meth:`detect_case` calls.
     """
 
     scale: Scale = field(default_factory=current_scale)
@@ -93,7 +94,8 @@ class SEVulDet:
                              "training corpus")
         self.dataset = encode_gadgets(
             gadgets, dim=self.scale.dim,
-            w2v_epochs=self.scale.w2v_epochs, seed=self.seed)
+            w2v_epochs=self.scale.w2v_epochs, seed=self.seed,
+            telemetry=self.telemetry)
         self.model = SEVulDetNet(
             len(self.dataset.vocab), dim=self.scale.dim,
             channels=self.scale.channels,
@@ -103,7 +105,8 @@ class SEVulDet:
             self.model, self.dataset.samples,
             epochs=epochs if epochs is not None else self.scale.epochs,
             batch_size=self.scale.batch_size,
-            lr=self.scale.learning_rate, seed=self.seed)
+            lr=self.scale.learning_rate, seed=self.seed,
+            telemetry=self.telemetry)
 
     def fit_typer(self, epochs: int = 12) -> list[float]:
         """Train the CWE-type head (Fig 2(b) "vulnerability type") on
@@ -141,11 +144,18 @@ class SEVulDet:
         return self.detect_case(case)
 
     def detect_case(self, case: TestCase) -> list[Finding]:
-        """Detection phase on a corpus case (labels ignored)."""
+        """Detection phase on a corpus case (labels ignored).
+
+        Shares the detector's extraction ``cache`` and ``telemetry``
+        with :meth:`fit`, so repeated detection over the same corpus
+        gets the same warm-cache win as training.
+        """
         self._require_trained()
         gadgets = extract_gadgets([case], kind=self.gadget_kind,
                                   categories=self.categories,
-                                  deduplicate=False)
+                                  deduplicate=False,
+                                  cache=self.cache,
+                                  telemetry=self.telemetry)
         if not gadgets:
             return []
         scores = self.score_gadgets(gadgets)

@@ -301,7 +301,8 @@ def encode_gadgets(gadgets: Sequence[LabeledGadget], dim: int = 30,
                    w2v_epochs: int = 2, seed: int = 13,
                    vocab: Vocabulary | None = None,
                    word2vec: Word2Vec | None = None,
-                   min_count: int = 2) -> EncodedDataset:
+                   min_count: int = 2,
+                   telemetry: Telemetry | None = None) -> EncodedDataset:
     """Step IV input side: build vocab, pretrain word2vec, encode.
 
     The vocabulary keeps *every* token so id<->token roundtrips are
@@ -330,7 +331,7 @@ def encode_gadgets(gadgets: Sequence[LabeledGadget], dim: int = 30,
     if word2vec is None:
         word2vec = Word2Vec(vocab, dim=dim, seed=seed)
         word2vec.train(corpora, epochs=w2v_epochs,
-                       min_count=min_count)
+                       min_count=min_count, telemetry=telemetry)
     samples = [g.sample(vocab) for g in gadgets]
     return EncodedDataset(samples, vocab, word2vec, list(gadgets),
                           id_aliases=id_aliases)
@@ -356,7 +357,8 @@ def train_classifier(model: Module, samples: Sequence[Sample], *,
                      grad_clip: float = 5.0,
                      class_balance: bool = True,
                      validation: Sequence[Sample] | None = None,
-                     patience: int | None = None) -> TrainReport:
+                     patience: int | None = None,
+                     telemetry: Telemetry | None = None) -> TrainReport:
     """Train any gadget classifier (fixed- or flexible-length).
 
     Models advertising ``fixed_length`` get padded/truncated batches
@@ -369,7 +371,13 @@ def train_classifier(model: Module, samples: Sequence[Sample], *,
     With a ``validation`` set and ``patience``, training stops when
     validation F1 has not improved for ``patience`` consecutive epochs
     and the best-epoch weights are restored (early stopping).
+
+    ``telemetry`` accumulates the ``train`` / ``train-epoch`` stage
+    timings and ``train_batches`` / ``train_samples`` counters the
+    throughput report is derived from.
     """
+    import time
+
     rng = np.random.default_rng(seed)
     fixed = getattr(model, "fixed_length", None)
     train_samples = list(samples)
@@ -382,8 +390,11 @@ def train_classifier(model: Module, samples: Sequence[Sample], *,
     best_state: dict[str, np.ndarray] | None = None
     stale = 0
     model.train()
+    train_start = time.perf_counter()
     for _ in range(epochs):
+        epoch_start = time.perf_counter()
         epoch_losses: list[float] = []
+        epoch_samples = 0
         if fixed is not None:
             batches = fixed_length_batches(train_samples, fixed,
                                            batch_size, rng)
@@ -398,8 +409,14 @@ def train_classifier(model: Module, samples: Sequence[Sample], *,
             clip_grad_norm(params, grad_clip)
             optimizer.step()
             epoch_losses.append(float(loss.data))
+            epoch_samples += len(labels)
         report.losses.append(float(np.mean(epoch_losses))
                              if epoch_losses else float("nan"))
+        if telemetry is not None:
+            telemetry.add_stage("train-epoch",
+                                time.perf_counter() - epoch_start)
+            telemetry.count("train_batches", len(epoch_losses))
+            telemetry.count("train_samples", epoch_samples)
         if validation is not None:
             metrics = evaluate_classifier(model, validation)
             model.train()
@@ -415,6 +432,9 @@ def train_classifier(model: Module, samples: Sequence[Sample], *,
                 if patience is not None and stale >= patience:
                     report.stopped_early = True
                     break
+    if telemetry is not None:
+        telemetry.add_stage("train",
+                            time.perf_counter() - train_start)
     if best_state is not None:
         model.load_state_dict(best_state)
     model.eval()
@@ -438,32 +458,32 @@ def _oversample(samples: list[Sample],
     return samples + [minority[int(i)] for i in picks]
 
 
-def predict_proba(model: Module,
-                  samples: Sequence[Sample]) -> np.ndarray:
-    """Sigmoid scores per sample (order-preserving)."""
+def predict_proba(model: Module, samples: Sequence[Sample],
+                  batch_size: int = 128) -> np.ndarray:
+    """Sigmoid scores per sample (order-preserving).
+
+    Inference runs under ``no_grad`` in large length-bucketed batches
+    (reusing :func:`bucketed_batches`, whose index channel scatters the
+    scores back into corpus order) — no per-length Python grouping, no
+    graph bookkeeping.
+    """
     fixed = getattr(model, "fixed_length", None)
     scores = np.zeros(len(samples))
     model.eval()
     with no_grad():
         if fixed is not None:
-            for start in range(0, len(samples), 64):
-                chunk = samples[start : start + 64]
+            for start in range(0, len(samples), batch_size):
+                chunk = samples[start : start + batch_size]
                 ids = np.array(
                     [pad_or_truncate(s.token_ids, fixed) for s in chunk],
                     dtype=np.int64)
-                scores[start : start + 64] = model.predict_proba(ids)
+                scores[start : start + batch_size] = \
+                    model.predict_proba(ids)
         else:
-            by_length: dict[int, list[int]] = {}
-            for index, sample in enumerate(samples):
-                by_length.setdefault(max(len(sample), 4),
-                                     []).append(index)
-            for length, indices in by_length.items():
-                for start in range(0, len(indices), 64):
-                    chunk = indices[start : start + 64]
-                    ids = np.array(
-                        [pad_or_truncate(samples[i].token_ids, length)
-                         for i in chunk], dtype=np.int64)
-                    scores[chunk] = model.predict_proba(ids)
+            for ids, _, indices in bucketed_batches(
+                    samples, batch_size, min_length=4,
+                    with_indices=True):
+                scores[indices] = model.predict_proba(ids)
     return scores
 
 

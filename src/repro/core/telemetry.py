@@ -20,6 +20,16 @@ from typing import Iterator
 
 __all__ = ["Telemetry"]
 
+#: (counter, stage, unit) triples rendered as throughputs by
+#: :meth:`Telemetry.summary` when both sides were recorded; the
+#: counters come from Word2Vec.train and train_classifier.
+_KNOWN_RATES = (
+    ("w2v_tokens", "w2v-train", "tokens/s"),
+    ("w2v_pairs", "w2v-train", "pairs/s"),
+    ("train_samples", "train", "samples/s"),
+    ("train_batches", "train", "batches/s"),
+)
+
 
 @dataclass
 class Telemetry:
@@ -66,6 +76,20 @@ class Telemetry:
         """Accumulated invocation count of stage ``name``."""
         return self.stage_calls.get(name, 0)
 
+    def rate(self, counter: str, stage: str) -> float:
+        """Counter per second of stage wall time (0.0 when untimed)."""
+        seconds = self.seconds(stage)
+        return self.get(counter) / seconds if seconds > 0 else 0.0
+
+    def rates(self) -> dict[str, float]:
+        """The known throughputs (tokens/sec, pairs/sec, ...) that have
+        both a counter and a timed stage recorded."""
+        out: dict[str, float] = {}
+        for counter, stage, unit in _KNOWN_RATES:
+            if self.get(counter) and self.seconds(stage) > 0:
+                out[unit] = self.rate(counter, stage)
+        return out
+
     # -- aggregation ---------------------------------------------------------
 
     def merge(self, other: "Telemetry") -> "Telemetry":
@@ -104,6 +128,8 @@ class Telemetry:
             lines.append(
                 f"  stage {name:<18s} {self.stage_seconds[name]:9.4f}s"
                 f"  ({self.stage_calls.get(name, 0)} calls)")
+        for unit, value in self.rates().items():
+            lines.append(f"  rate  {unit:<18s} {value:12.1f}")
         if len(lines) == 1:
             lines.append("  (empty)")
         return "\n".join(lines)

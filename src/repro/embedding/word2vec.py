@@ -4,18 +4,50 @@ SEVulDet embeds normalized gadget tokens with a pre-trained word2vec
 model; this is the numpy reimplementation of gensim's skip-gram
 negative-sampling trainer, scaled for token-level code vocabularies
 (a few thousand symbols).
+
+Two training backends share one objective:
+
+``batched`` (default)
+    The hot path.  All (center, context, negatives) pairs of a
+    sequence are generated up front with vectorized window sampling,
+    then SGNS updates are applied in minibatches of pairs: one
+    ``(B, 1+neg, dim)`` gather, two einsums, and two ``np.add.at``
+    scatter-accumulates per batch.  Updates within a minibatch read
+    the weights as of the batch start (a standard minibatch
+    approximation of the sequential update), so results are
+    *statistically* equivalent to the per-pair path — same loss
+    trajectory and neighborhood structure, not bit-identical.
+
+``pairwise``
+    The original per-(center, context) Python loop, kept as the
+    reference implementation for equivalence tests and benchmarks.
+
+Select with ``Word2Vec(backend=...)`` or ``REPRO_W2V_BACKEND`` in the
+environment.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from ..nn.dtype import get_default_dtype
 from .vocab import Vocabulary
 
 __all__ = ["Word2Vec"]
+
+#: pairs per scatter-update minibatch of the batched backend; large
+#: enough to amortize numpy dispatch, small enough that the frozen
+#: within-batch weights track the sequential trajectory closely.
+BATCH_PAIRS = 1024
+
+#: pairs buffered across sequences before a flush of minibatch
+#: updates; short gadgets yield few pairs each, so flushing per
+#: sequence would leave the per-call numpy overhead dominant.
+CHUNK_PAIRS = 8192
 
 
 @dataclass
@@ -37,18 +69,28 @@ class Word2Vec:
         dim: embedding dimensionality (the paper uses 30).
         window: max context distance.
         negatives: negative samples per positive pair.
+        backend: 'batched' (vectorized, default) or 'pairwise' (the
+            reference per-pair loop); defaults to $REPRO_W2V_BACKEND.
     """
 
     def __init__(self, vocab: Vocabulary, dim: int = 30, window: int = 4,
-                 negatives: int = 5, seed: int = 13):
+                 negatives: int = 5, seed: int = 13,
+                 backend: str | None = None):
+        if backend is None:
+            backend = os.environ.get("REPRO_W2V_BACKEND", "batched")
+        if backend not in ("batched", "pairwise"):
+            raise ValueError(f"unknown word2vec backend {backend!r}; "
+                             f"choose 'batched' or 'pairwise'")
         self.vocab = vocab
+        self.backend = backend
         self.config = _Config(dim=dim, window=window, negatives=negatives,
                               seed=seed)
         rng = np.random.default_rng(seed)
         scale = 0.5 / dim
-        self.input_vectors = rng.uniform(-scale, scale,
-                                         size=(len(vocab), dim))
-        self.output_vectors = np.zeros((len(vocab), dim))
+        dtype = get_default_dtype()
+        self.input_vectors = rng.uniform(
+            -scale, scale, size=(len(vocab), dim)).astype(dtype)
+        self.output_vectors = np.zeros((len(vocab), dim), dtype=dtype)
         self._noise_table: np.ndarray | None = None
 
     # -- training -----------------------------------------------------------
@@ -66,7 +108,8 @@ class Word2Vec:
                                        p=probabilities)
 
     def train(self, corpora: Sequence[Sequence[int]],
-              epochs: int | None = None, min_count: int = 1) -> float:
+              epochs: int | None = None, min_count: int = 1,
+              telemetry=None) -> float:
         """Train on encoded token sequences; returns final mean loss.
 
         ``min_count`` reproduces gensim's rare-token trimming at the
@@ -75,7 +118,14 @@ class Word2Vec:
         embedding rows are tied to the UNK row.  The vocabulary itself
         is untouched, so id<->token roundtrips stay exact while every
         rare constant still shares one generalized embedding.
+
+        ``telemetry`` (an optional :class:`repro.core.telemetry.\
+Telemetry`-like accumulator) receives the ``w2v-train`` /
+        ``w2v-epoch`` stage timings and ``w2v_tokens`` / ``w2v_pairs``
+        counters the throughput numbers are derived from.
         """
+        import time
+
         config = self.config
         epochs = epochs if epochs is not None else config.epochs
         rare_ids = self._rare_ids(corpora, min_count)
@@ -89,11 +139,28 @@ class Word2Vec:
             sum(len(corpus) for corpus in corpora) * epochs, 1)
         seen = 0
         last_loss = 0.0
+        start = time.perf_counter()
         for _ in range(epochs):
-            for corpus in corpora:
-                last_loss = self._train_sequence(corpus, rng, seen,
-                                                 total_pairs)
-                seen += len(corpus)
+            epoch_start = time.perf_counter()
+            epoch_tokens = sum(len(corpus) for corpus in corpora)
+            if self.backend == "batched":
+                last_loss, epoch_pairs, seen = self._train_epoch_batched(
+                    corpora, rng, seen, total_pairs)
+            else:
+                epoch_pairs = 0
+                for corpus in corpora:
+                    last_loss, pairs = self._train_sequence(
+                        corpus, rng, seen, total_pairs)
+                    seen += len(corpus)
+                    epoch_pairs += pairs
+            if telemetry is not None:
+                telemetry.add_stage(
+                    "w2v-epoch", time.perf_counter() - epoch_start)
+                telemetry.count("w2v_pairs", epoch_pairs)
+                telemetry.count("w2v_tokens", epoch_tokens)
+        if telemetry is not None:
+            telemetry.add_stage("w2v-train",
+                                time.perf_counter() - start)
         if rare_ids:
             rows = sorted(rare_ids)
             self.input_vectors[rows] = self.input_vectors[1]
@@ -112,9 +179,146 @@ class Word2Vec:
         return {token_id for token_id, count in counts.items()
                 if token_id >= 2 and count < min_count}
 
+    # -- batched backend ----------------------------------------------------
+
+    def _sample_pairs(self, corpus: Sequence[int],
+                      rng: np.random.Generator
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized window sampling over one sequence.
+
+        Returns ``(center_pos, centers, targets)`` where ``targets``
+        stacks the positive context with the negative samples as a
+        ``(P, 1 + negatives)`` id matrix.  For each position a span is
+        drawn uniformly from ``[1, window]`` (gensim's window
+        shrinking) and every in-window neighbor becomes one pair.
+        """
+        config = self.config
+        noise = self._noise_table
+        assert noise is not None
+        ids = np.asarray(corpus, dtype=np.int64)
+        n = len(ids)
+        positions = np.arange(n)
+        spans = rng.integers(1, config.window + 1, size=n)
+        lo = np.maximum(positions - spans, 0)
+        hi = np.minimum(positions + spans + 1, n)
+        counts = hi - lo - 1  # neighbors in window, minus self
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty.reshape(0, 1 + config.negatives)
+        center_pos = np.repeat(positions, counts)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        ranks = np.arange(total) - np.repeat(starts, counts)
+        context_pos = np.repeat(lo, counts) + ranks
+        context_pos += (context_pos >= center_pos)  # skip the center
+        negatives = noise[rng.integers(0, len(noise),
+                                       size=(total, config.negatives))]
+        targets = np.concatenate(
+            (ids[context_pos][:, None], negatives), axis=1)
+        return center_pos, ids[center_pos], targets
+
+    def _train_epoch_batched(self, corpora: Sequence[Sequence[int]],
+                             rng: np.random.Generator, seen: int,
+                             total: int) -> tuple[float, int, int]:
+        """One epoch of minibatched SGNS over all sequences.
+
+        Pairs are sampled per sequence (keeping window semantics and
+        the per-token lr decay anchored to each token's global corpus
+        position) but buffered across sequences and flushed in
+        ``CHUNK_PAIRS`` chunks, so short gadgets still amortize the
+        numpy dispatch cost.  Returns ``(last_flush_mean_loss,
+        epoch_pairs, seen)``.
+        """
+        pending: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        pending_pairs = 0
+        epoch_pairs = 0
+        last_loss = 0.0
+
+        def flush() -> None:
+            nonlocal pending, pending_pairs, epoch_pairs, last_loss
+            if not pending_pairs:
+                return
+            global_pos = np.concatenate([p for p, _, _ in pending])
+            centers = np.concatenate([c for _, c, _ in pending])
+            targets = np.concatenate([t for _, _, t in pending])
+            last_loss = self._apply_updates(global_pos, centers,
+                                            targets, total)
+            epoch_pairs += pending_pairs
+            pending = []
+            pending_pairs = 0
+
+        for corpus in corpora:
+            center_pos, centers, targets = self._sample_pairs(corpus,
+                                                              rng)
+            if len(centers):
+                pending.append((center_pos + seen, centers, targets))
+                pending_pairs += len(centers)
+            seen += len(corpus)
+            if pending_pairs >= CHUNK_PAIRS:
+                flush()
+        flush()
+        return last_loss, epoch_pairs, seen
+
+    def _apply_updates(self, global_pos: np.ndarray,
+                       centers: np.ndarray, targets: np.ndarray,
+                       total: int) -> float:
+        """Minibatched SGNS updates over a flat pair chunk.
+
+        Per minibatch: gather ``(B, dim)`` center rows and
+        ``(B, 1+neg, dim)`` target rows, score with one einsum, and
+        scatter the lr-scaled gradients back with ``np.add.at`` (which
+        accumulates duplicate ids correctly — the same token can occur
+        many times in a batch).  Returns the chunk's mean loss.
+
+        The minibatch size adapts to the vocabulary: updates within a
+        batch read frozen weights, so a batch must not hit any one
+        embedding row too many times or the summed step overshoots
+        (tiny vocabularies are the worst case — every pair touches the
+        same handful of rows).  Capping pairs per batch at about four
+        row-touches per vocabulary entry keeps the summed update the
+        same magnitude as a short sequential run.
+        """
+        config = self.config
+        batch_pairs = max(32, min(
+            BATCH_PAIRS,
+            (4 * len(self.vocab)) // (1 + config.negatives)))
+        total_pairs = len(centers)
+        progress = np.minimum(global_pos / total, 1.0)
+        dtype = self.input_vectors.dtype
+        lrs = np.maximum(config.lr * (1.0 - progress),
+                         config.min_lr).astype(dtype)
+        dim = self.input_vectors.shape[1]
+        labels = np.zeros((1, 1 + config.negatives), dtype=dtype)
+        labels[0, 0] = 1.0
+        eps = 1e-10
+        loss_sum = 0.0
+        for start in range(0, total_pairs, batch_pairs):
+            batch = slice(start, start + batch_pairs)
+            c = centers[batch]
+            t = targets[batch]                       # (B, 1+neg)
+            lr = lrs[batch]
+            v = self.input_vectors[c]                # (B, dim)
+            outputs = self.output_vectors[t]         # (B, 1+neg, dim)
+            scores = np.einsum("bkd,bd->bk", outputs, v, optimize=True)
+            sigmoid = 1.0 / (1.0 + np.exp(-np.clip(scores, -10, 10)))
+            gradient = (sigmoid - labels) * lr[:, None]  # (B, 1+neg)
+            grad_v = np.einsum("bk,bkd->bd", gradient, outputs,
+                               optimize=True)
+            grad_out = gradient[:, :, None] * v[:, None, :]
+            np.add.at(self.output_vectors, t.reshape(-1),
+                      -grad_out.reshape(-1, dim))
+            np.add.at(self.input_vectors, c, -grad_v)
+            loss_sum += float(
+                -(np.log(sigmoid[:, 0] + eps)
+                  + np.log(1.0 - sigmoid[:, 1:] + eps).sum(axis=1)
+                  ).sum())
+        return loss_sum / total_pairs
+
+    # -- pairwise backend (reference) ---------------------------------------
+
     def _train_sequence(self, corpus: Sequence[int],
                         rng: np.random.Generator, seen: int,
-                        total: int) -> float:
+                        total: int) -> tuple[float, int]:
         config = self.config
         noise = self._noise_table
         losses: list[float] = []
@@ -132,7 +336,8 @@ class Word2Vec:
                                                size=config.negatives)]
                 losses.append(
                     self._sgns_update(center, context, negatives, lr))
-        return float(np.mean(losses)) if losses else 0.0
+        mean = float(np.mean(losses)) if losses else 0.0
+        return mean, len(losses)
 
     def _sgns_update(self, center: int, context: int,
                      negatives: np.ndarray, lr: float) -> float:
@@ -145,8 +350,17 @@ class Word2Vec:
         sigmoid = 1.0 / (1.0 + np.exp(-np.clip(scores, -10, 10)))
         gradient = (sigmoid - labels)                   # (1+neg,)
         grad_v = gradient @ outputs
-        self.output_vectors[targets] -= lr * np.outer(gradient, v)
-        self.input_vectors[center] -= lr * grad_v
+        # np.add.at, not fancy-index -=: negatives can repeat (and can
+        # equal the context), and each occurrence is a separate loss
+        # term whose gradient must accumulate — buffered assignment
+        # would silently drop all but one update per duplicated id,
+        # systematically under-training the frequent tokens that
+        # dominate the noise table.  The batched backend's scatter has
+        # the same accumulate semantics.
+        np.add.at(self.output_vectors, targets,
+                  (-lr * np.outer(gradient, v)).astype(outputs.dtype))
+        self.input_vectors[center] -= (lr * grad_v
+                                       ).astype(v.dtype)
         eps = 1e-10
         loss = -(np.log(sigmoid[0] + eps)
                  + np.log(1.0 - sigmoid[1:] + eps).sum())

@@ -1,5 +1,6 @@
 """Numpy deep-learning framework (the offline PyTorch substitute)."""
 
+from .dtype import default_dtype, get_default_dtype, set_default_dtype
 from .tensor import Tensor, as_tensor, no_grad
 from .layers import (Parameter, Module, Linear, Embedding, Dropout,
                      Conv1d, Sequential, ReLU, Tanh, Sigmoid, Flatten)
@@ -15,6 +16,7 @@ from .data import Sample, pad_or_truncate, fixed_length_batches, bucketed_batche
 
 __all__ = [
     "Tensor", "as_tensor", "no_grad",
+    "default_dtype", "get_default_dtype", "set_default_dtype",
     "Parameter", "Module", "Linear", "Embedding", "Dropout", "Conv1d",
     "Sequential", "ReLU", "Tanh", "Sigmoid", "Flatten",
     "conv1d", "max_pool1d", "avg_pool1d", "adaptive_max_pool1d",

@@ -14,6 +14,8 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from .dtype import get_default_dtype
+
 __all__ = ["Sample", "pad_or_truncate", "fixed_length_batches",
            "bucketed_batches"]
 
@@ -53,7 +55,7 @@ def fixed_length_batches(
         ids = np.array([pad_or_truncate(samples[i].token_ids, length)
                         for i in chunk], dtype=np.int64)
         labels = np.array([samples[i].label for i in chunk],
-                          dtype=np.float64)
+                          dtype=get_default_dtype())
         yield ids, labels
 
 
@@ -61,13 +63,18 @@ def bucketed_batches(
     samples: Sequence[Sample], batch_size: int,
     rng: np.random.Generator | None = None,
     min_length: int = 1,
-) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    with_indices: bool = False,
+) -> Iterator[tuple[np.ndarray, ...]]:
     """Yield same-length batches without padding or truncation.
 
     Samples are grouped by exact length; batches are emitted per group.
     Sequences shorter than ``min_length`` are padded up to it (a
     convolution kernel still needs a minimum support), which for the
     default of 1 never triggers.
+
+    With ``with_indices`` each batch is ``(ids, labels, indices)``
+    where ``indices`` maps batch rows back to positions in ``samples``
+    — the inference path uses it to scatter scores into corpus order.
     """
     buckets: dict[int, list[int]] = {}
     for index, sample in enumerate(samples):
@@ -86,5 +93,8 @@ def bucketed_batches(
                 [pad_or_truncate(samples[i].token_ids, length)
                  for i in chunk], dtype=np.int64)
             labels = np.array([samples[i].label for i in chunk],
-                              dtype=np.float64)
-            yield ids, labels
+                              dtype=get_default_dtype())
+            if with_indices:
+                yield ids, labels, np.asarray(chunk, dtype=np.int64)
+            else:
+                yield ids, labels

@@ -12,6 +12,7 @@ from typing import Iterator
 import numpy as np
 
 from . import init as initializers
+from .dtype import get_default_dtype
 from .ops import conv1d
 from .tensor import Tensor
 
@@ -101,7 +102,7 @@ class Module:
         if missing:
             raise KeyError(f"state dict missing keys: {sorted(missing)}")
         for key, param in own.items():
-            array = np.asarray(state[key], dtype=np.float64)
+            array = np.asarray(state[key], dtype=get_default_dtype())
             if array.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {key}: "
@@ -166,7 +167,7 @@ class Embedding(Module):
         if weights is not None:
             if weights.shape != (vocab_size, dim):
                 raise ValueError("pretrained embedding shape mismatch")
-            data = np.asarray(weights, dtype=np.float64).copy()
+            data = np.asarray(weights, dtype=get_default_dtype()).copy()
         else:
             data = initializers.uniform((vocab_size, dim), rng, 0.5)
         self.weight = Parameter(data, name="embedding.weight")

@@ -16,7 +16,7 @@ def bce_loss(predictions: Tensor, targets, eps: float = 1e-7) -> Tensor:
     clipped = Tensor(np.clip(predictions.data, eps, 1.0 - eps))
     # Re-route the graph through a clip that passes gradient where valid.
     mask = ((predictions.data > eps)
-            & (predictions.data < 1.0 - eps)).astype(np.float64)
+            & (predictions.data < 1.0 - eps)).astype(predictions.data.dtype)
 
     def backward(grad: np.ndarray) -> None:
         if predictions.requires_grad:

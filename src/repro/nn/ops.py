@@ -30,6 +30,44 @@ def _im2col(data: np.ndarray, kernel: int, stride: int) -> np.ndarray:
     return patches.reshape(batch, out_len, channels * kernel)
 
 
+def _window_view(data: np.ndarray, kernel: int,
+                 stride: int) -> np.ndarray:
+    """(B, C, L) -> read-only (B, C, out_len, kernel) sliding windows.
+
+    A zero-copy ``as_strided`` view: reductions over the last axis
+    implement pooling without materializing the ``np.stack`` of
+    windows the old kernels built per batch.
+    """
+    batch, channels, length = data.shape
+    out_len = (length - kernel) // stride + 1
+    stride_b, stride_c, stride_l = data.strides
+    return np.lib.stride_tricks.as_strided(
+        data,
+        shape=(batch, channels, out_len, kernel),
+        strides=(stride_b, stride_c, stride_l * stride, stride_l),
+        writeable=False,
+    )
+
+
+def _col2im_add(grad_x: np.ndarray, grad_windows: np.ndarray,
+                kernel: int, stride: int) -> None:
+    """Scatter-accumulate (B, C, out_len, kernel) window gradients
+    back onto (B, C, L) ``grad_x`` in place.
+
+    Loops over the kernel offset (a handful of iterations) instead of
+    every output position: for a fixed offset each position writes a
+    distinct strided location, so the add is one vectorized slice
+    assignment.  Offsets run high-to-low so every input element
+    accumulates its overlapping contributions in ascending-position
+    order — bit-identical to the old per-position Python loop.
+    """
+    out_len = grad_windows.shape[2]
+    span = (out_len - 1) * stride + 1
+    for offset in reversed(range(kernel)):
+        grad_x[:, :, offset : offset + span : stride] += \
+            grad_windows[:, :, :, offset]
+
+
 def conv1d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
            stride: int = 1, padding: int = 0) -> Tensor:
     """1-D cross-correlation.
@@ -76,11 +114,10 @@ def conv1d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
                                   optimize=True)
             grad_cols = grad_cols.reshape(batch, out_len, in_channels,
                                           kernel)
-            grad_x = np.zeros((batch, in_channels, length))
-            for position in range(out_len):
-                start = position * stride
-                grad_x[:, :, start : start + kernel] += \
-                    grad_cols[:, position]
+            grad_x = np.zeros((batch, in_channels, length),
+                              dtype=grad.dtype)
+            _col2im_add(grad_x, grad_cols.transpose(0, 2, 1, 3),
+                        kernel, stride)
             x._accumulate(grad_x)
 
     probe = Tensor(0.0)
@@ -95,9 +132,7 @@ def max_pool1d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     if out_len == 0:
         raise ValueError(f"input length {length} shorter than pooling "
                          f"window {kernel}")
-    windows = np.stack(
-        [x.data[:, :, p * stride : p * stride + kernel]
-         for p in range(out_len)], axis=2)  # (B, C, out_len, k)
+    windows = _window_view(x.data, kernel, stride)  # (B, C, out_len, k)
     out_data = windows.max(axis=3)
     arg = windows.argmax(axis=3)  # (B, C, out_len)
 
@@ -122,19 +157,16 @@ def avg_pool1d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     if out_len == 0:
         raise ValueError(f"input length {length} shorter than pooling "
                          f"window {kernel}")
-    windows = np.stack(
-        [x.data[:, :, p * stride : p * stride + kernel]
-         for p in range(out_len)], axis=2)
+    windows = _window_view(x.data, kernel, stride)
     out_data = windows.mean(axis=3)
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
             return
         grad_x = np.zeros_like(x.data)
-        for position in range(out_len):
-            start = position * stride
-            grad_x[:, :, start : start + kernel] += \
-                grad[:, :, position : position + 1] / kernel
+        shared = np.broadcast_to((grad / kernel)[:, :, :, None],
+                                 grad.shape + (kernel,))
+        _col2im_add(grad_x, shared, kernel, stride)
         x._accumulate(grad_x)
 
     probe = Tensor(0.0)

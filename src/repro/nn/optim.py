@@ -73,7 +73,12 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba 2015) with bias correction."""
+    """Adam (Kingma & Ba 2015) with bias correction.
+
+    The moment buffers and a per-parameter scratch array are allocated
+    once; every step runs as in-place ``out=`` ufunc updates, so a
+    step allocates nothing regardless of model size.
+    """
 
     def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999),
                  eps: float = 1e-8, weight_decay: float = 0.0):
@@ -83,6 +88,8 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        self._grad_buf = [np.zeros_like(p.data) for p in self.params]
+        self._temp = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
 
     def step(self) -> None:
@@ -93,12 +100,36 @@ class Adam(Optimizer):
             if param.grad is None:
                 continue
             grad = param.grad
+            m = self._m[index]
+            v = self._v[index]
+            if m.shape != param.data.shape \
+                    or m.dtype != param.data.dtype:
+                # load_state_dict may swap a parameter's array; re-home
+                # the buffers rather than corrupt the update
+                m = self._m[index] = np.zeros_like(param.data)
+                v = self._v[index] = np.zeros_like(param.data)
+                self._grad_buf[index] = np.zeros_like(param.data)
+                self._temp[index] = np.zeros_like(param.data)
+            temp = self._temp[index]
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            self._m[index] = (self.beta1 * self._m[index]
-                              + (1 - self.beta1) * grad)
-            self._v[index] = (self.beta2 * self._v[index]
-                              + (1 - self.beta2) * grad ** 2)
-            m_hat = self._m[index] / correction1
-            v_hat = self._v[index] / correction2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                grad_buf = self._grad_buf[index]
+                np.multiply(param.data, self.weight_decay,
+                            out=grad_buf)
+                np.add(grad_buf, grad, out=grad_buf)
+                grad = grad_buf
+            # m = beta1*m + (1-beta1)*grad
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1 - self.beta1, out=temp)
+            np.add(m, temp, out=m)
+            # v = beta2*v + (1-beta2)*grad^2
+            np.multiply(v, self.beta2, out=v)
+            np.multiply(grad, grad, out=temp)
+            np.multiply(temp, 1 - self.beta2, out=temp)
+            np.add(v, temp, out=v)
+            # param -= (lr/c1) * m / (sqrt(v/c2) + eps)
+            np.divide(v, correction2, out=temp)
+            np.sqrt(temp, out=temp)
+            np.add(temp, self.eps, out=temp)
+            np.divide(m, temp, out=temp)
+            np.multiply(temp, self.lr / correction1, out=temp)
+            np.subtract(param.data, temp, out=param.data)

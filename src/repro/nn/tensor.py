@@ -17,6 +17,8 @@ from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from .dtype import get_default_dtype
+
 __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
 
 _GRAD_ENABLED = True
@@ -58,8 +60,10 @@ class Tensor:
     """A numpy array with reverse-mode autograd.
 
     Attributes:
-        data: the underlying float64 ndarray.
-        grad: accumulated gradient (same shape), or None.
+        data: the underlying float ndarray (dtype set by
+            :func:`repro.nn.dtype.get_default_dtype`, float32 by
+            default).
+        grad: accumulated gradient (same shape/dtype), or None.
         requires_grad: whether backward should flow into this tensor.
     """
 
@@ -71,7 +75,7 @@ class Tensor:
                  name: str = ""):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=get_default_dtype())
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = requires_grad and _GRAD_ENABLED
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -130,7 +134,7 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = _unbroadcast(grad, self.data.shape)
         if self.grad is None:

@@ -7,10 +7,18 @@ from repro.core.cwe_typing import CWETyper
 from repro.core.pipeline import encode_gadgets, extract_gadgets
 from repro.datasets.sard import generate_sard_corpus
 from repro.models.multiclass import CWETypeNet
-from repro.nn import Tensor, cross_entropy
+from repro.nn import Tensor, cross_entropy, set_default_dtype
 
 
 class TestCrossEntropy:
+    @pytest.fixture(autouse=True)
+    def pin_float64(self):
+        # Exact-reference and central-difference checks need float64;
+        # the production default is float32 (repro.nn.dtype).
+        previous = set_default_dtype(np.float64)
+        yield
+        set_default_dtype(previous)
+
     def test_matches_reference(self):
         rng = np.random.default_rng(0)
         logits = Tensor(rng.normal(size=(5, 4)), requires_grad=True)

@@ -1,6 +1,7 @@
 """Tests for the skip-gram word2vec trainer."""
 
 import numpy as np
+import pytest
 
 from repro.embedding.vocab import Vocabulary
 from repro.embedding.word2vec import Word2Vec
@@ -107,4 +108,61 @@ class TestMinCount:
         b = Word2Vec(vocab, dim=8, seed=2)
         a.train(encoded, epochs=1)
         b.train(encoded, epochs=1, min_count=1)
+        assert np.allclose(a.vectors, b.vectors)
+
+
+class TestBatchedBackend:
+    """Statistical equivalence of the vectorized SGNS backend against
+    the per-pair reference loop on the same seeded micro-corpus: both
+    must learn the same group structure, land at comparable final
+    loss, and keep nearest-neighbor sets overlapping.  (Bit-identity
+    is impossible — the backends consume the RNG in different orders
+    and the batched path sums gradients over frozen weights.)"""
+
+    def train_backend(self, backend, seed=1, epochs=3):
+        sentences = make_corpus()
+        vocab = Vocabulary.build(sentences)
+        encoded = [vocab.encode(s) for s in sentences]
+        model = Word2Vec(vocab, dim=12, seed=seed, backend=backend)
+        loss = model.train(encoded, epochs=epochs)
+        return model, loss
+
+    def test_env_selects_backend(self, monkeypatch):
+        vocab = Vocabulary.build([["a", "b"]])
+        monkeypatch.setenv("REPRO_W2V_BACKEND", "pairwise")
+        assert Word2Vec(vocab, dim=4).backend == "pairwise"
+        monkeypatch.delenv("REPRO_W2V_BACKEND")
+        assert Word2Vec(vocab, dim=4).backend == "batched"
+
+    def test_unknown_backend_rejected(self):
+        vocab = Vocabulary.build([["a", "b"]])
+        with pytest.raises(ValueError, match="backend"):
+            Word2Vec(vocab, dim=4, backend="turbo")
+
+    def test_final_loss_within_tolerance(self):
+        _, batched = self.train_backend("batched")
+        _, pairwise = self.train_backend("pairwise")
+        assert batched == pytest.approx(pairwise, rel=0.25)
+
+    def test_learns_same_group_structure(self):
+        model, _ = self.train_backend("batched")
+        for token, same, cross in (("alpha", "beta", "delta"),
+                                   ("delta", "zeta", "gamma")):
+            assert model.similarity(token, same) > \
+                model.similarity(token, cross)
+
+    def test_neighborhoods_preserved(self):
+        batched, _ = self.train_backend("batched")
+        pairwise, _ = self.train_backend("pairwise")
+        overlaps = []
+        for token in ("alpha", "beta", "gamma", "delta",
+                      "epsilon", "zeta"):
+            b = {t for t, _ in batched.most_similar(token, top_k=2)}
+            p = {t for t, _ in pairwise.most_similar(token, top_k=2)}
+            overlaps.append(len(b & p) / 2)
+        assert sum(overlaps) / len(overlaps) >= 0.5
+
+    def test_batched_deterministic_given_seed(self):
+        a, _ = self.train_backend("batched", seed=4)
+        b, _ = self.train_backend("batched", seed=4)
         assert np.allclose(a.vectors, b.vectors)

@@ -3,6 +3,19 @@
 import numpy as np
 import pytest
 
+from repro.nn import set_default_dtype
+
+
+@pytest.fixture(autouse=True)
+def pin_float64():
+    """Numerical gradient checks need float64: central differences at
+    eps=1e-6 drown in float32's ~1e-7 relative noise.  The production
+    default stays float32 (see repro.nn.dtype); these tests pin the
+    wider dtype and restore whatever was active afterwards."""
+    previous = set_default_dtype(np.float64)
+    yield
+    set_default_dtype(previous)
+
 
 @pytest.fixture
 def rng():

@@ -1,0 +1,143 @@
+"""Golden equivalence: vectorized kernels vs the original loops.
+
+The pooling forwards moved from a per-position ``np.stack`` to an
+``as_strided`` window view, and the conv1d / avg_pool1d backwards moved
+from per-output-position Python loops to a kernel-offset scatter
+(``_col2im_add``).  These tests keep the *original* implementations
+inline as references and assert the rewrites are bit-for-bit identical
+(``np.array_equal``, no tolerance): same elements, same float
+accumulation order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.ops import avg_pool1d, conv1d, max_pool1d
+from repro.nn.tensor import Tensor
+
+#: (batch, channels, length, kernel, stride) covering overlap
+#: (stride < kernel), gaps (stride > kernel), and exact tiling.
+POOL_CASES = [
+    (2, 3, 11, 3, 1),
+    (1, 4, 16, 4, 4),
+    (3, 2, 10, 2, 3),
+    (2, 1, 7, 5, 2),
+    (2, 2, 9, 9, 1),
+]
+
+
+def stacked_windows(data: np.ndarray, kernel: int,
+                    stride: int) -> np.ndarray:
+    """The old pooling forward: materialized (B, C, out_len, k)."""
+    out_len = (data.shape[2] - kernel) // stride + 1
+    return np.stack(
+        [data[:, :, p * stride : p * stride + kernel]
+         for p in range(out_len)], axis=2)
+
+
+def loop_col2im(shape: tuple, grad_windows: np.ndarray, kernel: int,
+                stride: int) -> np.ndarray:
+    """The old backward scatter: accumulate per output position."""
+    grad_x = np.zeros(shape, dtype=grad_windows.dtype)
+    out_len = grad_windows.shape[2]
+    for position in range(out_len):
+        start = position * stride
+        grad_x[:, :, start : start + kernel] += \
+            grad_windows[:, :, position]
+    return grad_x
+
+
+@pytest.mark.parametrize("batch,channels,length,kernel,stride",
+                         POOL_CASES)
+class TestPoolingGolden:
+    def test_max_pool_forward(self, rng, batch, channels, length,
+                              kernel, stride):
+        data = rng.standard_normal((batch, channels, length))
+        out = max_pool1d(Tensor(data), kernel, stride)
+        reference = stacked_windows(data, kernel, stride).max(axis=3)
+        assert np.array_equal(out.data, reference)
+
+    def test_avg_pool_forward(self, rng, batch, channels, length,
+                              kernel, stride):
+        data = rng.standard_normal((batch, channels, length))
+        out = avg_pool1d(Tensor(data), kernel, stride)
+        reference = stacked_windows(data, kernel, stride).mean(axis=3)
+        assert np.array_equal(out.data, reference)
+
+    def test_max_pool_backward(self, rng, batch, channels, length,
+                               kernel, stride):
+        data = rng.standard_normal((batch, channels, length))
+        x = Tensor(data, requires_grad=True)
+        out = max_pool1d(x, kernel, stride)
+        upstream = rng.standard_normal(out.shape)
+        out.backward(upstream)
+        windows = stacked_windows(data, kernel, stride)
+        arg = windows.argmax(axis=3)
+        reference = np.zeros_like(data)
+        b_idx, c_idx, p_idx = np.indices(arg.shape)
+        np.add.at(reference, (b_idx, c_idx, p_idx * stride + arg),
+                  upstream)
+        assert np.array_equal(x.grad, reference)
+
+    def test_avg_pool_backward(self, rng, batch, channels, length,
+                               kernel, stride):
+        data = rng.standard_normal((batch, channels, length))
+        x = Tensor(data, requires_grad=True)
+        out = avg_pool1d(x, kernel, stride)
+        upstream = rng.standard_normal(out.shape)
+        out.backward(upstream)
+        # the old loop added grad[:, :, p:p+1] / kernel over each window
+        shared = np.broadcast_to((upstream / kernel)[:, :, :, None],
+                                 upstream.shape + (kernel,))
+        reference = loop_col2im(data.shape, shared, kernel, stride)
+        assert np.array_equal(x.grad, reference)
+
+
+@pytest.mark.parametrize("kernel,stride,padding",
+                         [(3, 1, 0), (3, 1, 1), (5, 2, 0), (2, 3, 2)])
+class TestConvBackwardGolden:
+    def test_grad_x_matches_loop(self, rng, kernel, stride, padding):
+        batch, in_channels, out_channels, length = 2, 3, 4, 12
+        data = rng.standard_normal((batch, in_channels, length))
+        w = rng.standard_normal((out_channels, in_channels, kernel))
+        x = Tensor(data, requires_grad=True)
+        weight = Tensor(w, requires_grad=True)
+        out = conv1d(x, weight, stride=stride, padding=padding)
+        upstream = rng.standard_normal(out.shape)
+        out.backward(upstream)
+
+        padded = length + 2 * padding
+        out_len = (padded - kernel) // stride + 1
+        w_flat = w.reshape(out_channels, -1)
+        grad_cols = np.einsum("bco,ck->bok", upstream, w_flat,
+                              optimize=True)
+        grad_cols = grad_cols.reshape(batch, out_len, in_channels,
+                                      kernel)
+        grad_padded = loop_col2im(
+            (batch, in_channels, padded),
+            grad_cols.transpose(0, 2, 1, 3), kernel, stride)
+        reference = (grad_padded if padding == 0 else
+                     grad_padded[:, :, padding:-padding])
+        assert np.array_equal(x.grad, reference)
+
+    def test_grad_weight_unchanged(self, rng, kernel, stride, padding):
+        batch, in_channels, out_channels, length = 2, 3, 4, 12
+        data = rng.standard_normal((batch, in_channels, length))
+        w = rng.standard_normal((out_channels, in_channels, kernel))
+        x = Tensor(data, requires_grad=True)
+        weight = Tensor(w, requires_grad=True)
+        out = conv1d(x, weight, stride=stride, padding=padding)
+        upstream = rng.standard_normal(out.shape)
+        out.backward(upstream)
+
+        if padding:
+            data = np.pad(data, ((0, 0), (0, 0), (padding, padding)))
+        out_len = (data.shape[2] - kernel) // stride + 1
+        cols = np.stack(
+            [data[:, :, p * stride : p * stride + kernel]
+             for p in range(out_len)], axis=1
+        ).reshape(batch, out_len, in_channels * kernel)
+        grad_w = np.einsum("bco,bok->ck", upstream, cols,
+                           optimize=True)
+        reference = grad_w.reshape(w.shape)
+        assert np.array_equal(weight.grad, reference)
