@@ -54,6 +54,22 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--cache-dir", type=Path, default=None,
                        help="content-addressed extraction cache "
                             "directory (reruns skip the frontend)")
+    train.add_argument("--case-timeout", type=float, default=None,
+                       help="per-case extraction wall-clock budget in "
+                            "seconds; hanging cases are skipped and "
+                            "quarantined instead of wedging the run")
+    train.add_argument("--quarantine", type=Path, default=None,
+                       help="poison-case quarantine list (.jsonl); "
+                            "known-bad cases are skipped cheaply and "
+                            "new timeouts/crashes are appended")
+    train.add_argument("--checkpoint-dir", type=Path, default=None,
+                       help="write an atomic training checkpoint "
+                            "after every epoch so an interrupted run "
+                            "can be resumed")
+    train.add_argument("--resume", action="store_true",
+                       help="resume training from the checkpoint in "
+                            "--checkpoint-dir (same final weights as "
+                            "an uninterrupted run)")
     train.add_argument("--stats", action="store_true",
                        help="print pipeline telemetry (stage timings, "
                             "counters, training throughput rates)")
@@ -97,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--cache-dir", type=Path, default=None,
                          help="content-addressed extraction cache "
                               "directory")
+    extract.add_argument("--case-timeout", type=float, default=None,
+                         help="per-case extraction wall-clock budget "
+                              "in seconds")
+    extract.add_argument("--quarantine", type=Path, default=None,
+                         help="poison-case quarantine list (.jsonl)")
     extract.add_argument("--out", type=Path, required=True,
                          help="output gadget dataset (.jsonl)")
     extract.add_argument("--stats", action="store_true",
@@ -121,6 +142,10 @@ def _resolve_scale(args: argparse.Namespace):
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
     scale = _resolve_scale(args)
     corpus = generate_sard_corpus(args.cases, seed=args.seed)
     if args.nvd_cases > 0:
@@ -130,9 +155,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"training on {len(corpus)} programs "
           f"({vulnerable} vulnerable) at scale {scale.name!r} ...")
     detector = SEVulDet(scale=scale, seed=args.seed,
-                        workers=args.workers, cache=args.cache_dir)
-    report = detector.fit(corpus)
+                        workers=args.workers, cache=args.cache_dir,
+                        case_timeout=args.case_timeout,
+                        quarantine=args.quarantine)
+    report = detector.fit(corpus, checkpoint_dir=args.checkpoint_dir,
+                          resume=args.resume)
     detector.save(args.out)
+    if detector.extraction_failures:
+        print(f"skipped {len(detector.extraction_failures)} case(s): "
+              + ", ".join(f"{f.case_name} ({f.reason})"
+                          for f in detector.extraction_failures[:5]))
     print(f"final loss {report.final_loss:.4f}; model saved to "
           f"{args.out}")
     if args.stats:
@@ -148,14 +180,22 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         corpus += generate_nvd_corpus(args.nvd_cases,
                                       seed=args.seed + 1)
     telemetry = Telemetry()
+    failures: list = []
     gadgets = extract_gadgets(corpus, kind=args.kind,
                               workers=args.workers,
                               cache=args.cache_dir,
-                              telemetry=telemetry)
+                              telemetry=telemetry,
+                              case_timeout=args.case_timeout,
+                              quarantine=args.quarantine,
+                              failures=failures)
     count = save_gadgets(gadgets, args.out)
     vulnerable = sum(g.label for g in gadgets)
     print(f"extracted {count} gadgets ({vulnerable} vulnerable) from "
           f"{len(corpus)} programs -> {args.out}")
+    if failures:
+        print(f"skipped {len(failures)} case(s): "
+              + ", ".join(f"{f.case_name} ({f.reason})"
+                          for f in failures[:5]))
     if args.stats:
         print(telemetry.summary())
     return 0

@@ -7,6 +7,8 @@ from .pipeline import (EncodedDataset, LabeledGadget, TrainReport,
 from .detector import Finding, SEVulDet
 from .attention_hook import TokenWeight, attention_report, weights_by_line
 from .cwe_typing import CWETyper
+from .resilience import (CaseFailure, CaseTimeout, Quarantine,
+                         TrainingCheckpoint, time_limit)
 from .store import iter_gadgets, load_gadgets, save_gadgets
 from .cache import GadgetCache
 from .telemetry import Telemetry
@@ -20,5 +22,7 @@ __all__ = [
     "Finding", "SEVulDet",
     "TokenWeight", "attention_report", "weights_by_line",
     "CWETyper", "iter_gadgets", "load_gadgets", "save_gadgets",
+    "CaseFailure", "CaseTimeout", "Quarantine", "TrainingCheckpoint",
+    "time_limit",
     "GadgetCache", "Telemetry",
 ]

@@ -23,6 +23,7 @@ from typing import Sequence
 
 from ..datasets.manifest import TestCase
 from ..slicing.normalize import NORMALIZE_VERSION
+from ..testing import faults
 from .pipeline import PIPELINE_VERSION, LabeledGadget
 from .store import load_gadgets, save_gadgets
 
@@ -68,23 +69,52 @@ class GadgetCache:
 
     def put(self, key: str, gadgets: Sequence[LabeledGadget]) -> None:
         """Store ``gadgets`` under ``key`` (atomic replace)."""
-        save_gadgets(gadgets, self.path_for(key), atomic=True)
+        path = self.path_for(key)
+        save_gadgets(gadgets, path, atomic=True)
+        faults.corrupt_file("shard", key, path)
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
+
+    def _shards(self):
+        """Shard paths, tolerating directories vanishing mid-scan
+        (concurrent ``clear()`` / external ``rm -r``)."""
+        try:
+            yield from self.root.glob("*/*.jsonl")
+        except (FileNotFoundError, NotADirectoryError):
+            return
 
     def __len__(self) -> int:
         """Number of cached shards."""
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.jsonl"))
+        return sum(1 for _ in self._shards())
 
     def clear(self) -> int:
-        """Delete every shard; returns how many were removed."""
+        """Delete every shard; returns how many were removed.
+
+        Safe against concurrent clearers/extractors: a shard someone
+        else unlinked first is simply not counted.  Fan-out
+        directories left empty are pruned so a cleared cache does not
+        slowly accumulate up to 256 dead directories.
+        """
         removed = 0
         if not self.root.exists():
             return removed
-        for shard in self.root.glob("*/*.jsonl"):
-            shard.unlink()
+        for shard in list(self._shards()):
+            try:
+                shard.unlink()
+            except FileNotFoundError:
+                continue  # lost the race to a concurrent clear()
             removed += 1
+        try:
+            subdirs = list(self.root.iterdir())
+        except (FileNotFoundError, NotADirectoryError):
+            return removed
+        for subdir in subdirs:
+            if subdir.is_dir():
+                try:
+                    subdir.rmdir()
+                except OSError:
+                    pass  # refilled concurrently, or not empty
         return removed

@@ -19,11 +19,13 @@ from ..datasets.manifest import TestCase
 from ..embedding.vocab import Vocabulary
 from ..models.sevuldet import DECISION_THRESHOLD, SEVulDetNet
 from ..nn.serialize import load_model, save_model
+from ..slicing.normalize import NORMALIZE_VERSION
 from .config import Scale, current_scale
 from .cwe_typing import CWETyper
-from .pipeline import (EncodedDataset, LabeledGadget, TrainReport,
-                       encode_gadgets, extract_gadgets, predict_proba,
-                       train_classifier)
+from .pipeline import (PIPELINE_VERSION, EncodedDataset, LabeledGadget,
+                       TrainReport, encode_gadgets, extract_gadgets,
+                       predict_proba, train_classifier)
+from .resilience import CaseFailure
 from .telemetry import Telemetry
 
 __all__ = ["Finding", "SEVulDet"]
@@ -65,8 +67,15 @@ class SEVulDet:
         cache: extraction cache (GadgetCache or directory path) that
             lets repeated fits *and* repeated detection skip the
             frontend for unchanged cases.
+        case_timeout: per-case extraction wall-clock budget in
+            seconds (None disables); a hanging case is skipped and
+            quarantined instead of wedging :meth:`fit`.
+        quarantine: poison-case list (Quarantine or JSONL path) shared
+            by :meth:`fit` and :meth:`detect_case`.
         telemetry: extraction + training stage timings and counters,
             accumulated across :meth:`fit` / :meth:`detect_case` calls.
+        extraction_failures: structured :class:`CaseFailure` records
+            from the most recent :meth:`fit`.
     """
 
     scale: Scale = field(default_factory=current_scale)
@@ -79,16 +88,33 @@ class SEVulDet:
     typer: CWETyper | None = None
     workers: int = 0
     cache: object | None = None
+    case_timeout: float | None = None
+    quarantine: object | None = None
     telemetry: Telemetry = field(default_factory=Telemetry)
+    extraction_failures: list[CaseFailure] = field(default_factory=list)
 
     def fit(self, cases: Sequence[TestCase],
-            epochs: int | None = None) -> TrainReport:
-        """Train on labelled corpus programs."""
+            epochs: int | None = None, *,
+            checkpoint_dir: str | Path | None = None,
+            resume: bool = False) -> TrainReport:
+        """Train on labelled corpus programs.
+
+        With a ``checkpoint_dir``, training writes atomic per-epoch
+        checkpoints and ``resume=True`` continues an interrupted fit
+        from the last completed epoch (the extraction and embedding
+        stages are deterministic — and typically cache-warm — so only
+        the remaining classifier epochs are re-run), ending with the
+        same weights as an uninterrupted fit.
+        """
+        self.extraction_failures = []
         gadgets = extract_gadgets(cases, kind=self.gadget_kind,
                                   categories=self.categories,
                                   workers=self.workers,
                                   cache=self.cache,
-                                  telemetry=self.telemetry)
+                                  telemetry=self.telemetry,
+                                  case_timeout=self.case_timeout,
+                                  quarantine=self.quarantine,
+                                  failures=self.extraction_failures)
         if not gadgets:
             raise ValueError("no gadgets could be extracted from the "
                              "training corpus")
@@ -106,7 +132,8 @@ class SEVulDet:
             epochs=epochs if epochs is not None else self.scale.epochs,
             batch_size=self.scale.batch_size,
             lr=self.scale.learning_rate, seed=self.seed,
-            telemetry=self.telemetry)
+            telemetry=self.telemetry,
+            checkpoint_dir=checkpoint_dir, resume=resume)
 
     def fit_typer(self, epochs: int = 12) -> list[float]:
         """Train the CWE-type head (Fig 2(b) "vulnerability type") on
@@ -155,7 +182,9 @@ class SEVulDet:
                                   categories=self.categories,
                                   deduplicate=False,
                                   cache=self.cache,
-                                  telemetry=self.telemetry)
+                                  telemetry=self.telemetry,
+                                  case_timeout=self.case_timeout,
+                                  quarantine=self.quarantine)
         if not gadgets:
             return []
         scores = self.score_gadgets(gadgets)
@@ -196,12 +225,19 @@ class SEVulDet:
             "dim": self.scale.dim,
             "channels": self.scale.channels,
             "rare_token_ids": rare_ids,
+            "pipeline_version": PIPELINE_VERSION,
+            "normalize_version": NORMALIZE_VERSION,
         })
 
     def load(self, path: str | Path) -> None:
         """Restore a detector persisted with :meth:`save`.
 
-        Reads the metadata first to size the model, then loads weights.
+        Reads the metadata first to size the model, then loads
+        weights.  Archives written by a different pipeline/normalize
+        version, or whose vocabulary disagrees with the stored
+        embedding, are rejected with a ``ValueError`` naming the
+        mismatch instead of surfacing as a downstream shape error or
+        silently mis-tokenized scans.
         """
         import json
 
@@ -210,6 +246,33 @@ class SEVulDet:
         with np.load(Path(path)) as archive:
             metadata = json.loads(
                 archive["__metadata__"].tobytes().decode())
+            embedding_shape = (
+                archive["embedding.weight"].shape
+                if "embedding.weight" in archive.files else None)
+        for field_name, current in (
+                ("pipeline_version", PIPELINE_VERSION),
+                ("normalize_version", NORMALIZE_VERSION)):
+            saved = metadata.get(field_name)
+            if saved is not None and saved != current:
+                raise ValueError(
+                    f"model archive {path} was built with "
+                    f"{field_name}={saved} but this code uses "
+                    f"{field_name}={current}; its gadget tokenization "
+                    f"is incompatible — re-train the model")
+        if embedding_shape is not None:
+            n_tokens = len(metadata["tokens"])
+            if embedding_shape[0] != n_tokens:
+                raise ValueError(
+                    f"model archive {path} is inconsistent: the "
+                    f"embedding matrix has {embedding_shape[0]} rows "
+                    f"but the metadata lists {n_tokens} vocabulary "
+                    f"tokens — the archive is corrupt or mixes files "
+                    f"from different runs")
+            if embedding_shape[1] != metadata["dim"]:
+                raise ValueError(
+                    f"model archive {path} is inconsistent: the "
+                    f"embedding width is {embedding_shape[1]} but the "
+                    f"metadata says dim={metadata['dim']}")
         vocab = Vocabulary()
         for token in metadata["tokens"][2:]:  # skip PAD/UNK
             vocab.add(token)

@@ -8,9 +8,9 @@ model and the BRNN baselines share (Step V).
 
 from __future__ import annotations
 
-import itertools
+import hashlib
 import logging
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -32,6 +32,10 @@ from ..slicing.normalize import NormalizedGadget, normalize_gadget
 from ..slicing.path_sensitive import path_sensitive_gadget
 from ..slicing.special_tokens import (SlicingCriterion, TokenCategory,
                                       find_special_tokens)
+from ..testing import faults
+from .resilience import (QUARANTINE_REASONS, CaseFailure, CaseTimeout,
+                         TrainingCheckpoint, coerce_quarantine,
+                         time_limit)
 from .telemetry import Telemetry
 
 __all__ = ["PIPELINE_VERSION", "LabeledGadget", "EncodedDataset",
@@ -78,58 +82,135 @@ class _ExtractConfig:
     wanted: frozenset[TokenCategory] | None
     use_control: bool
     keep_gadget: bool
+    case_timeout: float | None = None
 
     def cache_token(self) -> str:
-        """Stable string folded into extraction cache keys."""
+        """Stable string folded into extraction cache keys.
+
+        ``case_timeout`` is deliberately excluded: the budget changes
+        *whether* a case finishes, never what it produces.
+        """
         categories = ("*" if self.wanted is None else
                       ",".join(sorted(c.value for c in self.wanted)))
         return (f"kind={self.kind};categories={categories};"
                 f"control={int(self.use_control)}")
 
 
+#: One per-case extraction result: (gadgets, telemetry snapshot,
+#: failure record or None).  All three are picklable.
+_CaseOutcome = tuple
+
+
 def _extract_case(case: TestCase, config: _ExtractConfig
-                  ) -> tuple[list[LabeledGadget], dict]:
+                  ) -> _CaseOutcome:
     """Pure per-case body of :func:`extract_gadgets`.
 
     Analyzes, slices, labels, and normalizes one program, returning its
     un-deduplicated gadgets in deterministic criterion order plus a
-    telemetry snapshot.  Depends only on its arguments, so it runs
-    identically inline or in a worker process.
+    telemetry snapshot and an optional :class:`CaseFailure`.  Depends
+    only on its arguments, so it runs identically inline or in a worker
+    process.  The exception boundary is deliberately wide: a messy
+    real-world case may blow the recursion stack, exhaust memory, or
+    hang past its wall-clock budget, and none of those may take the
+    run (or the worker's siblings) down with it.
     """
     local = Telemetry()
-    try:
-        with local.stage("analyze"):
-            program = analyze(case.source, path=case.name)
-    except ParseError:
-        local.count("cases_skipped")
-        return [], local.as_dict()
-    local.count("cases_parsed")
-    manifest = case.manifest()
     gadgets: list[LabeledGadget] = []
-    for criterion in find_special_tokens(program, config.wanted):
-        with local.stage("slice"):
-            if config.kind == "path-sensitive":
-                gadget = path_sensitive_gadget(program, criterion)
-            else:
-                gadget = classic_gadget(program, criterion,
-                                        use_control=config.use_control)
-        if not gadget.lines:
-            continue
-        gadget.label = label_gadget(gadget, manifest)
-        with local.stage("normalize"):
-            normalized = normalize_gadget(gadget)
-        gadgets.append(
-            LabeledGadget(
-                tokens=tuple(normalized.tokens),
-                label=gadget.label,
-                category=criterion.category.value,
-                case_name=case.name,
-                criterion=criterion,
-                kind=config.kind,
-                gadget=gadget if config.keep_gadget else None,
-                cwe=case.cwe))
+    failure: CaseFailure | None = None
+    try:
+        with time_limit(config.case_timeout):
+            faults.fire("case", case.name)
+            with local.stage("analyze"):
+                program = analyze(case.source, path=case.name)
+            manifest = case.manifest()
+            for criterion in find_special_tokens(program, config.wanted):
+                with local.stage("slice"):
+                    if config.kind == "path-sensitive":
+                        gadget = path_sensitive_gadget(program, criterion)
+                    else:
+                        gadget = classic_gadget(
+                            program, criterion,
+                            use_control=config.use_control)
+                if not gadget.lines:
+                    continue
+                gadget.label = label_gadget(gadget, manifest)
+                with local.stage("normalize"):
+                    normalized = normalize_gadget(gadget)
+                gadgets.append(
+                    LabeledGadget(
+                        tokens=tuple(normalized.tokens),
+                        label=gadget.label,
+                        category=criterion.category.value,
+                        case_name=case.name,
+                        criterion=criterion,
+                        kind=config.kind,
+                        gadget=gadget if config.keep_gadget else None,
+                        cwe=case.cwe))
+    except ParseError as error:
+        failure = CaseFailure(case.name, "parse-error", str(error))
+    except CaseTimeout:
+        failure = CaseFailure(
+            case.name, "timeout",
+            f"exceeded the {config.case_timeout:g}s case budget")
+    except RecursionError:
+        failure = CaseFailure(case.name, "recursion",
+                              "recursion limit while parsing/slicing")
+    except MemoryError:
+        failure = CaseFailure(case.name, "memory",
+                              "out of memory while extracting")
+    except (UnicodeError, OverflowError) as error:
+        failure = CaseFailure(case.name, "error", repr(error))
+    if failure is not None:
+        local.count("cases_skipped")
+        return [], local.as_dict(), failure
+    local.count("cases_parsed")
     local.count("gadgets_extracted", len(gadgets))
-    return gadgets, local.as_dict()
+    return gadgets, local.as_dict(), None
+
+
+def _extract_chunk(cases: list[TestCase], config: _ExtractConfig
+                   ) -> list[_CaseOutcome]:
+    """Worker-side batch body: one pickle round-trip per chunk."""
+    return [_extract_case(case, config) for case in cases]
+
+
+def _pool_extract(cases: Sequence[TestCase], pending: list[int],
+                  config: _ExtractConfig, workers: int,
+                  telemetry: Telemetry
+                  ) -> tuple[dict[int, _CaseOutcome], list[int]]:
+    """Fan ``pending`` out over a process pool, chunk by chunk.
+
+    Returns the per-index outcomes plus the indices whose chunk was
+    lost to pool breakage (a worker died mid-chunk); the caller decides
+    whether to retry those inline.  Unlike ``pool.map``, per-chunk
+    futures keep every already-completed chunk when the pool breaks.
+    """
+    outcomes: dict[int, _CaseOutcome] = {}
+    lost: list[int] = []
+    chunksize = max(1, len(pending) // (workers * 4))
+    chunks = [pending[i:i + chunksize]
+              for i in range(0, len(pending), chunksize)]
+    broke = False
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        submitted = [
+            (pool.submit(_extract_chunk,
+                         [cases[i] for i in chunk], config), chunk)
+            for chunk in chunks]
+        for future, chunk in submitted:
+            try:
+                results = future.result()
+            except BrokenExecutor:
+                if not broke:
+                    broke = True
+                    telemetry.count("pool_breaks")
+                    logger.warning(
+                        "extract_gadgets: process pool broke (worker "
+                        "died); unfinished cases fall back to inline "
+                        "extraction")
+                lost.extend(chunk)
+            else:
+                outcomes.update(zip(chunk, results))
+    return outcomes, lost
 
 
 def _coerce_cache(cache):
@@ -153,6 +234,10 @@ def extract_gadgets(
     workers: int = 0,
     cache=None,
     telemetry: Telemetry | None = None,
+    case_timeout: float | None = None,
+    retries: int = 1,
+    quarantine=None,
+    failures: list[CaseFailure] | None = None,
 ) -> list[LabeledGadget]:
     """Steps I-III: slice, assemble, label, and normalize every case.
 
@@ -160,7 +245,14 @@ def extract_gadgets(
     process pool and/or served from a content-addressed cache) and the
     per-case gadget lists are concatenated in corpus order before
     deduplication, so the output is byte-identical no matter how the
-    work was scheduled.
+    work was scheduled — including runs where workers crashed and
+    their cases were re-extracted inline.
+
+    A pathological case can only ever cost its own result: hangs are
+    cut off by ``case_timeout``, crashes break at most one pool chunk
+    (whose cases fall back to inline extraction), deep nesting and
+    memory exhaustion are caught at the per-case boundary, and cases
+    listed in the ``quarantine`` are skipped before any work happens.
 
     Args:
         cases: corpus programs.
@@ -181,7 +273,20 @@ def extract_gadgets(
             ignored when ``keep_gadget`` is set because the on-disk
             record format does not persist raw gadget objects.
         telemetry: optional accumulator for stage timings and counters
-            (cases parsed/skipped, gadgets, dedup and cache hits).
+            (cases parsed/skipped, gadgets, dedup and cache hits, and
+            every recovery event).
+        case_timeout: per-case wall-clock budget in seconds; a case
+            that exceeds it is recorded as a 'timeout' failure (and
+            quarantined, when a quarantine is attached) instead of
+            hanging the run.  None disables the budget.
+        retries: inline re-extraction attempts for cases lost to a
+            broken process pool (0 records them as 'worker-crash'
+            failures instead).
+        quarantine: a :class:`~repro.core.resilience.Quarantine`, a
+            JSONL path, or None.  Known-poison cases are skipped
+            cheaply; new timeouts/crashes are appended for next time.
+        failures: optional list that receives one structured
+            :class:`CaseFailure` per case that produced no gadgets.
     """
     if kind not in ("path-sensitive", "classic"):
         raise ValueError(f"unknown gadget kind {kind!r}")
@@ -190,9 +295,11 @@ def extract_gadgets(
         wanted = frozenset(_CATEGORY_MAP[c] for c in categories)
     config = _ExtractConfig(kind=kind, wanted=wanted,
                             use_control=use_control,
-                            keep_gadget=keep_gadget)
+                            keep_gadget=keep_gadget,
+                            case_timeout=case_timeout)
     telemetry = telemetry if telemetry is not None else Telemetry()
     telemetry.count("cases_total", len(cases))
+    quarantine = coerce_quarantine(quarantine)
 
     gadget_cache = None if keep_gadget else _coerce_cache(cache)
     if cache is not None and keep_gadget:
@@ -202,12 +309,31 @@ def extract_gadgets(
 
     per_case: list[list[LabeledGadget] | None] = [None] * len(cases)
     keys: list[str | None] = [None] * len(cases)
-    pending = list(range(len(cases)))
+    case_failures: list[CaseFailure] = []
+    skipped_names: list[str] = []
+
+    pending: list[int] = []
+    for index, case in enumerate(cases):
+        if quarantine is not None and case in quarantine:
+            per_case[index] = []
+            telemetry.count("cases_skipped")
+            telemetry.count("quarantine_skips")
+            telemetry.event("case-skip", case=case.name,
+                            reason="quarantined")
+            case_failures.append(CaseFailure(
+                case.name, "quarantined",
+                f"listed in {quarantine.path}", attempts=0,
+                quarantined=True))
+            skipped_names.append(case.name)
+        else:
+            pending.append(index)
+
     if gadget_cache is not None:
-        pending = []
+        lookup, pending = pending, []
         with telemetry.stage("cache-lookup"):
-            for index, case in enumerate(cases):
-                key = gadget_cache.key_for(case, config.cache_token())
+            for index in lookup:
+                key = gadget_cache.key_for(cases[index],
+                                           config.cache_token())
                 keys[index] = key
                 hit = gadget_cache.get(key)
                 if hit is None:
@@ -217,30 +343,65 @@ def extract_gadgets(
                     telemetry.count("cache_hits")
                     per_case[index] = hit
 
+    outcomes: dict[int, _CaseOutcome] = {}
     if workers > 1 and len(pending) > 1:
         with telemetry.stage("extract"):
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                chunksize = max(1, len(pending) // (workers * 4))
-                outcomes = list(pool.map(
-                    _extract_case, [cases[i] for i in pending],
-                    itertools.repeat(config), chunksize=chunksize))
-    else:
+            outcomes, lost = _pool_extract(cases, pending, config,
+                                           workers, telemetry)
+            for index in lost:
+                case = cases[index]
+                if retries > 0:
+                    telemetry.count("case_retries")
+                    telemetry.event("inline-fallback", case=case.name)
+                    outcome = _extract_case(case, config)
+                    if outcome[2] is not None:
+                        outcome[2].attempts = 2
+                    outcomes[index] = outcome
+                else:
+                    outcomes[index] = (
+                        [], {"counters": {"cases_skipped": 1}},
+                        CaseFailure(case.name, "worker-crash",
+                                    "process pool broke while "
+                                    "extracting this chunk"))
+    elif pending:
         with telemetry.stage("extract"):
-            outcomes = [_extract_case(cases[i], config)
-                        for i in pending]
+            for index in pending:
+                outcomes[index] = _extract_case(cases[index], config)
 
-    skipped_names: list[str] = []
-    for index, (gadgets, stats) in zip(pending, outcomes):
+    for index in sorted(outcomes):
+        gadgets, stats, failure = outcomes[index]
         per_case[index] = gadgets
         telemetry.merge_dict(stats)
-        skipped = stats.get("counters", {}).get("cases_skipped", 0)
-        if skipped:
-            skipped_names.append(cases[index].name)
+        case = cases[index]
+        if failure is not None:
+            skipped_names.append(case.name)
+            telemetry.count("skip_" + failure.reason.replace("-", "_"))
+            if failure.reason == "timeout":
+                telemetry.count("case_timeouts")
+            if (quarantine is not None
+                    and failure.reason in QUARANTINE_REASONS):
+                if quarantine.add(case, failure.reason, failure.detail):
+                    telemetry.count("quarantined_cases")
+                failure.quarantined = True
+            telemetry.event("case-skip", case=case.name,
+                            reason=failure.reason,
+                            detail=failure.detail)
+            logger.warning("extract_gadgets: %s skipped (%s%s)%s",
+                           case.name, failure.reason,
+                           f": {failure.detail}" if failure.detail
+                           else "",
+                           "; quarantined" if failure.quarantined
+                           else "")
+            case_failures.append(failure)
         elif gadget_cache is not None:
-            # parse failures are deliberately not cached: re-failing is
-            # cheap and keeps the skip diagnostics visible on reruns
+            # failed cases are deliberately not cached: parse failures
+            # are cheap to re-fail and poison cases belong to the
+            # quarantine, so skip diagnostics stay visible on reruns
             with telemetry.stage("cache-store"):
                 gadget_cache.put(keys[index], gadgets)
+
+    if failures is not None:
+        failures.extend(case_failures)
 
     results: list[LabeledGadget] = []
     seen: set[tuple[tuple[str, ...], int]] = set()
@@ -260,9 +421,8 @@ def extract_gadgets(
         shown = ", ".join(skipped_names[:5])
         if len(skipped_names) > 5:
             shown += ", ..."
-        logger.warning("extract_gadgets: skipped %d/%d unparseable "
-                       "case(s): %s", len(skipped_names), len(cases),
-                       shown)
+        logger.warning("extract_gadgets: skipped %d/%d case(s): %s",
+                       len(skipped_names), len(cases), shown)
     return results
 
 
@@ -351,6 +511,19 @@ class TrainReport:
         return self.losses[-1] if self.losses else float("nan")
 
 
+def _train_config_token(params, *, batch_size: int, lr: float,
+                        seed: int, n_samples: int, fixed,
+                        class_balance: bool) -> str:
+    """Fingerprint of everything a resumed run must share with the
+    run that wrote the checkpoint (total ``epochs`` is deliberately
+    free so a finished run can be extended)."""
+    shapes = ",".join(str(tuple(p.data.shape)) for p in params)
+    digest = hashlib.sha256(shapes.encode()).hexdigest()[:12]
+    return (f"batch={batch_size};lr={lr:g};seed={seed};"
+            f"samples={n_samples};fixed={fixed};"
+            f"balance={int(class_balance)};params={digest}")
+
+
 def train_classifier(model: Module, samples: Sequence[Sample], *,
                      epochs: int = 8, batch_size: int = 16,
                      lr: float = 3e-3, seed: int = 0,
@@ -358,7 +531,10 @@ def train_classifier(model: Module, samples: Sequence[Sample], *,
                      class_balance: bool = True,
                      validation: Sequence[Sample] | None = None,
                      patience: int | None = None,
-                     telemetry: Telemetry | None = None) -> TrainReport:
+                     telemetry: Telemetry | None = None,
+                     checkpoint_dir: str | Path | None = None,
+                     checkpoint_every: int = 1,
+                     resume: bool = False) -> TrainReport:
     """Train any gadget classifier (fixed- or flexible-length).
 
     Models advertising ``fixed_length`` get padded/truncated batches
@@ -372,9 +548,18 @@ def train_classifier(model: Module, samples: Sequence[Sample], *,
     validation F1 has not improved for ``patience`` consecutive epochs
     and the best-epoch weights are restored (early stopping).
 
+    With a ``checkpoint_dir``, an atomic checkpoint (weights, Adam
+    moments, RNG state, loss/early-stopping trajectory) is written
+    every ``checkpoint_every`` completed epochs; ``resume=True`` picks
+    training back up from the last checkpoint and — because the RNG
+    and optimizer state are restored exactly — finishes with the same
+    weights an uninterrupted run would have produced.  Resuming under
+    different hyper-parameters raises ``ValueError`` instead of
+    silently diverging.
+
     ``telemetry`` accumulates the ``train`` / ``train-epoch`` stage
-    timings and ``train_batches`` / ``train_samples`` counters the
-    throughput report is derived from.
+    timings, ``train_batches`` / ``train_samples`` counters, and
+    ``checkpoint_writes`` / ``checkpoint_resumes`` recovery counters.
     """
     import time
 
@@ -389,9 +574,38 @@ def train_classifier(model: Module, samples: Sequence[Sample], *,
     best_f1 = -1.0
     best_state: dict[str, np.ndarray] | None = None
     stale = 0
+    start_epoch = 0
+
+    checkpoint = (TrainingCheckpoint(checkpoint_dir)
+                  if checkpoint_dir is not None else None)
+    token = _train_config_token(
+        params, batch_size=batch_size, lr=lr, seed=seed,
+        n_samples=len(samples), fixed=fixed,
+        class_balance=class_balance)
+    if checkpoint is not None and resume:
+        state = checkpoint.load(config_token=token)
+        if state is not None:
+            model.load_state_dict(state.model_state)
+            optimizer.load_state_dict(state.optim_state)
+            rng.bit_generator.state = state.rng_state
+            if state.model_rng_states and hasattr(model,
+                                                  "load_rng_states"):
+                model.load_rng_states(state.model_rng_states)
+            report.losses = list(state.losses)
+            report.val_f1 = list(state.val_f1)
+            report.best_epoch = state.best_epoch
+            best_f1 = state.best_f1
+            best_state = state.best_state
+            stale = state.stale
+            start_epoch = state.next_epoch
+            if telemetry is not None:
+                telemetry.count("checkpoint_resumes")
+            logger.info("train_classifier: resumed from %s at epoch "
+                        "%d", checkpoint.path, start_epoch)
+
     model.train()
     train_start = time.perf_counter()
-    for _ in range(epochs):
+    for epoch in range(start_epoch, epochs):
         epoch_start = time.perf_counter()
         epoch_losses: list[float] = []
         epoch_samples = 0
@@ -401,7 +615,8 @@ def train_classifier(model: Module, samples: Sequence[Sample], *,
         else:
             batches = bucketed_batches(train_samples, batch_size, rng,
                                        min_length=4)
-        for ids, labels in batches:
+        for batch_index, (ids, labels) in enumerate(batches):
+            faults.fire("train-batch", f"{epoch}.{batch_index}")
             optimizer.zero_grad()
             logits = model(ids)
             loss = bce_with_logits(logits, labels)
@@ -417,6 +632,7 @@ def train_classifier(model: Module, samples: Sequence[Sample], *,
                                 time.perf_counter() - epoch_start)
             telemetry.count("train_batches", len(epoch_losses))
             telemetry.count("train_samples", epoch_samples)
+        should_stop = False
         if validation is not None:
             metrics = evaluate_classifier(model, validation)
             model.train()
@@ -430,8 +646,21 @@ def train_classifier(model: Module, samples: Sequence[Sample], *,
             else:
                 stale += 1
                 if patience is not None and stale >= patience:
-                    report.stopped_early = True
-                    break
+                    should_stop = True
+        if checkpoint is not None and (
+                (epoch + 1) % checkpoint_every == 0
+                or should_stop or epoch == epochs - 1):
+            checkpoint.save(
+                epoch=epoch, model=model, optimizer=optimizer,
+                rng=rng, losses=report.losses, val_f1=report.val_f1,
+                best_epoch=report.best_epoch, best_f1=best_f1,
+                stale=stale, best_state=best_state,
+                config_token=token)
+            if telemetry is not None:
+                telemetry.count("checkpoint_writes")
+        if should_stop:
+            report.stopped_early = True
+            break
     if telemetry is not None:
         telemetry.add_stage("train",
                             time.perf_counter() - train_start)

@@ -31,13 +31,19 @@ _KNOWN_RATES = (
 )
 
 
+#: Structured events kept per Telemetry instance; overflow is counted
+#: in ``events_dropped`` rather than growing without bound.
+MAX_EVENTS = 100
+
+
 @dataclass
 class Telemetry:
-    """Named counters plus per-stage wall-time accumulators."""
+    """Named counters, per-stage wall times, and a bounded event log."""
 
     counters: dict[str, int] = field(default_factory=dict)
     stage_seconds: dict[str, float] = field(default_factory=dict)
     stage_calls: dict[str, int] = field(default_factory=dict)
+    events: list[dict] = field(default_factory=list)
 
     # -- counters ------------------------------------------------------------
 
@@ -48,6 +54,21 @@ class Telemetry:
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 when never counted)."""
         return self.counters.get(name, 0)
+
+    # -- events --------------------------------------------------------------
+
+    def event(self, kind: str, **fields) -> None:
+        """Append one structured event (skip reasons, recovery steps).
+
+        Events carry the *why* that counters flatten away — e.g.
+        ``event("case-skip", case="x.c", reason="timeout")`` — and are
+        capped at :data:`MAX_EVENTS` per instance so a pathological
+        corpus cannot turn telemetry into the memory hog.
+        """
+        if len(self.events) < MAX_EVENTS:
+            self.events.append({"kind": kind, **fields})
+        else:
+            self.count("events_dropped")
 
     # -- stages --------------------------------------------------------------
 
@@ -99,6 +120,8 @@ class Telemetry:
         for name, seconds in other.stage_seconds.items():
             self.add_stage(name, seconds,
                            calls=other.stage_calls.get(name, 0))
+        for event in other.events:
+            self.event(**event)
         return self
 
     def merge_dict(self, data: dict) -> "Telemetry":
@@ -109,6 +132,8 @@ class Telemetry:
         for name, seconds in data.get("stage_seconds", {}).items():
             self.add_stage(name, float(seconds),
                            calls=int(calls.get(name, 0)))
+        for event in data.get("events", ()):
+            self.event(**event)
         return self
 
     def as_dict(self) -> dict:
@@ -117,6 +142,7 @@ class Telemetry:
             "counters": dict(self.counters),
             "stage_seconds": dict(self.stage_seconds),
             "stage_calls": dict(self.stage_calls),
+            "events": [dict(event) for event in self.events],
         }
 
     def summary(self) -> str:
@@ -130,6 +156,11 @@ class Telemetry:
                 f"  ({self.stage_calls.get(name, 0)} calls)")
         for unit, value in self.rates().items():
             lines.append(f"  rate  {unit:<18s} {value:12.1f}")
+        for event in self.events:
+            fields = " ".join(f"{key}={value}" for key, value
+                              in event.items() if key != "kind")
+            lines.append(f"  event {event.get('kind', '?'):<18s} "
+                         f"{fields}")
         if len(lines) == 1:
             lines.append("  (empty)")
         return "\n".join(lines)

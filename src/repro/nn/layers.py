@@ -122,6 +122,39 @@ class Module:
                     if isinstance(item, Module):
                         item._collect_params(out, prefix=f"{key}.{index}.")
 
+    def _generators(self) -> dict[str, np.random.Generator]:
+        """Unique RNGs held by stochastic submodules, keyed by the
+        deterministic order :meth:`modules` yields them in (layers
+        typically share one Generator; it appears once)."""
+        found: dict[str, np.random.Generator] = {}
+        seen: set[int] = set()
+        for module in self.modules():
+            rng = getattr(module, "_rng", None)
+            if (isinstance(rng, np.random.Generator)
+                    and id(rng) not in seen):
+                seen.add(id(rng))
+                found[f"rng{len(found)}"] = rng
+        return found
+
+    def rng_states(self) -> dict[str, dict]:
+        """Bit-generator states of all stochastic submodules.
+
+        Training checkpoints persist these alongside the parameters:
+        dropout draws from these generators every training step, so a
+        resumed run must continue the stream mid-sequence — a freshly
+        seeded model would replay masks from the beginning and
+        diverge from the run it claims to continue.
+        """
+        return {key: rng.bit_generator.state
+                for key, rng in self._generators().items()}
+
+    def load_rng_states(self, states: dict[str, dict]) -> None:
+        """Restore generator states captured by :meth:`rng_states`."""
+        generators = self._generators()
+        for key, state in states.items():
+            if key in generators:
+                generators[key].bit_generator.state = state
+
 
 class Linear(Module):
     """Fully-connected layer: ``y = x @ W + b``."""

@@ -45,6 +45,22 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Resumable internal state (empty for stateless optimizers)."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
+    def _check_buffer(self, name: str, array: np.ndarray,
+                      param: Parameter) -> np.ndarray:
+        array = np.asarray(array, dtype=param.data.dtype)
+        if array.shape != param.data.shape:
+            raise ValueError(
+                f"optimizer state {name!r} has shape {array.shape} "
+                f"but its parameter has shape {param.data.shape}")
+        return array.copy()
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -55,6 +71,15 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"velocity{i}": v
+                for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for i, param in enumerate(self.params):
+            self._velocity[i] = self._check_buffer(
+                f"velocity{i}", state[f"velocity{i}"], param)
 
     def step(self) -> None:
         for index, param in enumerate(self.params):
@@ -91,6 +116,25 @@ class Adam(Optimizer):
         self._grad_buf = [np.zeros_like(p.data) for p in self.params]
         self._temp = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Moments + step count, enough to resume bit-identically."""
+        state: dict[str, np.ndarray] = {
+            "t": np.array(self._t, dtype=np.int64)}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m{i}"] = m
+            state[f"v{i}"] = v
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._t = int(state["t"])
+        for i, param in enumerate(self.params):
+            self._m[i] = self._check_buffer(f"m{i}", state[f"m{i}"],
+                                            param)
+            self._v[i] = self._check_buffer(f"v{i}", state[f"v{i}"],
+                                            param)
+            self._grad_buf[i] = np.zeros_like(param.data)
+            self._temp[i] = np.zeros_like(param.data)
 
     def step(self) -> None:
         self._t += 1

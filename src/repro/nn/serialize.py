@@ -1,4 +1,10 @@
-"""Model parameter persistence (npz archives)."""
+"""Model parameter persistence (npz archives).
+
+All writes are atomic: the archive is assembled in a sibling temp file
+that is renamed over the destination, so a crash mid-save (or two
+processes racing on the same path) leaves either the old complete file
+or the new complete file — never a torn archive.
+"""
 
 from __future__ import annotations
 
@@ -9,20 +15,30 @@ import numpy as np
 
 from .layers import Module
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_npz_atomic", "save_model", "load_model"]
+
+
+def save_npz_atomic(path: str | Path, arrays: dict,
+                    metadata: dict | None = None) -> None:
+    """Write an ``.npz`` of ``arrays`` (+ JSON metadata) atomically."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(arrays)
+    if metadata is not None:
+        payload["__metadata__"] = np.frombuffer(
+            json.dumps(metadata).encode(), dtype=np.uint8)
+    temp = path.with_name(path.name + ".tmp")
+    # savez appends '.npz' to bare names but honors open file handles,
+    # which also lets the rename target keep its exact spelling
+    with temp.open("wb") as handle:
+        np.savez(handle, **payload)
+    temp.replace(path)
 
 
 def save_model(model: Module, path: str | Path,
                metadata: dict | None = None) -> None:
     """Save all parameters (and optional JSON metadata) to ``path``."""
-    path = Path(path)
-    state = model.state_dict()
-    payload = dict(state)
-    if metadata is not None:
-        payload["__metadata__"] = np.frombuffer(
-            json.dumps(metadata).encode(), dtype=np.uint8)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **payload)
+    save_npz_atomic(path, model.state_dict(), metadata)
 
 
 def load_model(model: Module, path: str | Path) -> dict:

@@ -1,0 +1,5 @@
+"""Test-support utilities (deterministic fault injection)."""
+
+from . import faults
+
+__all__ = ["faults"]

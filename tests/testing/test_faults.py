@@ -1,0 +1,113 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import os
+import time
+
+import pytest
+
+from repro.testing import faults
+
+
+class TestSpecParsing:
+    def test_parse_rules(self):
+        plan = faults._parse(
+            "raise@case:x.c:RecursionError; hang@case:y.c:5;"
+            "crash@case:z.c; corrupt@shard:*")
+        actions = [rule.action for rule in plan.rules]
+        assert actions == ["raise", "hang", "crash", "corrupt"]
+        assert plan.rules[0].arg == "RecursionError"
+        assert plan.for_site("shard") == (plan.rules[3],)
+
+    @pytest.mark.parametrize("spec", [
+        "explode@case:x.c",   # unknown action
+        "raise@case",         # no match key
+        "raise@:x.c",         # no site
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            faults._parse(spec)
+
+    def test_no_env_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        assert faults.plan() is None
+        faults.fire("case", "anything.c")  # must be a no-op
+
+
+class TestFiring:
+    def test_raise_matches_exact_key_only(self):
+        with faults.injected("raise@case:x.c:RecursionError"):
+            faults.fire("case", "other.c")
+            with pytest.raises(RecursionError):
+                faults.fire("case", "x.c")
+
+    def test_unknown_exception_falls_back_to_runtime_error(self):
+        with faults.injected("raise@case:x.c:NoSuchException"):
+            with pytest.raises(RuntimeError):
+                faults.fire("case", "x.c")
+
+    def test_wildcard_matches_everything(self):
+        with faults.injected("raise@case:*"):
+            with pytest.raises(RuntimeError):
+                faults.fire("case", "whatever.c")
+
+    def test_nth_visit_matching(self):
+        with faults.injected("raise@case:#3"):
+            faults.fire("case", "a.c")
+            faults.fire("case", "b.c")
+            with pytest.raises(RuntimeError):
+                faults.fire("case", "c.c")
+            faults.fire("case", "d.c")  # past the Nth visit: quiet
+
+    def test_sites_are_independent(self):
+        with faults.injected("raise@train-batch:0.0"):
+            faults.fire("case", "0.0")  # same key, different site
+            with pytest.raises(RuntimeError):
+                faults.fire("train-batch", "0.0")
+
+    def test_hang_sleeps_for_its_argument(self):
+        with faults.injected("hang@case:slow.c:0.05"):
+            start = time.perf_counter()
+            faults.fire("case", "slow.c")
+            assert 0.04 <= time.perf_counter() - start < 2.0
+
+    def test_crash_is_inert_in_the_parent_process(self):
+        # os._exit here would kill pytest itself; the rule must only
+        # fire inside pool workers
+        with faults.injected("crash@case:x.c"):
+            faults.fire("case", "x.c")
+
+
+class TestCorruptFile:
+    def test_matching_rule_garbles_the_file(self, tmp_path):
+        shard = tmp_path / "shard.jsonl"
+        shard.write_text('{"ok": 1}\n')
+        with faults.injected("corrupt@shard:*"):
+            assert faults.corrupt_file("shard", "key", shard)
+        assert b"corruption" in shard.read_bytes()
+
+    def test_no_rule_leaves_the_file_alone(self, tmp_path):
+        shard = tmp_path / "shard.jsonl"
+        shard.write_text('{"ok": 1}\n')
+        with faults.injected("raise@case:x.c"):
+            assert not faults.corrupt_file("shard", "key", shard)
+        assert shard.read_text() == '{"ok": 1}\n'
+
+
+class TestInjectedScope:
+    def test_env_restored_and_visits_reset(self):
+        before = os.environ.get(faults.ENV_VAR)
+        with faults.injected("raise@case:#1"):
+            with pytest.raises(RuntimeError):
+                faults.fire("case", "a.c")
+        assert os.environ.get(faults.ENV_VAR) == before
+        with faults.injected("raise@case:#1"):
+            # visit counter restarted: '#1' fires again
+            with pytest.raises(RuntimeError):
+                faults.fire("case", "b.c")
+
+    def test_nesting_restores_outer_spec(self):
+        with faults.injected("raise@case:outer.c"):
+            with faults.injected("raise@case:inner.c"):
+                faults.fire("case", "outer.c")  # inner spec active
+            with pytest.raises(RuntimeError):
+                faults.fire("case", "outer.c")
