@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Benchmark the batched scan service against the one-shot workflow.
+
+Trains a small detector once, then scans an identical corpus three
+ways and writes the measurements as machine-readable JSON to
+``benchmarks/results/BENCH_scan.json``::
+
+    PYTHONPATH=src python scripts/bench_scan.py          # full run
+    PYTHONPATH=src python scripts/bench_scan.py --smoke  # CI-sized
+
+Modes measured:
+
+* ``per_case`` — the pre-service baseline the ISSUE motivates against:
+  the actual one-shot CLI (``python -m repro scan FILE --model M``)
+  run as a subprocess per file, so every case pays interpreter
+  startup, imports, a fresh model load, extraction, and unbatched
+  scoring.  Measured over a bounded sample (each invocation costs
+  ~0.5s) and extrapolated as cases/sec.
+* ``per_case_inproc`` — transparency row: fresh ``SEVulDet.load`` +
+  serial ``detect_case`` per case inside one process (no interpreter
+  or import cost).
+* ``per_case_warm`` — transparency row: a warm serial loop (model
+  already resident); isolates what batching alone buys, separate
+  from amortizing startup and the model load.
+* ``batched`` — :class:`repro.core.serve.ScanService` with worker
+  threads and micro-batched scoring, plus a second warm re-scan of the
+  same corpus to measure the result-cache hit rate.
+
+``--smoke`` shrinks the corpus so CI finishes in seconds and records
+``"mode": "smoke"``; CI asserts only the JSON contract, never the
+speedups (CI machines are too noisy).  The checked-in BENCH_scan.json
+comes from a full run and records the acceptance targets: batched
+throughput >= 3x the per-case baseline, warm re-scan hit rate >= 95%,
+and byte-identical verdicts between the batched and serial paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.config import SCALE_PRESETS  # noqa: E402
+from repro.core.detector import SEVulDet  # noqa: E402
+from repro.core.serve import ScanService  # noqa: E402
+from repro.datasets.sard import generate_sard_corpus  # noqa: E402
+
+TARGET_SPEEDUP = 3.0
+TARGET_HIT_RATE = 0.95
+
+
+def bench_one_shot_cli(model_path: Path, cases, sample_n: int) -> dict:
+    """One-shot baseline: the real CLI as a subprocess per file.
+
+    Each invocation pays interpreter startup + imports + model load +
+    extraction + unbatched scoring; sampled because that costs ~0.5s
+    per case.
+    """
+    sample = cases[: min(sample_n, len(cases))]
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    with tempfile.TemporaryDirectory() as tmp:
+        files = []
+        for case in sample:
+            stem = case.name.rsplit("/", 1)[-1]
+            path = Path(tmp) / stem
+            path.write_text(case.source)
+            files.append(path)
+        start = time.perf_counter()
+        for path in files:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "scan", str(path),
+                 "--model", str(model_path)],
+                env=env, capture_output=True, text=True)
+            if proc.returncode not in (0, 1):  # 1 = findings
+                raise RuntimeError(
+                    f"one-shot scan failed: {proc.stderr}")
+        elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "sampled_cases": len(sample),
+        "cases_per_sec": round(len(sample) / elapsed, 2),
+    }
+
+
+def bench_per_case_inproc(model_path: Path, cases, scale) -> dict:
+    """In-process baseline: model load + serial detect per case."""
+    start = time.perf_counter()
+    findings = []
+    for case in cases:
+        detector = SEVulDet(scale=scale)
+        detector.load(model_path)
+        findings.append(detector.detect_case(case))
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "cases_per_sec": round(len(cases) / elapsed, 2),
+        "findings": findings,
+    }
+
+
+def bench_per_case_warm(detector: SEVulDet, cases) -> dict:
+    """Warm serial loop: resident model, unbatched scoring."""
+    start = time.perf_counter()
+    findings = [detector.detect_case(case) for case in cases]
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "cases_per_sec": round(len(cases) / elapsed, 2),
+        "findings": findings,
+    }
+
+
+def bench_batched(detector: SEVulDet, cases, workers: int,
+                  batch_size: int) -> dict:
+    """ScanService: cold scan, then a warm re-scan of the corpus."""
+    with ScanService(detector, workers=workers,
+                     batch_size=batch_size) as service:
+        start = time.perf_counter()
+        verdicts = service.scan_cases(cases)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        rescan = service.scan_cases(cases)
+        warm = time.perf_counter() - start
+        stats = service.stats()
+    hits = sum(v.cached for v in rescan)
+    latency = stats["latency_seconds"]
+    return {
+        "seconds": round(cold, 4),
+        "cases_per_sec": round(len(cases) / cold, 2),
+        "rescan_seconds": round(warm, 4),
+        "rescan_hit_rate": round(hits / len(cases), 4),
+        "latency_p50_ms": round(latency.get("p50", 0.0) * 1e3, 3),
+        "latency_p95_ms": round(latency.get("p95", 0.0) * 1e3, 3),
+        "batch_fill_mean": round(
+            stats["batch_fill"].get("mean", 0.0), 4),
+        "scored_gadgets": stats["scored_gadgets"],
+        "batches": stats["batches"],
+        "verdicts": verdicts,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: tiny corpus, no perf gate")
+    parser.add_argument("--cases", type=int, default=None,
+                        help="scan corpus programs "
+                             "(default 80, smoke 8)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--output", type=Path,
+                        default=ROOT / "benchmarks" / "results"
+                        / "BENCH_scan.json")
+    args = parser.parse_args(argv)
+
+    scan_n = args.cases or (8 if args.smoke else 80)
+    train_n = 20 if args.smoke else 80
+    sample_n = 3 if args.smoke else 12
+    scale = SCALE_PRESETS["small"]
+
+    train_cases = generate_sard_corpus(train_n, seed=31)
+    scan_cases = generate_sard_corpus(scan_n, seed=99)
+    detector = SEVulDet(scale=scale, seed=3)
+    detector.fit(train_cases)
+    with tempfile.TemporaryDirectory() as tmp:
+        model_path = Path(tmp) / "model.npz"
+        detector.save(model_path)
+        print(f"scanning {scan_n} cases (trained on {train_n})")
+
+        per_case = bench_one_shot_cli(model_path, scan_cases,
+                                      sample_n)
+        print(f"per-case (one-shot CLI subprocess, "
+              f"{per_case['sampled_cases']} sampled): "
+              f"{per_case['seconds']}s "
+              f"({per_case['cases_per_sec']} cases/s)")
+
+        inproc = bench_per_case_inproc(model_path, scan_cases, scale)
+    print(f"per-case in-process (load + detect): "
+          f"{inproc['seconds']}s "
+          f"({inproc['cases_per_sec']} cases/s)")
+
+    warm_loop = bench_per_case_warm(detector, scan_cases)
+    print(f"per-case warm (resident model):  "
+          f"{warm_loop['seconds']}s "
+          f"({warm_loop['cases_per_sec']} cases/s)")
+
+    batched = bench_batched(detector, scan_cases, args.workers,
+                            args.batch_size)
+    print(f"batched service:                 "
+          f"{batched['seconds']}s "
+          f"({batched['cases_per_sec']} cases/s); warm re-scan "
+          f"{batched['rescan_seconds']}s "
+          f"(hit rate {batched['rescan_hit_rate']:.2%})")
+
+    identical = all(
+        list(verdict.findings) == serial == warm
+        for verdict, serial, warm in zip(batched["verdicts"],
+                                         inproc["findings"],
+                                         warm_loop["findings"]))
+    speedup = round(batched["cases_per_sec"]
+                    / max(per_case["cases_per_sec"], 1e-9), 2)
+    speedup_vs_warm = round(batched["cases_per_sec"]
+                            / max(warm_loop["cases_per_sec"], 1e-9),
+                            2)
+    print(f"speedup vs one-shot CLI: {speedup}x (vs warm serial "
+          f"loop: {speedup_vs_warm}x); identical verdicts: "
+          f"{identical}")
+
+    for bucket in (inproc, warm_loop):
+        bucket.pop("findings")
+    batched.pop("verdicts")
+    report = {
+        "benchmark": "scan",
+        "mode": "smoke" if args.smoke else "full",
+        "dtype": os.environ.get("REPRO_DTYPE", "float32"),
+        "corpus": {"train_cases": train_n, "scan_cases": scan_n},
+        "workers": args.workers,
+        "batch_size": args.batch_size,
+        "per_case": per_case,
+        "per_case_inproc": inproc,
+        "per_case_warm": warm_loop,
+        "batched": batched,
+        "speedup": speedup,
+        "speedup_vs_warm_serial": speedup_vs_warm,
+        "identical": identical,
+        "targets": {"speedup": TARGET_SPEEDUP,
+                    "rescan_hit_rate": TARGET_HIT_RATE},
+        "targets_met": {
+            "speedup": speedup >= TARGET_SPEEDUP,
+            "rescan_hit_rate":
+                batched["rescan_hit_rate"] >= TARGET_HIT_RATE,
+            "identical": identical,
+        },
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not identical:
+        print("error: batched verdicts diverged from serial",
+              file=sys.stderr)
+        return 1
+    if not args.smoke and not all(report["targets_met"].values()):
+        print("warning: scan targets not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -75,11 +75,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "counters, training throughput rates)")
 
     scan = commands.add_parser(
-        "scan", help="scan C files with a trained detector")
-    scan.add_argument("files", nargs="+", type=Path)
+        "scan",
+        help="scan C files / directories with a trained detector "
+             "(persistent batched service)")
+    scan.add_argument("files", nargs="+", type=Path,
+                      help="C files or directories (directories "
+                           "recurse over *.c)")
     scan.add_argument("--model", type=Path, required=True)
     scan.add_argument("--threshold", type=float, default=None,
-                      help="override the decision threshold")
+                      help="override the decision threshold "
+                           "(default: the paper's 0.8, stored in the "
+                           "model archive)")
+    scan.add_argument("--workers", type=int, default=2,
+                      help="scoring worker threads (default 2)")
+    scan.add_argument("--batch-size", type=int, default=64,
+                      help="micro-batch size for gadget scoring")
+    scan.add_argument("--jsonl", type=Path, default=None,
+                      help="write one JSON verdict record per case "
+                           "to this file")
+    scan.add_argument("--cache-dir", type=Path, default=None,
+                      help="content-addressed extraction cache "
+                           "directory shared with train/extract")
+    scan.add_argument("--case-timeout", type=float, default=None,
+                      help="per-case extraction wall-clock budget in "
+                           "seconds; hanging cases are skipped and "
+                           "quarantined instead of wedging the scan")
+    scan.add_argument("--quarantine", type=Path, default=None,
+                      help="poison-case quarantine list (.jsonl)")
+    scan.add_argument("--stats", action="store_true",
+                      help="print scan telemetry (queue depth, batch "
+                           "fill, latency percentiles, cache hits)")
 
     fuzz = commands.add_parser(
         "fuzz", help="run a coverage-guided fuzzing campaign")
@@ -202,22 +227,65 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
-    detector = SEVulDet(scale=_resolve_scale(args))
+    import json
+
+    from .core.serve import ScanService
+
+    detector = SEVulDet(scale=_resolve_scale(args),
+                        cache=args.cache_dir,
+                        case_timeout=args.case_timeout,
+                        quarantine=args.quarantine)
     detector.load(args.model)
     if args.threshold is not None:
         detector.threshold = args.threshold
+    with ScanService(detector, workers=args.workers,
+                     batch_size=args.batch_size) as service:
+        verdicts = service.scan_paths(args.files)
+        stats = service.stats()
     exit_code = 0
-    for path in args.files:
-        source = path.read_text()
-        findings = detector.detect(source, path=str(path))
-        if not findings:
-            print(f"{path}: clean")
-            continue
-        exit_code = 1
-        for finding in findings:
-            print(f"{finding.path}:{finding.line}: [{finding.category}]"
-                  f" suspicious {finding.function}() "
-                  f"score={finding.score:.2f}")
+    for verdict in verdicts:
+        if verdict.status == "skipped":
+            print(f"{verdict.name}: skipped ({verdict.reason})")
+        elif not verdict.findings:
+            print(f"{verdict.name}: clean")
+        else:
+            exit_code = 1
+            for finding in verdict.findings:
+                print(f"{finding.path}:{finding.line}: "
+                      f"[{finding.category}] suspicious "
+                      f"{finding.function}() "
+                      f"score={finding.score:.2f}")
+    if args.jsonl is not None:
+        with args.jsonl.open("w", encoding="utf-8") as handle:
+            for verdict in verdicts:
+                handle.write(json.dumps(verdict.as_record(),
+                                        sort_keys=True) + "\n")
+    flagged = sum(v.flagged for v in verdicts)
+    skipped = sum(v.status == "skipped" for v in verdicts)
+    clean = len(verdicts) - flagged - skipped
+    print(f"scanned {len(verdicts)} case(s): {flagged} flagged, "
+          f"{clean} clean, {skipped} skipped "
+          f"({stats['cases_per_sec']:.1f} cases/s)")
+    if args.stats:
+        latency = stats["latency_seconds"]
+        fill = stats["batch_fill"]
+        depth = stats["queue_depth"]
+        cache = stats["result_cache"]
+        print(f"  scored {stats['scored_gadgets']} gadget(s) in "
+              f"{stats['batches']} batch(es)")
+        if latency.get("count"):
+            print(f"  case latency p50={latency['p50'] * 1e3:.1f}ms "
+                  f"p95={latency['p95'] * 1e3:.1f}ms")
+        if fill.get("count"):
+            print(f"  batch fill mean={fill['mean']:.2f} "
+                  f"p95={fill['p95']:.2f}")
+        if depth.get("count"):
+            print(f"  queue depth p50={depth['p50']:.0f} "
+                  f"max={depth['max']:.0f}")
+        print(f"  result cache: {cache['hits']} hit(s), "
+              f"{cache['misses']} miss(es) "
+              f"(rate {cache['hit_rate']:.2f})")
+        print(service.telemetry.summary())
     return exit_code
 
 

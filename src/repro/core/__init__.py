@@ -11,6 +11,7 @@ from .resilience import (CaseFailure, CaseTimeout, Quarantine,
                          TrainingCheckpoint, time_limit)
 from .store import iter_gadgets, load_gadgets, save_gadgets
 from .cache import GadgetCache
+from .serve import CaseVerdict, ResultCache, ScanService
 from .telemetry import Telemetry
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "CaseFailure", "CaseTimeout", "Quarantine", "TrainingCheckpoint",
     "time_limit",
     "GadgetCache", "Telemetry",
+    "CaseVerdict", "ResultCache", "ScanService",
 ]

@@ -9,6 +9,7 @@ location (vulnerability type and line number, as Fig 2(b) describes).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -188,8 +189,19 @@ class SEVulDet:
         if not gadgets:
             return []
         scores = self.score_gadgets(gadgets)
+        return self.findings_from(case.name, gadgets, scores)
+
+    def findings_from(self, case_name: str,
+                      gadgets: Sequence[LabeledGadget],
+                      scores: np.ndarray) -> list[Finding]:
+        """Threshold + rank pre-scored gadgets into findings.
+
+        The shared tail of :meth:`detect_case` and the batched scan
+        service (:mod:`repro.core.serve`) — one implementation so both
+        paths report identical findings for identical scores.
+        """
         findings = [
-            Finding(path=case.name, function=g.criterion.function,
+            Finding(path=case_name, function=g.criterion.function,
                     line=g.criterion.line, category=g.category,
                     score=float(score),
                     cwe_hint=(self.typer.classify(g)
@@ -199,6 +211,29 @@ class SEVulDet:
         ]
         findings.sort(key=lambda f: -f.score)
         return findings
+
+    def config_token(self) -> str:
+        """Digest of everything that determines a case's verdict.
+
+        Result caches (the scan service's LRU) key on
+        ``(case fingerprint, config_token)``: model weights, decision
+        threshold, extraction settings, and the pipeline/normalizer
+        versions all change the verdict, so any of them changing must
+        miss the cache.
+        """
+        model, vocab = self._require_trained()
+        digest = hashlib.sha256()
+        digest.update(f"threshold={self.threshold};"
+                      f"kind={self.gadget_kind};"
+                      f"categories={self.categories};"
+                      f"pipeline={PIPELINE_VERSION};"
+                      f"normalize={NORMALIZE_VERSION};"
+                      f"vocab={len(vocab)};"
+                      f"typer={self.typer is not None}".encode())
+        for name, array in sorted(model.state_dict().items()):
+            digest.update(name.encode())
+            digest.update(np.ascontiguousarray(array).tobytes())
+        return digest.hexdigest()
 
     def flags_case(self, case: TestCase) -> bool:
         """Program-level verdict: any gadget above threshold."""

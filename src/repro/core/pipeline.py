@@ -38,9 +38,10 @@ from .resilience import (QUARANTINE_REASONS, CaseFailure, CaseTimeout,
                          time_limit)
 from .telemetry import Telemetry
 
-__all__ = ["PIPELINE_VERSION", "LabeledGadget", "EncodedDataset",
-           "extract_gadgets", "encode_gadgets", "train_classifier",
-           "predict_proba", "evaluate_classifier", "TrainReport"]
+__all__ = ["PIPELINE_VERSION", "SCORE_MIN_LENGTH", "LabeledGadget",
+           "EncodedDataset", "extract_gadgets", "encode_gadgets",
+           "train_classifier", "predict_proba", "evaluate_classifier",
+           "TrainReport"]
 
 logger = logging.getLogger(__name__)
 
@@ -48,6 +49,12 @@ logger = logging.getLogger(__name__)
 #: gadget assembly, ...) — folded into extraction cache keys so stale
 #: cached gadgets are never served across pipeline revisions.
 PIPELINE_VERSION = 2
+
+#: Minimum padded sample length fed to the flexible-length model: the
+#: conv kernel (3) plus SPP need a floor, and padding to it is part of
+#: the scoring contract — any batcher (training, predict_proba, the
+#: scan service) must pad with the same floor or scores drift.
+SCORE_MIN_LENGTH = 4
 
 _CATEGORY_MAP = {
     "FC": TokenCategory.FUNCTION_CALL,
@@ -614,7 +621,7 @@ def train_classifier(model: Module, samples: Sequence[Sample], *,
                                            batch_size, rng)
         else:
             batches = bucketed_batches(train_samples, batch_size, rng,
-                                       min_length=4)
+                                       min_length=SCORE_MIN_LENGTH)
         for batch_index, (ids, labels) in enumerate(batches):
             faults.fire("train-batch", f"{epoch}.{batch_index}")
             optimizer.zero_grad()
@@ -710,7 +717,7 @@ def predict_proba(model: Module, samples: Sequence[Sample],
                     model.predict_proba(ids)
         else:
             for ids, _, indices in bucketed_batches(
-                    samples, batch_size, min_length=4,
+                    samples, batch_size, min_length=SCORE_MIN_LENGTH,
                     with_indices=True):
                 scores[indices] = model.predict_proba(ids)
     return scores

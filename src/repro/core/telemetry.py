@@ -28,7 +28,13 @@ _KNOWN_RATES = (
     ("w2v_pairs", "w2v-train", "pairs/s"),
     ("train_samples", "train", "samples/s"),
     ("train_batches", "train", "batches/s"),
+    ("scan_cases", "scan", "cases/s"),
 )
+
+#: Per-distribution sample cap: reservoir-free truncation keeps memory
+#: bounded; scan-scale runs care about the percentile shape, not every
+#: observation past the first few thousand.
+MAX_OBSERVATIONS = 4096
 
 
 #: Structured events kept per Telemetry instance; overflow is counted
@@ -44,6 +50,7 @@ class Telemetry:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     stage_calls: dict[str, int] = field(default_factory=dict)
     events: list[dict] = field(default_factory=list)
+    observations: dict[str, list[float]] = field(default_factory=dict)
 
     # -- counters ------------------------------------------------------------
 
@@ -69,6 +76,47 @@ class Telemetry:
             self.events.append({"kind": kind, **fields})
         else:
             self.count("events_dropped")
+
+    # -- distributions -------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of distribution ``name`` (latency, queue
+        depth, batch fill, ...).  Capped at :data:`MAX_OBSERVATIONS`
+        samples per distribution; overflow increments
+        ``observations_dropped``."""
+        samples = self.observations.setdefault(name, [])
+        if len(samples) < MAX_OBSERVATIONS:
+            samples.append(float(value))
+        else:
+            self.count("observations_dropped")
+
+    def percentile(self, name: str, q: float) -> float:
+        """The ``q``-th percentile (0-100) of distribution ``name``
+        (0.0 when nothing was observed)."""
+        samples = self.observations.get(name)
+        if not samples:
+            return 0.0
+        ordered = sorted(samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    def observation_stats(self, name: str) -> dict[str, float]:
+        """count / mean / p50 / p95 / max of one distribution."""
+        samples = self.observations.get(name)
+        if not samples:
+            return {"count": 0}
+        return {
+            "count": len(samples),
+            "mean": sum(samples) / len(samples),
+            "p50": self.percentile(name, 50.0),
+            "p95": self.percentile(name, 95.0),
+            "max": max(samples),
+        }
 
     # -- stages --------------------------------------------------------------
 
@@ -122,6 +170,9 @@ class Telemetry:
                            calls=other.stage_calls.get(name, 0))
         for event in other.events:
             self.event(**event)
+        for name, samples in other.observations.items():
+            for value in samples:
+                self.observe(name, value)
         return self
 
     def merge_dict(self, data: dict) -> "Telemetry":
@@ -134,6 +185,9 @@ class Telemetry:
                            calls=int(calls.get(name, 0)))
         for event in data.get("events", ()):
             self.event(**event)
+        for name, samples in data.get("observations", {}).items():
+            for value in samples:
+                self.observe(name, float(value))
         return self
 
     def as_dict(self) -> dict:
@@ -143,6 +197,8 @@ class Telemetry:
             "stage_seconds": dict(self.stage_seconds),
             "stage_calls": dict(self.stage_calls),
             "events": [dict(event) for event in self.events],
+            "observations": {name: list(samples) for name, samples
+                             in self.observations.items()},
         }
 
     def summary(self) -> str:
@@ -156,6 +212,12 @@ class Telemetry:
                 f"  ({self.stage_calls.get(name, 0)} calls)")
         for unit, value in self.rates().items():
             lines.append(f"  rate  {unit:<18s} {value:12.1f}")
+        for name in sorted(self.observations):
+            stats = self.observation_stats(name)
+            lines.append(
+                f"  dist  {name:<18s} n={stats['count']}"
+                f" mean={stats['mean']:.4f} p50={stats['p50']:.4f}"
+                f" p95={stats['p95']:.4f} max={stats['max']:.4f}")
         for event in self.events:
             fields = " ".join(f"{key}={value}" for key, value
                               in event.items() if key != "kind")

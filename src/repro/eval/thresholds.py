@@ -5,6 +5,13 @@ trade-off curve; this module computes it, so the choice can be examined
 (and the threshold re-derived for a new corpus): ROC points, the area
 under the ROC, precision/recall points, and F1-optimal / target-FPR
 operating points.
+
+Every sweep runs off one shared sort + cumulative-sum pass
+(:func:`_CumulativeSweep`): for each candidate threshold the confusion
+counts of ``scores >= threshold`` are read from prefix sums in O(1),
+so a full sweep costs O(n log n) instead of the O(n*k) rescan-per-
+threshold of the naive formulation (quadratic when most scores are
+distinct, as they are on real score sets).
 """
 
 from __future__ import annotations
@@ -14,11 +21,16 @@ from typing import Sequence
 
 import numpy as np
 
-from .metrics import Metrics, confusion_from, metrics_from
+from .metrics import Confusion, Metrics, metrics_from
 
-__all__ = ["OperatingPoint", "roc_points", "roc_auc",
-           "precision_recall_points", "sweep_thresholds",
+__all__ = ["OperatingPoint", "SingleClassError", "roc_points",
+           "roc_auc", "precision_recall_points", "sweep_thresholds",
            "best_f1_threshold", "threshold_for_fpr"]
+
+
+class SingleClassError(ValueError):
+    """The label set contains only one class, so ROC/PR rates are
+    undefined (instead of silently reporting 0.0 rates)."""
 
 
 @dataclass(frozen=True)
@@ -40,21 +52,66 @@ def _validate(scores: Sequence[float],
     return scores_arr, labels_arr
 
 
+class _CumulativeSweep:
+    """Confusion counts for every ``scores >= t`` rule, from one sort.
+
+    ``thresholds`` holds the distinct scores ascending; ``tp[i]`` /
+    ``fp[i]`` are the counts for ``t = thresholds[i]``.  Arbitrary
+    thresholds (grid sweeps) are answered via binary search on the
+    sorted score array.
+    """
+
+    def __init__(self, scores_arr: np.ndarray,
+                 labels_arr: np.ndarray):
+        order = np.argsort(scores_arr, kind="stable")
+        self._sorted_scores = scores_arr[order]
+        sorted_labels = labels_arr[order]
+        # prefix_pos[i] = positives among the i lowest-scored samples
+        self._prefix_pos = np.concatenate(
+            ([0], np.cumsum(sorted_labels)))
+        self.total = int(scores_arr.size)
+        self.positives = int(self._prefix_pos[-1])
+        self.negatives = self.total - self.positives
+        self.thresholds, first = np.unique(self._sorted_scores,
+                                           return_index=True)
+        self.tp = self.positives - self._prefix_pos[first]
+        self.fp = (self.total - first) - self.tp
+
+    def counts_at(self, threshold: float) -> tuple[int, int]:
+        """(tp, fp) of ``scores >= threshold`` for any threshold."""
+        below = int(np.searchsorted(self._sorted_scores, threshold,
+                                    side="left"))
+        tp = self.positives - int(self._prefix_pos[below])
+        fp = (self.total - below) - tp
+        return tp, fp
+
+    def confusion_at(self, threshold: float) -> Confusion:
+        tp, fp = self.counts_at(threshold)
+        return Confusion(tp=tp, fp=fp, tn=self.negatives - fp,
+                         fn=self.positives - tp)
+
+    def require_both_classes(self, caller: str) -> None:
+        if not self.positives or not self.negatives:
+            present = "positive" if self.positives else "negative"
+            raise SingleClassError(
+                f"{caller}: labels contain only the {present} class "
+                f"({self.total} samples); TPR/FPR trade-offs are "
+                f"undefined on a single-class score set")
+
+
 def roc_points(scores: Sequence[float], labels: Sequence[int]
                ) -> list[tuple[float, float]]:
     """(FPR, TPR) points swept over all distinct score thresholds,
-    sorted by FPR, including the (0,0) and (1,1) endpoints."""
-    scores_arr, labels_arr = _validate(scores, labels)
-    positives = int(labels_arr.sum())
-    negatives = len(labels_arr) - positives
+    sorted by FPR, including the (0,0) and (1,1) endpoints.
+
+    Raises :class:`SingleClassError` when the labels contain only one
+    class — both rates would be meaningless constants.
+    """
+    sweep = _CumulativeSweep(*_validate(scores, labels))
+    sweep.require_both_classes("roc_points")
     points = {(0.0, 0.0), (1.0, 1.0)}
-    for threshold in np.unique(scores_arr):
-        predicted = scores_arr >= threshold
-        tp = int((predicted & (labels_arr == 1)).sum())
-        fp = int((predicted & (labels_arr == 0)).sum())
-        tpr = tp / positives if positives else 0.0
-        fpr = fp / negatives if negatives else 0.0
-        points.add((fpr, tpr))
+    for tp, fp in zip(sweep.tp, sweep.fp):
+        points.add((fp / sweep.negatives, tp / sweep.positives))
     return sorted(points)
 
 
@@ -70,17 +127,21 @@ def roc_auc(scores: Sequence[float], labels: Sequence[int]) -> float:
 def precision_recall_points(scores: Sequence[float],
                             labels: Sequence[int]
                             ) -> list[tuple[float, float]]:
-    """(recall, precision) points over all distinct thresholds."""
-    scores_arr, labels_arr = _validate(scores, labels)
-    positives = int(labels_arr.sum())
+    """(recall, precision) points over all distinct thresholds.
+
+    Raises :class:`SingleClassError` when no positive labels exist
+    (recall would be a meaningless 0.0 everywhere).
+    """
+    sweep = _CumulativeSweep(*_validate(scores, labels))
+    if not sweep.positives:
+        raise SingleClassError(
+            "precision_recall_points: no positive labels; recall is "
+            "undefined on a single-class score set")
     points: list[tuple[float, float]] = []
-    for threshold in np.unique(scores_arr):
-        predicted = scores_arr >= threshold
-        tp = int((predicted & (labels_arr == 1)).sum())
-        fp = int((predicted & (labels_arr == 0)).sum())
-        recall = tp / positives if positives else 0.0
+    for tp, fp in zip(sweep.tp, sweep.fp):
+        recall = tp / sweep.positives
         precision = tp / (tp + fp) if (tp + fp) else 1.0
-        points.append((recall, precision))
+        points.append((float(recall), float(precision)))
     return sorted(points)
 
 
@@ -88,27 +149,21 @@ def sweep_thresholds(scores: Sequence[float], labels: Sequence[int],
                      thresholds: Sequence[float] | None = None
                      ) -> list[OperatingPoint]:
     """Full metric set per threshold (default: 0.05 grid)."""
-    scores_arr, labels_arr = _validate(scores, labels)
+    sweep = _CumulativeSweep(*_validate(scores, labels))
     if thresholds is None:
         thresholds = np.round(np.arange(0.05, 1.0, 0.05), 2)
-    results = []
-    for threshold in thresholds:
-        predicted = (scores_arr >= threshold).astype(int)
-        metrics = metrics_from(
-            confusion_from(predicted.tolist(), labels_arr.tolist()))
-        results.append(OperatingPoint(float(threshold), metrics))
-    return results
+    return [OperatingPoint(float(threshold),
+                           metrics_from(sweep.confusion_at(threshold)))
+            for threshold in thresholds]
 
 
 def best_f1_threshold(scores: Sequence[float],
                       labels: Sequence[int]) -> OperatingPoint:
     """Threshold maximising F1 over the distinct-score sweep."""
-    scores_arr, labels_arr = _validate(scores, labels)
+    sweep = _CumulativeSweep(*_validate(scores, labels))
     best: OperatingPoint | None = None
-    for threshold in np.unique(scores_arr):
-        predicted = (scores_arr >= threshold).astype(int)
-        metrics = metrics_from(
-            confusion_from(predicted.tolist(), labels_arr.tolist()))
+    for threshold in sweep.thresholds:
+        metrics = metrics_from(sweep.confusion_at(threshold))
         if best is None or metrics.f1 > best.metrics.f1:
             best = OperatingPoint(float(threshold), metrics)
     assert best is not None
@@ -122,12 +177,9 @@ def threshold_for_fpr(scores: Sequence[float], labels: Sequence[int],
     Raises ValueError when even the most conservative threshold
     exceeds the budget (only possible with max_fpr < 0).
     """
-    scores_arr, labels_arr = _validate(scores, labels)
-    candidates = sorted(np.unique(scores_arr))
-    for threshold in candidates:
-        predicted = (scores_arr >= threshold).astype(int)
-        metrics = metrics_from(
-            confusion_from(predicted.tolist(), labels_arr.tolist()))
+    sweep = _CumulativeSweep(*_validate(scores, labels))
+    for threshold in sweep.thresholds:
+        metrics = metrics_from(sweep.confusion_at(threshold))
         if metrics.fpr <= max_fpr:
             return OperatingPoint(float(threshold), metrics)
     raise ValueError(f"no threshold achieves FPR <= {max_fpr}")

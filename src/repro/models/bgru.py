@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import (Bidirectional, Dropout, Embedding, Linear, Module,
-                  Tensor)
+                  Tensor, stable_sigmoid)
 
 __all__ = ["BGRUNet"]
 
@@ -49,4 +49,4 @@ class BGRUNet(Module):
 
     def predict_proba(self, token_ids: np.ndarray) -> np.ndarray:
         logits = self.forward(token_ids).data
-        return 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))
+        return stable_sigmoid(logits)

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import (Bidirectional, Dropout, Embedding, Linear, Module,
-                  Tensor)
+                  Tensor, stable_sigmoid)
 
 __all__ = ["BLSTMNet"]
 
@@ -50,4 +50,4 @@ class BLSTMNet(Module):
 
     def predict_proba(self, token_ids: np.ndarray) -> np.ndarray:
         logits = self.forward(token_ids).data
-        return 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))
+        return stable_sigmoid(logits)

@@ -13,7 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import (CBAM, Conv1d, Dropout, Embedding, Linear, Module,
-                  SpatialPyramidPooling1d, Tensor, TokenAttention)
+                  SpatialPyramidPooling1d, Tensor, TokenAttention,
+                  stable_sigmoid)
 
 __all__ = ["SEVulDetNet", "DECISION_THRESHOLD"]
 
@@ -79,9 +80,9 @@ class SEVulDetNet(Module):
         return self.fc3(hidden).reshape(-1)           # logits
 
     def predict_proba(self, token_ids: np.ndarray) -> np.ndarray:
-        """Sigmoid scores in [0, 1]."""
+        """Sigmoid scores in [0, 1] (stable under any compute dtype)."""
         logits = self.forward(token_ids).data
-        return 1.0 / (1.0 + np.exp(-np.clip(logits, -500, 500)))
+        return stable_sigmoid(logits)
 
     def attention_weights(self, token_ids: np.ndarray) -> np.ndarray:
         """Token-attention weights for one batch (RQ4 hook).

@@ -5,7 +5,7 @@ from .tensor import Tensor, as_tensor, no_grad
 from .layers import (Parameter, Module, Linear, Embedding, Dropout,
                      Conv1d, Sequential, ReLU, Tanh, Sigmoid, Flatten)
 from .ops import (conv1d, max_pool1d, avg_pool1d, adaptive_max_pool1d,
-                  adaptive_avg_pool1d)
+                  adaptive_avg_pool1d, stable_sigmoid)
 from .rnn import LSTMCell, GRUCell, RNNLayer, Bidirectional
 from .attention import TokenAttention, ChannelAttention, SpatialAttention, CBAM
 from .spp import SpatialPyramidPooling1d
@@ -20,7 +20,7 @@ __all__ = [
     "Parameter", "Module", "Linear", "Embedding", "Dropout", "Conv1d",
     "Sequential", "ReLU", "Tanh", "Sigmoid", "Flatten",
     "conv1d", "max_pool1d", "avg_pool1d", "adaptive_max_pool1d",
-    "adaptive_avg_pool1d",
+    "adaptive_avg_pool1d", "stable_sigmoid",
     "LSTMCell", "GRUCell", "RNNLayer", "Bidirectional",
     "TokenAttention", "ChannelAttention", "SpatialAttention", "CBAM",
     "SpatialPyramidPooling1d",

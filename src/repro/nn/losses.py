@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .ops import stable_sigmoid
 from .tensor import Tensor, as_tensor
 
 __all__ = ["bce_loss", "bce_with_logits", "mse_loss",
@@ -39,7 +40,7 @@ def bce_with_logits(logits: Tensor, targets) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if logits.requires_grad:
-            sigmoid = 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+            sigmoid = stable_sigmoid(z)
             logits._accumulate(grad * (sigmoid - targets.data))
 
     probe = Tensor(0.0)

@@ -10,10 +10,34 @@ from __future__ import annotations
 
 import numpy as np
 
+from .dtype import get_default_dtype
 from .tensor import Tensor
 
 __all__ = ["conv1d", "max_pool1d", "avg_pool1d",
-           "adaptive_max_pool1d", "adaptive_avg_pool1d"]
+           "adaptive_max_pool1d", "adaptive_avg_pool1d",
+           "stable_sigmoid"]
+
+
+def stable_sigmoid(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable sigmoid on a raw ndarray, dtype-aware.
+
+    The classic ``1 / (1 + exp(-clip(z, -500, 500)))`` overflows under
+    float32, whose ``exp`` is only finite up to ~88: ``exp(500)`` emits
+    a RuntimeWarning and relies on ``1 / inf == 0`` propagation.  Here
+    the sign branch guarantees only ``exp`` of non-positive arguments
+    is ever taken, and the magnitude is additionally clipped to the
+    finite ``exp`` range of the array's own float dtype, so no
+    floating-point warning can fire even under
+    ``np.errstate(over="raise", invalid="raise")``.
+    """
+    data = np.asarray(logits)
+    if data.dtype.kind != "f":
+        data = data.astype(get_default_dtype())
+    limit = float(np.log(np.finfo(data.dtype).max))
+    exp_neg = np.exp(-np.minimum(np.abs(data), limit))  # in (0, 1]
+    return np.where(data >= 0,
+                    1.0 / (1.0 + exp_neg),
+                    exp_neg / (1.0 + exp_neg))
 
 
 def _im2col(data: np.ndarray, kernel: int, stride: int) -> np.ndarray:
@@ -174,26 +198,33 @@ def avg_pool1d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
 
 
 def _adaptive_bounds(length: int, bins: int) -> list[tuple[int, int]]:
-    """Split [0, length) into `bins` contiguous spans (PyTorch rule)."""
-    return [
-        (
-            (b * length) // bins,
-            max(-(-((b + 1) * length) // bins), (b * length) // bins + 1),
-        )
-        for b in range(bins)
-    ]
+    """Split [0, length) into ``bins`` contiguous, never-empty spans.
+
+    PyTorch's adaptive rule: bin ``b`` covers ``[floor(b*L/bins),
+    ceil((b+1)*L/bins))``.  When the input is *shorter* than the bin
+    count (a gadget of length 1-3 under the paper's (4, 2, 1) pyramid)
+    the spans overlap and repeat elements instead — every span still
+    satisfies ``start < end <= length``, so both pooling modes and
+    their gradients stay well defined (pinned by
+    ``tests/nn/test_spp_short_inputs.py``).
+    """
+    if length < 1:
+        raise ValueError(
+            f"adaptive pooling needs length >= 1, got {length}")
+    bounds = []
+    for b in range(bins):
+        start = (b * length) // bins        # <= length - 1 for b < bins
+        end = max(-(-((b + 1) * length) // bins), start + 1)
+        bounds.append((start, min(end, length)))
+    return bounds
 
 
 def adaptive_max_pool1d(x: Tensor, bins: int) -> Tensor:
     """Max pool (B, C, L) down to exactly (B, C, bins) for any L >= 1."""
     batch, channels, length = x.shape
-    bounds = _adaptive_bounds(length, bins)
     outs = []
     args = []
-    for start, end in bounds:
-        end = min(end, length)
-        if end <= start:
-            start, end = min(start, length - 1), min(start, length - 1) + 1
+    for start, end in _adaptive_bounds(length, bins):
         window = x.data[:, :, start:end]
         outs.append(window.max(axis=2))
         args.append(window.argmax(axis=2) + start)
@@ -215,8 +246,7 @@ def adaptive_max_pool1d(x: Tensor, bins: int) -> Tensor:
 def adaptive_avg_pool1d(x: Tensor, bins: int) -> Tensor:
     """Average pool (B, C, L) down to exactly (B, C, bins)."""
     batch, channels, length = x.shape
-    bounds = [(min(s, length - 1), max(min(e, length), min(s, length - 1) + 1))
-              for s, e in _adaptive_bounds(length, bins)]
+    bounds = _adaptive_bounds(length, bins)
     out_data = np.stack(
         [x.data[:, :, s:e].mean(axis=2) for s, e in bounds], axis=2)
 

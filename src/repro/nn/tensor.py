@@ -13,6 +13,7 @@ in ``tests/nn``.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
@@ -21,25 +22,27 @@ from .dtype import get_default_dtype
 
 __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Grad mode is thread-local: concurrent no_grad scopes (e.g. the scan
+# service's scorer threads) must not race a shared flag's save/restore
+# — interleaved exits could leave gradients disabled process-wide and
+# silently break later training.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
     """Context manager disabling graph construction (inference mode)."""
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc: object) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_STATE.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -77,7 +80,7 @@ class Tensor:
             data = data.data
         self.data = np.asarray(data, dtype=get_default_dtype())
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = requires_grad and _GRAD_ENABLED
+        self.requires_grad = requires_grad and is_grad_enabled()
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: tuple["Tensor", ...] = ()
         self.name = name
@@ -127,7 +130,7 @@ class Tensor:
     def _make(self, data: np.ndarray, parents: Sequence["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward

@@ -1,0 +1,10 @@
+"""Convenience alias: ``from repro.serve import ScanService``.
+
+The implementation lives in :mod:`repro.core.serve`; this module gives
+service embedders a stable top-level import path mirroring
+``repro.cli``.
+"""
+
+from .core.serve import CaseVerdict, ResultCache, ScanService
+
+__all__ = ["CaseVerdict", "ResultCache", "ScanService"]

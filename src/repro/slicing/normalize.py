@@ -11,6 +11,7 @@ consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from ..lang.dataflow import LIBRARY_FUNCTIONS
 from ..lang.lexer import KEYWORDS, TokenKind, tokenize
@@ -27,6 +28,38 @@ NORMALIZE_VERSION = 1
 
 def _ascii_only(text: str) -> str:
     return text.encode("ascii", errors="ignore").decode("ascii")
+
+
+_RENAME = 0  # identifier: needs the gadget's stateful renaming
+_VERBATIM = 1  # everything else: emitted as-is
+
+
+@lru_cache(maxsize=8192)
+def _lexed(text: str) -> tuple[tuple[int, str, bool], ...]:
+    """Pure lexing of one statement: (op, payload, is_call) triples.
+
+    Lexing is by far the hottest part of normalization and the same
+    statement text recurs across overlapping gadgets of one file (and
+    across files — declarations, braces, common calls), so the
+    stateless part is cached; :meth:`Normalizer.normalize_text` replays
+    the triples through the per-gadget renaming state.
+    """
+    ops: list[tuple[int, str, bool]] = []
+    tokens = tokenize(_ascii_only(text))
+    for index, token in enumerate(tokens):
+        if token.kind is TokenKind.EOF:
+            break
+        if token.kind is TokenKind.IDENT:
+            is_call = (index + 1 < len(tokens)
+                       and tokens[index + 1].is_punct("("))
+            ops.append((_RENAME, token.text, is_call))
+        elif token.kind is TokenKind.STRING:
+            ops.append((_VERBATIM, '"STR"', False))
+        elif token.kind is TokenKind.ERROR:
+            continue  # stray bytes add nothing
+        else:
+            ops.append((_VERBATIM, token.text, False))
+    return tuple(ops)
 
 
 @dataclass
@@ -76,24 +109,9 @@ class Normalizer:
 
     def normalize_text(self, text: str) -> list[str]:
         """Tokenize and normalize one chunk of gadget text."""
-        tokens = tokenize(_ascii_only(text))
-        out: list[str] = []
-        for index, token in enumerate(tokens):
-            if token.kind is TokenKind.EOF:
-                break
-            if token.kind is TokenKind.IDENT:
-                is_call = (index + 1 < len(tokens)
-                           and tokens[index + 1].is_punct("("))
-                out.append(self._symbol_for(token.text, is_call=is_call))
-            elif token.kind is TokenKind.STRING:
-                out.append('"STR"')
-            elif token.kind is TokenKind.CHAR:
-                out.append(token.text)
-            elif token.kind is TokenKind.ERROR:
-                continue  # stray bytes add nothing
-            else:
-                out.append(token.text)
-        return out
+        return [self._symbol_for(payload, is_call=is_call)
+                if op == _RENAME else payload
+                for op, payload, is_call in _lexed(text)]
 
 
 def normalize_gadget(gadget: CodeGadget,

@@ -203,12 +203,30 @@ class _RangeCollector:
 
 def extract_control_ranges(program: AnalyzedProgram,
                            function: str) -> list[ControlRange]:
-    """All control ranges of one function (Algorithm 1 lines 4-18)."""
-    fn = program.unit.function(function)
-    if fn is None:
-        return []
-    braces = brace_ranges(program.source.lines)
-    return _RangeCollector(fn, braces).collect()
+    """All control ranges of one function (Algorithm 1 lines 4-18).
+
+    Memoized per program object: assembling one gadget per slicing
+    criterion revisits the same functions dozens of times per file, and
+    the brace-matching pass re-lexes the *whole* source each call.
+    Programs are analyzed once and never mutated afterwards, so both
+    the brace pairs and each function's collected ranges are cached on
+    the instance (callers must not mutate the returned list).
+    """
+    cache = getattr(program, "_control_range_cache", None)
+    if cache is None:
+        cache = {}
+        program._control_range_cache = cache
+    if function not in cache:
+        fn = program.unit.function(function)
+        if fn is None:
+            cache[function] = []
+        else:
+            braces = getattr(program, "_brace_pairs", None)
+            if braces is None:
+                braces = brace_ranges(program.source.lines)
+                program._brace_pairs = braces
+            cache[function] = _RangeCollector(fn, braces).collect()
+    return cache[function]
 
 
 def assemble_path_sensitive_gadget(program: AnalyzedProgram,

@@ -1,0 +1,257 @@
+"""End-to-end tests for the batched scan service.
+
+The load-bearing property is *byte identity*: the micro-batching
+scheduler may pack gadgets from many cases into shared batches, but
+every verdict must exactly equal what a serial
+``detector.detect_case`` loop produces — same findings, same scores,
+same ordering.  The rest covers the result cache (warm re-scans are
+hits, config changes are misses), quarantine/fault handling, and the
+CLI surface.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import SCALE_PRESETS, Quarantine, SEVulDet
+from repro.core.serve import CaseVerdict, ResultCache, ScanService
+from repro.datasets.sard import generate_sard_corpus
+from repro.testing import faults
+
+
+@pytest.fixture(scope="module")
+def detector():
+    det = SEVulDet(scale=SCALE_PRESETS["small"], seed=3)
+    det.fit(generate_sard_corpus(80, seed=31))
+    return det
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_sard_corpus(30, seed=99)
+
+
+class TestByteIdentity:
+    def test_batched_matches_serial_detect_case(self, detector,
+                                                corpus):
+        serial = [detector.detect_case(case) for case in corpus]
+        with ScanService(detector, workers=2,
+                         batch_size=16) as service:
+            verdicts = service.scan_cases(corpus)
+        assert len(verdicts) == len(corpus)
+        for case, verdict, findings in zip(corpus, verdicts, serial):
+            assert verdict.name == case.name
+            assert list(verdict.findings) == findings
+            assert verdict.flagged == bool(findings)
+
+    def test_identity_across_batching_configs(self, detector, corpus):
+        reference = None
+        for workers, batch_size in ((1, 1), (2, 8), (4, 64)):
+            with ScanService(detector, workers=workers,
+                             batch_size=batch_size) as service:
+                records = [v.as_record()
+                           for v in service.scan_cases(corpus)]
+            if reference is None:
+                reference = records
+            else:
+                assert records == reference
+
+    def test_scores_match_serial_exactly(self, detector, corpus):
+        with ScanService(detector, workers=2,
+                         batch_size=16) as service:
+            verdicts = service.scan_cases(corpus)
+        for case, verdict in zip(corpus, verdicts):
+            serial = detector.detect_case(case)
+            for batched, single in zip(verdict.findings, serial):
+                assert batched.score == single.score  # bit-equal
+
+
+class TestResultCaching:
+    def test_rescan_hits_result_cache(self, detector, corpus):
+        with ScanService(detector, workers=2,
+                         batch_size=16) as service:
+            cold = service.scan_cases(corpus)
+            warm = service.scan_cases(corpus)
+            stats = service.stats()
+        assert all(not v.cached for v in cold)
+        assert all(v.cached for v in warm)
+        assert [v.as_record() for v in warm] == \
+            [v.as_record() for v in cold]
+        # acceptance: >= 95% hit rate on the warm re-scan
+        assert stats["result_cache"]["hit_rate"] >= 0.5  # 30/60 here
+        assert stats["result_cache"]["hits"] == len(corpus)
+
+    def test_threshold_change_invalidates_shared_cache(self, detector,
+                                                       corpus):
+        shared = ResultCache(capacity=64)
+        with ScanService(detector, workers=1, batch_size=16,
+                         result_cache=shared) as service:
+            service.scan_cases(corpus[:5])
+        original = detector.threshold
+        detector.threshold = 0.11
+        try:
+            with ScanService(detector, workers=1, batch_size=16,
+                             result_cache=shared) as service:
+                changed = service.scan_cases(corpus[:5])
+        finally:
+            detector.threshold = original
+        # same fingerprints, different config token: all misses
+        assert all(not v.cached for v in changed)
+        # restored config hits the entries the first service stored
+        with ScanService(detector, workers=1, batch_size=16,
+                         result_cache=shared) as service:
+            restored = service.scan_cases(corpus[:5])
+        assert all(v.cached for v in restored)
+
+    def test_lru_capacity_and_eviction(self):
+        cache = ResultCache(capacity=2)
+        token = "cfg"
+        for i in range(3):
+            cache.put(f"fp{i}", token, CaseVerdict(
+                name=f"c{i}", fingerprint=f"fp{i}", status="clean"))
+        assert len(cache) == 2
+        assert cache.get("fp0", token) is None  # evicted
+        assert cache.get("fp2", token) is not None
+        assert cache.get("fp1", token) is not None
+
+    def test_config_token_separates_entries(self):
+        cache = ResultCache(capacity=8)
+        verdict = CaseVerdict(name="c", fingerprint="fp",
+                              status="clean")
+        cache.put("fp", "model-a", verdict)
+        assert cache.get("fp", "model-b") is None
+        assert cache.get("fp", "model-a") is verdict
+
+
+class TestFailureHandling:
+    def test_quarantined_case_is_skipped(self, detector, corpus,
+                                         tmp_path):
+        quarantine = Quarantine(tmp_path / "quarantine.jsonl")
+        quarantine.add(corpus[0], "timeout", "seeded for test")
+        detector.quarantine = quarantine
+        try:
+            with ScanService(detector, workers=1,
+                             batch_size=16) as service:
+                verdicts = service.scan_cases(corpus[:3])
+        finally:
+            detector.quarantine = None
+        assert verdicts[0].status == "skipped"
+        assert verdicts[0].reason == "quarantined"
+        assert verdicts[1].status in ("flagged", "clean")
+        record = verdicts[0].as_record()
+        assert record["status"] == "skipped"
+        assert record["findings"] == []
+
+    def test_fault_injected_case_quarantined_scan_completes(
+            self, detector, corpus, tmp_path):
+        poisoned = corpus[1].name
+        quarantine = Quarantine(tmp_path / "quarantine.jsonl")
+        detector.quarantine = quarantine
+        try:
+            with faults.injected(f"raise@case:{poisoned}:MemoryError"):
+                with ScanService(detector, workers=1,
+                                 batch_size=16) as service:
+                    verdicts = service.scan_cases(corpus[:4])
+        finally:
+            detector.quarantine = None
+        assert verdicts[1].status == "skipped"
+        assert verdicts[1].reason == "memory"
+        assert corpus[1] in quarantine  # poisoned for next time
+        # every other case still got a real verdict
+        assert all(v.status in ("flagged", "clean")
+                   for i, v in enumerate(verdicts) if i != 1)
+
+    def test_zero_gadget_source_is_clean(self, detector):
+        with ScanService(detector, workers=1,
+                         batch_size=16) as service:
+            verdict = service.scan_paths([])
+            assert verdict == []
+        # a source with no special tokens produces no gadgets
+        from repro.datasets.manifest import TestCase
+        trivial = TestCase(name="t.c",
+                           source="int main() { return 0; }",
+                           vulnerable=False,
+                           vulnerable_lines=frozenset(), cwe="",
+                           category="", origin="test")
+        with ScanService(detector, workers=1,
+                         batch_size=16) as service:
+            verdict = service.scan_case(trivial)
+        assert verdict.status == "clean"
+        assert verdict.gadgets == 0
+        assert verdict.max_score == 0.0
+
+
+class TestServiceLifecycle:
+    def test_closed_service_rejects_scans(self, detector, corpus):
+        service = ScanService(detector, workers=1, batch_size=4)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.scan_cases(corpus[:1])
+        service.close()  # idempotent
+
+    def test_stats_shape(self, detector, corpus):
+        with ScanService(detector, workers=2,
+                         batch_size=8) as service:
+            service.scan_cases(corpus[:5])
+            stats = service.stats()
+        assert stats["cases"] == 5
+        assert stats["cases_per_sec"] > 0
+        assert stats["scored_gadgets"] > 0
+        assert stats["latency_seconds"]["count"] == 5
+        assert 0 < stats["batch_fill"]["mean"] <= 1.0
+
+    def test_missing_path_raises(self, detector, tmp_path):
+        with ScanService(detector, workers=1,
+                         batch_size=4) as service:
+            with pytest.raises(FileNotFoundError):
+                service.scan_paths([tmp_path / "nope.c"])
+
+
+class TestScanCLI:
+    @pytest.fixture(scope="class")
+    def model_path(self, detector, tmp_path_factory):
+        path = tmp_path_factory.mktemp("model") / "model.npz"
+        detector.save(path)
+        return path
+
+    def test_scan_directory_jsonl_and_stats(self, detector,
+                                            model_path, corpus,
+                                            tmp_path, capsys):
+        from repro.cli import main
+
+        src_dir = tmp_path / "src"
+        src_dir.mkdir()
+        for case in corpus[:4]:
+            stem = case.name.rsplit("/", 1)[-1]
+            (src_dir / stem).write_text(case.source)
+        jsonl = tmp_path / "verdicts.jsonl"
+        code = main(["scan", str(src_dir), "--model",
+                     str(model_path), "--jsonl", str(jsonl),
+                     "--workers", "2", "--batch-size", "8",
+                     "--stats"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "scanned 4 case(s):" in out
+        assert "result cache:" in out
+        records = [json.loads(line)
+                   for line in jsonl.read_text().splitlines()]
+        assert len(records) == 4
+        assert all(r["status"] in ("flagged", "clean", "skipped")
+                   for r in records)
+
+    def test_warm_rescan_jsonl_byte_identical(self, model_path,
+                                              corpus, tmp_path,
+                                              capsys):
+        from repro.cli import main
+
+        target = tmp_path / "case.c"
+        target.write_text(corpus[0].source)
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        main(["scan", str(target), "--model", str(model_path),
+              "--jsonl", str(first)])
+        main(["scan", str(target), "--model", str(model_path),
+              "--jsonl", str(second)])
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()

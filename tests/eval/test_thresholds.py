@@ -2,13 +2,34 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.eval.thresholds import (best_f1_threshold,
+from repro.eval.metrics import metrics_from
+from repro.eval.thresholds import (OperatingPoint, SingleClassError,
+                                   best_f1_threshold,
                                    precision_recall_points, roc_auc,
                                    roc_points, sweep_thresholds,
                                    threshold_for_fpr)
+
+
+def reference_sweep(scores, labels, thresholds):
+    """The O(n*k) rescan-per-threshold formulation the module
+    replaced; kept here as the behavioral oracle."""
+    scores = np.asarray(scores, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    points = []
+    for threshold in thresholds:
+        predicted = (scores >= threshold).astype(int)
+        tp = int(np.sum((predicted == 1) & (labels == 1)))
+        fp = int(np.sum((predicted == 1) & (labels == 0)))
+        tn = int(np.sum((predicted == 0) & (labels == 0)))
+        fn = int(np.sum((predicted == 0) & (labels == 1)))
+        from repro.eval.metrics import Confusion
+        points.append(OperatingPoint(
+            float(threshold),
+            metrics_from(Confusion(tp=tp, fp=fp, tn=tn, fn=fn))))
+    return points
 
 PERFECT_SCORES = [0.9, 0.8, 0.2, 0.1]
 PERFECT_LABELS = [1, 1, 0, 0]
@@ -52,7 +73,35 @@ class TestROC:
     def test_auc_in_unit_interval(self, pairs):
         scores = [s for s, _ in pairs]
         labels = [l for _, l in pairs]
+        assume(0 < sum(labels) < len(labels))  # degenerate sets raise
         assert 0.0 <= roc_auc(scores, labels) <= 1.0
+
+
+class TestSingleClass:
+    def test_all_positive_raises_named_error(self):
+        with pytest.raises(SingleClassError, match="positive class"):
+            roc_points([0.1, 0.9], [1, 1])
+
+    def test_all_negative_raises_named_error(self):
+        with pytest.raises(SingleClassError, match="negative class"):
+            roc_auc([0.1, 0.9], [0, 0])
+
+    def test_pr_requires_a_positive(self):
+        with pytest.raises(SingleClassError):
+            precision_recall_points([0.1, 0.9], [0, 0])
+        # All-positive PR is still well defined (recall sweeps 0..1).
+        points = precision_recall_points([0.1, 0.9], [1, 1])
+        assert (1.0, 1.0) in points
+
+    def test_single_class_error_is_a_value_error(self):
+        # Callers catching the old generic failure mode keep working.
+        assert issubclass(SingleClassError, ValueError)
+
+    def test_sweeps_tolerate_single_class(self):
+        # Grid sweeps report raw confusion metrics; they never divide
+        # by the missing class, so they deliberately do not raise.
+        points = sweep_thresholds([0.1, 0.9], [1, 1])
+        assert len(points) == 19
 
 
 class TestSweeps:
@@ -90,3 +139,28 @@ class TestSweeps:
         points = sweep_thresholds(scores, labels)
         fprs = [p.metrics.fpr for p in points]
         assert all(a >= b for a, b in zip(fprs, fprs[1:]))
+
+    @given(st.lists(st.tuples(st.floats(0, 1), st.integers(0, 1)),
+                    min_size=2, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_cumsum_sweep_matches_rescan_reference(self, pairs):
+        """The O(n log n) prefix-sum sweep must reproduce the naive
+        per-threshold rescan exactly — including ties, duplicates, and
+        thresholds falling between / outside the observed scores."""
+        scores = [s for s, _ in pairs]
+        labels = [l for _, l in pairs]
+        grid = sorted(set(scores)
+                      | {0.0, 0.3, 0.5000000001, 1.0, 1.5, -0.5})
+        fast = sweep_thresholds(scores, labels, grid)
+        slow = reference_sweep(scores, labels, grid)
+        assert fast == slow
+
+    def test_best_f1_matches_exhaustive_search(self):
+        rng = np.random.default_rng(11)
+        scores = np.round(rng.random(150), 2)  # force score ties
+        labels = rng.integers(0, 2, size=150)
+        best = best_f1_threshold(scores, labels)
+        candidates = reference_sweep(scores, labels,
+                                     sorted(set(scores.tolist())))
+        exhaustive = max(candidates, key=lambda p: p.metrics.f1)
+        assert best.metrics.f1 == exhaustive.metrics.f1

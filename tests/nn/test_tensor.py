@@ -261,6 +261,43 @@ class TestEngine:
         assert not out.requires_grad
         assert out._parents == ()
 
+    def test_no_grad_is_thread_local(self):
+        """Interleaved no_grad scopes in other threads must never
+        corrupt this thread's grad mode (regression: a shared global
+        flag let an exit-order race leave grads off process-wide)."""
+        import threading
+
+        from repro.nn.tensor import is_grad_enabled
+
+        a_entered = threading.Event()
+        b_entered = threading.Event()
+        a_exited = threading.Event()
+        inside = {}
+
+        def thread_a():
+            with no_grad():
+                a_entered.set()
+                b_entered.wait(5)  # B enters while A is inside
+            a_exited.set()
+
+        def thread_b():
+            a_entered.wait(5)
+            with no_grad():
+                b_entered.set()
+                a_exited.wait(5)  # A exits first, then B
+                inside["b"] = is_grad_enabled()
+            inside["b_after"] = is_grad_enabled()
+
+        threads = [threading.Thread(target=thread_a),
+                   threading.Thread(target=thread_b)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert inside == {"b": False, "b_after": True}
+        assert is_grad_enabled()  # main thread untouched
+        assert Tensor([1.0], requires_grad=True).requires_grad
+
     def test_zero_grad(self, rng):
         x = Tensor(rng.normal(size=(3,)), requires_grad=True)
         x.sum().backward()
