@@ -1,0 +1,299 @@
+#!/usr/bin/env python3
+"""Benchmark the streaming stage engine against barrier execution.
+
+Runs the same fetch -> extract -> score pipeline over an identical
+corpus with streaming prefetch boundaries on and off, and writes the
+measurements as machine-readable JSON to
+``benchmarks/results/BENCH_engine.json``::
+
+    PYTHONPATH=src python scripts/bench_engine.py          # full run
+    PYTHONPATH=src python scripts/bench_engine.py --smoke  # CI-sized
+
+Three measurements per mode (barrier = ``Engine(streaming=False)``,
+chunks flow strictly serially; streaming = prefetch threads at every
+stage boundary):
+
+* ``io_bound`` — the headline overlap number.  A ``FetchStage`` in
+  front of extraction injects ``--io-latency-ms`` of per-case corpus
+  delivery latency (modelling the dataset fetch a production corpus
+  pays to disk/NFS/object storage; the synthetic SARD generator is
+  memory-resident, so the wait is simulated — the value and mechanism
+  are recorded in the JSON).  The barrier pipeline pays fetch, then
+  extract, then score per chunk serially; the streaming engine hides
+  the fetch wait behind extract+score of earlier chunks.  This
+  isolates exactly what the prefetch boundary buys and works on any
+  machine, including single-CPU CI containers where compute cannot
+  physically overlap compute.
+* ``compute`` — the same pipeline with zero injected latency: raw
+  extract -> score.  On a multi-core machine pool-backed extraction
+  overlaps numpy scoring and this ratio is the honest end-to-end win;
+  on a single CPU it sits near 1.0x (both stages need the same core)
+  and is reported, not gated.
+* ``first_result`` — wall-clock until the first scored chunk is
+  available, streaming engine vs the full-materialize barrier
+  semantics of the pre-engine pipeline (extract the entire corpus,
+  then score).  Pipelining wins this even on one CPU: the first
+  verdict no longer waits for the whole corpus to extract.
+
+The acceptance target is overlap >= 1.2x on the ``io_bound``
+measurement with byte-identical outputs (same gadgets, bit-equal
+scores) between the two modes.  ``--smoke`` shrinks the corpus so CI
+finishes in seconds and records ``"mode": "smoke"``; CI asserts only
+the JSON contract, never the ratios (CI machines are too noisy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.encode import encode_gadgets  # noqa: E402
+from repro.core.engine import (Engine, ExtractStage,  # noqa: E402
+                               RunContext, ScoreStage, Stage)
+from repro.core.extract import extract_gadgets  # noqa: E402
+from repro.datasets.sard import generate_sard_corpus  # noqa: E402
+from repro.models.sevuldet import SEVulDetNet  # noqa: E402
+
+TARGET_OVERLAP = 1.2
+
+
+class FetchStage(Stage):
+    """Simulated corpus delivery: ``latency`` seconds per case.
+
+    Stands in for the disk/NFS/object-storage read a real corpus pays
+    per file.  The wait releases the GIL (like blocking I/O does), so
+    a streaming engine hides it behind downstream compute; the barrier
+    pipeline pays it serially.
+    """
+
+    name = "fetch"
+    streaming = True
+
+    def __init__(self, latency: float):
+        self.latency = latency
+
+    def process(self, chunk, ctx):
+        if self.latency > 0.0:
+            time.sleep(self.latency * len(chunk))
+        return chunk
+
+
+def build_scorer(train_cases, dim: int, channels: int):
+    """A trained-shape model + vocab to score with (weights random:
+    the benchmark measures wall-clock, not accuracy)."""
+    gadgets = extract_gadgets(train_cases)
+    dataset = encode_gadgets(gadgets, dim=dim, w2v_epochs=0, seed=13)
+    model = SEVulDetNet(len(dataset.vocab), dim=dim,
+                        channels=channels,
+                        pretrained=dataset.word2vec.vectors, seed=3)
+    dataset.bind_embedding_aliases(model)
+    return model, dataset.vocab
+
+
+def run_pipeline(cases, model, vocab, *, streaming: bool,
+                 latency: float, workers: int, chunk_size: int,
+                 batch_size: int):
+    """One pass; returns (seconds, first_result_seconds, gadgets,
+    scores)."""
+    ctx = RunContext.create(workers=workers)
+    stages = [ExtractStage(),
+              ScoreStage(model, vocab, batch_size=batch_size)]
+    if latency > 0.0:
+        stages.insert(0, FetchStage(latency))
+    engine = Engine(*stages, ctx=ctx, chunk_size=chunk_size,
+                    streaming=streaming)
+    gadgets, parts = [], []
+    first = None
+    start = time.perf_counter()
+    for chunk_gadgets, chunk_scores in engine.stream(cases):
+        if first is None:
+            first = time.perf_counter() - start
+        gadgets.extend(chunk_gadgets)
+        parts.append(chunk_scores)
+    elapsed = time.perf_counter() - start
+    scores = np.concatenate(parts) if parts else np.array([])
+    return elapsed, first, gadgets, scores
+
+
+def bench_pair(cases, model, vocab, *, latency: float, workers: int,
+               chunk_size: int, batch_size: int, repeats: int):
+    """Time barrier vs streaming; keep each mode's best wall-clock."""
+    out = {}
+    outputs = {}
+    for key, streaming in (("barrier", False), ("streaming", True)):
+        best = None
+        times = []
+        for _ in range(repeats):
+            result = run_pipeline(
+                cases, model, vocab, streaming=streaming,
+                latency=latency, workers=workers,
+                chunk_size=chunk_size, batch_size=batch_size)
+            times.append(round(result[0], 4))
+            if best is None or result[0] < best[0]:
+                best = result
+        seconds, first, gadgets, scores = best
+        out[key] = {
+            "seconds": round(seconds, 4),
+            "first_result_seconds": round(first, 4),
+            "all_runs_seconds": times,
+            "cases_per_sec": round(len(cases) / seconds, 2),
+        }
+        outputs[key] = (gadgets, scores)
+    identical = (outputs["barrier"][0] == outputs["streaming"][0]
+                 and np.array_equal(outputs["barrier"][1],
+                                    outputs["streaming"][1]))
+    ratio = round(out["barrier"]["seconds"]
+                  / max(out["streaming"]["seconds"], 1e-9), 2)
+    return out, ratio, identical
+
+
+def bench_first_result(cases, model, vocab, *, workers: int,
+                       chunk_size: int, batch_size: int):
+    """Time-to-first-verdict: streaming vs full-materialize.
+
+    The pre-engine pipeline extracted the *entire* corpus before
+    scoring anything; the streaming engine scores chunk 1 as soon as
+    it is extracted.
+    """
+    start = time.perf_counter()
+    gadgets = extract_gadgets(cases, workers=workers)
+    first_bucket = gadgets[:chunk_size]
+    from repro.core.score import predict_proba
+    predict_proba(model, [g.sample(vocab) for g in first_bucket],
+                  batch_size=batch_size)
+    materialized = time.perf_counter() - start
+
+    _, streamed_first, _, _ = run_pipeline(
+        cases, model, vocab, streaming=True, latency=0.0,
+        workers=workers, chunk_size=chunk_size,
+        batch_size=batch_size)
+    return {
+        "materialize_seconds": round(materialized, 4),
+        "streaming_seconds": round(streamed_first, 4),
+        "speedup": round(materialized / max(streamed_first, 1e-9), 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: tiny corpus, no perf gate")
+    parser.add_argument("--cases", type=int, default=None,
+                        help="corpus programs (default 160, smoke 16)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="extraction processes (default 2)")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="cases per engine chunk "
+                             "(default 16, smoke 4)")
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--io-latency-ms", type=float, default=10.0,
+                        help="simulated per-case corpus delivery "
+                             "latency for the io_bound measurement "
+                             "(default 10ms)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed passes per mode, best kept "
+                             "(default 3, smoke 1)")
+    parser.add_argument("--output", type=Path,
+                        default=ROOT / "benchmarks" / "results"
+                        / "BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    n_cases = args.cases or (16 if args.smoke else 160)
+    chunk_size = args.chunk_size or (4 if args.smoke else 16)
+    repeats = args.repeats or (1 if args.smoke else 3)
+    latency = args.io_latency_ms / 1e3
+    # full mode scores with the paper's filter count (512): the
+    # overlap claim is about production-shaped work, where extraction
+    # and scoring have comparable cost
+    dim, channels = (8, 8) if args.smoke else (30, 512)
+    cpus = os.cpu_count() or 1
+
+    cases = generate_sard_corpus(n_cases, seed=99)
+    model, vocab = build_scorer(generate_sard_corpus(40, seed=31),
+                                dim, channels)
+    print(f"fetch+extract+score over {n_cases} cases "
+          f"({cpus} cpu(s), {args.workers} extraction workers, "
+          f"chunks of {chunk_size}, best of {repeats})")
+
+    io_bound, io_ratio, io_identical = bench_pair(
+        cases, model, vocab, latency=latency, workers=args.workers,
+        chunk_size=chunk_size, batch_size=args.batch_size,
+        repeats=repeats)
+    print(f"io_bound ({args.io_latency_ms}ms/case fetch): barrier "
+          f"{io_bound['barrier']['seconds']}s, streaming "
+          f"{io_bound['streaming']['seconds']}s -> {io_ratio}x")
+
+    compute, compute_ratio, compute_identical = bench_pair(
+        cases, model, vocab, latency=0.0, workers=args.workers,
+        chunk_size=chunk_size, batch_size=args.batch_size,
+        repeats=repeats)
+    print(f"compute (no injected latency): barrier "
+          f"{compute['barrier']['seconds']}s, streaming "
+          f"{compute['streaming']['seconds']}s -> {compute_ratio}x"
+          + ("  [single CPU: compute cannot overlap compute]"
+             if cpus < 2 else ""))
+
+    first = bench_first_result(
+        cases, model, vocab, workers=args.workers,
+        chunk_size=chunk_size, batch_size=args.batch_size)
+    print(f"first result: full-materialize "
+          f"{first['materialize_seconds']}s, streaming "
+          f"{first['streaming_seconds']}s "
+          f"-> {first['speedup']}x")
+
+    identical = io_identical and compute_identical
+    overlap = io_ratio
+    print(f"overlap: {overlap}x (target >= {TARGET_OVERLAP}x); "
+          f"identical outputs: {identical}")
+
+    report = {
+        "benchmark": "engine",
+        "mode": "smoke" if args.smoke else "full",
+        "dtype": os.environ.get("REPRO_DTYPE", "float32"),
+        "cpus": cpus,
+        "corpus": {"cases": n_cases},
+        "workers": args.workers,
+        "chunk_size": chunk_size,
+        "batch_size": args.batch_size,
+        "repeats": repeats,
+        "io_latency_ms": args.io_latency_ms,
+        "io_latency_note": (
+            "io_bound injects simulated per-case corpus-fetch latency "
+            "(FetchStage sleep); it isolates the prefetch-boundary "
+            "overlap on machines where compute cannot overlap compute"),
+        "io_bound": dict(io_bound, ratio=io_ratio),
+        "compute": dict(compute, ratio=compute_ratio),
+        "first_result": first,
+        "overlap": overlap,
+        "identical": identical,
+        "targets": {"overlap": TARGET_OVERLAP},
+        "targets_met": {
+            "overlap": overlap >= TARGET_OVERLAP,
+            "identical": identical,
+        },
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not identical:
+        print("error: streaming outputs diverged from barrier",
+              file=sys.stderr)
+        return 1
+    if not args.smoke and overlap < TARGET_OVERLAP:
+        print("warning: overlap target not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

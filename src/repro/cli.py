@@ -19,13 +19,32 @@ from pathlib import Path
 from .baselines.afl import AFLFuzzer
 from .core.config import SCALE_PRESETS, current_scale
 from .core.detector import SEVulDet
-from .core.pipeline import extract_gadgets
-from .core.telemetry import Telemetry
+from .core.engine import Engine, ExtractStage, RunContext
+from .core.extract import extract_gadgets
 from .datasets.manifest import TestCase
 from .datasets.nvd import generate_nvd_corpus
 from .datasets.sard import generate_sard_corpus
 
 __all__ = ["main", "build_parser"]
+
+
+def _run_context(args: argparse.Namespace, *,
+                 workers: int = 0) -> RunContext:
+    """One RunContext from the shared cache/quarantine/fault flags.
+
+    Every subcommand funnels its ``--cache-dir`` / ``--quarantine`` /
+    ``--case-timeout`` (and, where applicable, ``--checkpoint-dir`` /
+    ``--resume``) flags through here instead of wiring each into every
+    call site; ``workers`` is explicit because ``scan --workers``
+    means scorer threads, not extraction processes.
+    """
+    return RunContext.create(
+        cache=getattr(args, "cache_dir", None),
+        quarantine=getattr(args, "quarantine", None),
+        case_timeout=getattr(args, "case_timeout", None),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        resume=bool(getattr(args, "resume", False)),
+        workers=workers)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -179,12 +198,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
     vulnerable = sum(case.vulnerable for case in corpus)
     print(f"training on {len(corpus)} programs "
           f"({vulnerable} vulnerable) at scale {scale.name!r} ...")
+    ctx = _run_context(args, workers=args.workers)
     detector = SEVulDet(scale=scale, seed=args.seed,
-                        workers=args.workers, cache=args.cache_dir,
-                        case_timeout=args.case_timeout,
-                        quarantine=args.quarantine)
-    report = detector.fit(corpus, checkpoint_dir=args.checkpoint_dir,
-                          resume=args.resume)
+                        workers=ctx.workers, cache=ctx.cache,
+                        case_timeout=ctx.case_timeout,
+                        quarantine=ctx.quarantine,
+                        telemetry=ctx.telemetry)
+    report = detector.fit(corpus, ctx=ctx)
     detector.save(args.out)
     if detector.extraction_failures:
         print(f"skipped {len(detector.extraction_failures)} case(s): "
@@ -204,25 +224,20 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     if args.nvd_cases > 0:
         corpus += generate_nvd_corpus(args.nvd_cases,
                                       seed=args.seed + 1)
-    telemetry = Telemetry()
-    failures: list = []
-    gadgets = extract_gadgets(corpus, kind=args.kind,
-                              workers=args.workers,
-                              cache=args.cache_dir,
-                              telemetry=telemetry,
-                              case_timeout=args.case_timeout,
-                              quarantine=args.quarantine,
-                              failures=failures)
+    ctx = _run_context(args, workers=args.workers)
+    engine = Engine(ExtractStage(args.kind), ctx=ctx)
+    gadgets = [gadget for chunk in engine.run(corpus)
+               for gadget in chunk]
     count = save_gadgets(gadgets, args.out)
     vulnerable = sum(g.label for g in gadgets)
     print(f"extracted {count} gadgets ({vulnerable} vulnerable) from "
           f"{len(corpus)} programs -> {args.out}")
-    if failures:
-        print(f"skipped {len(failures)} case(s): "
+    if ctx.failures:
+        print(f"skipped {len(ctx.failures)} case(s): "
               + ", ".join(f"{f.case_name} ({f.reason})"
-                          for f in failures[:5]))
+                          for f in ctx.failures[:5]))
     if args.stats:
-        print(telemetry.summary())
+        print(ctx.telemetry.summary())
     return 0
 
 
@@ -231,10 +246,11 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
     from .core.serve import ScanService
 
+    ctx = _run_context(args)  # scan --workers = scorer threads
     detector = SEVulDet(scale=_resolve_scale(args),
-                        cache=args.cache_dir,
-                        case_timeout=args.case_timeout,
-                        quarantine=args.quarantine)
+                        cache=ctx.cache,
+                        case_timeout=ctx.case_timeout,
+                        quarantine=ctx.quarantine)
     detector.load(args.model)
     if args.threshold is not None:
         detector.threshold = args.threshold

@@ -1,9 +1,10 @@
 """The SEVulDet detector: configuration, pipeline, public facade."""
 
 from .config import FRAMEWORK_HYPERPARAMS, SCALE_PRESETS, HyperParams, Scale, current_scale
-from .pipeline import (EncodedDataset, LabeledGadget, TrainReport,
-                       encode_gadgets, evaluate_classifier, extract_gadgets,
-                       predict_proba, train_classifier)
+from .encode import EncodedDataset, encode_gadgets
+from .extract import LabeledGadget, extract_gadgets
+from .score import evaluate_classifier, predict_proba
+from .train import TrainReport, train_classifier
 from .detector import Finding, SEVulDet
 from .attention_hook import TokenWeight, attention_report, weights_by_line
 from .cwe_typing import CWETyper

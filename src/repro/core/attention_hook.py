@@ -15,7 +15,7 @@ import numpy as np
 from ..embedding.vocab import Vocabulary
 from ..models.sevuldet import SEVulDetNet
 from ..nn import no_grad
-from .pipeline import LabeledGadget
+from .extract import LabeledGadget
 
 __all__ = ["TokenWeight", "attention_report", "weights_by_line"]
 

@@ -24,7 +24,7 @@ from typing import Sequence
 from ..datasets.manifest import TestCase
 from ..slicing.normalize import NORMALIZE_VERSION
 from ..testing import faults
-from .pipeline import PIPELINE_VERSION, LabeledGadget
+from .extract import PIPELINE_VERSION, LabeledGadget
 from .store import load_gadgets, save_gadgets
 
 __all__ = ["GadgetCache"]

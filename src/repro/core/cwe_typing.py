@@ -17,7 +17,7 @@ from ..embedding.vocab import Vocabulary
 from ..models.multiclass import CWETypeNet
 from ..nn import Adam, clip_grad_norm, cross_entropy, no_grad
 from ..nn.data import pad_or_truncate
-from .pipeline import LabeledGadget
+from .extract import LabeledGadget
 
 __all__ = ["CWETyper"]
 

@@ -23,9 +23,10 @@ from ..nn.serialize import load_model, save_model
 from ..slicing.normalize import NORMALIZE_VERSION
 from .config import Scale, current_scale
 from .cwe_typing import CWETyper
-from .pipeline import (PIPELINE_VERSION, EncodedDataset, LabeledGadget,
-                       TrainReport, encode_gadgets, extract_gadgets,
-                       predict_proba, train_classifier)
+from .encode import EncodedDataset
+from .extract import PIPELINE_VERSION, LabeledGadget, extract_gadgets
+from .score import predict_proba
+from .train import TrainReport
 from .resilience import CaseFailure
 from .telemetry import Telemetry
 
@@ -94,11 +95,39 @@ class SEVulDet:
     telemetry: Telemetry = field(default_factory=Telemetry)
     extraction_failures: list[CaseFailure] = field(default_factory=list)
 
+    def run_context(self, *, checkpoint_dir: str | Path | None = None,
+                    resume: bool = False) -> "RunContext":
+        """The detector's settings bundled as an engine
+        :class:`~repro.core.engine.RunContext` (fresh failure list;
+        shared cache/quarantine/telemetry)."""
+        from .engine import RunContext
+
+        return RunContext.create(
+            cache=self.cache, quarantine=self.quarantine,
+            telemetry=self.telemetry, checkpoint_dir=checkpoint_dir,
+            case_timeout=self.case_timeout, workers=self.workers,
+            resume=resume)
+
+    def _build_net(self, dataset: EncodedDataset) -> SEVulDetNet:
+        model = SEVulDetNet(
+            len(dataset.vocab), dim=self.scale.dim,
+            channels=self.scale.channels,
+            pretrained=dataset.word2vec.vectors, seed=self.seed)
+        dataset.bind_embedding_aliases(model)
+        return model
+
     def fit(self, cases: Sequence[TestCase],
             epochs: int | None = None, *,
             checkpoint_dir: str | Path | None = None,
-            resume: bool = False) -> TrainReport:
+            resume: bool = False, ctx=None) -> TrainReport:
         """Train on labelled corpus programs.
+
+        Runs extract -> encode -> train as a streaming
+        :class:`~repro.core.engine.Engine`: extraction of later case
+        chunks overlaps nothing here (encode is a barrier) but shares
+        the persistent worker pool across chunks, and all stages draw
+        their cache/quarantine/telemetry from one
+        :class:`~repro.core.engine.RunContext`.
 
         With a ``checkpoint_dir``, training writes atomic per-epoch
         checkpoints and ``resume=True`` continues an interrupted fit
@@ -107,34 +136,27 @@ class SEVulDet:
         the remaining classifier epochs are re-run), ending with the
         same weights as an uninterrupted fit.
         """
-        self.extraction_failures = []
-        gadgets = extract_gadgets(cases, kind=self.gadget_kind,
-                                  categories=self.categories,
-                                  workers=self.workers,
-                                  cache=self.cache,
-                                  telemetry=self.telemetry,
-                                  case_timeout=self.case_timeout,
-                                  quarantine=self.quarantine,
-                                  failures=self.extraction_failures)
-        if not gadgets:
-            raise ValueError("no gadgets could be extracted from the "
-                             "training corpus")
-        self.dataset = encode_gadgets(
-            gadgets, dim=self.scale.dim,
-            w2v_epochs=self.scale.w2v_epochs, seed=self.seed,
-            telemetry=self.telemetry)
-        self.model = SEVulDetNet(
-            len(self.dataset.vocab), dim=self.scale.dim,
-            channels=self.scale.channels,
-            pretrained=self.dataset.word2vec.vectors, seed=self.seed)
-        self.dataset.bind_embedding_aliases(self.model)
-        return train_classifier(
-            self.model, self.dataset.samples,
-            epochs=epochs if epochs is not None else self.scale.epochs,
-            batch_size=self.scale.batch_size,
-            lr=self.scale.learning_rate, seed=self.seed,
-            telemetry=self.telemetry,
-            checkpoint_dir=checkpoint_dir, resume=resume)
+        from .engine import Engine, EncodeStage, ExtractStage, TrainStage
+
+        if ctx is None:
+            ctx = self.run_context(checkpoint_dir=checkpoint_dir,
+                                   resume=resume)
+        self.extraction_failures = ctx.failures
+        engine = Engine(
+            ExtractStage(self.gadget_kind, self.categories),
+            EncodeStage(dim=self.scale.dim,
+                        w2v_epochs=self.scale.w2v_epochs,
+                        seed=self.seed),
+            TrainStage(
+                self._build_net,
+                epochs=epochs if epochs is not None else self.scale.epochs,
+                batch_size=self.scale.batch_size,
+                lr=self.scale.learning_rate, seed=self.seed),
+            ctx=ctx)
+        result = engine.run(cases)
+        self.dataset = result.dataset
+        self.model = result.model
+        return result.report
 
     def fit_typer(self, epochs: int = 12) -> list[float]:
         """Train the CWE-type head (Fig 2(b) "vulnerability type") on

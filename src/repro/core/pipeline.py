@@ -1,732 +1,30 @@
-"""End-to-end dataset preparation and training (paper Fig 2 glue).
+"""Compatibility re-export of the split pipeline modules.
 
-The pipeline turns :class:`~repro.datasets.manifest.TestCase` programs
-into labeled, normalized, encoded gadget samples (Steps I-IV's data
-path) and provides the generic train/evaluate loops both the SEVulDet
-model and the BRNN baselines share (Step V).
+The original monolithic pipeline now lives in four focused modules —
+:mod:`repro.core.extract` (Steps I-III data path),
+:mod:`repro.core.encode` (Step IV input side),
+:mod:`repro.core.train` (Step V's learning loop), and
+:mod:`repro.core.score` (Step V's inference side) — composed by the
+streaming stage engine in :mod:`repro.core.engine`.  This module keeps
+the historical import surface alive; new code should import from the
+focused modules (or drive them through the engine) directly.
 """
 
 from __future__ import annotations
 
-import hashlib
 import logging
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Sequence
 
-import numpy as np
-
-from ..datasets.manifest import TestCase
-from ..embedding.vocab import Vocabulary
-from ..embedding.word2vec import Word2Vec
-from ..eval.metrics import Metrics, confusion_from, metrics_from
-from ..lang.callgraph import analyze
-from ..lang.parser import ParseError
-from ..nn import (Adam, Module, Sample, bce_with_logits,
-                  bucketed_batches, clip_grad_norm, fixed_length_batches,
-                  no_grad, pad_or_truncate)
-from ..slicing.gadget import CodeGadget, classic_gadget
-from ..slicing.labeling import label_gadget
-from ..slicing.normalize import NormalizedGadget, normalize_gadget
-from ..slicing.path_sensitive import path_sensitive_gadget
-from ..slicing.special_tokens import (SlicingCriterion, TokenCategory,
-                                      find_special_tokens)
-from ..testing import faults
-from .resilience import (QUARANTINE_REASONS, CaseFailure, CaseTimeout,
-                         TrainingCheckpoint, coerce_quarantine,
-                         time_limit)
-from .telemetry import Telemetry
+from .encode import EncodedDataset, encode_gadgets
+from .extract import PIPELINE_VERSION, LabeledGadget, extract_gadgets
+from .score import SCORE_MIN_LENGTH, evaluate_classifier, predict_proba
+from .train import TrainReport, train_classifier
 
 __all__ = ["PIPELINE_VERSION", "SCORE_MIN_LENGTH", "LabeledGadget",
            "EncodedDataset", "extract_gadgets", "encode_gadgets",
            "train_classifier", "predict_proba", "evaluate_classifier",
            "TrainReport"]
 
+#: Retained so code that logged through ``repro.core.pipeline`` (and
+#: tests capturing that logger) keeps working; the split modules log
+#: under their own names, which propagate to the same root handlers.
 logger = logging.getLogger(__name__)
-
-#: Bump when extraction semantics change (slicing order, labeling,
-#: gadget assembly, ...) — folded into extraction cache keys so stale
-#: cached gadgets are never served across pipeline revisions.
-PIPELINE_VERSION = 2
-
-#: Minimum padded sample length fed to the flexible-length model: the
-#: conv kernel (3) plus SPP need a floor, and padding to it is part of
-#: the scoring contract — any batcher (training, predict_proba, the
-#: scan service) must pad with the same floor or scores drift.
-SCORE_MIN_LENGTH = 4
-
-_CATEGORY_MAP = {
-    "FC": TokenCategory.FUNCTION_CALL,
-    "AU": TokenCategory.ARRAY_USAGE,
-    "PU": TokenCategory.POINTER_USAGE,
-    "AE": TokenCategory.ARITHMETIC_EXPR,
-}
-
-
-@dataclass
-class LabeledGadget:
-    """A normalized gadget with label and provenance."""
-
-    tokens: tuple[str, ...]
-    label: int
-    category: str
-    case_name: str
-    criterion: SlicingCriterion
-    kind: str  # 'classic' | 'path-sensitive'
-    gadget: CodeGadget | None = None
-    cwe: str = ""  # CWE id of the originating case ('' when unknown)
-
-    def sample(self, vocab: Vocabulary) -> Sample:
-        return Sample(tuple(vocab.encode(list(self.tokens))), self.label)
-
-
-@dataclass(frozen=True)
-class _ExtractConfig:
-    """Per-run extraction knobs, picklable for worker processes."""
-
-    kind: str
-    wanted: frozenset[TokenCategory] | None
-    use_control: bool
-    keep_gadget: bool
-    case_timeout: float | None = None
-
-    def cache_token(self) -> str:
-        """Stable string folded into extraction cache keys.
-
-        ``case_timeout`` is deliberately excluded: the budget changes
-        *whether* a case finishes, never what it produces.
-        """
-        categories = ("*" if self.wanted is None else
-                      ",".join(sorted(c.value for c in self.wanted)))
-        return (f"kind={self.kind};categories={categories};"
-                f"control={int(self.use_control)}")
-
-
-#: One per-case extraction result: (gadgets, telemetry snapshot,
-#: failure record or None).  All three are picklable.
-_CaseOutcome = tuple
-
-
-def _extract_case(case: TestCase, config: _ExtractConfig
-                  ) -> _CaseOutcome:
-    """Pure per-case body of :func:`extract_gadgets`.
-
-    Analyzes, slices, labels, and normalizes one program, returning its
-    un-deduplicated gadgets in deterministic criterion order plus a
-    telemetry snapshot and an optional :class:`CaseFailure`.  Depends
-    only on its arguments, so it runs identically inline or in a worker
-    process.  The exception boundary is deliberately wide: a messy
-    real-world case may blow the recursion stack, exhaust memory, or
-    hang past its wall-clock budget, and none of those may take the
-    run (or the worker's siblings) down with it.
-    """
-    local = Telemetry()
-    gadgets: list[LabeledGadget] = []
-    failure: CaseFailure | None = None
-    try:
-        with time_limit(config.case_timeout):
-            faults.fire("case", case.name)
-            with local.stage("analyze"):
-                program = analyze(case.source, path=case.name)
-            manifest = case.manifest()
-            for criterion in find_special_tokens(program, config.wanted):
-                with local.stage("slice"):
-                    if config.kind == "path-sensitive":
-                        gadget = path_sensitive_gadget(program, criterion)
-                    else:
-                        gadget = classic_gadget(
-                            program, criterion,
-                            use_control=config.use_control)
-                if not gadget.lines:
-                    continue
-                gadget.label = label_gadget(gadget, manifest)
-                with local.stage("normalize"):
-                    normalized = normalize_gadget(gadget)
-                gadgets.append(
-                    LabeledGadget(
-                        tokens=tuple(normalized.tokens),
-                        label=gadget.label,
-                        category=criterion.category.value,
-                        case_name=case.name,
-                        criterion=criterion,
-                        kind=config.kind,
-                        gadget=gadget if config.keep_gadget else None,
-                        cwe=case.cwe))
-    except ParseError as error:
-        failure = CaseFailure(case.name, "parse-error", str(error))
-    except CaseTimeout:
-        failure = CaseFailure(
-            case.name, "timeout",
-            f"exceeded the {config.case_timeout:g}s case budget")
-    except RecursionError:
-        failure = CaseFailure(case.name, "recursion",
-                              "recursion limit while parsing/slicing")
-    except MemoryError:
-        failure = CaseFailure(case.name, "memory",
-                              "out of memory while extracting")
-    except (UnicodeError, OverflowError) as error:
-        failure = CaseFailure(case.name, "error", repr(error))
-    if failure is not None:
-        local.count("cases_skipped")
-        return [], local.as_dict(), failure
-    local.count("cases_parsed")
-    local.count("gadgets_extracted", len(gadgets))
-    return gadgets, local.as_dict(), None
-
-
-def _extract_chunk(cases: list[TestCase], config: _ExtractConfig
-                   ) -> list[_CaseOutcome]:
-    """Worker-side batch body: one pickle round-trip per chunk."""
-    return [_extract_case(case, config) for case in cases]
-
-
-def _pool_extract(cases: Sequence[TestCase], pending: list[int],
-                  config: _ExtractConfig, workers: int,
-                  telemetry: Telemetry
-                  ) -> tuple[dict[int, _CaseOutcome], list[int]]:
-    """Fan ``pending`` out over a process pool, chunk by chunk.
-
-    Returns the per-index outcomes plus the indices whose chunk was
-    lost to pool breakage (a worker died mid-chunk); the caller decides
-    whether to retry those inline.  Unlike ``pool.map``, per-chunk
-    futures keep every already-completed chunk when the pool breaks.
-    """
-    outcomes: dict[int, _CaseOutcome] = {}
-    lost: list[int] = []
-    chunksize = max(1, len(pending) // (workers * 4))
-    chunks = [pending[i:i + chunksize]
-              for i in range(0, len(pending), chunksize)]
-    broke = False
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        submitted = [
-            (pool.submit(_extract_chunk,
-                         [cases[i] for i in chunk], config), chunk)
-            for chunk in chunks]
-        for future, chunk in submitted:
-            try:
-                results = future.result()
-            except BrokenExecutor:
-                if not broke:
-                    broke = True
-                    telemetry.count("pool_breaks")
-                    logger.warning(
-                        "extract_gadgets: process pool broke (worker "
-                        "died); unfinished cases fall back to inline "
-                        "extraction")
-                lost.extend(chunk)
-            else:
-                outcomes.update(zip(chunk, results))
-    return outcomes, lost
-
-
-def _coerce_cache(cache):
-    """Accept a GadgetCache, a directory path, or None."""
-    if cache is None:
-        return None
-    if isinstance(cache, (str, Path)):
-        from .cache import GadgetCache
-        return GadgetCache(cache)
-    return cache
-
-
-def extract_gadgets(
-    cases: Sequence[TestCase],
-    kind: str = "path-sensitive",
-    categories: tuple[str, ...] | None = None,
-    *,
-    use_control: bool = True,
-    deduplicate: bool = True,
-    keep_gadget: bool = False,
-    workers: int = 0,
-    cache=None,
-    telemetry: Telemetry | None = None,
-    case_timeout: float | None = None,
-    retries: int = 1,
-    quarantine=None,
-    failures: list[CaseFailure] | None = None,
-) -> list[LabeledGadget]:
-    """Steps I-III: slice, assemble, label, and normalize every case.
-
-    Cases are processed independently (optionally fanned out over a
-    process pool and/or served from a content-addressed cache) and the
-    per-case gadget lists are concatenated in corpus order before
-    deduplication, so the output is byte-identical no matter how the
-    work was scheduled — including runs where workers crashed and
-    their cases were re-extracted inline.
-
-    A pathological case can only ever cost its own result: hangs are
-    cut off by ``case_timeout``, crashes break at most one pool chunk
-    (whose cases fall back to inline extraction), deep nesting and
-    memory exhaustion are caught at the per-case boundary, and cases
-    listed in the ``quarantine`` are skipped before any work happens.
-
-    Args:
-        cases: corpus programs.
-        kind: 'path-sensitive' (Algorithm 1) or 'classic' (the CG
-            baseline the paper compares against in Table II).
-        categories: restrict criteria to these families.
-        use_control: follow control-dependence edges while slicing
-            (False reproduces VulDeePecker's data-only gadgets; only
-            meaningful for kind='classic').
-        deduplicate: drop exact (tokens, label) duplicates, as the
-            paper does after merging corpora.
-        keep_gadget: retain the raw gadget object (needed by the
-            attention visualization, costs memory otherwise).
-        workers: fan the per-case work out over this many processes
-            (0 or 1 keeps the serial in-process path).
-        cache: a :class:`~repro.core.cache.GadgetCache`, a cache
-            directory path, or None.  Hits skip the frontend entirely;
-            ignored when ``keep_gadget`` is set because the on-disk
-            record format does not persist raw gadget objects.
-        telemetry: optional accumulator for stage timings and counters
-            (cases parsed/skipped, gadgets, dedup and cache hits, and
-            every recovery event).
-        case_timeout: per-case wall-clock budget in seconds; a case
-            that exceeds it is recorded as a 'timeout' failure (and
-            quarantined, when a quarantine is attached) instead of
-            hanging the run.  None disables the budget.
-        retries: inline re-extraction attempts for cases lost to a
-            broken process pool (0 records them as 'worker-crash'
-            failures instead).
-        quarantine: a :class:`~repro.core.resilience.Quarantine`, a
-            JSONL path, or None.  Known-poison cases are skipped
-            cheaply; new timeouts/crashes are appended for next time.
-        failures: optional list that receives one structured
-            :class:`CaseFailure` per case that produced no gadgets.
-    """
-    if kind not in ("path-sensitive", "classic"):
-        raise ValueError(f"unknown gadget kind {kind!r}")
-    wanted = None
-    if categories is not None:
-        wanted = frozenset(_CATEGORY_MAP[c] for c in categories)
-    config = _ExtractConfig(kind=kind, wanted=wanted,
-                            use_control=use_control,
-                            keep_gadget=keep_gadget,
-                            case_timeout=case_timeout)
-    telemetry = telemetry if telemetry is not None else Telemetry()
-    telemetry.count("cases_total", len(cases))
-    quarantine = coerce_quarantine(quarantine)
-
-    gadget_cache = None if keep_gadget else _coerce_cache(cache)
-    if cache is not None and keep_gadget:
-        logger.warning("extract_gadgets: cache disabled because "
-                       "keep_gadget=True retains raw gadget objects "
-                       "the cache format does not persist")
-
-    per_case: list[list[LabeledGadget] | None] = [None] * len(cases)
-    keys: list[str | None] = [None] * len(cases)
-    case_failures: list[CaseFailure] = []
-    skipped_names: list[str] = []
-
-    pending: list[int] = []
-    for index, case in enumerate(cases):
-        if quarantine is not None and case in quarantine:
-            per_case[index] = []
-            telemetry.count("cases_skipped")
-            telemetry.count("quarantine_skips")
-            telemetry.event("case-skip", case=case.name,
-                            reason="quarantined")
-            case_failures.append(CaseFailure(
-                case.name, "quarantined",
-                f"listed in {quarantine.path}", attempts=0,
-                quarantined=True))
-            skipped_names.append(case.name)
-        else:
-            pending.append(index)
-
-    if gadget_cache is not None:
-        lookup, pending = pending, []
-        with telemetry.stage("cache-lookup"):
-            for index in lookup:
-                key = gadget_cache.key_for(cases[index],
-                                           config.cache_token())
-                keys[index] = key
-                hit = gadget_cache.get(key)
-                if hit is None:
-                    telemetry.count("cache_misses")
-                    pending.append(index)
-                else:
-                    telemetry.count("cache_hits")
-                    per_case[index] = hit
-
-    outcomes: dict[int, _CaseOutcome] = {}
-    if workers > 1 and len(pending) > 1:
-        with telemetry.stage("extract"):
-            outcomes, lost = _pool_extract(cases, pending, config,
-                                           workers, telemetry)
-            for index in lost:
-                case = cases[index]
-                if retries > 0:
-                    telemetry.count("case_retries")
-                    telemetry.event("inline-fallback", case=case.name)
-                    outcome = _extract_case(case, config)
-                    if outcome[2] is not None:
-                        outcome[2].attempts = 2
-                    outcomes[index] = outcome
-                else:
-                    outcomes[index] = (
-                        [], {"counters": {"cases_skipped": 1}},
-                        CaseFailure(case.name, "worker-crash",
-                                    "process pool broke while "
-                                    "extracting this chunk"))
-    elif pending:
-        with telemetry.stage("extract"):
-            for index in pending:
-                outcomes[index] = _extract_case(cases[index], config)
-
-    for index in sorted(outcomes):
-        gadgets, stats, failure = outcomes[index]
-        per_case[index] = gadgets
-        telemetry.merge_dict(stats)
-        case = cases[index]
-        if failure is not None:
-            skipped_names.append(case.name)
-            telemetry.count("skip_" + failure.reason.replace("-", "_"))
-            if failure.reason == "timeout":
-                telemetry.count("case_timeouts")
-            if (quarantine is not None
-                    and failure.reason in QUARANTINE_REASONS):
-                if quarantine.add(case, failure.reason, failure.detail):
-                    telemetry.count("quarantined_cases")
-                failure.quarantined = True
-            telemetry.event("case-skip", case=case.name,
-                            reason=failure.reason,
-                            detail=failure.detail)
-            logger.warning("extract_gadgets: %s skipped (%s%s)%s",
-                           case.name, failure.reason,
-                           f": {failure.detail}" if failure.detail
-                           else "",
-                           "; quarantined" if failure.quarantined
-                           else "")
-            case_failures.append(failure)
-        elif gadget_cache is not None:
-            # failed cases are deliberately not cached: parse failures
-            # are cheap to re-fail and poison cases belong to the
-            # quarantine, so skip diagnostics stay visible on reruns
-            with telemetry.stage("cache-store"):
-                gadget_cache.put(keys[index], gadgets)
-
-    if failures is not None:
-        failures.extend(case_failures)
-
-    results: list[LabeledGadget] = []
-    seen: set[tuple[tuple[str, ...], int]] = set()
-    dedup_hits = 0
-    for case_gadgets in per_case:
-        for labeled in case_gadgets or ():
-            key = (labeled.tokens, labeled.label)
-            if deduplicate:
-                if key in seen:
-                    dedup_hits += 1
-                    continue
-                seen.add(key)
-            results.append(labeled)
-    telemetry.count("dedup_hits", dedup_hits)
-    telemetry.count("gadgets_emitted", len(results))
-    if skipped_names:
-        shown = ", ".join(skipped_names[:5])
-        if len(skipped_names) > 5:
-            shown += ", ..."
-        logger.warning("extract_gadgets: skipped %d/%d case(s): %s",
-                       len(skipped_names), len(cases), shown)
-    return results
-
-
-@dataclass
-class EncodedDataset:
-    """Vocabulary + pretrained embeddings + encoded samples.
-
-    ``id_aliases`` carries the embedding-level min_count trimming: an
-    identity id map except rare token ids point at UNK.  Samples keep
-    their lossless full-vocabulary ids; models that should treat rare
-    constants as UNK attach the alias table to their embedding layer
-    (see :meth:`bind_embedding_aliases`).
-    """
-
-    samples: list[Sample]
-    vocab: Vocabulary
-    word2vec: Word2Vec
-    gadgets: list[LabeledGadget] = field(default_factory=list)
-    id_aliases: np.ndarray | None = None
-
-    @property
-    def labels(self) -> np.ndarray:
-        return np.array([sample.label for sample in self.samples])
-
-    def subset(self, indices: Sequence[int]) -> list[Sample]:
-        return [self.samples[i] for i in indices]
-
-    def bind_embedding_aliases(self, model) -> None:
-        """Attach the rare-token alias table to ``model.embedding``."""
-        embedding = getattr(model, "embedding", None)
-        if embedding is not None and self.id_aliases is not None:
-            embedding.id_aliases = self.id_aliases
-
-
-def encode_gadgets(gadgets: Sequence[LabeledGadget], dim: int = 30,
-                   w2v_epochs: int = 2, seed: int = 13,
-                   vocab: Vocabulary | None = None,
-                   word2vec: Word2Vec | None = None,
-                   min_count: int = 2,
-                   telemetry: Telemetry | None = None) -> EncodedDataset:
-    """Step IV input side: build vocab, pretrain word2vec, encode.
-
-    The vocabulary keeps *every* token so id<->token roundtrips are
-    exact.  ``min_count`` trims tokens (mostly rare numeric constants)
-    seen fewer times at the *embedding* level, exactly where gensim's
-    word2vec (min_count=5 by default) applied it in the paper's
-    toolchain: rare tokens train as UNK in word2vec and the returned
-    ``id_aliases`` table lets classifier embeddings route them to
-    UNK's row too.  That embedding-level rare-constant generalization
-    is what lets patterns learned on one instantiation of a CWE
-    template transfer to instantiations with different buffer sizes
-    and thresholds — without ever losing the literal token.
-    """
-    if vocab is None:
-        vocab = Vocabulary.build([list(g.tokens) for g in gadgets])
-    corpora = [vocab.encode(list(g.tokens)) for g in gadgets]
-    id_aliases = np.arange(len(vocab), dtype=np.int64)
-    if min_count > 1:
-        counts: dict[int, int] = {}
-        for corpus in corpora:
-            for token_id in corpus:
-                counts[token_id] = counts.get(token_id, 0) + 1
-        for token_id, count in counts.items():
-            if token_id >= 2 and count < min_count:
-                id_aliases[token_id] = 1
-    if word2vec is None:
-        word2vec = Word2Vec(vocab, dim=dim, seed=seed)
-        word2vec.train(corpora, epochs=w2v_epochs,
-                       min_count=min_count, telemetry=telemetry)
-    samples = [g.sample(vocab) for g in gadgets]
-    return EncodedDataset(samples, vocab, word2vec, list(gadgets),
-                          id_aliases=id_aliases)
-
-
-@dataclass
-class TrainReport:
-    """Loss trajectory of one training run."""
-
-    losses: list[float] = field(default_factory=list)
-    val_f1: list[float] = field(default_factory=list)
-    stopped_early: bool = False
-    best_epoch: int = -1
-
-    @property
-    def final_loss(self) -> float:
-        return self.losses[-1] if self.losses else float("nan")
-
-
-def _train_config_token(params, *, batch_size: int, lr: float,
-                        seed: int, n_samples: int, fixed,
-                        class_balance: bool) -> str:
-    """Fingerprint of everything a resumed run must share with the
-    run that wrote the checkpoint (total ``epochs`` is deliberately
-    free so a finished run can be extended)."""
-    shapes = ",".join(str(tuple(p.data.shape)) for p in params)
-    digest = hashlib.sha256(shapes.encode()).hexdigest()[:12]
-    return (f"batch={batch_size};lr={lr:g};seed={seed};"
-            f"samples={n_samples};fixed={fixed};"
-            f"balance={int(class_balance)};params={digest}")
-
-
-def train_classifier(model: Module, samples: Sequence[Sample], *,
-                     epochs: int = 8, batch_size: int = 16,
-                     lr: float = 3e-3, seed: int = 0,
-                     grad_clip: float = 5.0,
-                     class_balance: bool = True,
-                     validation: Sequence[Sample] | None = None,
-                     patience: int | None = None,
-                     telemetry: Telemetry | None = None,
-                     checkpoint_dir: str | Path | None = None,
-                     checkpoint_every: int = 1,
-                     resume: bool = False) -> TrainReport:
-    """Train any gadget classifier (fixed- or flexible-length).
-
-    Models advertising ``fixed_length`` get padded/truncated batches
-    (Definition 8); flexible models get length-bucketed batches with no
-    padding.  With ``class_balance`` the minority class is oversampled
-    to a 1:2 ratio, compensating for the gadget-level imbalance the
-    paper reports (and chooses not to rebalance at the *data* level —
-    we rebalance only the sampling, keeping the data unbalanced).
-
-    With a ``validation`` set and ``patience``, training stops when
-    validation F1 has not improved for ``patience`` consecutive epochs
-    and the best-epoch weights are restored (early stopping).
-
-    With a ``checkpoint_dir``, an atomic checkpoint (weights, Adam
-    moments, RNG state, loss/early-stopping trajectory) is written
-    every ``checkpoint_every`` completed epochs; ``resume=True`` picks
-    training back up from the last checkpoint and — because the RNG
-    and optimizer state are restored exactly — finishes with the same
-    weights an uninterrupted run would have produced.  Resuming under
-    different hyper-parameters raises ``ValueError`` instead of
-    silently diverging.
-
-    ``telemetry`` accumulates the ``train`` / ``train-epoch`` stage
-    timings, ``train_batches`` / ``train_samples`` counters, and
-    ``checkpoint_writes`` / ``checkpoint_resumes`` recovery counters.
-    """
-    import time
-
-    rng = np.random.default_rng(seed)
-    fixed = getattr(model, "fixed_length", None)
-    train_samples = list(samples)
-    if class_balance:
-        train_samples = _oversample(train_samples, rng)
-    params = list(model.parameters())
-    optimizer = Adam(params, lr=lr)
-    report = TrainReport()
-    best_f1 = -1.0
-    best_state: dict[str, np.ndarray] | None = None
-    stale = 0
-    start_epoch = 0
-
-    checkpoint = (TrainingCheckpoint(checkpoint_dir)
-                  if checkpoint_dir is not None else None)
-    token = _train_config_token(
-        params, batch_size=batch_size, lr=lr, seed=seed,
-        n_samples=len(samples), fixed=fixed,
-        class_balance=class_balance)
-    if checkpoint is not None and resume:
-        state = checkpoint.load(config_token=token)
-        if state is not None:
-            model.load_state_dict(state.model_state)
-            optimizer.load_state_dict(state.optim_state)
-            rng.bit_generator.state = state.rng_state
-            if state.model_rng_states and hasattr(model,
-                                                  "load_rng_states"):
-                model.load_rng_states(state.model_rng_states)
-            report.losses = list(state.losses)
-            report.val_f1 = list(state.val_f1)
-            report.best_epoch = state.best_epoch
-            best_f1 = state.best_f1
-            best_state = state.best_state
-            stale = state.stale
-            start_epoch = state.next_epoch
-            if telemetry is not None:
-                telemetry.count("checkpoint_resumes")
-            logger.info("train_classifier: resumed from %s at epoch "
-                        "%d", checkpoint.path, start_epoch)
-
-    model.train()
-    train_start = time.perf_counter()
-    for epoch in range(start_epoch, epochs):
-        epoch_start = time.perf_counter()
-        epoch_losses: list[float] = []
-        epoch_samples = 0
-        if fixed is not None:
-            batches = fixed_length_batches(train_samples, fixed,
-                                           batch_size, rng)
-        else:
-            batches = bucketed_batches(train_samples, batch_size, rng,
-                                       min_length=SCORE_MIN_LENGTH)
-        for batch_index, (ids, labels) in enumerate(batches):
-            faults.fire("train-batch", f"{epoch}.{batch_index}")
-            optimizer.zero_grad()
-            logits = model(ids)
-            loss = bce_with_logits(logits, labels)
-            loss.backward()
-            clip_grad_norm(params, grad_clip)
-            optimizer.step()
-            epoch_losses.append(float(loss.data))
-            epoch_samples += len(labels)
-        report.losses.append(float(np.mean(epoch_losses))
-                             if epoch_losses else float("nan"))
-        if telemetry is not None:
-            telemetry.add_stage("train-epoch",
-                                time.perf_counter() - epoch_start)
-            telemetry.count("train_batches", len(epoch_losses))
-            telemetry.count("train_samples", epoch_samples)
-        should_stop = False
-        if validation is not None:
-            metrics = evaluate_classifier(model, validation)
-            model.train()
-            report.val_f1.append(metrics.f1)
-            if metrics.f1 > best_f1:
-                best_f1 = metrics.f1
-                best_state = {key: value.copy() for key, value
-                              in model.state_dict().items()}
-                report.best_epoch = len(report.losses) - 1
-                stale = 0
-            else:
-                stale += 1
-                if patience is not None and stale >= patience:
-                    should_stop = True
-        if checkpoint is not None and (
-                (epoch + 1) % checkpoint_every == 0
-                or should_stop or epoch == epochs - 1):
-            checkpoint.save(
-                epoch=epoch, model=model, optimizer=optimizer,
-                rng=rng, losses=report.losses, val_f1=report.val_f1,
-                best_epoch=report.best_epoch, best_f1=best_f1,
-                stale=stale, best_state=best_state,
-                config_token=token)
-            if telemetry is not None:
-                telemetry.count("checkpoint_writes")
-        if should_stop:
-            report.stopped_early = True
-            break
-    if telemetry is not None:
-        telemetry.add_stage("train",
-                            time.perf_counter() - train_start)
-    if best_state is not None:
-        model.load_state_dict(best_state)
-    model.eval()
-    return report
-
-
-def _oversample(samples: list[Sample],
-                rng: np.random.Generator) -> list[Sample]:
-    positives = [s for s in samples if s.label == 1]
-    negatives = [s for s in samples if s.label == 0]
-    if not positives or not negatives:
-        return samples
-    minority, majority = ((positives, negatives)
-                          if len(positives) < len(negatives)
-                          else (negatives, positives))
-    target = max(len(majority) // 2, len(minority))
-    extra = target - len(minority)
-    if extra <= 0:
-        return samples
-    picks = rng.integers(0, len(minority), size=extra)
-    return samples + [minority[int(i)] for i in picks]
-
-
-def predict_proba(model: Module, samples: Sequence[Sample],
-                  batch_size: int = 128) -> np.ndarray:
-    """Sigmoid scores per sample (order-preserving).
-
-    Inference runs under ``no_grad`` in large length-bucketed batches
-    (reusing :func:`bucketed_batches`, whose index channel scatters the
-    scores back into corpus order) — no per-length Python grouping, no
-    graph bookkeeping.
-    """
-    fixed = getattr(model, "fixed_length", None)
-    scores = np.zeros(len(samples))
-    model.eval()
-    with no_grad():
-        if fixed is not None:
-            for start in range(0, len(samples), batch_size):
-                chunk = samples[start : start + batch_size]
-                ids = np.array(
-                    [pad_or_truncate(s.token_ids, fixed) for s in chunk],
-                    dtype=np.int64)
-                scores[start : start + batch_size] = \
-                    model.predict_proba(ids)
-        else:
-            for ids, _, indices in bucketed_batches(
-                    samples, batch_size, min_length=SCORE_MIN_LENGTH,
-                    with_indices=True):
-                scores[indices] = model.predict_proba(ids)
-    return scores
-
-
-def evaluate_classifier(model: Module, samples: Sequence[Sample],
-                        threshold: float = 0.5) -> Metrics:
-    """Confusion-matrix metrics at a decision threshold."""
-    scores = predict_proba(model, samples)
-    predictions = (scores >= threshold).astype(int)
-    labels = [sample.label for sample in samples]
-    return metrics_from(confusion_from(predictions.tolist(), labels))

@@ -4,8 +4,8 @@ The ROADMAP's target corpora (SARD-scale, then real-world code) are
 messy: single pathological programs hang the slicer, exhaust the
 recursion stack, or take a pool worker down with them, and a multi-hour
 ``fit`` can die with nothing to show for it.  This module collects the
-mechanisms :func:`repro.core.pipeline.extract_gadgets` and
-:func:`repro.core.pipeline.train_classifier` use to survive all of
+mechanisms :func:`repro.core.extract.extract_gadgets` and
+:func:`repro.core.train.train_classifier` use to survive all of
 that:
 
 * :func:`time_limit` — a SIGALRM-based per-case wall-clock budget that
@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import logging
+import re
 import signal
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -210,6 +211,49 @@ _MODEL_PREFIX = "model::"
 _OPTIM_PREFIX = "optim::"
 _BEST_PREFIX = "best::"
 
+#: Positional optimizer moment keys, e.g. Adam's ``m0`` / ``v12``.
+_MOMENT_KEY = re.compile(r"^([a-z]+?)(\d+)$")
+
+
+def _optim_key_to_name(key: str, param_names: list[str] | None) -> str:
+    """Rewrite a positional moment key (``m0``) to a name-keyed one
+    (``m::fc1.weight``); scalar keys (``t``) and keys with no matching
+    name pass through unchanged."""
+    if param_names is None:
+        return key
+    match = _MOMENT_KEY.match(key)
+    if match is None:
+        return key
+    kind, index = match.group(1), int(match.group(2))
+    if index >= len(param_names):
+        return key
+    return f"{kind}::{param_names[index]}"
+
+
+def _optim_state_to_indices(optim_state: dict[str, np.ndarray],
+                            param_names: list[str] | None,
+                            path) -> dict[str, np.ndarray]:
+    """Translate name-keyed moment arrays (``m::fc1.weight``) back to
+    the positional keys the optimizer's ``load_state_dict`` expects.
+    Legacy archives (no ``param_names`` metadata, positional keys on
+    disk) pass through untouched."""
+    if not param_names:
+        return optim_state
+    index_of = {name: i for i, name in enumerate(param_names)}
+    translated: dict[str, np.ndarray] = {}
+    for key, value in optim_state.items():
+        kind, sep, name = key.partition("::")
+        if not sep:
+            translated[key] = value
+            continue
+        if name not in index_of:
+            raise ValueError(
+                f"checkpoint {path} stores optimizer state for "
+                f"parameter {name!r}, which is not in the archive's "
+                f"param_names list — the archive is corrupt")
+        translated[f"{kind}{index_of[name]}"] = value
+    return translated
+
 
 @dataclass
 class CheckpointState:
@@ -266,15 +310,25 @@ class TrainingCheckpoint:
              rng: np.random.Generator, losses: list[float],
              val_f1: list[float], best_epoch: int, best_f1: float,
              stale: int, best_state: dict[str, np.ndarray] | None,
-             config_token: str) -> None:
-        """Persist the state reached after completing ``epoch``."""
+             config_token: str,
+             param_names: list[str] | None = None) -> None:
+        """Persist the state reached after completing ``epoch``.
+
+        ``param_names`` (dotted parameter names in optimizer order,
+        from :meth:`~repro.nn.layers.Module.named_parameters`) keys the
+        optimizer moment arrays by name — ``optim::m::fc1.weight`` —
+        instead of the optimizer's positional ``m0``/``v0`` keys, so an
+        archive stays readable if parameter *order* shifts but names do
+        not.  Without names the positional keys are stored as before.
+        """
         from ..nn.serialize import save_npz_atomic
 
         arrays: dict[str, np.ndarray] = {}
         for key, value in model.state_dict().items():
             arrays[_MODEL_PREFIX + key] = value
         for key, value in optimizer.state_dict().items():
-            arrays[_OPTIM_PREFIX + key] = value
+            arrays[_OPTIM_PREFIX + _optim_key_to_name(key, param_names)
+                   ] = value
         if best_state is not None:
             for key, value in best_state.items():
                 arrays[_BEST_PREFIX + key] = value
@@ -292,6 +346,7 @@ class TrainingCheckpoint:
             "stale": int(stale),
             "has_best": best_state is not None,
             "config_token": config_token,
+            "param_names": param_names,
         }
         save_npz_atomic(self.path, arrays, metadata)
 
@@ -325,6 +380,8 @@ class TrainingCheckpoint:
                 f"checkpoint {self.path} has format version {version!r} "
                 f"but this code writes version {CHECKPOINT_VERSION}; "
                 f"delete it (or finish the run with matching code)")
+        optim_state = _optim_state_to_indices(
+            optim_state, metadata.get("param_names"), self.path)
         saved_token = metadata.get("config_token", "")
         if config_token is not None and saved_token != config_token:
             raise ValueError(

@@ -1,0 +1,62 @@
+"""Classifier scoring (inference side of paper Step V).
+
+Shared by training-time evaluation, the detector's findings path, and
+the batched scan service — all of which must agree on the padding
+contract (:data:`SCORE_MIN_LENGTH`) or scores drift between paths.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..eval.metrics import Metrics, confusion_from, metrics_from
+from ..nn import (Module, Sample, bucketed_batches, no_grad,
+                  pad_or_truncate)
+
+__all__ = ["SCORE_MIN_LENGTH", "predict_proba", "evaluate_classifier"]
+
+#: Minimum padded sample length fed to the flexible-length model: the
+#: conv kernel (3) plus SPP need a floor, and padding to it is part of
+#: the scoring contract — any batcher (training, predict_proba, the
+#: scan service) must pad with the same floor or scores drift.
+SCORE_MIN_LENGTH = 4
+
+
+def predict_proba(model: Module, samples: Sequence[Sample],
+                  batch_size: int = 128) -> np.ndarray:
+    """Sigmoid scores per sample (order-preserving).
+
+    Inference runs under ``no_grad`` in large length-bucketed batches
+    (reusing :func:`bucketed_batches`, whose index channel scatters the
+    scores back into corpus order) — no per-length Python grouping, no
+    graph bookkeeping.
+    """
+    fixed = getattr(model, "fixed_length", None)
+    scores = np.zeros(len(samples))
+    model.eval()
+    with no_grad():
+        if fixed is not None:
+            for start in range(0, len(samples), batch_size):
+                chunk = samples[start : start + batch_size]
+                ids = np.array(
+                    [pad_or_truncate(s.token_ids, fixed) for s in chunk],
+                    dtype=np.int64)
+                scores[start : start + batch_size] = \
+                    model.predict_proba(ids)
+        else:
+            for ids, _, indices in bucketed_batches(
+                    samples, batch_size, min_length=SCORE_MIN_LENGTH,
+                    with_indices=True):
+                scores[indices] = model.predict_proba(ids)
+    return scores
+
+
+def evaluate_classifier(model: Module, samples: Sequence[Sample],
+                        threshold: float = 0.5) -> Metrics:
+    """Confusion-matrix metrics at a decision threshold."""
+    scores = predict_proba(model, samples)
+    predictions = (scores >= threshold).astype(int)
+    labels = [sample.label for sample in samples]
+    return metrics_from(confusion_from(predictions.tolist(), labels))

@@ -49,8 +49,9 @@ import numpy as np
 from ..datasets.manifest import TestCase
 from ..nn import no_grad, pad_or_truncate
 from .detector import Finding, SEVulDet
-from .pipeline import SCORE_MIN_LENGTH, extract_gadgets
-from .resilience import CaseFailure
+from .engine import Engine, ExtractStage, RunContext, Stage
+from .extract import CaseResult
+from .score import SCORE_MIN_LENGTH
 from .telemetry import Telemetry
 
 __all__ = ["CaseVerdict", "ResultCache", "ScanService"]
@@ -206,7 +207,7 @@ class _MicroBatcher:
     immediately (no latency-vs-throughput timer to tune).  Rows from
     all drained cases are grouped by their padded length (identical
     to the serial scorer's bucketing, so scores are byte-identical to
-    :func:`~repro.core.pipeline.predict_proba`) and scored in chunks
+    :func:`~repro.core.score.predict_proba`) and scored in chunks
     of ``batch_size`` under ``no_grad``.
     """
 
@@ -317,6 +318,30 @@ class _CaseWork:
     pending: _Pending | None = None
 
 
+class _SubmitStage(Stage):
+    """Engine stage feeding extraction results to the micro-batcher.
+
+    Consumes the :class:`~repro.core.extract.CaseResult` chunks an
+    upstream ``ExtractStage(per_case=True)`` emits (in submission
+    order, matching ``entries``) and hands each case's gadgets to the
+    service's scorer — the downstream half of the scan pipeline's
+    extract/score overlap.
+    """
+
+    name = "submit"
+    streaming = True
+
+    def __init__(self, service: "ScanService",
+                 entries: Sequence[_CaseWork]):
+        self.service = service
+        self._entries = iter(entries)
+
+    def process(self, chunk: Sequence[CaseResult],
+                ctx: RunContext) -> list[_CaseWork]:
+        return [self.service._admit(next(self._entries), result)
+                for result in chunk]
+
+
 class ScanService:
     """Long-lived batched scanning facade over a trained detector.
 
@@ -376,17 +401,38 @@ class ScanService:
                    ) -> list[CaseVerdict]:
         """Scan a corpus; verdicts come back in submission order.
 
-        Pass 1 walks the cases in order, resolving each from the
-        result cache / quarantine or extracting its gadgets and
-        submitting them to the scorer — so scoring of early cases
-        overlaps extraction of later ones.  Pass 2 collects scores and
-        assembles verdicts.
+        Pass 1 resolves what it can from the result cache, then runs
+        the remaining cases through a streaming
+        :class:`~repro.core.engine.Engine` — an extraction stage
+        feeding a scorer-submission stage across a prefetch boundary,
+        so extraction of later case chunks overlaps scoring of earlier
+        ones (and both share the detector's gadget cache and
+        quarantine via the :class:`~repro.core.engine.RunContext`).
+        Pass 2 collects scores and assembles verdicts.
         """
         if self._closed:
             raise RuntimeError("scan service is closed")
         scan_start = time.perf_counter()
         with self._submit_lock:
-            work = [self._submit_case(case) for case in cases]
+            work = [self._lookup_case(case) for case in cases]
+            misses = [entry for entry in work
+                      if entry.verdict is None]
+            if misses:
+                detector = self.detector
+                ctx = RunContext.create(
+                    cache=detector.cache,
+                    quarantine=detector.quarantine,
+                    telemetry=self.telemetry,
+                    case_timeout=detector.case_timeout,
+                    workers=detector.workers)
+                engine = Engine(
+                    ExtractStage(detector.gadget_kind,
+                                 detector.categories,
+                                 deduplicate=False, per_case=True),
+                    _SubmitStage(self, misses),
+                    ctx=ctx, chunk_size=16)
+                for _ in engine.stream(e.case for e in misses):
+                    pass
         verdicts = [self._resolve_case(entry) for entry in work]
         self.telemetry.add_stage(
             "scan", time.perf_counter() - scan_start)
@@ -417,7 +463,9 @@ class ScanService:
 
     # -- internals -----------------------------------------------------------
 
-    def _submit_case(self, case: TestCase) -> _CaseWork:
+    def _lookup_case(self, case: TestCase) -> _CaseWork:
+        """Pass-1 head: resolve from the result cache or mark the
+        entry for extraction (``verdict`` stays None)."""
         started = time.perf_counter()
         fingerprint = case.fingerprint()
         entry = _CaseWork(case, fingerprint, started)
@@ -429,24 +477,23 @@ class ScanService:
                                     - started)
             return entry
         self.telemetry.count("scan_result_misses")
-        failures: list[CaseFailure] = []
-        detector = self.detector
-        gadgets = extract_gadgets(
-            [case], kind=detector.gadget_kind,
-            categories=detector.categories, deduplicate=False,
-            cache=detector.cache, telemetry=self.telemetry,
-            case_timeout=detector.case_timeout,
-            quarantine=detector.quarantine, failures=failures)
-        if failures:
-            failure = failures[0]
+        return entry
+
+    def _admit(self, entry: _CaseWork,
+               result: CaseResult) -> _CaseWork:
+        """Pass-1 tail: turn one extraction result into a skipped
+        verdict or a scorer submission."""
+        if result.failure is not None:
             entry.verdict = self._finish(
                 entry, CaseVerdict(
-                    name=case.name, fingerprint=fingerprint,
-                    status="skipped", reason=failure.reason))
+                    name=entry.case.name,
+                    fingerprint=entry.fingerprint,
+                    status="skipped", reason=result.failure.reason))
             return entry
-        entry.gadgets = gadgets
+        entry.gadgets = result.gadgets
         entry.pending = self._batcher.submit(
-            [g.sample(self._vocab).token_ids for g in gadgets])
+            [g.sample(self._vocab).token_ids
+             for g in result.gadgets])
         return entry
 
     def _resolve_case(self, entry: _CaseWork) -> CaseVerdict:

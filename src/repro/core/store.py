@@ -14,7 +14,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..slicing.special_tokens import SlicingCriterion, TokenCategory
-from .pipeline import LabeledGadget
+from .extract import LabeledGadget
 
 __all__ = ["save_gadgets", "load_gadgets", "iter_gadgets"]
 

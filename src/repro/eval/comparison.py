@@ -13,9 +13,10 @@ from typing import Callable, Protocol, Sequence
 import numpy as np
 
 from ..core.config import Scale
-from ..core.pipeline import (EncodedDataset, LabeledGadget,
-                             encode_gadgets, evaluate_classifier,
-                             extract_gadgets, train_classifier)
+from ..core.encode import EncodedDataset, encode_gadgets
+from ..core.extract import LabeledGadget, extract_gadgets
+from ..core.score import evaluate_classifier
+from ..core.train import train_classifier
 from ..datasets.manifest import TestCase
 from ..models.bgru import BGRUNet
 from ..models.blstm import BLSTMNet

@@ -5,18 +5,31 @@ select 30,000 path-sensitive code gadgets and divide them into five
 equal parts for five-fold cross-validation."  This module runs that
 protocol at any scale: sample gadgets, stratified k-fold split, train a
 fresh model per fold, aggregate the fold metrics.
+
+The driver is built on the stage engine: pass ``cases`` (plus an
+optional shared :class:`~repro.core.engine.RunContext`) and extraction
+runs through the context's gadget cache — repeated protocol runs over
+the same corpus (ablations, threshold sweeps) skip the frontend
+entirely.  Each fold trains through its own
+:class:`~repro.core.engine.TrainStage` with a private
+:class:`~repro.core.telemetry.Telemetry`, surfaced per fold on
+:class:`FoldResult` and aggregated by
+:meth:`CrossValidationReport.summary`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 import numpy as np
 
-from ..core.pipeline import (LabeledGadget, encode_gadgets,
-                             evaluate_classifier, train_classifier)
-from ..embedding.vocab import Vocabulary
+from ..core.engine import (EncodeStage, Engine, ExtractStage,
+                           RunContext, TrainStage)
+from ..core.extract import LabeledGadget
+from ..core.score import evaluate_classifier
+from ..core.telemetry import Telemetry
+from ..datasets.manifest import TestCase
 from .crossval import stratified_kfold_indices
 from .metrics import Metrics
 
@@ -25,12 +38,13 @@ __all__ = ["FoldResult", "CrossValidationReport", "cross_validate"]
 
 @dataclass(frozen=True)
 class FoldResult:
-    """One fold's held-out metrics."""
+    """One fold's held-out metrics (plus its private telemetry)."""
 
     fold: int
     metrics: Metrics
     train_size: int
     test_size: int
+    telemetry: Telemetry | None = None
 
 
 @dataclass
@@ -67,8 +81,9 @@ class CrossValidationReport:
         return float(self._values(lambda m: m.fnr).mean())
 
     def summary(self) -> dict[str, float]:
-        """Paper-style percentage summary across folds."""
-        return {
+        """Paper-style percentage summary across folds, plus mean
+        per-fold train/evaluate wall-clock when telemetry is present."""
+        summary = {
             "FPR(%)": round(self.mean_fpr * 100, 1),
             "FNR(%)": round(self.mean_fnr * 100, 1),
             "A(%)": round(self.mean_accuracy * 100, 1),
@@ -76,12 +91,24 @@ class CrossValidationReport:
             "F1(%)": round(self.mean_f1 * 100, 1),
             "F1 std(%)": round(self.std_f1 * 100, 1),
         }
+        timings = [fold.telemetry for fold in self.folds
+                   if fold.telemetry is not None]
+        if timings:
+            summary["train(s)"] = round(float(np.mean(
+                [t.seconds("train") for t in timings])), 2)
+            summary["eval(s)"] = round(float(np.mean(
+                [t.seconds("evaluate") for t in timings])), 2)
+        return summary
 
 
 def cross_validate(
-    gadgets: Sequence[LabeledGadget],
+    gadgets: Sequence[LabeledGadget] | None,
     model_builder: Callable[[int, np.ndarray | None], object],
     *,
+    cases: Sequence[TestCase] | None = None,
+    ctx: RunContext | None = None,
+    kind: str = "path-sensitive",
+    categories: tuple[str, ...] | None = None,
     k: int = 5,
     sample: int | None = None,
     dim: int = 16,
@@ -95,16 +122,32 @@ def cross_validate(
     """Run the paper's k-fold protocol.
 
     Args:
-        gadgets: the labelled gadget pool.
+        gadgets: the labelled gadget pool (pass this *or* ``cases``).
         model_builder: callable ``(vocab_size, pretrained) -> model``;
             called fresh for every fold.
+        cases: corpus programs to extract the pool from, through the
+            engine — with a cache-bearing ``ctx``, repeated runs hit
+            the gadget cache instead of re-slicing.
+        ctx: shared :class:`~repro.core.engine.RunContext` (cache,
+            quarantine, telemetry, fault budget); a fresh default
+            context is made when omitted.
+        kind, categories: extraction settings for ``cases``.
         k: number of folds (paper: 5).
         sample: randomly subsample this many gadgets first (paper:
             30,000 per category); None keeps everything.
         threshold: decision threshold for the fold metrics.
     """
+    if (gadgets is None) == (cases is None):
+        raise ValueError("pass exactly one of gadgets or cases")
+    if ctx is None:
+        ctx = RunContext.create()
     rng = np.random.default_rng(seed)
-    pool = list(gadgets)
+    if cases is not None:
+        chunks = Engine(ExtractStage(kind, categories),
+                        ctx=ctx).run(cases)
+        pool = [gadget for chunk in chunks for gadget in chunk]
+    else:
+        pool = list(gadgets)
     if sample is not None and sample < len(pool):
         picks = rng.choice(len(pool), size=sample, replace=False)
         pool = [pool[int(i)] for i in picks]
@@ -114,23 +157,36 @@ def cross_validate(
     # One vocabulary + embedding per run (training folds dominate the
     # corpus, so vocabulary leakage across folds is negligible and the
     # paper pre-trains word2vec on the full corpus the same way).
-    dataset = encode_gadgets(pool, dim=dim, w2v_epochs=w2v_epochs,
-                             seed=seed)
+    dataset = Engine(EncodeStage(dim=dim, w2v_epochs=w2v_epochs,
+                                 seed=seed), ctx=ctx).run(pool)
     labels = [g.label for g in pool]
+
+    def build(encoded):
+        model = model_builder(len(encoded.vocab),
+                              encoded.word2vec.vectors)
+        encoded.bind_embedding_aliases(model)
+        return model
+
     folds: list[FoldResult] = []
     for fold_index, (train_idx, test_idx) in enumerate(
             stratified_kfold_indices(labels, k, rng)):
-        model = model_builder(len(dataset.vocab),
-                              dataset.word2vec.vectors)
-        dataset.bind_embedding_aliases(model)
-        train_samples = [dataset.samples[i] for i in train_idx]
+        fold_telemetry = Telemetry()
+        # private telemetry; never resume fold training from a shared
+        # checkpoint directory — folds have different sample sets
+        fold_ctx = replace(ctx, telemetry=fold_telemetry,
+                           checkpoint_dir=None, resume=False,
+                           failures=[])
+        stage = TrainStage(
+            build, epochs=epochs, batch_size=batch_size, lr=lr,
+            seed=seed + fold_index,
+            samples_of=lambda encoded, idx=train_idx:
+                [encoded.samples[i] for i in idx])
+        result = next(iter(stage.pipe(iter([dataset]), fold_ctx)))
         test_samples = [dataset.samples[i] for i in test_idx]
-        train_classifier(model, train_samples, epochs=epochs,
-                         batch_size=batch_size, lr=lr,
-                         seed=seed + fold_index)
-        metrics = evaluate_classifier(model, test_samples,
-                                      threshold=threshold)
+        with fold_telemetry.stage("evaluate"):
+            metrics = evaluate_classifier(result.model, test_samples,
+                                          threshold=threshold)
         folds.append(FoldResult(fold_index, metrics,
-                                len(train_samples),
-                                len(test_samples)))
+                                len(train_idx), len(test_idx),
+                                fold_telemetry))
     return CrossValidationReport(folds)

@@ -49,15 +49,44 @@ class Module:
                     yield value
 
     def modules(self) -> Iterator["Module"]:
-        """Yield self and all transitively-contained submodules."""
+        """Yield self and all transitively-contained submodules.
+
+        Each module object is yielded exactly once, even when it is
+        reachable through several attributes (an aliased submodule) —
+        otherwise shared layers would be visited once per reference,
+        double-toggling ``train()``/``eval()`` and double-counting in
+        any per-module accounting.
+        """
+        yield from self._modules_once(set())
+
+    def _modules_once(self, seen: set[int]) -> Iterator["Module"]:
+        if id(self) in seen:
+            return
+        seen.add(id(self))
         yield self
         for value in vars(self).values():
             if isinstance(value, Module):
-                yield from value.modules()
+                yield from value._modules_once(seen)
             elif isinstance(value, (list, tuple)):
                 for item in value:
                     if isinstance(item, Module):
-                        yield from item.modules()
+                        yield from item._modules_once(seen)
+
+    def named_parameters(self) -> Iterator[tuple[str, "Parameter"]]:
+        """Yield ``(dotted_name, parameter)`` pairs.
+
+        Names mirror :meth:`state_dict` keys (attribute path joined
+        with dots, list/tuple containers contributing their index).  A
+        parameter shared by several attributes is yielded once, under
+        the first name attribute-order DFS reaches it by.
+        """
+        out: dict[str, Parameter] = {}
+        self._collect_params(out, prefix="")
+        seen: set[int] = set()
+        for name, param in out.items():
+            if id(param) not in seen:
+                seen.add(id(param))
+                yield name, param
 
     def zero_grad(self) -> None:
         for param in self.parameters():

@@ -241,3 +241,101 @@ class TestResumeViaCLI:
         assert "skipped 1 case(s)" in captured
         assert "timeout" in captured
         assert qpath.exists()
+
+
+class TestNameKeyedCheckpoints:
+    """Optimizer moments are keyed by dotted parameter names."""
+
+    def _param_names(self, model, optimizer):
+        by_id = {id(p): name for name, p in model.named_parameters()}
+        return [by_id[id(p)] for p in optimizer.params]
+
+    def test_checkpoint_optimizer_arrays_are_name_keyed(
+            self, dataset, tmp_path):
+        model = fresh_model(dataset)
+        train_classifier(model, dataset.samples, epochs=1, seed=5,
+                         checkpoint_dir=tmp_path)
+        with np.load(tmp_path / "checkpoint.npz") as archive:
+            optim_keys = [k for k in archive.files
+                          if k.startswith("optim::")]
+        assert optim_keys
+        named = [k for k in optim_keys if "::m::" in k or "::v::" in k]
+        assert named, optim_keys
+        assert all("." in key for key in named)  # dotted paths
+        assert not any(k.removeprefix("optim::").startswith(("m0", "v0"))
+                       for k in optim_keys if k != "optim::t")
+
+    def test_name_keyed_save_load_roundtrip(self, dataset, tmp_path):
+        from repro.core.resilience import TrainingCheckpoint
+
+        model = fresh_model(dataset)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        rng = np.random.default_rng(0)
+        for param in optimizer.params:
+            param.grad = rng.normal(size=param.data.shape)
+        optimizer.step()
+        expected = optimizer.state_dict()
+
+        checkpoint = TrainingCheckpoint(tmp_path)
+        checkpoint.save(epoch=0, model=model, optimizer=optimizer,
+                        rng=rng, losses=[0.5], val_f1=[],
+                        best_epoch=-1, best_f1=-1.0, stale=0,
+                        best_state=None, config_token="tok",
+                        param_names=self._param_names(model, optimizer))
+        state = checkpoint.load("tok")
+        assert sorted(state.optim_state) == sorted(expected)
+        for key in expected:
+            assert np.array_equal(state.optim_state[key],
+                                  expected[key]), key
+
+    def test_legacy_positional_checkpoint_resumes(self, dataset,
+                                                  tmp_path):
+        """Archives written without param_names still resume exactly."""
+        import json
+
+        from repro.nn.serialize import save_npz_atomic
+
+        baseline = fresh_model(dataset)
+        train_classifier(baseline, dataset.samples, epochs=4, seed=5)
+        expected = state_of(baseline)
+
+        victim = fresh_model(dataset)
+        with faults.injected("raise@train-batch:2.0"):
+            with pytest.raises(RuntimeError):
+                train_classifier(victim, dataset.samples, epochs=4,
+                                 seed=5, checkpoint_dir=tmp_path)
+
+        # Rewrite the checkpoint in the legacy format: positional
+        # optimizer keys, no param_names metadata.
+        path = tmp_path / "checkpoint.npz"
+        with np.load(path) as archive:
+            metadata = json.loads(
+                archive["__metadata__"].tobytes().decode())
+            arrays = {k: archive[k] for k in archive.files
+                      if k != "__metadata__"}
+        names = metadata.pop("param_names")
+        assert names  # the new writer recorded them
+        index_of = {name: i for i, name in enumerate(names)}
+        legacy = {}
+        for key, value in arrays.items():
+            if key.startswith("optim::") and "::" in key[7:]:
+                kind, name = key[7:].split("::", 1)
+                key = f"optim::{kind}{index_of[name]}"
+            legacy[key] = value
+        metadata["param_names"] = None
+        save_npz_atomic(path, legacy, metadata)
+
+        resumed = fresh_model(dataset)
+        report = train_classifier(resumed, dataset.samples, epochs=4,
+                                  seed=5, checkpoint_dir=tmp_path,
+                                  resume=True)
+        assert len(report.losses) == 4
+        assert_states_equal(state_of(resumed), expected)
+
+    def test_unknown_name_rejected_as_corrupt(self, tmp_path):
+        from repro.core.resilience import _optim_state_to_indices
+
+        state = {"m::ghost.weight": np.zeros(2), "t": np.array(3)}
+        with pytest.raises(ValueError, match="corrupt"):
+            _optim_state_to_indices(state, ["fc.weight"],
+                                    tmp_path / "checkpoint.npz")

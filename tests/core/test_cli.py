@@ -155,3 +155,47 @@ class TestExportCorpus:
         from repro.datasets.manifest_xml import import_corpus
         cases = import_corpus(tmp_path / "xen")
         assert any("cve" in case.meta for case in cases)
+
+
+class TestEndToEndSmoke:
+    """extract -> train -> scan on a tiny synthetic corpus, sharing
+    one gadget cache across subcommands (the engine's RunContext)."""
+
+    def test_full_pipeline_smoke(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        gadgets_out = tmp_path / "gadgets.jsonl"
+        model = tmp_path / "model.npz"
+
+        assert main(["extract", "--cases", "20", "--seed", "3",
+                     "--cache-dir", cache,
+                     "--out", str(gadgets_out), "--stats"]) == 0
+        extract_stats = capsys.readouterr().out
+        assert gadgets_out.exists()
+        assert "cache_misses" in extract_stats
+
+        assert main(["train", "--cases", "20", "--nvd-cases", "0",
+                     "--seed", "3", "--cache-dir", cache,
+                     "--out", str(model), "--stats"]) == 0
+        train_stats = capsys.readouterr().out
+        assert model.exists()
+        # training re-extracts the same corpus through the shared
+        # cache: every case is a hit
+        assert "cache_hits" in train_stats
+
+        target = tmp_path / "vuln.c"
+        target.write_text(VULN_SOURCE)
+        clean = tmp_path / "clean.c"
+        clean.write_text("int main() { int a = 1; return a; }")
+        jsonl = tmp_path / "verdicts.jsonl"
+        code = main(["scan", str(target), str(clean),
+                     "--model", str(model), "--threshold", "0.5",
+                     "--jsonl", str(jsonl), "--stats"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)  # flagged or clean; must not error
+        assert f"{clean}: clean" in out
+        assert jsonl.exists()
+        import json as json_mod
+        records = [json_mod.loads(line)
+                   for line in jsonl.read_text().splitlines()]
+        assert {r["name"] for r in records} == \
+            {str(target), str(clean)}

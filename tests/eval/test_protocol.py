@@ -45,8 +45,10 @@ class TestCrossValidate:
                                 dim=12, epochs=2, seed=1)
         summary = report.summary()
         assert set(summary) == {"FPR(%)", "FNR(%)", "A(%)", "P(%)",
-                                "F1(%)", "F1 std(%)"}
+                                "F1(%)", "F1 std(%)",
+                                "train(s)", "eval(s)"}
         assert 0 <= summary["F1(%)"] <= 100
+        assert summary["train(s)"] > 0.0
 
     def test_learns_above_chance(self, gadget_pool):
         report = cross_validate(gadget_pool, build_model, k=3,
@@ -63,3 +65,38 @@ class TestCrossValidate:
         second = cross_validate(gadget_pool[:40], build_model, k=2,
                                 dim=12, epochs=2, seed=9)
         assert np.isclose(first.mean_f1, second.mean_f1)
+
+
+class TestCaseExtractionThroughContext:
+    """cross_validate(cases=..., ctx=...) runs extraction through the
+    shared RunContext's gadget cache."""
+
+    def test_repeated_protocol_runs_hit_cache(self, tmp_path):
+        from repro.core.engine import RunContext
+        from repro.datasets.sard import generate_sard_corpus
+
+        cases = generate_sard_corpus(40, seed=5)
+        ctx = RunContext.create(cache=tmp_path / "cache")
+        first = cross_validate(None, build_model, cases=cases,
+                               ctx=ctx, k=2, dim=12, epochs=2, seed=1)
+        assert ctx.telemetry.get("cache_misses") == len(cases)
+        assert ctx.telemetry.get("cache_hits") == 0
+        second = cross_validate(None, build_model, cases=cases,
+                                ctx=ctx, k=2, dim=12, epochs=2, seed=1)
+        assert ctx.telemetry.get("cache_hits") == len(cases)
+        assert np.isclose(first.mean_f1, second.mean_f1)
+
+    def test_exactly_one_pool_source_required(self, gadget_pool):
+        with pytest.raises(ValueError, match="exactly one"):
+            cross_validate(gadget_pool, build_model, cases=[object()])
+        with pytest.raises(ValueError, match="exactly one"):
+            cross_validate(None, build_model)
+
+    def test_every_fold_carries_private_telemetry(self, gadget_pool):
+        report = cross_validate(gadget_pool, build_model, k=3,
+                                dim=12, epochs=2, seed=1)
+        assert all(f.telemetry is not None for f in report.folds)
+        telemetries = [id(f.telemetry) for f in report.folds]
+        assert len(set(telemetries)) == len(report.folds)
+        assert all(f.telemetry.seconds("train") > 0.0
+                   for f in report.folds)

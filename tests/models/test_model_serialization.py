@@ -76,3 +76,49 @@ class TestModelRoundTrips:
         full = SEVulDetNet(vocab_size=40, dim=8, channels=8)
         with pytest.raises(KeyError):
             load_model(full, path)
+
+
+class TestLegacyArchives:
+    """Archives written before parameters had names (param0..paramN)."""
+
+    def _legacy_save(self, model, path):
+        arrays = {f"param{i}": p.data
+                  for i, p in enumerate(model.parameters())}
+        np.savez(path, **arrays)
+
+    def test_positional_archive_loads(self, tmp_path):
+        source = SEVulDetNet(vocab_size=40, dim=8, channels=8, seed=1)
+        path = tmp_path / "legacy.npz"
+        self._legacy_save(source, path)
+        target = SEVulDetNet(vocab_size=40, dim=8, channels=8, seed=99)
+        load_model(target, path)
+        ids = np.random.default_rng(0).integers(0, 40, size=(3, 15))
+        assert_same_outputs(source, target, ids)
+
+    def test_positional_count_mismatch_rejected(self, tmp_path):
+        source = SEVulDetNet(vocab_size=40, dim=8, channels=8,
+                             use_cbam=False)
+        path = tmp_path / "legacy.npz"
+        self._legacy_save(source, path)
+        full = SEVulDetNet(vocab_size=40, dim=8, channels=8)
+        with pytest.raises(ValueError):
+            load_model(full, path)
+
+    def test_positional_shape_mismatch_rejected(self, tmp_path):
+        source = SEVulDetNet(vocab_size=40, dim=8, channels=8)
+        path = tmp_path / "legacy.npz"
+        self._legacy_save(source, path)
+        smaller = SEVulDetNet(vocab_size=40, dim=4, channels=8)
+        with pytest.raises(ValueError):
+            load_model(smaller, path)
+
+    def test_new_archives_are_name_keyed(self, tmp_path):
+        model = SEVulDetNet(vocab_size=40, dim=8, channels=8, seed=1)
+        path = tmp_path / "named.npz"
+        save_model(model, path)
+        with np.load(path) as archive:
+            keys = set(archive.files)
+        expected = {name for name, _ in model.named_parameters()}
+        assert expected <= keys
+        assert not any(k.startswith("param") and k[5:].isdigit()
+                       for k in keys)

@@ -185,3 +185,62 @@ class TestConvLayerAndActivations:
         net = Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 1, rng))
         out = net(Tensor(rng.normal(size=(3, 4))))
         assert out.shape == (3, 1)
+
+
+class TestModuleAliasing:
+    """Shared (aliased) submodules and named parameter discovery."""
+
+    def _aliased_net(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.encoder = Linear(4, 4, rng)
+                self.decoder = self.encoder  # weight tying
+                self.head = Linear(4, 1, rng)
+
+        return Net()
+
+    def test_modules_yields_shared_submodule_once(self, rng):
+        net = self._aliased_net(rng)
+        mods = list(net.modules())
+        assert len(mods) == 3  # net, encoder (once), head
+        assert sum(1 for m in mods if m is net.encoder) == 1
+
+    def test_modules_unique_without_aliases(self, rng):
+        net = Sequential(Linear(2, 2, rng), ReLU(), Linear(2, 2, rng))
+        mods = list(net.modules())
+        assert len(mods) == len({id(m) for m in mods})
+
+    def test_named_parameters_dotted_paths(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = Linear(3, 2, rng)
+                self.blocks = [Linear(2, 2, rng)]
+                self.gain = Parameter(np.ones(2))
+
+        names = dict(Net().named_parameters())
+        assert set(names) == {"fc.weight", "fc.bias",
+                              "blocks.0.weight", "blocks.0.bias",
+                              "gain"}
+
+    def test_named_parameters_dedups_aliases_first_name_wins(self, rng):
+        net = self._aliased_net(rng)
+        named = list(net.named_parameters())
+        params = [param for _, param in named]
+        assert len(params) == len({id(p) for p in params})
+        names = [name for name, _ in named]
+        assert "encoder.weight" in names
+        assert "decoder.weight" not in names
+
+    def test_named_parameters_mirror_state_dict(self, rng):
+        net = Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 1, rng))
+        state = net.state_dict()
+        for name, param in net.named_parameters():
+            assert name in state
+            assert np.array_equal(state[name], param.data)
+
+    def test_named_parameters_cover_parameters(self, rng):
+        net = self._aliased_net(rng)
+        by_id = {id(p) for _, p in net.named_parameters()}
+        assert {id(p) for p in net.parameters()} == by_id
