@@ -4,6 +4,8 @@
 
     python -m repro train --cases 200 --out detector.npz
     python -m repro scan target.c --model detector.npz
+    python -m repro serve --model detector.npz --socket /tmp/scan.sock
+    python -m repro scan target.c --connect /tmp/scan.sock
     python -m repro fuzz target.c --execs 800
     python -m repro gadgets target.c --kind path-sensitive
     python -m repro extract --cases 200 --workers 4 --out gadgets.jsonl
@@ -100,7 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("files", nargs="+", type=Path,
                       help="C files or directories (directories "
                            "recurse over *.c)")
-    scan.add_argument("--model", type=Path, required=True)
+    scan.add_argument("--model", type=Path, default=None,
+                      help="trained model archive (.npz); runs "
+                           "the scan in-process")
+    scan.add_argument("--connect", default=None, metavar="ADDR",
+                      help="scan via a running 'serve' daemon at "
+                           "this unix socket path or host:port "
+                           "instead of loading a model")
     scan.add_argument("--threshold", type=float, default=None,
                       help="override the decision threshold "
                            "(default: the paper's 0.8, stored in the "
@@ -124,6 +132,43 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--stats", action="store_true",
                       help="print scan telemetry (queue depth, batch "
                            "fill, latency percentiles, cache hits)")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the always-on scan server (shared model, "
+             "process-backed scoring, verdict cache)")
+    serve.add_argument("--model", type=Path, required=True)
+    serve.add_argument("--socket", type=Path, default=None,
+                       help="listen on this unix socket path "
+                            "(default: TCP on --host/--port)")
+    serve.add_argument("--host", default=None,
+                       help="TCP bind host (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP bind port (0 picks a free one, "
+                            "printed on startup)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="scorer workers (processes for the "
+                            "default backend)")
+    serve.add_argument("--batch-size", type=int, default=64,
+                       help="micro-batch size for gadget scoring")
+    serve.add_argument("--scorer",
+                       choices=("process", "thread"),
+                       default="process",
+                       help="scoring backend (default: worker "
+                            "processes over shared-memory "
+                            "weights)")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="per-client in-flight budget; scans "
+                            "over it are shed immediately")
+    serve.add_argument("--dispatchers", type=int, default=2,
+                       help="dispatcher threads batching admitted "
+                            "requests into scan_cases calls")
+    serve.add_argument("--threshold", type=float, default=None,
+                       help="override the decision threshold")
+    serve.add_argument("--cache-capacity", type=int,
+                       default=4096,
+                       help="verdict cache capacity (survives hot "
+                            "reloads; token-keyed)")
 
     fuzz = commands.add_parser(
         "fuzz", help="run a coverage-guided fuzzing campaign")
@@ -246,6 +291,13 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
     from .core.serve import ScanService
 
+    if (args.model is None) == (args.connect is None):
+        print("error: scan needs exactly one of --model (in-process) "
+              "or --connect (remote daemon)", file=sys.stderr)
+        return 2
+    if args.connect is not None:
+        return _cmd_scan_connect(args)
+
     ctx = _run_context(args)  # scan --workers = scorer threads
     detector = SEVulDet(scale=_resolve_scale(args),
                         cache=ctx.cache,
@@ -303,6 +355,103 @@ def _cmd_scan(args: argparse.Namespace) -> int:
               f"(rate {cache['hit_rate']:.2f})")
         print(service.telemetry.summary())
     return exit_code
+
+
+def _cmd_scan_connect(args: argparse.Namespace) -> int:
+    """``scan --connect``: same files, same output, remote scoring."""
+    import json
+
+    from .core.ipc import ProtocolError, ScanClient
+    from .core.serve import expand_scan_paths
+
+    files = expand_scan_paths(args.files)
+    try:
+        with ScanClient(args.connect) as client:
+            responses = client.scan_paths(files)
+            stats = client.stats() if args.stats else None
+    except (OSError, ProtocolError) as error:
+        print(f"error: scan server at {args.connect}: {error}",
+              file=sys.stderr)
+        return 2
+    exit_code = 0
+    records = []
+    for response in responses:
+        if response["status"] != "ok":
+            exit_code = 2
+            print(f"{response.get('name', '?')}: "
+                  f"{response['status']} "
+                  f"({response.get('error', '')})")
+            continue
+        record = response["verdict"]
+        records.append(record)
+        if record["status"] == "skipped":
+            print(f"{record['name']}: skipped ({record['reason']})")
+        elif not record["findings"]:
+            print(f"{record['name']}: clean")
+        else:
+            exit_code = max(exit_code, 1)
+            for finding in record["findings"]:
+                print(f"{record['name']}:{finding['line']}: "
+                      f"[{finding['category']}] suspicious "
+                      f"{finding['function']}() "
+                      f"score={finding['score']:.2f}")
+    if args.jsonl is not None:
+        with args.jsonl.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True)
+                             + "\n")
+    flagged = sum(r["status"] == "flagged" for r in records)
+    skipped = sum(r["status"] == "skipped" for r in records)
+    shed = len(responses) - len(records)
+    clean = len(records) - flagged - skipped
+    print(f"scanned {len(responses)} case(s) via {args.connect}: "
+          f"{flagged} flagged, {clean} clean, {skipped} skipped, "
+          f"{shed} shed/error")
+    if stats is not None:
+        server = stats["server"]
+        service = stats["service"] or {}
+        cache = service.get("result_cache", {})
+        fill = service.get("batch_fill", {})
+        print(f"  server: {server['scans']} scan(s), "
+              f"{server['shed']} shed, {server['reloads']} "
+              f"reload(s), {server['clients']} client(s), "
+              f"scorer={server['scorer']}")
+        if fill.get("count"):
+            print(f"  batch fill mean={fill['mean']:.2f} "
+                  f"p95={fill['p95']:.2f}")
+        if cache:
+            print(f"  result cache: {cache['hits']} hit(s), "
+                  f"{cache['misses']} miss(es) "
+                  f"(rate {cache['hit_rate']:.2f})")
+    return exit_code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .core.server import ScanServer
+
+    server = ScanServer(
+        model=args.model, scale=_resolve_scale(args),
+        threshold=args.threshold,
+        socket_path=args.socket,
+        host=(None if args.socket is not None
+              else (args.host or "127.0.0.1")),
+        port=args.port, workers=args.workers,
+        batch_size=args.batch_size, scorer=args.scorer,
+        max_pending=args.max_pending, dispatchers=args.dispatchers,
+        cache_capacity=args.cache_capacity)
+    server.start()
+    # announced on stdout so wrappers (and the benchmark harness) can
+    # learn the picked TCP port; flush before blocking forever
+    print(f"serving on {server.address} "
+          f"(scorer={args.scorer}, workers={args.workers})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -365,6 +514,7 @@ def _cmd_export_corpus(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "train": _cmd_train,
     "scan": _cmd_scan,
+    "serve": _cmd_serve,
     "fuzz": _cmd_fuzz,
     "gadgets": _cmd_gadgets,
     "extract": _cmd_extract,

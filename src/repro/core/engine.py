@@ -333,11 +333,20 @@ class _Prefetch:
     ``depth`` items ahead), so the upstream stage keeps working while
     the consumer processes earlier output — the engine's overlap
     mechanism.  Source exceptions are re-raised at the consuming end.
+
+    An abandoned consumer (an ``Engine.stream`` generator dropped
+    mid-iteration) must call :meth:`close`: without it the pump thread
+    can stay blocked forever on ``queue.put`` against a full queue,
+    leaking the thread and racing stage cleanup (the closed
+    ``CorpusExtractor``).  ``close`` poisons the pump, drains the
+    queue until the thread exits, and leaves a ``_DONE`` sentinel so
+    any downstream pump blocked on :meth:`__next__` unblocks too.
     """
 
     def __init__(self, source: Iterator, depth: int):
         self._queue: queue.Queue = queue.Queue(maxsize=max(1, depth))
         self._error: BaseException | None = None
+        self._closed = False
         self._thread = threading.Thread(
             target=self._pump, args=(source,), daemon=True,
             name="engine-prefetch")
@@ -347,10 +356,32 @@ class _Prefetch:
         try:
             for item in source:
                 self._queue.put(item)
+                if self._closed:
+                    return
         except BaseException as error:  # propagate to the consumer
             self._error = error
         finally:
             self._queue.put(_DONE)
+
+    def close(self) -> None:
+        """Stop the pump and join it (idempotent).
+
+        Safe while the pump is blocked on a full queue: the drain loop
+        below keeps freeing slots until the thread notices the poison
+        flag (or finishes its final ``_DONE`` put) and exits.
+        """
+        self._closed = True
+        while self._thread.is_alive():
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                pass
+            self._thread.join(timeout=0.01)
+        # wake any downstream consumer blocked in __next__
+        try:
+            self._queue.put_nowait(_DONE)
+        except queue.Full:
+            pass  # a sentinel (or data it will skip past) is queued
 
     def __iter__(self) -> "_Prefetch":
         return self
@@ -359,7 +390,7 @@ class _Prefetch:
         item = self._queue.get()
         if item is _DONE:
             self._thread.join()
-            if self._error is not None:
+            if self._error is not None and not self._closed:
                 raise self._error
             raise StopIteration
         return item
@@ -408,6 +439,7 @@ class Engine:
     def stream(self, items: Iterable) -> Iterator:
         """Lazily run the pipeline; yields the last stage's output."""
         opened: list[Stage] = []
+        prefetches: list[_Prefetch] = []
         try:
             flow: Iterator = self._chunks(items)
             last = len(self.stages) - 1
@@ -418,9 +450,18 @@ class Engine:
                 if (self.streaming and stage.streaming
                         and position < last):
                     flow = _Prefetch(flow, self.prefetch)
+                    prefetches.append(flow)
             for item in flow:
                 yield item
         finally:
+            # Join pump threads before closing stages: an abandoned
+            # consumer (early break / gen.close()) leaves pumps
+            # running, and closing stages first would race them
+            # against a shut-down extractor.  Upstream-first so each
+            # closed pump's _DONE sentinel unblocks the next pump's
+            # pending __next__.
+            for prefetch in prefetches:
+                prefetch.close()
             for stage in reversed(opened):
                 stage.close(self.ctx)
 

@@ -1,0 +1,209 @@
+"""Wire protocol for the scan server: JSON lines over a stream socket.
+
+One request or response per line, UTF-8 JSON with sorted keys, ``\\n``
+terminated — greppable with shell tools, diffable across runs, and
+framed without any length-prefix bookkeeping.  The same bytes travel
+over a unix-domain socket (the default for same-host clients: no port
+to pick, filesystem permissions for free) or TCP.
+
+Requests carry an ``op`` plus op-specific fields; every ``scan``
+request carries a client-chosen ``id`` that its response echoes, so a
+client may pipeline many scans on one connection and match responses
+arriving out of submission order (the server's dispatcher pool makes
+no ordering promise across requests).
+
+:class:`ScanClient` is the blocking client used by ``scan --connect``,
+the benchmark harness, and the tests.  It is intentionally dumb: a
+socket, a line buffer, and JSON — the server holds all the policy.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+
+__all__ = ["MAX_LINE_BYTES", "ProtocolError", "encode_message",
+           "decode_message", "read_message", "connect", "ScanClient"]
+
+#: Upper bound on one message line. Scan requests embed whole source
+#: files, so this is generous — but a peer that streams an unbounded
+#: line is broken or hostile, and the reader must not buffer forever.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed, oversized, or truncated protocol message."""
+
+
+def encode_message(message: dict) -> bytes:
+    """One message as a complete wire line (bytes include the LF)."""
+    line = json.dumps(message, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8") + b"\n"
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte line limit")
+    return line
+
+
+def decode_message(line: bytes) -> dict:
+    """Parse one wire line back into a message dict."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid JSON line: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(message).__name__}")
+    return message
+
+
+def read_message(reader) -> dict | None:
+    """Read one message from a buffered binary reader; None on EOF.
+
+    ``reader`` is anything with ``readline(limit)`` semantics
+    (``socket.makefile('rb')``, an ``io.BufferedReader``, ...).
+    """
+    line = reader.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("peer sent an oversized message line")
+    if not line.endswith(b"\n"):
+        raise ProtocolError("connection closed mid-message")
+    return decode_message(line)
+
+
+def connect(address: str, timeout: float | None = None
+            ) -> socket.socket:
+    """Open a stream socket to ``address``.
+
+    ``host:port`` (or ``[v6::addr]:port``) dials TCP; anything else is
+    a unix-domain socket path.
+    """
+    host, port = _split_hostport(address)
+    if host is not None:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    else:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(address)
+    return sock
+
+
+def _split_hostport(address: str) -> tuple[str | None, int]:
+    """``('host', port)`` for TCP addresses, ``(None, 0)`` for paths.
+
+    A path is anything without a ``:`` or whose final segment is not
+    an integer port — ``./sock:dir/x`` stays a path.
+    """
+    if address.startswith(("/", ".")) or ":" not in address:
+        return None, 0
+    host, _, port = address.rpartition(":")
+    try:
+        number = int(port)
+    except ValueError:
+        return None, 0
+    return host.strip("[]") or "127.0.0.1", number
+
+
+class ScanClient:
+    """Blocking JSONL client for one scan-server connection.
+
+    Not thread-safe: use one client per thread (the server handles any
+    number of connections).  Supports pipelining via
+    :meth:`scan_batch`: all requests are written before any response
+    is read, which is what actually exercises the server's batching
+    and admission control.
+    """
+
+    def __init__(self, address: str, timeout: float | None = 60.0):
+        self.address = address
+        self._sock = connect(address, timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # -- plumbing ------------------------------------------------------------
+
+    def send(self, message: dict) -> None:
+        self._sock.sendall(encode_message(message))
+
+    def receive(self) -> dict:
+        message = read_message(self._reader)
+        if message is None:
+            raise ProtocolError("server closed the connection")
+        return message
+
+    def request(self, message: dict) -> dict:
+        """One synchronous round trip."""
+        self.send(message)
+        return self.receive()
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ScanClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- operations ----------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def reload(self, model: str | Path | None = None) -> dict:
+        message: dict = {"op": "reload"}
+        if model is not None:
+            message["model"] = str(model)
+        return self.request(message)
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def scan_source(self, name: str, source: str,
+                    request_id: str = "0") -> dict:
+        """Scan one in-memory source file (single round trip)."""
+        return self.request({"op": "scan", "id": request_id,
+                             "name": name, "source": source})
+
+    def scan_batch(self, requests: list[dict]) -> list[dict]:
+        """Pipeline many scan requests; responses in request order.
+
+        Each request dict needs ``name`` and ``source``; ids are
+        assigned positionally.  All requests are written up front, the
+        responses (which may arrive in any order) are matched back by
+        id — including ``shed`` rejections, which the server sends
+        immediately while earlier requests are still in flight.
+        """
+        for index, request in enumerate(requests):
+            self.send({"op": "scan", "id": str(index),
+                       "name": request["name"],
+                       "source": request["source"]})
+        by_id: dict[str, dict] = {}
+        for _ in requests:
+            response = self.receive()
+            by_id[str(response.get("id"))] = response
+        missing = [str(i) for i in range(len(requests))
+                   if str(i) not in by_id]
+        if missing:
+            raise ProtocolError(
+                f"server never answered request id(s) {missing}")
+        return [by_id[str(i)] for i in range(len(requests))]
+
+    def scan_paths(self, paths: list[str | Path]) -> list[dict]:
+        """Read local files and scan them remotely (order preserved)."""
+        requests = [
+            {"name": str(path),
+             "source": Path(path).read_text(encoding="utf-8",
+                                            errors="replace")}
+            for path in paths
+        ]
+        return self.scan_batch(requests) if requests else []

@@ -12,9 +12,10 @@ editor integrations):
   :class:`~repro.core.resilience.Quarantine` exactly like ``fit``, so
   repeated scans of unchanged files skip the frontend and known-poison
   cases are skipped up front;
-* gadget scoring flows through a micro-batching scheduler
-  (:class:`_MicroBatcher`): submissions from any number of cases are
-  drained from a bounded queue by worker threads, grouped by padded
+* gadget scoring flows through a micro-batching :class:`Scorer`
+  (thread-backed :class:`ThreadScorer` or process-backed
+  :class:`ProcessScorer`): submissions from any number of cases are
+  drained from a bounded queue, grouped by padded
   length, and scored in large batches under ``no_grad``.  Because
   :func:`~repro.nn.data.bucketed_batches` groups by *exact* length, a
   row's padded representation — and therefore its score — never
@@ -36,25 +37,48 @@ summarizes it and the CLI prints it under ``scan --stats``.
 
 from __future__ import annotations
 
+import itertools
+import multiprocessing
 import queue
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..datasets.manifest import TestCase
 from ..nn import no_grad, pad_or_truncate
+from ..nn.serialize import SharedWeights, bind_state
 from .detector import Finding, SEVulDet
 from .engine import Engine, ExtractStage, RunContext, Stage
 from .extract import CaseResult
 from .score import SCORE_MIN_LENGTH
 from .telemetry import Telemetry
 
-__all__ = ["CaseVerdict", "ResultCache", "ScanService"]
+__all__ = ["CaseVerdict", "ResultCache", "ShardedResultCache",
+           "ScanService", "Scorer", "ThreadScorer", "ProcessScorer",
+           "expand_scan_paths"]
+
+
+def expand_scan_paths(paths: Iterable[str | Path],
+                      pattern: str = "*.c") -> list[Path]:
+    """Flatten files / directories into a sorted scan work-list
+    (directories recurse over ``pattern``); missing paths raise
+    ``FileNotFoundError``.  Shared by local and remote scanning so
+    ``scan`` and ``scan --connect`` walk identical file sets."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob(pattern)))
+        elif path.exists():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file: {path}")
+    return files
 
 
 @dataclass(frozen=True)
@@ -153,6 +177,52 @@ class ResultCache:
         return self.hits / total if total else 0.0
 
 
+class ShardedResultCache:
+    """N independent :class:`ResultCache` shards selected by
+    fingerprint prefix.
+
+    The scan server's dispatcher threads all hit the result cache on
+    every request; one LRU behind one lock would serialize them.
+    Fingerprints are sha256 hex, so their leading bytes spread
+    uniformly — each shard sees ~1/N of the traffic and contention
+    drops N-fold.  The interface matches :class:`ResultCache`, so
+    :class:`ScanService` accepts either.
+    """
+
+    def __init__(self, capacity: int = 4096, shards: int = 8):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        per_shard = max(1, capacity // shards) if capacity else 0
+        self.shards = tuple(ResultCache(per_shard)
+                            for _ in range(shards))
+
+    def _shard(self, fingerprint: str) -> ResultCache:
+        return self.shards[int(fingerprint[:8], 16)
+                           % len(self.shards)]
+
+    def get(self, fingerprint: str, token: str) -> CaseVerdict | None:
+        return self._shard(fingerprint).get(fingerprint, token)
+
+    def put(self, fingerprint: str, token: str,
+            verdict: CaseVerdict) -> None:
+        self._shard(fingerprint).put(fingerprint, token, verdict)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    @property
+    def hits(self) -> int:
+        return sum(shard.hits for shard in self.shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(shard.misses for shard in self.shards)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
 class _Pending:
     """One submitted case's rows awaiting their scores.
 
@@ -197,39 +267,43 @@ class _Pending:
 _STOP = object()
 
 
-class _MicroBatcher:
-    """Length-bucketed micro-batching scorer.
+class Scorer:
+    """Micro-batching scorer interface behind :class:`ScanService`.
 
-    Case submissions land in a bounded queue; each worker thread
-    blocks for one, then greedily drains more until it holds
-    ``batch_size * 4`` rows — under load batches fill to
-    ``batch_size``, under trickle traffic a lone case is scored
-    immediately (no latency-vs-throughput timer to tune).  Rows from
-    all drained cases are grouped by their padded length (identical
-    to the serial scorer's bucketing, so scores are byte-identical to
-    :func:`~repro.core.score.predict_proba`) and scored in chunks
-    of ``batch_size`` under ``no_grad``.
+    Case submissions land in a bounded queue; a drain loop blocks for
+    one, then greedily takes more until it holds ``batch_size * 4``
+    rows — under load batches fill to ``batch_size``, under trickle
+    traffic a lone case is scored immediately (no
+    latency-vs-throughput timer to tune).  Rows from all drained cases
+    are grouped by their padded length (identical to the serial
+    scorer's bucketing, so scores are byte-identical to
+    :func:`~repro.core.score.predict_proba`) and scored in chunks of
+    ``batch_size`` under ``no_grad``.
+
+    Two backends share that policy and differ only in where the
+    forward pass runs:
+
+    * :class:`ThreadScorer` — N worker threads in-process.  Zero setup
+      cost, but numpy-bound forwards contend on the GIL between the
+      pure-Python stretches.
+    * :class:`ProcessScorer` — N worker *processes* with the model
+      weights mapped once into shared memory.  The forward pass
+      escapes the GIL entirely; this is the scan server's backend.
     """
 
-    def __init__(self, model, batch_size: int, workers: int,
-                 telemetry):
+    def __init__(self, batch_size: int, workers: int, telemetry):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        self.model = model
         self.batch_size = batch_size
+        self.workers = workers
         self.telemetry = telemetry
         self._queue: queue.Queue = queue.Queue(
             maxsize=max(workers * 16, 64))
-        self._threads = [
-            threading.Thread(target=self._worker, daemon=True,
-                             name=f"scan-scorer-{i}")
-            for i in range(workers)
-        ]
         self._closed = False
-        for thread in self._threads:
-            thread.start()
+
+    # -- submission ----------------------------------------------------------
 
     def submit(self, samples: Sequence[Sequence[int]]) -> _Pending:
         """Queue one case's token-id sequences for scoring."""
@@ -246,64 +320,280 @@ class _MicroBatcher:
         return pending
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        for _ in self._threads:
+        raise NotImplementedError
+
+    def __enter__(self) -> "Scorer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- shared batching policy ----------------------------------------------
+
+    def _drain(self) -> list[_Pending] | None:
+        """Block for one submission, then greedily take more; None
+        when the poison pill arrives (left queued for siblings)."""
+        item = self._queue.get()
+        if item is _STOP:
             self._queue.put(_STOP)
-        for thread in self._threads:
-            thread.join()
-
-    def _worker(self) -> None:
+            return None
+        jobs = [item]
+        rows = len(item.rows)
         row_limit = self.batch_size * 4
-        while True:
-            item = self._queue.get()
-            if item is _STOP:
-                return
-            jobs = [item]
-            rows = len(item.rows)
-            while rows < row_limit:
-                try:
-                    extra = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                if extra is _STOP:
-                    self._queue.put(_STOP)  # keep poison for siblings
-                    break
-                jobs.append(extra)
-                rows += len(extra.rows)
-            self._score(jobs)
+        while rows < row_limit:
+            try:
+                extra = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if extra is _STOP:
+                self._queue.put(_STOP)  # keep poison for siblings
+                break
+            jobs.append(extra)
+            rows += len(extra.rows)
+        return jobs
 
-    def _score(self, jobs: list[_Pending]) -> None:
-        # (pending, row index) entries grouped by padded row length
+    def _grouped(self, jobs: list[_Pending]
+                 ) -> Iterator[tuple[list[tuple[_Pending, int]],
+                                     np.ndarray]]:
+        """Length-group and chunk drained jobs into score batches."""
         by_length: dict[int, list[tuple[_Pending, int]]] = {}
         for pending in jobs:
             for index, row in enumerate(pending.rows):
                 by_length.setdefault(len(row), []).append(
                     (pending, index))
-        with no_grad():
-            for length in sorted(by_length):
-                entries = by_length[length]
-                for start in range(0, len(entries), self.batch_size):
-                    chunk = entries[start : start + self.batch_size]
+        for length in sorted(by_length):
+            entries = by_length[length]
+            for start in range(0, len(entries), self.batch_size):
+                chunk = entries[start : start + self.batch_size]
+                ids = np.array(
+                    [pending.rows[index] for pending, index in chunk],
+                    dtype=np.int64)
+                yield chunk, ids
+
+    def _record_batch(self, chunk) -> None:
+        self.telemetry.observe("scan_batch_fill",
+                               len(chunk) / self.batch_size)
+        self.telemetry.count("scan_batches")
+        self.telemetry.count("scan_scored_gadgets", len(chunk))
+
+    def _poison(self) -> None:
+        self._queue.put(_STOP)
+
+
+class ThreadScorer(Scorer):
+    """In-process backend: worker threads score under ``no_grad``."""
+
+    def __init__(self, model, batch_size: int, workers: int,
+                 telemetry):
+        super().__init__(batch_size, workers, telemetry)
+        self.model = model
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"scan-scorer-{i}")
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._poison()
+        for thread in self._threads:
+            thread.join()
+
+    def _worker(self) -> None:
+        while True:
+            jobs = self._drain()
+            if jobs is None:
+                return
+            with no_grad():
+                for chunk, ids in self._grouped(jobs):
                     try:
-                        ids = np.array(
-                            [pending.rows[index]
-                             for pending, index in chunk],
-                            dtype=np.int64)
                         scores = self.model.predict_proba(ids)
                     except BaseException as error:  # surface to caller
                         for pending, _ in chunk:
                             pending._fail(error)
                         continue
-                    self.telemetry.observe(
-                        "scan_batch_fill",
-                        len(chunk) / self.batch_size)
-                    self.telemetry.count("scan_batches")
-                    self.telemetry.count("scan_scored_gadgets",
-                                         len(chunk))
+                    self._record_batch(chunk)
                     for (pending, index), score in zip(chunk, scores):
                         pending._complete(index, float(score))
+
+
+def _net_spec(model) -> dict:
+    """Constructor arguments that rebuild ``model``'s architecture
+    (weights travel separately, via shared memory)."""
+    return {
+        "vocab_size": model.embedding.vocab_size,
+        "dim": model.embedding.dim,
+        "channels": int(model.conv.weight.data.shape[0]),
+        "kernel": model.kernel,
+        "use_token_attention": model.use_token_attention,
+        "use_cbam": model.use_cbam,
+        "bins": tuple(model.spp.bins),
+    }
+
+
+def _scorer_worker(spec: dict, request_q, result_q) -> None:
+    """Scorer worker process body: attach shared weights, score
+    ``(job_id, ids)`` requests until the ``None`` poison pill."""
+    from ..models.sevuldet import SEVulDetNet
+
+    shared = SharedWeights.attach(spec["weights"])
+    net = dict(spec["net"])
+    net["bins"] = tuple(net["bins"])
+    model = SEVulDetNet(net.pop("vocab_size"), **net)
+    bind_state(model, shared.arrays())
+    if spec["id_aliases"] is not None:
+        model.embedding.id_aliases = np.asarray(spec["id_aliases"],
+                                                dtype=np.int64)
+    model.eval()
+    try:
+        with no_grad():
+            while True:
+                job = request_q.get()
+                if job is None:
+                    return
+                job_id, ids = job
+                try:
+                    scores = model.predict_proba(ids)
+                    result_q.put((job_id, scores, None))
+                except Exception as error:
+                    result_q.put(
+                        (job_id, None,
+                         f"{type(error).__name__}: {error}"))
+    finally:
+        shared.close()
+
+
+class ProcessScorer(Scorer):
+    """Multi-process backend: the GIL-free scoring path.
+
+    The parent keeps the batching policy (one dispatcher thread drains
+    the submission queue and forms length-grouped batches — identical
+    grouping to :class:`ThreadScorer`, so scores stay byte-identical)
+    and ships ``(job_id, ids)`` arrays to N spawned worker processes.
+    Model weights cross the boundary once, as a
+    :class:`~repro.nn.serialize.SharedWeights` block every worker maps
+    read-only; only token-id batches and score vectors travel through
+    the queues.  A collector thread matches results back to their
+    :class:`_Pending` entries and watches for dead workers so a
+    crashed forward pass fails the affected scans instead of hanging
+    them.
+    """
+
+    def __init__(self, model, batch_size: int, workers: int,
+                 telemetry, *, start_method: str = "spawn"):
+        super().__init__(batch_size, workers, telemetry)
+        ctx = multiprocessing.get_context(start_method)
+        self._shared = SharedWeights.export(model.state_dict())
+        aliases = model.embedding.id_aliases
+        spec = {
+            "weights": self._shared.spec(),
+            "net": _net_spec(model),
+            "id_aliases": (None if aliases is None
+                           else np.asarray(aliases)),
+        }
+        self._request_q = ctx.Queue()
+        self._result_q = ctx.Queue()
+        self._procs = [
+            ctx.Process(target=_scorer_worker,
+                        args=(spec, self._request_q, self._result_q),
+                        daemon=True, name=f"scan-scorer-proc-{i}")
+            for i in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._jobs: dict[int, list[tuple[_Pending, int]]] = {}
+        self._jobs_lock = threading.Lock()
+        self._job_ids = itertools.count()
+        self._broken: str | None = None
+        self._collector_stop = threading.Event()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch, daemon=True,
+            name="scan-scorer-dispatch")
+        self._collector = threading.Thread(
+            target=self._collect, daemon=True,
+            name="scan-scorer-collect")
+        self._dispatcher.start()
+        self._collector.start()
+
+    def submit(self, samples: Sequence[Sequence[int]]) -> _Pending:
+        if self._broken is not None:
+            raise RuntimeError(
+                f"scorer workers died: {self._broken}")
+        return super().submit(samples)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._poison()
+        self._dispatcher.join()  # drains queued submissions first
+        for _ in self._procs:
+            self._request_q.put(None)
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+        self._collector_stop.set()
+        self._collector.join()
+        self._request_q.close()
+        self._result_q.close()
+        self._shared.unlink()
+
+    def _dispatch(self) -> None:
+        while True:
+            jobs = self._drain()
+            if jobs is None:
+                return
+            for chunk, ids in self._grouped(jobs):
+                job_id = next(self._job_ids)
+                with self._jobs_lock:
+                    self._jobs[job_id] = chunk
+                self._record_batch(chunk)
+                self._request_q.put((job_id, ids))
+
+    def _collect(self) -> None:
+        while True:
+            try:
+                job_id, scores, error = self._result_q.get(
+                    timeout=0.2)
+            except queue.Empty:
+                with self._jobs_lock:
+                    outstanding = bool(self._jobs)
+                if not outstanding and self._collector_stop.is_set():
+                    return
+                if outstanding and not any(proc.is_alive()
+                                           for proc in self._procs):
+                    self._fail_outstanding("all scorer worker "
+                                           "processes exited")
+                continue
+            with self._jobs_lock:
+                chunk = self._jobs.pop(job_id)
+            if error is not None:
+                failure = RuntimeError(
+                    f"scorer worker failed: {error}")
+                for pending, _ in chunk:
+                    pending._fail(failure)
+                continue
+            for (pending, index), score in zip(chunk, scores):
+                pending._complete(index, float(score))
+
+    def _fail_outstanding(self, reason: str) -> None:
+        self._broken = reason
+        error = RuntimeError(reason)
+        with self._jobs_lock:
+            chunks = list(self._jobs.values())
+            self._jobs.clear()
+        for chunk in chunks:
+            for pending, _ in chunk:
+                pending._fail(error)
+
+
+_SCORER_BACKENDS = {"thread": ThreadScorer, "process": ProcessScorer}
 
 
 @dataclass
@@ -316,10 +606,13 @@ class _CaseWork:
     verdict: CaseVerdict | None = None  # resolved without scoring
     gadgets: list = field(default_factory=list)
     pending: _Pending | None = None
+    #: single-flight dedup: a later duplicate fingerprint in the same
+    #: scan rides the first occurrence instead of re-extracting
+    leader: "_CaseWork | None" = None
 
 
 class _SubmitStage(Stage):
-    """Engine stage feeding extraction results to the micro-batcher.
+    """Engine stage feeding extraction results to the scorer.
 
     Consumes the :class:`~repro.core.extract.CaseResult` chunks an
     upstream ``ExtractStage(per_case=True)`` emits (in submission
@@ -358,8 +651,10 @@ class ScanService:
     def __init__(self, detector: SEVulDet, *, workers: int = 2,
                  batch_size: int = 64,
                  result_cache_size: int = 1024,
-                 result_cache: ResultCache | None = None,
-                 telemetry: Telemetry | None = None):
+                 result_cache: ResultCache | ShardedResultCache
+                 | None = None,
+                 telemetry: Telemetry | None = None,
+                 scorer: str = "thread"):
         model, self._vocab = detector._require_trained()
         model.eval()  # deterministic scoring: dropout off, once
         self.detector = detector
@@ -372,8 +667,14 @@ class ScanService:
         # restarts); config tokens keep shared entries safe.
         self.results = (result_cache if result_cache is not None
                         else ResultCache(result_cache_size))
-        self._batcher = _MicroBatcher(model, batch_size, workers,
-                                      self.telemetry)
+        backend = _SCORER_BACKENDS.get(scorer)
+        if backend is None:
+            raise ValueError(
+                f"unknown scorer backend {scorer!r}; choose from "
+                f"{sorted(_SCORER_BACKENDS)}")
+        self.scorer_kind = scorer
+        self._scorer = backend(model, batch_size, workers,
+                               self.telemetry)
         self._submit_lock = threading.Lock()
         self._closed = False
 
@@ -383,7 +684,7 @@ class ScanService:
         """Drain and join the scoring workers (idempotent)."""
         if not self._closed:
             self._closed = True
-            self._batcher.close()
+            self._scorer.close()
 
     def __enter__(self) -> "ScanService":
         return self
@@ -409,30 +710,53 @@ class ScanService:
         ones (and both share the detector's gadget cache and
         quarantine via the :class:`~repro.core.engine.RunContext`).
         Pass 2 collects scores and assembles verdicts.
+
+        Concurrent calls are *not* serialized: the submission lock
+        covers only the cheap cache-lookup/dedup bookkeeping, so one
+        caller's extraction pass overlaps another's (extraction is
+        safe to run concurrently — the gadget cache writes with
+        atomic replace and the quarantine log is append-only, and the
+        scorer queue is shared by design).  Duplicate fingerprints
+        within one call are single-flighted: the first occurrence is
+        extracted and scored, later ones copy its verdict — a case's
+        fingerprint covers its name and content, so the copies are
+        byte-identical to scoring each duplicate independently.
         """
         if self._closed:
             raise RuntimeError("scan service is closed")
         scan_start = time.perf_counter()
+        work: list[_CaseWork] = []
+        misses: list[_CaseWork] = []
         with self._submit_lock:
-            work = [self._lookup_case(case) for case in cases]
-            misses = [entry for entry in work
-                      if entry.verdict is None]
-            if misses:
-                detector = self.detector
-                ctx = RunContext.create(
-                    cache=detector.cache,
-                    quarantine=detector.quarantine,
-                    telemetry=self.telemetry,
-                    case_timeout=detector.case_timeout,
-                    workers=detector.workers)
-                engine = Engine(
-                    ExtractStage(detector.gadget_kind,
-                                 detector.categories,
-                                 deduplicate=False, per_case=True),
-                    _SubmitStage(self, misses),
-                    ctx=ctx, chunk_size=16)
-                for _ in engine.stream(e.case for e in misses):
-                    pass
+            leaders: dict[str, _CaseWork] = {}
+            for case in cases:
+                entry = self._lookup_case(case)
+                work.append(entry)
+                if entry.verdict is not None:
+                    continue
+                leader = leaders.get(entry.fingerprint)
+                if leader is not None:
+                    entry.leader = leader
+                    self.telemetry.count("scan_dedup_hits")
+                    continue
+                leaders[entry.fingerprint] = entry
+                misses.append(entry)
+        if misses:
+            detector = self.detector
+            ctx = RunContext.create(
+                cache=detector.cache,
+                quarantine=detector.quarantine,
+                telemetry=self.telemetry,
+                case_timeout=detector.case_timeout,
+                workers=detector.workers)
+            engine = Engine(
+                ExtractStage(detector.gadget_kind,
+                             detector.categories,
+                             deduplicate=False, per_case=True),
+                _SubmitStage(self, misses),
+                ctx=ctx, chunk_size=16)
+            for _ in engine.stream(e.case for e in misses):
+                pass
         verdicts = [self._resolve_case(entry) for entry in work]
         self.telemetry.add_stage(
             "scan", time.perf_counter() - scan_start)
@@ -443,15 +767,7 @@ class ScanService:
                    pattern: str = "*.c") -> list[CaseVerdict]:
         """Scan files / directories (directories recurse over
         ``pattern``); missing paths raise ``FileNotFoundError``."""
-        files: list[Path] = []
-        for raw in paths:
-            path = Path(raw)
-            if path.is_dir():
-                files.extend(sorted(path.rglob(pattern)))
-            elif path.exists():
-                files.append(path)
-            else:
-                raise FileNotFoundError(f"no such file: {path}")
+        files = expand_scan_paths(paths, pattern)
         cases = [
             TestCase(name=str(path), source=path.read_text(
                          encoding="utf-8", errors="replace"),
@@ -491,13 +807,19 @@ class ScanService:
                     status="skipped", reason=result.failure.reason))
             return entry
         entry.gadgets = result.gadgets
-        entry.pending = self._batcher.submit(
+        entry.pending = self._scorer.submit(
             [g.sample(self._vocab).token_ids
              for g in result.gadgets])
         return entry
 
     def _resolve_case(self, entry: _CaseWork) -> CaseVerdict:
         if entry.verdict is not None:
+            return entry.verdict
+        if entry.leader is not None:
+            # single-flight follower: same fingerprint means same
+            # name and content, so the leader's verdict IS this
+            # case's verdict
+            entry.verdict = self._resolve_case(entry.leader)
             return entry.verdict
         assert entry.pending is not None
         scores = entry.pending.result()
@@ -508,7 +830,8 @@ class ScanService:
             status="flagged" if findings else "clean",
             findings=tuple(findings), gadgets=len(entry.gadgets),
             max_score=float(scores.max()) if len(scores) else 0.0)
-        return self._finish(entry, verdict)
+        entry.verdict = self._finish(entry, verdict)
+        return entry.verdict
 
     def _finish(self, entry: _CaseWork,
                 verdict: CaseVerdict) -> CaseVerdict:

@@ -13,6 +13,7 @@ benchmarks assert on the raw counters.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -44,7 +45,15 @@ MAX_EVENTS = 100
 
 @dataclass
 class Telemetry:
-    """Named counters, per-stage wall times, and a bounded event log."""
+    """Named counters, per-stage wall times, and a bounded event log.
+
+    One instance may be shared across threads (the scan service's
+    scorer workers, the engine's prefetch pump, server dispatchers):
+    every read-modify-write runs under an internal re-entrant lock, so
+    concurrent increments are never lost.  The lock is an
+    implementation detail — it stays out of :meth:`as_dict` payloads
+    and is recreated on unpickle.
+    """
 
     counters: dict[str, int] = field(default_factory=dict)
     stage_seconds: dict[str, float] = field(default_factory=dict)
@@ -52,11 +61,27 @@ class Telemetry:
     events: list[dict] = field(default_factory=list)
     observations: dict[str, list[float]] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # RLock: event() counts events_dropped while already holding
+        # the lock.  Not a dataclass field so __eq__/repr/pickle stay
+        # payload-only.
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
     # -- counters ------------------------------------------------------------
 
     def count(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 when never counted)."""
@@ -72,10 +97,11 @@ class Telemetry:
         capped at :data:`MAX_EVENTS` per instance so a pathological
         corpus cannot turn telemetry into the memory hog.
         """
-        if len(self.events) < MAX_EVENTS:
-            self.events.append({"kind": kind, **fields})
-        else:
-            self.count("events_dropped")
+        with self._lock:
+            if len(self.events) < MAX_EVENTS:
+                self.events.append({"kind": kind, **fields})
+            else:
+                self.count("events_dropped")
 
     # -- distributions -------------------------------------------------------
 
@@ -84,11 +110,12 @@ class Telemetry:
         depth, batch fill, ...).  Capped at :data:`MAX_OBSERVATIONS`
         samples per distribution; overflow increments
         ``observations_dropped``."""
-        samples = self.observations.setdefault(name, [])
-        if len(samples) < MAX_OBSERVATIONS:
-            samples.append(float(value))
-        else:
-            self.count("observations_dropped")
+        with self._lock:
+            samples = self.observations.setdefault(name, [])
+            if len(samples) < MAX_OBSERVATIONS:
+                samples.append(float(value))
+            else:
+                self.count("observations_dropped")
 
     def percentile(self, name: str, q: float) -> float:
         """The ``q``-th percentile (0-100) of distribution ``name``
@@ -133,9 +160,11 @@ class Telemetry:
                   calls: int = 1) -> None:
         """Record ``seconds`` of wall time (and ``calls`` invocations)
         against stage ``name``."""
-        self.stage_seconds[name] = \
-            self.stage_seconds.get(name, 0.0) + seconds
-        self.stage_calls[name] = self.stage_calls.get(name, 0) + calls
+        with self._lock:
+            self.stage_seconds[name] = \
+                self.stage_seconds.get(name, 0.0) + seconds
+            self.stage_calls[name] = \
+                self.stage_calls.get(name, 0) + calls
 
     def seconds(self, name: str) -> float:
         """Accumulated wall time of stage ``name``."""
@@ -192,17 +221,22 @@ class Telemetry:
 
     def as_dict(self) -> dict:
         """Plain-dict snapshot (JSON/pickle friendly)."""
-        return {
-            "counters": dict(self.counters),
-            "stage_seconds": dict(self.stage_seconds),
-            "stage_calls": dict(self.stage_calls),
-            "events": [dict(event) for event in self.events],
-            "observations": {name: list(samples) for name, samples
-                             in self.observations.items()},
-        }
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "stage_seconds": dict(self.stage_seconds),
+                "stage_calls": dict(self.stage_calls),
+                "events": [dict(event) for event in self.events],
+                "observations": {name: list(samples) for name, samples
+                                 in self.observations.items()},
+            }
 
     def summary(self) -> str:
         """Human-readable multi-line report (counters then stages)."""
+        with self._lock:
+            return self._summary_locked()
+
+    def _summary_locked(self) -> str:
         lines = ["telemetry:"]
         for name in sorted(self.counters):
             lines.append(f"  {name:<24s} {self.counters[name]}")

@@ -239,3 +239,77 @@ class TestEngineMechanics:
         next(stream)
         assert consumed == [4]
         stream.close()
+
+
+class TestPrefetchCleanup:
+    """Regression: abandoning an ``Engine.stream`` generator used to
+    close the stages while the ``_Prefetch`` pump thread could still
+    be blocked on ``queue.put`` against a full queue — leaking the
+    thread and racing the closed ``CorpusExtractor``."""
+
+    @staticmethod
+    def _prefetch_threads():
+        import threading
+
+        return [t for t in threading.enumerate()
+                if t.name == "engine-prefetch" and t.is_alive()]
+
+    def _assert_pumps_exit(self):
+        import time
+
+        deadline = time.time() + 5.0
+        while self._prefetch_threads():
+            assert time.time() < deadline, (
+                f"leaked pump thread(s): {self._prefetch_threads()}")
+            time.sleep(0.01)
+
+    def test_early_break_joins_pump_threads(self, corpus):
+        assert not self._prefetch_threads()
+
+        class Identity(Stage):
+            name = "identity"
+            streaming = True
+
+            def process(self, chunk, ctx):
+                return chunk
+
+        # chunk_size 1 + prefetch 1: the pump fills the queue and
+        # blocks on put long before the consumer drains 40 chunks.
+        engine = Engine(ExtractStage(per_case=True), Identity(),
+                        chunk_size=1, prefetch=1)
+        stream = engine.stream(corpus)
+        next(stream)
+        stream.close()  # early abandon, as ScanService's callers may
+        self._assert_pumps_exit()
+
+    def test_early_break_in_for_loop(self, corpus):
+        engine = Engine(ExtractStage(per_case=True), chunk_size=1,
+                        prefetch=1)
+        for i, _chunk in enumerate(engine.stream(corpus)):
+            if i == 1:
+                break
+        self._assert_pumps_exit()
+
+    def test_exhausted_stream_leaves_no_threads(self, corpus):
+        engine = Engine(ExtractStage(per_case=True), chunk_size=8)
+        chunks = list(engine.stream(corpus[:16]))
+        assert len(chunks) == 2
+        self._assert_pumps_exit()
+
+    def test_closed_prefetch_unblocks_downstream_pump(self, corpus):
+        """A two-boundary chain: closing the upstream prefetch must
+        wake a downstream pump blocked in its ``__next__``."""
+
+        class Slow(Stage):
+            name = "slow"
+            streaming = True
+
+            def process(self, chunk, ctx):
+                return chunk
+
+        engine = Engine(ExtractStage(per_case=True), Slow(), Slow(),
+                        chunk_size=1, prefetch=1)
+        stream = engine.stream(corpus)
+        next(stream)
+        stream.close()
+        self._assert_pumps_exit()

@@ -10,12 +10,15 @@ CLI surface.
 """
 
 import json
+import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.core import SCALE_PRESETS, Quarantine, SEVulDet
-from repro.core.serve import CaseVerdict, ResultCache, ScanService
+from repro.core.serve import (CaseVerdict, ResultCache, ScanService,
+                              ShardedResultCache)
 from repro.datasets.sard import generate_sard_corpus
 from repro.testing import faults
 
@@ -255,3 +258,141 @@ class TestScanCLI:
               "--jsonl", str(second)])
         capsys.readouterr()
         assert first.read_bytes() == second.read_bytes()
+
+
+class TestConcurrentCallers:
+    """Regression: ``scan_cases`` used to hold ``_submit_lock`` across
+    the whole extract+submit pass, so one caller stuck in extraction
+    serialized every other thread behind it.  The lock now covers only
+    the cache-lookup/dedup bookkeeping."""
+
+    def test_fast_caller_is_not_serialized_behind_slow_one(
+            self, detector, corpus):
+        slow_case, fast_case = corpus[0], corpus[1]
+        results: dict[str, list] = {}
+        with ScanService(detector, workers=1,
+                         batch_size=4) as service:
+            def scan(tag, case):
+                results[tag] = service.scan_cases([case])
+
+            with faults.injected(
+                    f"hang@case:{slow_case.name}:6"):
+                slow = threading.Thread(
+                    target=scan, args=("slow", slow_case))
+                slow.start()
+                time.sleep(0.5)  # let the slow scan enter extraction
+                fast = threading.Thread(
+                    target=scan, args=("fast", fast_case))
+                started = time.perf_counter()
+                fast.start()
+                fast.join(timeout=3.0)
+                fast_seconds = time.perf_counter() - started
+                stuck = fast.is_alive()
+                slow.join(timeout=20.0)
+        assert not stuck, (
+            "concurrent caller waited on the submission lock for the "
+            "whole extract pass")
+        assert fast_seconds < 3.0
+        assert results["fast"][0].status in ("flagged", "clean")
+        assert results["slow"][0].status in ("flagged", "clean")
+
+    def test_concurrent_callers_byte_identical(self, detector,
+                                               corpus):
+        with ScanService(detector, workers=2,
+                         batch_size=8) as service:
+            expected = [v.as_record()
+                        for v in service.scan_cases(corpus)]
+        outcomes: list[list] = [None] * 4
+        with ScanService(detector, workers=2,
+                         batch_size=8) as service:
+            def scan(slot):
+                outcomes[slot] = [v.as_record()
+                                  for v in service.scan_cases(corpus)]
+
+            threads = [threading.Thread(target=scan, args=(slot,))
+                       for slot in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+        assert all(records == expected for records in outcomes)
+
+    def test_duplicate_fingerprints_are_single_flighted(
+            self, detector, corpus):
+        with ScanService(detector, workers=1,
+                         batch_size=8) as service:
+            baseline = service.scan_cases(corpus[:2])
+            scored_unique = service.telemetry.get(
+                "scan_scored_gadgets")
+        with ScanService(detector, workers=1,
+                         batch_size=8) as service:
+            verdicts = service.scan_cases(
+                [corpus[0], corpus[1], corpus[0], corpus[0]])
+            assert service.telemetry.get("scan_dedup_hits") == 2
+            # the duplicates were never re-extracted or re-scored
+            assert (service.telemetry.get("scan_scored_gadgets")
+                    == scored_unique)
+        records = [v.as_record() for v in verdicts]
+        assert records[0] == records[2] == records[3]
+        assert records[0] == baseline[0].as_record()
+        assert records[1] == baseline[1].as_record()
+
+
+class TestScorerBackends:
+    def test_process_backend_matches_thread_backend(self, detector,
+                                                    corpus):
+        with ScanService(detector, workers=2, batch_size=16,
+                         scorer="process") as service:
+            process_records = [v.as_record()
+                               for v in service.scan_cases(corpus)]
+            assert service.stats()["scored_gadgets"] > 0
+        with ScanService(detector, workers=2, batch_size=16,
+                         scorer="thread") as service:
+            thread_records = [v.as_record()
+                              for v in service.scan_cases(corpus)]
+        assert process_records == thread_records
+
+    def test_unknown_backend_rejected(self, detector):
+        with pytest.raises(ValueError, match="unknown scorer"):
+            ScanService(detector, scorer="gpu")
+
+
+class TestShardedResultCache:
+    def test_roundtrip_and_stats(self):
+        cache = ShardedResultCache(capacity=64, shards=4)
+        verdicts = {}
+        for i in range(16):
+            fingerprint = f"{i:08x}{'0' * 56}"
+            verdict = CaseVerdict(name=f"c{i}",
+                                  fingerprint=fingerprint,
+                                  status="clean")
+            cache.put(fingerprint, "cfg", verdict)
+            verdicts[fingerprint] = verdict
+        assert len(cache) == 16
+        for fingerprint, verdict in verdicts.items():
+            assert cache.get(fingerprint, "cfg") is verdict
+        assert cache.get("f" * 64, "cfg") is None
+        assert cache.hits == 16
+        assert cache.misses == 1
+        assert cache.hit_rate() == 16 / 17
+        # keys actually spread across shards
+        assert sum(1 for shard in cache.shards if len(shard)) > 1
+
+    def test_config_token_separates_entries(self):
+        cache = ShardedResultCache(capacity=8, shards=2)
+        verdict = CaseVerdict(name="c", fingerprint="ab" * 32,
+                              status="clean")
+        cache.put("ab" * 32, "model-a", verdict)
+        assert cache.get("ab" * 32, "model-b") is None
+        assert cache.get("ab" * 32, "model-a") is verdict
+
+    def test_service_accepts_sharded_cache(self, detector, corpus):
+        shared = ShardedResultCache(capacity=256, shards=4)
+        with ScanService(detector, workers=1, batch_size=8,
+                         result_cache=shared) as service:
+            cold = service.scan_cases(corpus[:6])
+            warm = service.scan_cases(corpus[:6])
+        assert all(not v.cached for v in cold)
+        assert all(v.cached for v in warm)
+        assert [v.as_record() for v in warm] == \
+            [v.as_record() for v in cold]

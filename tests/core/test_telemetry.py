@@ -77,3 +77,82 @@ class TestAggregation:
 
     def test_summary_empty(self):
         assert "(empty)" in Telemetry().summary()
+
+
+class TestThreadSafety:
+    """Regression: one Telemetry is shared across scorer worker
+    threads and the engine prefetch pump (via ScanService), but the
+    read-modify-writes on its plain dicts used to be unlocked —
+    concurrent increments were silently lost."""
+
+    def test_concurrent_counts_are_exact(self):
+        import sys
+        import threading
+
+        telemetry = Telemetry()
+        threads_n, per_thread = 8, 20_000
+        start = threading.Barrier(threads_n)
+
+        def hammer():
+            start.wait()
+            for _ in range(per_thread):
+                telemetry.count("hits")
+                telemetry.count("batch", 3)
+
+        workers = [threading.Thread(target=hammer)
+                   for _ in range(threads_n)]
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)  # force frequent GIL switches
+        try:
+            for t in workers:
+                t.start()
+            for t in workers:
+                t.join()
+        finally:
+            sys.setswitchinterval(old)
+        assert telemetry.get("hits") == threads_n * per_thread
+        assert telemetry.get("batch") == threads_n * per_thread * 3
+
+    def test_concurrent_stages_and_observations_are_exact(self):
+        import sys
+        import threading
+
+        telemetry = Telemetry()
+        threads_n, per_thread = 8, 5_000
+        start = threading.Barrier(threads_n)
+
+        def hammer():
+            start.wait()
+            for _ in range(per_thread):
+                telemetry.add_stage("scan", 1.0)
+                telemetry.observe("depth", 1.0)
+
+        workers = [threading.Thread(target=hammer)
+                   for _ in range(threads_n)]
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            for t in workers:
+                t.start()
+            for t in workers:
+                t.join()
+        finally:
+            sys.setswitchinterval(old)
+        total = threads_n * per_thread
+        assert telemetry.calls("scan") == total
+        assert telemetry.seconds("scan") == float(total)
+        from repro.core.telemetry import MAX_OBSERVATIONS
+        samples = len(telemetry.observations["depth"])
+        dropped = telemetry.get("observations_dropped")
+        assert samples == MAX_OBSERVATIONS
+        assert samples + dropped == total
+
+    def test_pickle_roundtrip_excludes_lock(self):
+        import pickle
+
+        telemetry = Telemetry()
+        telemetry.count("hits", 2)
+        restored = pickle.loads(pickle.dumps(telemetry))
+        assert restored.get("hits") == 2
+        restored.count("hits")  # lock was rebuilt on unpickle
+        assert restored.get("hits") == 3
