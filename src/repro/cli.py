@@ -117,6 +117,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="scoring worker threads (default 2)")
     scan.add_argument("--batch-size", type=int, default=64,
                       help="micro-batch size for gadget scoring")
+    scan.add_argument("--dtype",
+                      choices=("float32", "float16", "int8"),
+                      default="float32",
+                      help="inference weight representation: float16 "
+                           "halves the weight payload, int8 quantizes "
+                           "weight matrices per tensor; the accuracy "
+                           "cost is measured on a held-out calibration "
+                           "corpus and printed (default: float32, the "
+                           "training precision)")
+    scan.add_argument("--calibration-cases", type=int, default=24,
+                      help="held-out synthetic programs used to "
+                           "measure the quantization guardband when "
+                           "--dtype is reduced (default 24)")
     scan.add_argument("--jsonl", type=Path, default=None,
                       help="write one JSON verdict record per case "
                            "to this file")
@@ -306,8 +319,16 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     detector.load(args.model)
     if args.threshold is not None:
         detector.threshold = args.threshold
+    calibration = None
+    if args.dtype != "float32" \
+            and args.dtype != detector.inference_dtype:
+        # a held-out corpus (seed disjoint from train defaults) so the
+        # printed guardband is measured, not assumed
+        calibration = generate_sard_corpus(
+            max(args.calibration_cases, 1), seed=9091)
     with ScanService(detector, workers=args.workers,
-                     batch_size=args.batch_size) as service:
+                     batch_size=args.batch_size, dtype=args.dtype,
+                     calibration=calibration) as service:
         verdicts = service.scan_paths(args.files)
         stats = service.stats()
     exit_code = 0
@@ -334,6 +355,14 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     print(f"scanned {len(verdicts)} case(s): {flagged} flagged, "
           f"{clean} clean, {skipped} skipped "
           f"({stats['cases_per_sec']:.1f} cases/s)")
+    report = detector.quantization_report
+    if report is not None:
+        print(f"  dtype={report.dtype}: weights "
+              f"{report.weights_nbytes_before} -> "
+              f"{report.payload_nbytes} bytes; guardband max "
+              f"|dprob|={report.max_abs_delta:.2e} "
+              f"verdict flips={report.flips}/"
+              f"{report.calibration_samples}")
     if args.stats:
         latency = stats["latency_seconds"]
         fill = stats["batch_fill"]

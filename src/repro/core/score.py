@@ -12,16 +12,26 @@ from typing import Sequence
 import numpy as np
 
 from ..eval.metrics import Metrics, confusion_from, metrics_from
-from ..nn import (Module, Sample, bucketed_batches, no_grad,
-                  pad_or_truncate)
+from ..nn import (Module, Sample, bucketed_batches, get_default_dtype,
+                  no_grad, pad_or_truncate)
 
-__all__ = ["SCORE_MIN_LENGTH", "predict_proba", "evaluate_classifier"]
+__all__ = ["SCORE_MIN_LENGTH", "output_dtype", "predict_proba",
+           "evaluate_classifier"]
 
 #: Minimum padded sample length fed to the flexible-length model: the
 #: conv kernel (3) plus SPP need a floor, and padding to it is part of
 #: the scoring contract — any batcher (training, predict_proba, the
 #: scan service) must pad with the same floor or scores drift.
 SCORE_MIN_LENGTH = 4
+
+
+def output_dtype(model: Module) -> np.dtype:
+    """The dtype ``model.predict_proba`` emits — its weights' dtype
+    (the fused kernel's compute dtype follows the weights), falling
+    back to the session default for a parameterless model."""
+    for param in model.parameters():
+        return param.data.dtype
+    return get_default_dtype()
 
 
 def predict_proba(model: Module, samples: Sequence[Sample],
@@ -31,10 +41,12 @@ def predict_proba(model: Module, samples: Sequence[Sample],
     Inference runs under ``no_grad`` in large length-bucketed batches
     (reusing :func:`bucketed_batches`, whose index channel scatters the
     scores back into corpus order) — no per-length Python grouping, no
-    graph bookkeeping.
+    graph bookkeeping.  The accumulator is allocated in the model's
+    own output dtype (:func:`output_dtype`), so scores are no longer
+    silently up-cast to float64 per batch.
     """
     fixed = getattr(model, "fixed_length", None)
-    scores = np.zeros(len(samples))
+    scores = np.zeros(len(samples), dtype=output_dtype(model))
     model.eval()
     with no_grad():
         if fixed is not None:

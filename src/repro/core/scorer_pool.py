@@ -1,0 +1,280 @@
+"""Shared process-pool scoring substrate (one implementation, two
+front ends).
+
+PR 6 grew a process-backed scorer inside the scan service: spawn
+workers attach the model's weights as read-only
+:class:`~repro.nn.serialize.SharedWeights` views and score
+``(job_id, ids)`` batches shipped over queues.  That machinery is now
+this module's :class:`ScorerPool`, so *both* inference fan-out paths
+ride one implementation:
+
+* :class:`repro.core.serve.ProcessScorer` — the scan service / scan
+  server backend: its dispatcher thread micro-batches submissions and
+  feeds them to the pool;
+* :class:`repro.core.engine.ScoreStage` with ``workers=N`` — the
+  engine's scoring stage: each chunk's samples are length-bucketed
+  exactly like :func:`repro.core.score.predict_proba` and scored
+  across the pool via :meth:`ScorerPool.score_samples`.
+
+Weights cross the process boundary once (shared memory, zero-copy
+views in every worker); only token-id batches and score vectors travel
+through the queues.  A collector thread matches results back to the
+submitting callback and watches for dead workers, so a crashed forward
+pass fails the affected jobs instead of hanging them.
+
+Scores are byte-identical to the in-process path: workers rebuild the
+same :class:`~repro.models.sevuldet.SEVulDetNet`, bind the same weight
+bytes, and run the same fused forward on the same exact-length-grouped
+batches.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..nn import bucketed_batches, no_grad
+from ..nn.serialize import SharedWeights, bind_state
+from .score import SCORE_MIN_LENGTH, output_dtype
+
+__all__ = ["net_spec", "ScorerPool"]
+
+
+def net_spec(model) -> dict:
+    """Constructor arguments that rebuild ``model``'s architecture
+    (weights travel separately, via shared memory)."""
+    return {
+        "vocab_size": model.embedding.vocab_size,
+        "dim": model.embedding.dim,
+        "channels": int(model.conv.weight.data.shape[0]),
+        "kernel": model.kernel,
+        "use_token_attention": model.use_token_attention,
+        "use_cbam": model.use_cbam,
+        "bins": tuple(model.spp.bins),
+    }
+
+
+def _scorer_worker(spec: dict, request_q, result_q) -> None:
+    """Scorer worker process body: attach shared weights, score
+    ``(job_id, ids)`` requests until the ``None`` poison pill."""
+    from ..models.sevuldet import SEVulDetNet
+
+    shared = SharedWeights.attach(spec["weights"])
+    net = dict(spec["net"])
+    net["bins"] = tuple(net["bins"])
+    model = SEVulDetNet(net.pop("vocab_size"), **net)
+    bind_state(model, shared.arrays())
+    if spec["id_aliases"] is not None:
+        model.embedding.id_aliases = np.asarray(spec["id_aliases"],
+                                                dtype=np.int64)
+    model.eval()
+    try:
+        with no_grad():
+            while True:
+                job = request_q.get()
+                if job is None:
+                    return
+                job_id, ids = job
+                try:
+                    scores = model.predict_proba(ids)
+                    result_q.put((job_id, scores, None))
+                except Exception as error:
+                    result_q.put(
+                        (job_id, None,
+                         f"{type(error).__name__}: {error}"))
+    finally:
+        shared.close()
+
+
+class ScorerPool:
+    """N spawn worker processes scoring token-id batches against one
+    shared-memory copy of the model weights.
+
+    Submission is callback-based: :meth:`submit` enqueues a batch with
+    an opaque ``payload``; the collector thread invokes
+    ``callback(payload, scores, error)`` when the result (or a worker
+    failure) arrives.  :meth:`score_samples` layers the synchronous
+    bucketed-batch contract of :func:`repro.core.score.predict_proba`
+    on top for callers that just want a score vector.
+
+    Worker death is detected by the collector's watchdog: when jobs
+    are outstanding and no worker remains alive, every outstanding
+    callback is failed and the pool is marked :attr:`broken` —
+    further submissions raise instead of hanging.
+    """
+
+    def __init__(self, model, workers: int, *,
+                 start_method: str = "spawn"):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        ctx = multiprocessing.get_context(start_method)
+        self.workers = workers
+        self.output_dtype = output_dtype(model)
+        self._shared = SharedWeights.export(model.state_dict())
+        aliases = model.embedding.id_aliases
+        spec = {
+            "weights": self._shared.spec(),
+            "net": net_spec(model),
+            "id_aliases": (None if aliases is None
+                           else np.asarray(aliases)),
+        }
+        self._request_q = ctx.Queue()
+        self._result_q = ctx.Queue()
+        self._procs = [
+            ctx.Process(target=_scorer_worker,
+                        args=(spec, self._request_q, self._result_q),
+                        daemon=True, name=f"scan-scorer-proc-{i}")
+            for i in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._jobs: dict[int, tuple[object, Callable]] = {}
+        self._jobs_lock = threading.Lock()
+        self._job_ids = itertools.count()
+        self._broken: str | None = None
+        self._closed = False
+        self._collector_stop = threading.Event()
+        self._collector = threading.Thread(
+            target=self._collect, daemon=True,
+            name="scan-scorer-collect")
+        self._collector.start()
+
+    # -- submission ----------------------------------------------------------
+
+    @property
+    def broken(self) -> str | None:
+        """Why the pool is unusable (worker death), or None."""
+        return self._broken
+
+    def submit(self, ids: np.ndarray, payload,
+               callback: Callable) -> int:
+        """Queue one (batch, length) id matrix for scoring.
+
+        ``callback(payload, scores, error)`` fires on the collector
+        thread: ``scores`` is the worker's ``predict_proba`` output on
+        success, ``error`` a message string on failure.
+        """
+        if self._closed:
+            raise RuntimeError("scorer pool is closed")
+        if self._broken is not None:
+            raise RuntimeError(
+                f"scorer workers died: {self._broken}")
+        job_id = next(self._job_ids)
+        with self._jobs_lock:
+            self._jobs[job_id] = (payload, callback)
+        self._request_q.put((job_id, ids))
+        return job_id
+
+    def score_samples(self, samples: Sequence,
+                      batch_size: int = 128) -> np.ndarray:
+        """Synchronous scores for flexible-length samples.
+
+        Exact-length bucketing (:func:`~repro.nn.data.bucketed_batches`
+        with the :data:`~repro.core.score.SCORE_MIN_LENGTH` floor)
+        mirrors :func:`repro.core.score.predict_proba`, so a row's
+        padded representation — and therefore its score — never
+        depends on its batch-mates; results are byte-identical to the
+        serial path, just scored across the pool.
+        """
+        scores = np.zeros(len(samples), dtype=self.output_dtype)
+        batches = list(bucketed_batches(
+            samples, batch_size, min_length=SCORE_MIN_LENGTH,
+            with_indices=True))
+        if not batches:
+            return scores
+        done = threading.Event()
+        lock = threading.Lock()
+        state = {"remaining": len(batches), "error": None}
+
+        def on_result(indices, batch_scores, error) -> None:
+            with lock:
+                if error is not None:
+                    state["error"] = state["error"] or str(error)
+                else:
+                    scores[indices] = batch_scores
+                state["remaining"] -= 1
+                if state["remaining"] <= 0:
+                    done.set()
+
+        submitted = 0
+        try:
+            for ids, _, indices in batches:
+                self.submit(ids, indices, on_result)
+                submitted += 1
+        except RuntimeError as error:
+            with lock:
+                state["error"] = state["error"] or str(error)
+                state["remaining"] -= len(batches) - submitted
+                if state["remaining"] <= 0:
+                    done.set()
+        done.wait()
+        if state["error"] is not None:
+            raise RuntimeError(
+                f"process scoring failed: {state['error']}")
+        return scores
+
+    # -- collection ----------------------------------------------------------
+
+    def _collect(self) -> None:
+        while True:
+            try:
+                job_id, scores, error = self._result_q.get(
+                    timeout=0.2)
+            except queue.Empty:
+                with self._jobs_lock:
+                    outstanding = bool(self._jobs)
+                if not outstanding and self._collector_stop.is_set():
+                    return
+                if outstanding and not any(proc.is_alive()
+                                           for proc in self._procs):
+                    self._fail_outstanding("all scorer worker "
+                                           "processes exited")
+                continue
+            with self._jobs_lock:
+                payload, callback = self._jobs.pop(job_id)
+            callback(payload, scores, error)
+
+    def _fail_outstanding(self, reason: str) -> None:
+        self._broken = reason
+        with self._jobs_lock:
+            entries = list(self._jobs.values())
+            self._jobs.clear()
+        for payload, callback in entries:
+            callback(payload, None, reason)
+
+    # -- lifetime ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Poison and join workers, stop the collector, free the
+        shared-memory weights (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._procs:
+            self._request_q.put(None)
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+        self._collector_stop.set()
+        self._collector.join()
+        # If workers died with batches still queued, the request
+        # queue's feeder thread is blocked on a pipe nobody will ever
+        # read; joining it at interpreter exit would hang forever.
+        self._request_q.cancel_join_thread()
+        self._result_q.cancel_join_thread()
+        self._request_q.close()
+        self._result_q.close()
+        self._shared.unlink()
+
+    def __enter__(self) -> "ScorerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -37,8 +37,6 @@ summarizes it and the CLI prints it under ``scan --stats``.
 
 from __future__ import annotations
 
-import itertools
-import multiprocessing
 import queue
 import threading
 import time
@@ -51,11 +49,12 @@ import numpy as np
 
 from ..datasets.manifest import TestCase
 from ..nn import no_grad, pad_or_truncate
-from ..nn.serialize import SharedWeights, bind_state
+from ..nn.dtype import coerce_inference_dtype
 from .detector import Finding, SEVulDet
 from .engine import Engine, ExtractStage, RunContext, Stage
 from .extract import CaseResult
 from .score import SCORE_MIN_LENGTH
+from .scorer_pool import ScorerPool
 from .telemetry import Telemetry
 
 __all__ = ["CaseVerdict", "ResultCache", "ShardedResultCache",
@@ -421,108 +420,36 @@ class ThreadScorer(Scorer):
                         pending._complete(index, float(score))
 
 
-def _net_spec(model) -> dict:
-    """Constructor arguments that rebuild ``model``'s architecture
-    (weights travel separately, via shared memory)."""
-    return {
-        "vocab_size": model.embedding.vocab_size,
-        "dim": model.embedding.dim,
-        "channels": int(model.conv.weight.data.shape[0]),
-        "kernel": model.kernel,
-        "use_token_attention": model.use_token_attention,
-        "use_cbam": model.use_cbam,
-        "bins": tuple(model.spp.bins),
-    }
-
-
-def _scorer_worker(spec: dict, request_q, result_q) -> None:
-    """Scorer worker process body: attach shared weights, score
-    ``(job_id, ids)`` requests until the ``None`` poison pill."""
-    from ..models.sevuldet import SEVulDetNet
-
-    shared = SharedWeights.attach(spec["weights"])
-    net = dict(spec["net"])
-    net["bins"] = tuple(net["bins"])
-    model = SEVulDetNet(net.pop("vocab_size"), **net)
-    bind_state(model, shared.arrays())
-    if spec["id_aliases"] is not None:
-        model.embedding.id_aliases = np.asarray(spec["id_aliases"],
-                                                dtype=np.int64)
-    model.eval()
-    try:
-        with no_grad():
-            while True:
-                job = request_q.get()
-                if job is None:
-                    return
-                job_id, ids = job
-                try:
-                    scores = model.predict_proba(ids)
-                    result_q.put((job_id, scores, None))
-                except Exception as error:
-                    result_q.put(
-                        (job_id, None,
-                         f"{type(error).__name__}: {error}"))
-    finally:
-        shared.close()
-
-
 class ProcessScorer(Scorer):
     """Multi-process backend: the GIL-free scoring path.
 
     The parent keeps the batching policy (one dispatcher thread drains
     the submission queue and forms length-grouped batches — identical
     grouping to :class:`ThreadScorer`, so scores stay byte-identical)
-    and ships ``(job_id, ids)`` arrays to N spawned worker processes.
-    Model weights cross the boundary once, as a
-    :class:`~repro.nn.serialize.SharedWeights` block every worker maps
-    read-only; only token-id batches and score vectors travel through
-    the queues.  A collector thread matches results back to their
-    :class:`_Pending` entries and watches for dead workers so a
-    crashed forward pass fails the affected scans instead of hanging
-    them.
+    and feeds batches to a shared
+    :class:`~repro.core.scorer_pool.ScorerPool` — the one process-pool
+    implementation this backend shares with the engine's
+    ``ScoreStage(workers=N)`` mode.  Model weights cross the process
+    boundary once, as a :class:`~repro.nn.serialize.SharedWeights`
+    block every worker maps read-only; the pool's collector thread
+    routes results back to their :class:`_Pending` entries and fails
+    affected scans when workers die instead of hanging them.
     """
 
     def __init__(self, model, batch_size: int, workers: int,
                  telemetry, *, start_method: str = "spawn"):
         super().__init__(batch_size, workers, telemetry)
-        ctx = multiprocessing.get_context(start_method)
-        self._shared = SharedWeights.export(model.state_dict())
-        aliases = model.embedding.id_aliases
-        spec = {
-            "weights": self._shared.spec(),
-            "net": _net_spec(model),
-            "id_aliases": (None if aliases is None
-                           else np.asarray(aliases)),
-        }
-        self._request_q = ctx.Queue()
-        self._result_q = ctx.Queue()
-        self._procs = [
-            ctx.Process(target=_scorer_worker,
-                        args=(spec, self._request_q, self._result_q),
-                        daemon=True, name=f"scan-scorer-proc-{i}")
-            for i in range(workers)
-        ]
-        for proc in self._procs:
-            proc.start()
-        self._jobs: dict[int, list[tuple[_Pending, int]]] = {}
-        self._jobs_lock = threading.Lock()
-        self._job_ids = itertools.count()
-        self._broken: str | None = None
-        self._collector_stop = threading.Event()
+        self._pool = ScorerPool(model, workers,
+                                start_method=start_method)
         self._dispatcher = threading.Thread(
             target=self._dispatch, daemon=True,
             name="scan-scorer-dispatch")
-        self._collector = threading.Thread(
-            target=self._collect, daemon=True,
-            name="scan-scorer-collect")
         self._dispatcher.start()
-        self._collector.start()
 
     def submit(self, samples: Sequence[Sequence[int]]) -> _Pending:
-        if self._broken is not None:
+        if self._pool.broken is not None:
             raise RuntimeError(
-                f"scorer workers died: {self._broken}")
+                f"scorer workers died: {self._pool.broken}")
         return super().submit(samples)
 
     def close(self) -> None:
@@ -531,18 +458,7 @@ class ProcessScorer(Scorer):
         self._closed = True
         self._poison()
         self._dispatcher.join()  # drains queued submissions first
-        for _ in self._procs:
-            self._request_q.put(None)
-        for proc in self._procs:
-            proc.join(timeout=10.0)
-            if proc.is_alive():  # pragma: no cover - hung worker
-                proc.terminate()
-                proc.join(timeout=2.0)
-        self._collector_stop.set()
-        self._collector.join()
-        self._request_q.close()
-        self._result_q.close()
-        self._shared.unlink()
+        self._pool.close()
 
     def _dispatch(self) -> None:
         while True:
@@ -550,47 +466,26 @@ class ProcessScorer(Scorer):
             if jobs is None:
                 return
             for chunk, ids in self._grouped(jobs):
-                job_id = next(self._job_ids)
-                with self._jobs_lock:
-                    self._jobs[job_id] = chunk
                 self._record_batch(chunk)
-                self._request_q.put((job_id, ids))
+                try:
+                    self._pool.submit(ids, chunk, self._deliver)
+                except RuntimeError as error:
+                    # pool broken mid-drain: fail this chunk instead
+                    # of dropping it silently
+                    failure = RuntimeError(str(error))
+                    for pending, _ in chunk:
+                        pending._fail(failure)
 
-    def _collect(self) -> None:
-        while True:
-            try:
-                job_id, scores, error = self._result_q.get(
-                    timeout=0.2)
-            except queue.Empty:
-                with self._jobs_lock:
-                    outstanding = bool(self._jobs)
-                if not outstanding and self._collector_stop.is_set():
-                    return
-                if outstanding and not any(proc.is_alive()
-                                           for proc in self._procs):
-                    self._fail_outstanding("all scorer worker "
-                                           "processes exited")
-                continue
-            with self._jobs_lock:
-                chunk = self._jobs.pop(job_id)
-            if error is not None:
-                failure = RuntimeError(
-                    f"scorer worker failed: {error}")
-                for pending, _ in chunk:
-                    pending._fail(failure)
-                continue
-            for (pending, index), score in zip(chunk, scores):
-                pending._complete(index, float(score))
-
-    def _fail_outstanding(self, reason: str) -> None:
-        self._broken = reason
-        error = RuntimeError(reason)
-        with self._jobs_lock:
-            chunks = list(self._jobs.values())
-            self._jobs.clear()
-        for chunk in chunks:
+    @staticmethod
+    def _deliver(chunk, scores, error) -> None:
+        """Pool callback: route one batch's result to its cases."""
+        if error is not None:
+            failure = RuntimeError(f"scorer worker failed: {error}")
             for pending, _ in chunk:
-                pending._fail(error)
+                pending._fail(failure)
+            return
+        for (pending, index), score in zip(chunk, scores):
+            pending._complete(index, float(score))
 
 
 _SCORER_BACKENDS = {"thread": ThreadScorer, "process": ProcessScorer}
@@ -654,8 +549,15 @@ class ScanService:
                  result_cache: ResultCache | ShardedResultCache
                  | None = None,
                  telemetry: Telemetry | None = None,
-                 scorer: str = "thread"):
+                 scorer: str = "thread",
+                 dtype: str | None = None,
+                 calibration: Sequence[TestCase] | None = None):
         model, self._vocab = detector._require_trained()
+        # Reduced-precision serving: quantize before the config token
+        # is computed, so cached verdicts can never cross dtypes.
+        if dtype is not None and \
+                coerce_inference_dtype(dtype) != detector.inference_dtype:
+            detector.quantize(dtype, calibration)
         model.eval()  # deterministic scoring: dropout off, once
         self.detector = detector
         # Service-lifetime telemetry: stats() reflects this service's

@@ -15,6 +15,7 @@ import numpy as np
 from ..nn import (CBAM, Conv1d, Dropout, Embedding, Linear, Module,
                   SpatialPyramidPooling1d, Tensor, TokenAttention,
                   stable_sigmoid)
+from .fused import InferenceKernel
 
 __all__ = ["SEVulDetNet", "DECISION_THRESHOLD"]
 
@@ -64,6 +65,7 @@ class SEVulDetNet(Module):
         self.fc2 = Linear(256, 64, rng)
         self.fc3 = Linear(64, 1, rng)
         self.dropout = Dropout(dropout, rng)
+        self._infer_kernel: InferenceKernel | None = None
 
     def forward(self, token_ids: np.ndarray) -> Tensor:
         """(batch, length) int ids -> (batch,) logits."""
@@ -79,20 +81,48 @@ class SEVulDetNet(Module):
         hidden = self.dropout(self.fc2(hidden).relu())
         return self.fc3(hidden).reshape(-1)           # logits
 
+    def forward_inference(self, token_ids: np.ndarray) -> np.ndarray:
+        """Inference-only fused forward: (batch, length) ids ->
+        (batch,) logit ndarray, no autograd graph.
+
+        Bit-identical to ``forward(ids).data`` at float32 (pinned by
+        ``tests/models/test_fused.py``); under float16/int8 weights it
+        is the measured-guardband path (see
+        :meth:`repro.core.detector.SEVulDet.quantize`).  Dropout is
+        treated as identity, so callers must be in eval mode — exactly
+        the regime :meth:`predict_proba` routes through it.
+        """
+        kernel = self._infer_kernel
+        if kernel is None:
+            kernel = self._infer_kernel = InferenceKernel(self)
+        return kernel(token_ids)
+
     def predict_proba(self, token_ids: np.ndarray) -> np.ndarray:
-        """Sigmoid scores in [0, 1] (stable under any compute dtype)."""
-        logits = self.forward(token_ids).data
+        """Sigmoid scores in [0, 1] (stable under any compute dtype).
+
+        In eval mode the logits come from the fused
+        :meth:`forward_inference` kernel; a model still in training
+        mode falls back to the graph forward so dropout stays live.
+        """
+        logits = (self.forward(token_ids).data if self.training
+                  else self.forward_inference(token_ids))
         return stable_sigmoid(logits)
 
     def attention_weights(self, token_ids: np.ndarray) -> np.ndarray:
         """Token-attention weights for one batch (RQ4 hook).
 
         Returns (batch, length) softmax weights; requires
-        ``use_token_attention``.
+        ``use_token_attention``.  The model's training mode is
+        restored afterwards, so a mid-training inspection cannot
+        silently leave dropout disabled for the rest of the run.
         """
         if not self.use_token_attention:
             raise ValueError("model was built without token attention")
+        was_training = self.training
         self.eval()
-        self.forward(token_ids)
+        try:
+            self.forward(token_ids)
+        finally:
+            self.train(was_training)
         assert self.token_attention.last_weights is not None
         return self.token_attention.last_weights

@@ -110,7 +110,7 @@ class TestPersistenceFailures:
         path = tmp_path / "model.npz"
         path.write_bytes(b"definitely not an npz archive")
         detector = SEVulDet(scale=TINY)
-        with pytest.raises(Exception):
+        with pytest.raises((ValueError, OSError)):
             detector.load(path)
 
     def test_loading_missing_file_fails_cleanly(self, tmp_path):

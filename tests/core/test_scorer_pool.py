@@ -1,0 +1,115 @@
+"""ScorerPool: the shared process-pool scoring substrate.
+
+One pool implementation backs both the scan server's process backend
+and ``ScoreStage(workers=N)``; the contract here is byte-identity with
+the serial :func:`~repro.core.score.predict_proba` path plus fail-fast
+behavior when workers die.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.encode import encode_gadgets
+from repro.core.engine import Engine, ScoreStage
+from repro.core.extract import extract_gadgets
+from repro.core.score import predict_proba
+from repro.core.scorer_pool import ScorerPool, net_spec
+from repro.datasets.sard import generate_sard_corpus
+from repro.models.sevuldet import SEVulDetNet
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    corpus = generate_sard_corpus(20, seed=23)
+    return encode_gadgets(extract_gadgets(corpus), dim=8,
+                          w2v_epochs=0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def model(dataset):
+    net = SEVulDetNet(len(dataset.vocab), dim=8, channels=8,
+                      pretrained=dataset.word2vec.vectors, seed=3)
+    dataset.bind_embedding_aliases(net)
+    net.eval()
+    return net
+
+
+@pytest.fixture(scope="module")
+def samples(dataset):
+    return [g.sample(dataset.vocab) for g in dataset.gadgets]
+
+
+def test_net_spec_rebuilds_architecture(model):
+    spec = net_spec(model)
+    clone = SEVulDetNet(spec.pop("vocab_size"), **spec)
+    assert sorted(clone.state_dict()) == sorted(model.state_dict())
+    for key, value in clone.state_dict().items():
+        assert value.shape == model.state_dict()[key].shape, key
+
+
+class TestScoreSamples:
+    def test_byte_identical_to_serial_path(self, model, samples):
+        expected = predict_proba(model, samples)
+        with ScorerPool(model, workers=2) as pool:
+            scores = pool.score_samples(samples)
+            assert scores.dtype == expected.dtype
+            assert np.array_equal(scores, expected)
+            # a second round reuses the same workers
+            assert np.array_equal(pool.score_samples(samples),
+                                  expected)
+
+    def test_empty_input_returns_empty(self, model):
+        with ScorerPool(model, workers=1) as pool:
+            scores = pool.score_samples([])
+            assert scores.shape == (0,)
+
+    def test_rejects_invalid_worker_count(self, model):
+        with pytest.raises(ValueError, match="workers"):
+            ScorerPool(model, workers=0)
+
+
+class TestFailureModes:
+    def test_worker_death_fails_instead_of_hanging(self, model,
+                                                   samples):
+        pool = ScorerPool(model, workers=1)
+        try:
+            for proc in pool._procs:
+                proc.terminate()
+                proc.join(timeout=10.0)
+            with pytest.raises(RuntimeError,
+                               match="process scoring failed"):
+                pool.score_samples(samples)
+            assert pool.broken is not None
+            with pytest.raises(RuntimeError,
+                               match="scorer workers died"):
+                pool.submit(np.zeros((1, 4), dtype=np.int64), None,
+                            lambda *args: None)
+        finally:
+            pool.close()
+
+    def test_submit_after_close_raises(self, model):
+        pool = ScorerPool(model, workers=1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(np.zeros((1, 4), dtype=np.int64), None,
+                        lambda *args: None)
+
+
+class TestScoreStageWorkers:
+    def test_workers_mode_matches_serial_stage(self, dataset, model):
+        gadgets = dataset.gadgets
+        serial = Engine(ScoreStage(model, dataset.vocab),
+                        chunk_size=7).run(gadgets)
+        pooled = Engine(ScoreStage(model, dataset.vocab, workers=1),
+                        chunk_size=7).run(gadgets)
+        assert len(serial) == len(pooled)
+        for (left_g, left_s), (right_g, right_s) in zip(serial,
+                                                        pooled):
+            assert left_g == right_g
+            assert np.array_equal(left_s, right_s)
+
+    def test_pool_is_released_on_close(self, dataset, model):
+        stage = ScoreStage(model, dataset.vocab, workers=1)
+        Engine(stage, chunk_size=7).run(dataset.gadgets)
+        assert stage._pool is None

@@ -108,7 +108,7 @@ class TestParserProperties:
         cfg = build_cfg(unit.functions[0])
         def_use = collect_def_use(cfg)
         reach = reaching_definitions(cfg, def_use)
-        for node_id, facts in reach.items():
+        for facts in reach.values():
             for var, def_node in facts:
                 assert var in def_use[def_node].defs
 

@@ -1,0 +1,177 @@
+"""Golden pins for the fused inference forward (repro.models.fused).
+
+The contract: ``forward_inference`` is *bitwise* identical to the
+autograd ``forward`` at float32, and stays within a measured guardband
+under the reduced-precision weight representations
+(:mod:`repro.nn.quantize`).  These tests are what lets
+``predict_proba`` route every eval-mode scoring call through the fused
+kernel without re-validating the serve/engine byte-identity pins.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.models.sevuldet import SEVulDetNet
+from repro.nn import default_dtype, no_grad
+from repro.nn.quantize import apply_inference_dtype
+
+
+def build(seed=1, vocab=40, dim=12, channels=8, **kw):
+    net = SEVulDetNet(vocab_size=vocab, dim=dim, channels=channels,
+                      seed=seed, **kw)
+    net.eval()
+    return net
+
+
+def batch(rng, vocab=40, shape=(3, 11)):
+    return rng.integers(0, vocab, size=shape)
+
+
+class TestBitIdentityFloat32:
+    @pytest.mark.parametrize("shape", [(1, 4), (3, 11), (5, 57),
+                                       (2, 7)])
+    def test_matches_graph_forward_bitwise(self, shape):
+        net = build()
+        ids = batch(np.random.default_rng(0), shape=shape)
+        with no_grad():
+            reference = net.forward(ids).data
+            fused = net.forward_inference(ids)
+        assert fused.dtype == reference.dtype
+        assert np.array_equal(fused, reference)
+
+    def test_scratch_reuse_stays_identical(self):
+        """Second and third calls hit the preallocated buffers."""
+        net = build()
+        rng = np.random.default_rng(1)
+        with no_grad():
+            for _ in range(3):
+                ids = batch(rng)
+                assert np.array_equal(net.forward_inference(ids),
+                                      net.forward(ids).data)
+
+    @pytest.mark.parametrize("tok,cbam", [(False, True), (True, False),
+                                          (False, False)])
+    def test_ablations(self, tok, cbam):
+        net = build(use_token_attention=tok, use_cbam=cbam)
+        ids = batch(np.random.default_rng(2))
+        with no_grad():
+            assert np.array_equal(net.forward_inference(ids),
+                                  net.forward(ids).data)
+
+    def test_id_aliases_respected(self):
+        net = build()
+        aliases = np.arange(40, dtype=np.int64)
+        aliases[30:] = 1
+        net.embedding.id_aliases = aliases
+        ids = batch(np.random.default_rng(3))
+        with no_grad():
+            assert np.array_equal(net.forward_inference(ids),
+                                  net.forward(ids).data)
+
+    def test_float64_session_bitwise(self):
+        with default_dtype(np.float64):
+            net = build()
+            ids = batch(np.random.default_rng(4))
+            with no_grad():
+                fused = net.forward_inference(ids)
+                assert fused.dtype == np.float64
+                assert np.array_equal(fused, net.forward(ids).data)
+
+    def test_predict_proba_routes_through_fused_in_eval(self):
+        net = build()
+        ids = batch(np.random.default_rng(5))
+        with no_grad():
+            from repro.nn import stable_sigmoid
+            expected = stable_sigmoid(net.forward_inference(ids))
+            assert np.array_equal(net.predict_proba(ids), expected)
+
+    def test_thread_safety_of_scratch_buffers(self):
+        """Concurrent callers (the thread scorer) must not share
+        scratch — each thread's outputs stay bit-identical."""
+        net = build()
+        rng = np.random.default_rng(6)
+        batches = [batch(rng, shape=(4, 13)) for _ in range(4)]
+        with no_grad():
+            expected = [net.forward(ids).data for ids in batches]
+        errors = []
+
+        def worker(index):
+            try:
+                with no_grad():
+                    for _ in range(20):
+                        got = net.forward_inference(batches[index])
+                        if not np.array_equal(got, expected[index]):
+                            raise AssertionError("scratch corruption")
+            except BaseException as error:  # propagate to main thread
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestReducedPrecisionGuardband:
+    def _probs(self, net, ids):
+        with no_grad():
+            return net.predict_proba(ids).astype(np.float64)
+
+    @pytest.mark.parametrize("dtype,tolerance", [("float16", 5e-3),
+                                                 ("int8", 2e-2)])
+    def test_delta_vs_float32_is_bounded(self, dtype, tolerance):
+        net = build()
+        ids = batch(np.random.default_rng(7), shape=(8, 15))
+        base = self._probs(net, ids)
+        apply_inference_dtype(net, dtype)
+        delta = np.abs(self._probs(net, ids) - base)
+        assert delta.max() < tolerance
+
+    def test_float16_weights_emit_float16_scores(self):
+        net = build()
+        apply_inference_dtype(net, "float16")
+        ids = batch(np.random.default_rng(8))
+        with no_grad():
+            assert net.predict_proba(ids).dtype == np.float16
+
+    def test_int8_dequantizes_into_float32(self):
+        net = build()
+        apply_inference_dtype(net, "int8")
+        for param in net.parameters():
+            assert param.data.dtype == np.float32
+        ids = batch(np.random.default_rng(9))
+        with no_grad():
+            assert net.predict_proba(ids).dtype == np.float32
+
+    def test_weight_rebind_invalidates_f32_cache(self):
+        """The float16 kernel caches float32 weight casts keyed on
+        array identity; rebinding weights must refresh them."""
+        net = build()
+        apply_inference_dtype(net, "float16")
+        ids = batch(np.random.default_rng(10))
+        with no_grad():
+            before = net.forward_inference(ids)
+            net.fc3.bias.data = net.fc3.bias.data + np.float16(1.0)
+            net.fc1.weight.data = (net.fc1.weight.data
+                                   * np.float16(2.0))
+            after = net.forward_inference(ids)
+        assert not np.array_equal(before, after)
+
+
+class TestAttentionWeightsModeRestore:
+    def test_training_mode_survives_inspection(self):
+        net = SEVulDetNet(vocab_size=20, dim=8, channels=8)
+        assert net.training
+        net.attention_weights(np.zeros((1, 6), dtype=np.int64))
+        assert net.training
+        assert net.dropout.training  # dropout still live mid-training
+
+    def test_eval_mode_also_survives(self):
+        net = SEVulDetNet(vocab_size=20, dim=8, channels=8)
+        net.eval()
+        net.attention_weights(np.zeros((1, 6), dtype=np.int64))
+        assert not net.training

@@ -60,5 +60,6 @@ def assert_grad_close(analytic, numeric, atol=1e-6, rtol=1e-5):
     bound = atol + rtol * scale
     if not (diff <= bound).all():
         worst = (diff - bound).max()
-        assert False, (f"gradient mismatch: max |diff| - tol = {worst} "
-                       f"(atol={atol}, rtol={rtol})")
+        raise AssertionError(
+            f"gradient mismatch: max |diff| - tol = {worst} "
+            f"(atol={atol}, rtol={rtol})")

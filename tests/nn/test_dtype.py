@@ -48,7 +48,21 @@ class TestPolicy:
 
     def test_coerce_rejects_unknown_env_value(self):
         with pytest.raises(ValueError):
-            _coerce("float16")
+            _coerce("int8")
+
+    def test_float16_is_a_valid_storage_dtype(self):
+        with default_dtype(np.float16):
+            assert get_default_dtype() == np.float16
+            assert Tensor([1.0, 2.0]).data.dtype == np.float16
+
+    def test_inference_dtype_vocabulary(self):
+        from repro.nn import INFERENCE_DTYPES, coerce_inference_dtype
+        for name in INFERENCE_DTYPES:
+            assert coerce_inference_dtype(name) == name
+        with pytest.raises(ValueError):
+            coerce_inference_dtype("float64")
+        with pytest.raises(ValueError):
+            coerce_inference_dtype("bfloat16")
 
     def test_gradients_match_parameter_dtype(self):
         with default_dtype(np.float32):

@@ -52,15 +52,24 @@ class TestStableSigmoid:
 class TestPredictProbaStability:
     def test_model_predict_proba_never_warns(self, monkeypatch):
         """End-to-end: a model whose head emits extreme float32 logits
-        must score without any floating-point warning."""
+        must score without any floating-point warning, through both
+        the eval-mode fused kernel and the training-mode graph
+        forward that ``predict_proba`` routes between."""
         model = SEVulDetNet(vocab_size=16, dim=8, channels=4, seed=0)
         model.eval()
         logits = np.array(EXTREME, dtype=np.float32)
         monkeypatch.setattr(model, "forward",
                             lambda token_ids: Tensor(logits))
+        monkeypatch.setattr(model, "forward_inference",
+                            lambda token_ids: logits)
         token_ids = np.zeros((len(EXTREME), 6), dtype=np.int64)
-        with np.errstate(over="raise", invalid="raise"):
-            probs = model.predict_proba(token_ids)
-        assert np.isfinite(probs).all()
-        assert probs[1] < 1e-200    # sigmoid(-500) is vanishingly small
-        assert probs[-2] == 1.0     # sigmoid(+500) saturates to 1
+        for mode in (model.eval, model.train):
+            mode()
+            with np.errstate(over="raise", invalid="raise"):
+                probs = model.predict_proba(token_ids)
+            assert np.isfinite(probs).all()
+            # Scores keep the logits' compute dtype, so sigmoid(-500)
+            # saturates at that dtype's underflow floor: ~3e-39 under
+            # float32, ~7e-218 under float64 — tiny either way.
+            assert probs[1] < 1e-38
+            assert probs[-2] == 1.0   # sigmoid(+500) saturates to 1
