@@ -173,6 +173,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-pending", type=int, default=64,
                        help="per-client in-flight budget; scans "
                             "over it are shed immediately")
+    serve.add_argument("--max-restarts", type=int, default=3,
+                       help="dead scorer workers respawned per "
+                            "--restart-window before the service "
+                            "falls back to degraded in-process "
+                            "scoring (0 disables self-healing)")
+    serve.add_argument("--restart-window", type=float, default=30.0,
+                       help="sliding window (seconds) for the "
+                            "--max-restarts budget")
     serve.add_argument("--dispatchers", type=int, default=2,
                        help="dispatcher threads batching admitted "
                             "requests into scan_cases calls")
@@ -382,6 +390,12 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         print(f"  result cache: {cache['hits']} hit(s), "
               f"{cache['misses']} miss(es) "
               f"(rate {cache['hit_rate']:.2f})")
+        resilience = stats["resilience"]
+        print(f"  resilience: health={resilience['health']} "
+              f"scorer={resilience['scorer']}, "
+              f"{resilience['respawns']} respawn(s), "
+              f"{resilience['fallbacks']} fallback(s), "
+              f"{resilience['retries']} rescored submit(s)")
         print(service.telemetry.summary())
     return exit_code
 
@@ -444,7 +458,15 @@ def _cmd_scan_connect(args: argparse.Namespace) -> int:
         print(f"  server: {server['scans']} scan(s), "
               f"{server['shed']} shed, {server['reloads']} "
               f"reload(s), {server['clients']} client(s), "
-              f"scorer={server['scorer']}")
+              f"scorer={server['scorer']}, "
+              f"health={server['health']}")
+        resilience = service.get("resilience")
+        if resilience:
+            print(f"  resilience: {resilience['respawns']} "
+                  f"respawn(s), {resilience['fallbacks']} "
+                  f"fallback(s), {server['deadline_expired']} "
+                  f"deadline-expired, {server['conn_drops']} "
+                  f"conn drop(s)")
         if fill.get("count"):
             print(f"  batch fill mean={fill['mean']:.2f} "
                   f"p95={fill['p95']:.2f}")
@@ -456,6 +478,7 @@ def _cmd_scan_connect(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .core.scorer_pool import RestartPolicy
     from .core.server import ScanServer
 
     server = ScanServer(
@@ -467,7 +490,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port, workers=args.workers,
         batch_size=args.batch_size, scorer=args.scorer,
         max_pending=args.max_pending, dispatchers=args.dispatchers,
-        cache_capacity=args.cache_capacity)
+        cache_capacity=args.cache_capacity,
+        restart_policy=RestartPolicy(
+            max_restarts=args.max_restarts,
+            window_s=args.restart_window))
     server.start()
     # announced on stdout so wrappers (and the benchmark harness) can
     # learn the picked TCP port; flush before blocking forever

@@ -330,7 +330,8 @@ class ScoreStage(Stage):
             from .scorer_pool import ScorerPool
 
             self.model.eval()
-            self._pool = ScorerPool(self.model, self.workers)
+            self._pool = ScorerPool(self.model, self.workers,
+                                    telemetry=ctx.telemetry)
 
     def close(self, ctx: RunContext) -> None:
         if self._pool is not None:

@@ -13,18 +13,30 @@ arriving out of submission order (the server's dispatcher pool makes
 no ordering promise across requests).
 
 :class:`ScanClient` is the blocking client used by ``scan --connect``,
-the benchmark harness, and the tests.  It is intentionally dumb: a
-socket, a line buffer, and JSON — the server holds all the policy.
+the benchmark harness, and the tests.  The wire format stays dumb —
+a socket, a line buffer, and JSON — but the client self-heals under a
+:class:`RetryPolicy` (the default): a dropped connection triggers
+transparent reconnect with jittered exponential backoff and
+resubmission of every still-unanswered id (idempotent: verdicts are
+cached server-side by fingerprint + config token, so a re-scored
+duplicate is byte-identical and cheap), and a ``shed`` response is
+retried after the server's ``retry_after_ms`` hint instead of being
+surfaced as a dead end.  ``retry=None`` restores the fail-fast
+pre-PR-8 behavior the admission-control tests pin.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
+from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["MAX_LINE_BYTES", "ProtocolError", "encode_message",
-           "decode_message", "read_message", "connect", "ScanClient"]
+__all__ = ["MAX_LINE_BYTES", "ProtocolError", "RetryPolicy",
+           "encode_message", "decode_message", "read_message",
+           "connect", "ScanClient"]
 
 #: Upper bound on one message line. Scan requests embed whole source
 #: files, so this is generous — but a peer that streams an unbounded
@@ -108,6 +120,29 @@ def _split_hostport(address: str) -> tuple[str | None, int]:
     return host.strip("[]") or "127.0.0.1", number
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side self-healing knobs.
+
+    ``attempts`` bounds connect/reconnect tries per disruption, spaced
+    ``base_delay * 2**attempt`` seconds (capped at ``max_delay``) with
+    ``±jitter`` fractional randomization so a fleet of clients does
+    not reconnect in lockstep.  ``shed_retries`` bounds how many times
+    one request is resubmitted after ``shed`` responses before the
+    shed is surfaced to the caller.  ``max_disruptions`` bounds total
+    connection losses absorbed inside one :meth:`ScanClient.scan_batch`
+    call — a flapping server eventually errors out instead of looping
+    forever.
+    """
+
+    attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    shed_retries: int = 4
+    max_disruptions: int = 64
+
+
 class ScanClient:
     """Blocking JSONL client for one scan-server connection.
 
@@ -116,14 +151,67 @@ class ScanClient:
     :meth:`scan_batch`: all requests are written before any response
     is read, which is what actually exercises the server's batching
     and admission control.
+
+    With the default ``retry`` policy the client is self-healing (see
+    the module docstring); pass ``retry=None`` for the fail-fast
+    single-connection behavior.  :attr:`reconnects`,
+    :attr:`shed_retried`, and :attr:`backoff_seconds` count what the
+    healing cost.
     """
 
-    def __init__(self, address: str, timeout: float | None = 60.0):
+    def __init__(self, address: str, timeout: float | None = 60.0,
+                 retry: RetryPolicy | None = RetryPolicy()):
         self.address = address
-        self._sock = connect(address, timeout=timeout)
-        self._reader = self._sock.makefile("rb")
+        self.retry = retry
+        self.reconnects = 0
+        self.shed_retried = 0
+        self.backoff_seconds = 0.0
+        self._timeout = timeout
+        self._rng = random.Random()
+        attempt = 0
+        while True:
+            try:
+                self._open()
+                return
+            except OSError:
+                if retry is None or attempt >= retry.attempts - 1:
+                    raise
+                self._sleep(self._delay(attempt))
+                attempt += 1
 
     # -- plumbing ------------------------------------------------------------
+
+    def _open(self) -> None:
+        self._sock = connect(self.address, timeout=self._timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def _delay(self, attempt: int) -> float:
+        delay = min(self.retry.max_delay,
+                    self.retry.base_delay * (2 ** attempt))
+        if self.retry.jitter:
+            delay *= 1 + self.retry.jitter * (
+                self._rng.random() * 2 - 1)
+        return delay
+
+    def _sleep(self, seconds: float) -> None:
+        self.backoff_seconds += seconds
+        time.sleep(seconds)
+
+    def _reconnect(self) -> None:
+        """Close the dead socket and dial again under the policy."""
+        self.close()
+        last: OSError | None = None
+        for attempt in range(self.retry.attempts):
+            self._sleep(self._delay(attempt))
+            try:
+                self._open()
+                self.reconnects += 1
+                return
+            except OSError as error:
+                last = error
+        raise ProtocolError(
+            f"could not reconnect to {self.address} after "
+            f"{self.retry.attempts} attempts: {last}") from last
 
     def send(self, message: dict) -> None:
         self._sock.sendall(encode_message(message))
@@ -135,15 +223,29 @@ class ScanClient:
         return message
 
     def request(self, message: dict) -> dict:
-        """One synchronous round trip."""
-        self.send(message)
-        return self.receive()
+        """One synchronous round trip (one reconnect+resend cycle
+        under the retry policy — safe because every op here is
+        idempotent or answered before it acts)."""
+        try:
+            self.send(message)
+            return self.receive()
+        except (ProtocolError, OSError):
+            if self.retry is None:
+                raise
+            self._reconnect()
+            self.send(message)
+            return self.receive()
 
     def close(self) -> None:
         try:
             self._reader.close()
+        except OSError:  # pragma: no cover - already dead
+            pass
         finally:
-            self._sock.close()
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
 
     def __enter__(self) -> "ScanClient":
         return self
@@ -155,6 +257,9 @@ class ScanClient:
 
     def ping(self) -> dict:
         return self.request({"op": "ping"})
+
+    def health(self) -> dict:
+        return self.request({"op": "health"})
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})
@@ -174,7 +279,8 @@ class ScanClient:
         return self.request({"op": "scan", "id": request_id,
                              "name": name, "source": source})
 
-    def scan_batch(self, requests: list[dict]) -> list[dict]:
+    def scan_batch(self, requests: list[dict],
+                   deadline_ms: int | None = None) -> list[dict]:
         """Pipeline many scan requests; responses in request order.
 
         Each request dict needs ``name`` and ``source``; ids are
@@ -182,21 +288,83 @@ class ScanClient:
         responses (which may arrive in any order) are matched back by
         id — including ``shed`` rejections, which the server sends
         immediately while earlier requests are still in flight.
+
+        Under the retry policy no verdict is lost to a disruption: a
+        dropped connection reconnects (jittered exponential backoff)
+        and resubmits every still-unanswered id — idempotent, because
+        the server caches verdicts by fingerprint + config token — and
+        ``shed`` responses are retried after the server's
+        ``retry_after_ms`` hint, up to ``shed_retries`` times each
+        before the shed is returned as the answer.
         """
+        payloads = {}
         for index, request in enumerate(requests):
-            self.send({"op": "scan", "id": str(index),
+            payload = {"op": "scan", "id": str(index),
                        "name": request["name"],
-                       "source": request["source"]})
+                       "source": request["source"]}
+            if deadline_ms is not None:
+                payload["deadline_ms"] = deadline_ms
+            payloads[str(index)] = payload
+        if self.retry is None:
+            return self._scan_batch_once(payloads)
+        return self._scan_batch_retrying(payloads)
+
+    def _scan_batch_once(self, payloads: dict[str, dict]
+                         ) -> list[dict]:
+        """Fail-fast pipelining: one connection, no resubmission."""
+        for payload in payloads.values():
+            self.send(payload)
         by_id: dict[str, dict] = {}
-        for _ in requests:
+        for _ in payloads:
             response = self.receive()
             by_id[str(response.get("id"))] = response
-        missing = [str(i) for i in range(len(requests))
-                   if str(i) not in by_id]
+        missing = [rid for rid in payloads if rid not in by_id]
         if missing:
             raise ProtocolError(
                 f"server never answered request id(s) {missing}")
-        return [by_id[str(i)] for i in range(len(requests))]
+        return [by_id[str(i)] for i in range(len(payloads))]
+
+    def _scan_batch_retrying(self, payloads: dict[str, dict]
+                             ) -> list[dict]:
+        answered: dict[str, dict] = {}
+        unanswered = dict(payloads)
+        shed_counts: dict[str, int] = {}
+        to_send = sorted(unanswered, key=int)
+        disruptions = 0
+        while unanswered:
+            try:
+                while to_send:
+                    self.send(unanswered[to_send[0]])
+                    to_send.pop(0)
+                response = self.receive()
+            except (ProtocolError, OSError):
+                disruptions += 1
+                if disruptions > self.retry.max_disruptions:
+                    raise
+                # answers in flight on the dead connection are gone;
+                # reconnect and resubmit every unanswered id (the
+                # server's verdict cache makes duplicates cheap and
+                # byte-identical)
+                self._reconnect()
+                to_send = sorted(unanswered, key=int)
+                continue
+            rid = str(response.get("id"))
+            if rid not in unanswered:
+                continue  # stale duplicate from a resubmission
+            if response.get("status") == "shed" and \
+                    shed_counts.get(rid, 0) < self.retry.shed_retries:
+                shed_counts[rid] = shed_counts.get(rid, 0) + 1
+                self.shed_retried += 1
+                hint = response.get("retry_after_ms")
+                seconds = (float(hint) / 1000.0
+                           if isinstance(hint, (int, float))
+                           else 0.1)
+                self._sleep(min(max(seconds, 0.0), 1.0))
+                to_send.append(rid)
+                continue
+            answered[rid] = response
+            del unanswered[rid]
+        return [answered[str(i)] for i in range(len(payloads))]
 
     def scan_paths(self, paths: list[str | Path]) -> list[dict]:
         """Read local files and scan them remotely (order preserved)."""

@@ -133,6 +133,7 @@ class Quarantine:
     def _load(self) -> set[str]:
         if self._fingerprints is None:
             found: set[str] = set()
+            skipped = 0
             try:
                 with self.path.open() as handle:
                     for line in handle:
@@ -143,10 +144,19 @@ class Quarantine:
                             record = json.loads(line)
                             fingerprint = record["fingerprint"]
                         except (ValueError, TypeError, KeyError):
-                            continue  # tolerate torn/corrupt lines
+                            skipped += 1  # tolerate torn lines
+                            continue
                         found.add(str(fingerprint))
             except OSError:
                 pass
+            if skipped:
+                # visible, not fatal: operators should know records
+                # were lost to a torn write, but a half-written line
+                # must never take the run down
+                logger.warning(
+                    "%s: skipped %d corrupt quarantine line(s) "
+                    "(torn writes from an interrupted process)",
+                    self.path, skipped)
             self._fingerprints = found
         return self._fingerprints
 

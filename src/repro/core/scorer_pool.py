@@ -19,13 +19,22 @@ ride one implementation:
 Weights cross the process boundary once (shared memory, zero-copy
 views in every worker); only token-id batches and score vectors travel
 through the queues.  A collector thread matches results back to the
-submitting callback and watches for dead workers, so a crashed forward
-pass fails the affected jobs instead of hanging them.
+submitting callback and doubles as a watchdog: when a worker dies it
+*resubmits* every outstanding batch under a fresh job id (a dead
+worker takes its in-flight batch to the grave; surviving or respawned
+workers re-score it) and *respawns* a replacement under the bounded
+:class:`RestartPolicy` budget.  Only when no worker remains alive and
+the budget is exhausted does the pool fail outstanding work and mark
+itself :attr:`broken` — further submissions raise :class:`PoolBroken`
+instead of hanging, which is the signal the serve layer uses to fall
+back to a thread scorer.
 
 Scores are byte-identical to the in-process path: workers rebuild the
 same :class:`~repro.models.sevuldet.SEVulDetNet`, bind the same weight
 bytes, and run the same fused forward on the same exact-length-grouped
-batches.
+batches.  Resubmission preserves that: a batch scored twice (once by a
+doomed worker, once after resubmission) yields identical vectors, and
+stale results for superseded job ids are dropped.
 """
 
 from __future__ import annotations
@@ -34,15 +43,45 @@ import itertools
 import multiprocessing
 import queue
 import threading
+import time
+from collections import deque
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..nn import bucketed_batches, no_grad
 from ..nn.serialize import SharedWeights, bind_state
+from ..testing import faults
 from .score import SCORE_MIN_LENGTH, output_dtype
 
-__all__ = ["net_spec", "ScorerPool"]
+__all__ = ["net_spec", "PoolBroken", "RestartPolicy", "ScorerPool"]
+
+
+class PoolBroken(RuntimeError):
+    """The pool's workers are gone and its restart budget is spent.
+
+    A distinct type (not just ``RuntimeError``) so callers can tell
+    *infrastructure* failure — retryable on another backend — from a
+    per-job model error that would recur anywhere.
+    """
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Bounded worker-respawn budget.
+
+    At most ``max_restarts`` respawns within any sliding ``window_s``
+    seconds; consecutive respawns are spaced by ``backoff`` seconds
+    doubling per restart (so a crash-looping model can't spin the CPU
+    forking workers).  ``max_restarts=0`` disables self-healing: the
+    first total worker loss breaks the pool immediately (the pre-PR-8
+    behavior, still pinned by tests).
+    """
+
+    max_restarts: int = 3
+    window_s: float = 30.0
+    backoff: float = 0.05
 
 
 def net_spec(model) -> dict:
@@ -81,6 +120,9 @@ def _scorer_worker(spec: dict, request_q, result_q) -> None:
                     return
                 job_id, ids = job
                 try:
+                    # chaos site: crash = worker-kill, hang = slow
+                    # worker, raise = per-job scoring error
+                    faults.fire("score-batch", str(job_id))
                     scores = model.predict_proba(ids)
                     result_q.put((job_id, scores, None))
                 except Exception as error:
@@ -102,47 +144,64 @@ class ScorerPool:
     bucketed-batch contract of :func:`repro.core.score.predict_proba`
     on top for callers that just want a score vector.
 
-    Worker death is detected by the collector's watchdog: when jobs
-    are outstanding and no worker remains alive, every outstanding
-    callback is failed and the pool is marked :attr:`broken` —
-    further submissions raise instead of hanging.
+    The collector doubles as the self-healing watchdog: dead workers
+    are reaped, their possibly-lost batches resubmitted under fresh
+    job ids, and replacements respawned within ``restart_policy``.
+    The pool only turns :attr:`broken` — failing outstanding work and
+    raising :class:`PoolBroken` on further use — when no worker is
+    alive and the restart budget is exhausted.
     """
 
     def __init__(self, model, workers: int, *,
-                 start_method: str = "spawn"):
+                 start_method: str = "spawn",
+                 restart_policy: RestartPolicy | None = None,
+                 telemetry=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        ctx = multiprocessing.get_context(start_method)
+        self._ctx = multiprocessing.get_context(start_method)
         self.workers = workers
+        self.restart_policy = restart_policy or RestartPolicy()
         self.output_dtype = output_dtype(model)
+        self._telemetry = telemetry
         self._shared = SharedWeights.export(model.state_dict())
         aliases = model.embedding.id_aliases
-        spec = {
+        self._spec = {
             "weights": self._shared.spec(),
             "net": net_spec(model),
             "id_aliases": (None if aliases is None
                            else np.asarray(aliases)),
         }
-        self._request_q = ctx.Queue()
-        self._result_q = ctx.Queue()
-        self._procs = [
-            ctx.Process(target=_scorer_worker,
-                        args=(spec, self._request_q, self._result_q),
-                        daemon=True, name=f"scan-scorer-proc-{i}")
-            for i in range(workers)
-        ]
-        for proc in self._procs:
-            proc.start()
-        self._jobs: dict[int, tuple[object, Callable]] = {}
+        self._request_q = self._ctx.Queue()
+        self._result_q = self._ctx.Queue()
+        self._procs_lock = threading.Lock()
+        self._proc_seq = itertools.count()
+        self._procs = [self._spawn_proc() for _ in range(workers)]
+        self._jobs: dict[int, tuple[np.ndarray, object, Callable]] = {}
         self._jobs_lock = threading.Lock()
         self._job_ids = itertools.count()
         self._broken: str | None = None
         self._closed = False
+        self._restart_times: deque[float] = deque()
+        self._next_spawn_at = 0.0
+        self._respawns = 0
         self._collector_stop = threading.Event()
         self._collector = threading.Thread(
             target=self._collect, daemon=True,
             name="scan-scorer-collect")
         self._collector.start()
+
+    def _spawn_proc(self):
+        proc = self._ctx.Process(
+            target=_scorer_worker,
+            args=(self._spec, self._request_q, self._result_q),
+            daemon=True,
+            name=f"scan-scorer-proc-{next(self._proc_seq)}")
+        proc.start()
+        return proc
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._telemetry is not None:
+            self._telemetry.count(name, amount)
 
     # -- submission ----------------------------------------------------------
 
@@ -150,6 +209,22 @@ class ScorerPool:
     def broken(self) -> str | None:
         """Why the pool is unusable (worker death), or None."""
         return self._broken
+
+    def health(self) -> dict:
+        """Pool health snapshot: ``status`` is ``ok`` (full worker
+        complement), ``degraded`` (workers lost, budget not yet spent)
+        or ``broken`` (unusable — submissions raise)."""
+        with self._procs_lock:
+            alive = sum(1 for proc in self._procs if proc.is_alive())
+        if self._broken is not None:
+            status = "broken"
+        elif alive < self.workers:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {"status": status, "alive": alive,
+                "workers": self.workers, "respawns": self._respawns,
+                "reason": self._broken}
 
     def submit(self, ids: np.ndarray, payload,
                callback: Callable) -> int:
@@ -162,11 +237,11 @@ class ScorerPool:
         if self._closed:
             raise RuntimeError("scorer pool is closed")
         if self._broken is not None:
-            raise RuntimeError(
+            raise PoolBroken(
                 f"scorer workers died: {self._broken}")
         job_id = next(self._job_ids)
         with self._jobs_lock:
-            self._jobs[job_id] = (payload, callback)
+            self._jobs[job_id] = (ids, payload, callback)
         self._request_q.put((job_id, ids))
         return job_id
 
@@ -214,11 +289,11 @@ class ScorerPool:
                     done.set()
         done.wait()
         if state["error"] is not None:
-            raise RuntimeError(
-                f"process scoring failed: {state['error']}")
+            exc = PoolBroken if self._broken is not None else RuntimeError
+            raise exc(f"process scoring failed: {state['error']}")
         return scores
 
-    # -- collection ----------------------------------------------------------
+    # -- collection + watchdog -----------------------------------------------
 
     def _collect(self) -> None:
         while True:
@@ -226,25 +301,119 @@ class ScorerPool:
                 job_id, scores, error = self._result_q.get(
                     timeout=0.2)
             except queue.Empty:
+                self._watchdog()
                 with self._jobs_lock:
                     outstanding = bool(self._jobs)
-                if not outstanding and self._collector_stop.is_set():
-                    return
-                if outstanding and not any(proc.is_alive()
-                                           for proc in self._procs):
-                    self._fail_outstanding("all scorer worker "
-                                           "processes exited")
+                if self._collector_stop.is_set():
+                    if not outstanding:
+                        return
+                    with self._procs_lock:
+                        alive = any(proc.is_alive()
+                                    for proc in self._procs)
+                    if not alive:
+                        # close() raced worker death: answer, never
+                        # wedge the closing thread
+                        self._fail_outstanding("scorer pool closed "
+                                               "with workers dead")
+                        return
                 continue
             with self._jobs_lock:
-                payload, callback = self._jobs.pop(job_id)
+                entry = self._jobs.pop(job_id, None)
+            if entry is None:
+                # stale result for a job that was resubmitted under a
+                # fresh id (or failed wholesale) — identical scores,
+                # already delivered or superseded
+                self._count("pool_duplicate_results")
+                continue
+            _ids, payload, callback = entry
             callback(payload, scores, error)
+
+    def _watchdog(self) -> None:
+        """Reap dead workers, resubmit their possibly-lost batches,
+        respawn replacements within budget; break the pool only when
+        nothing is alive and nothing more may be spawned."""
+        if self._broken is not None or self._closed:
+            return
+        with self._procs_lock:
+            dead = [p for p in self._procs if not p.is_alive()]
+            for proc in dead:
+                self._procs.remove(proc)
+                proc.join(timeout=0)
+        if dead:
+            self._count("pool_worker_deaths", len(dead))
+            # A dead worker may have dequeued a batch it never
+            # answered; there is no way to know which, so every
+            # outstanding job is resubmitted under a fresh id.  Jobs
+            # still queued get scored twice — byte-identical, the
+            # stale result is dropped by id.
+            self._resubmit_outstanding()
+        with self._procs_lock:
+            deficit = 0 if self._closed else (self.workers
+                                              - len(self._procs))
+        if deficit > 0:
+            self._maybe_respawn(deficit)
+        with self._procs_lock:
+            alive = any(proc.is_alive() for proc in self._procs)
+        if not alive and self._budget_exhausted():
+            self._fail_outstanding(
+                "all scorer worker processes exited and the restart "
+                "budget is exhausted")
+
+    def _resubmit_outstanding(self) -> None:
+        with self._jobs_lock:
+            entries = list(self._jobs.items())
+            self._jobs.clear()
+            remapped = []
+            for _old_id, (ids, payload, callback) in entries:
+                new_id = next(self._job_ids)
+                self._jobs[new_id] = (ids, payload, callback)
+                remapped.append((new_id, ids))
+        for new_id, ids in remapped:
+            self._request_q.put((new_id, ids))
+        if remapped:
+            self._count("pool_resubmitted_jobs", len(remapped))
+
+    def _prune_window(self, now: float) -> None:
+        window = self.restart_policy.window_s
+        while self._restart_times and \
+                now - self._restart_times[0] > window:
+            self._restart_times.popleft()
+
+    def _budget_exhausted(self) -> bool:
+        self._prune_window(time.monotonic())
+        return (len(self._restart_times)
+                >= self.restart_policy.max_restarts)
+
+    def _maybe_respawn(self, count: int) -> None:
+        policy = self.restart_policy
+        for _ in range(count):
+            now = time.monotonic()
+            self._prune_window(now)
+            if len(self._restart_times) >= policy.max_restarts:
+                return
+            if now < self._next_spawn_at:
+                return  # backing off; the next watchdog tick retries
+            with self._procs_lock:
+                if self._closed:
+                    return
+                self._procs.append(self._spawn_proc())
+            self._restart_times.append(now)
+            self._respawns += 1
+            self._next_spawn_at = now + policy.backoff * (
+                2 ** (len(self._restart_times) - 1))
+            self._count("pool_respawns")
 
     def _fail_outstanding(self, reason: str) -> None:
         self._broken = reason
+        # A broken pool's request queue will never be drained; its
+        # feeder thread may sit blocked on a full pipe forever.  Cancel
+        # the interpreter-exit join NOW — close() may run on a daemon
+        # thread that interpreter shutdown freezes before it gets here.
+        self._request_q.cancel_join_thread()
         with self._jobs_lock:
             entries = list(self._jobs.values())
             self._jobs.clear()
-        for payload, callback in entries:
+        for _ids, payload, callback in entries:
             callback(payload, None, reason)
 
     # -- lifetime ------------------------------------------------------------
@@ -255,9 +424,11 @@ class ScorerPool:
         if self._closed:
             return
         self._closed = True
-        for _ in self._procs:
+        with self._procs_lock:
+            procs = list(self._procs)
+        for _ in procs:
             self._request_q.put(None)
-        for proc in self._procs:
+        for proc in procs:
             proc.join(timeout=10.0)
             if proc.is_alive():  # pragma: no cover - hung worker
                 proc.terminate()

@@ -33,6 +33,16 @@ Telemetry (queue depth, batch fill, per-case latency, cases/sec, cache
 hit rates) accumulates on a service-lifetime
 :class:`~repro.core.telemetry.Telemetry`; :meth:`ScanService.stats`
 summarizes it and the CLI prints it under ``scan --stats``.
+
+The service self-heals (PR 8): the process pool respawns dead workers
+and resubmits their batches under a bounded
+:class:`~repro.core.scorer_pool.RestartPolicy`; if the pool breaks
+anyway, the service demotes down the circuit-breaker chain
+``process → thread → inline`` (:data:`_FALLBACK_CHAIN`) and rescores
+affected cases there — slower, byte-identical verdicts, never a lost
+one.  :meth:`ScanService.health` reports ``ready`` / ``degraded`` /
+``draining`` and ``stats()["resilience"]`` carries the
+respawn/fallback/retry counters.
 """
 
 from __future__ import annotations
@@ -54,12 +64,12 @@ from .detector import Finding, SEVulDet
 from .engine import Engine, ExtractStage, RunContext, Stage
 from .extract import CaseResult
 from .score import SCORE_MIN_LENGTH
-from .scorer_pool import ScorerPool
+from .scorer_pool import PoolBroken, RestartPolicy, ScorerPool
 from .telemetry import Telemetry
 
 __all__ = ["CaseVerdict", "ResultCache", "ShardedResultCache",
            "ScanService", "Scorer", "ThreadScorer", "ProcessScorer",
-           "expand_scan_paths"]
+           "InlineScorer", "PoolBroken", "expand_scan_paths"]
 
 
 def expand_scan_paths(paths: Iterable[str | Path],
@@ -230,14 +240,17 @@ class _Pending:
     the waiter wakes once the last row lands.
     """
 
-    __slots__ = ("rows", "scores", "error", "done", "_lock",
-                 "_remaining")
+    __slots__ = ("rows", "scores", "error", "done", "scorer",
+                 "_lock", "_remaining")
 
     def __init__(self, rows: list[list[int]]):
         self.rows = rows  # padded token-id rows
         self.scores = np.zeros(len(rows))
         self.error: BaseException | None = None
         self.done = threading.Event()
+        #: the scorer that accepted this case — lets the service
+        #: resubmit the rows elsewhere when that scorer's pool breaks
+        self.scorer: "Scorer | None" = None
         self._lock = threading.Lock()
         self._remaining = len(rows)
         if not rows:
@@ -304,19 +317,36 @@ class Scorer:
 
     # -- submission ----------------------------------------------------------
 
-    def submit(self, samples: Sequence[Sequence[int]]) -> _Pending:
-        """Queue one case's token-id sequences for scoring."""
-        if self._closed:
-            raise RuntimeError("scorer is closed")
+    def _make_pending(self,
+                      samples: Sequence[Sequence[int]]) -> _Pending:
+        """Pad rows and tag the pending with its accepting scorer.
+
+        Padding is idempotent (``max(len(ids), SCORE_MIN_LENGTH)`` is
+        a no-op on an already-padded row), so a pending's rows can be
+        resubmitted verbatim to a fallback scorer and still produce
+        byte-identical scores.
+        """
         pending = _Pending([
             pad_or_truncate(ids, max(len(ids), SCORE_MIN_LENGTH))
             for ids in samples
         ])
+        pending.scorer = self
+        return pending
+
+    def submit(self, samples: Sequence[Sequence[int]]) -> _Pending:
+        """Queue one case's token-id sequences for scoring."""
+        if self._closed:
+            raise RuntimeError("scorer is closed")
+        pending = self._make_pending(samples)
         if pending.rows:
             self.telemetry.observe("scan_queue_depth",
                                    self._queue.qsize())
             self._queue.put(pending)
         return pending
+
+    def health(self) -> dict:
+        """Backend health; overridden where workers can die."""
+        return {"status": "closed" if self._closed else "ok"}
 
     def close(self) -> None:
         raise NotImplementedError
@@ -437,10 +467,13 @@ class ProcessScorer(Scorer):
     """
 
     def __init__(self, model, batch_size: int, workers: int,
-                 telemetry, *, start_method: str = "spawn"):
+                 telemetry, *, start_method: str = "spawn",
+                 restart_policy: RestartPolicy | None = None):
         super().__init__(batch_size, workers, telemetry)
         self._pool = ScorerPool(model, workers,
-                                start_method=start_method)
+                                start_method=start_method,
+                                restart_policy=restart_policy,
+                                telemetry=telemetry)
         self._dispatcher = threading.Thread(
             target=self._dispatch, daemon=True,
             name="scan-scorer-dispatch")
@@ -448,9 +481,14 @@ class ProcessScorer(Scorer):
 
     def submit(self, samples: Sequence[Sequence[int]]) -> _Pending:
         if self._pool.broken is not None:
-            raise RuntimeError(
+            raise PoolBroken(
                 f"scorer workers died: {self._pool.broken}")
         return super().submit(samples)
+
+    def health(self) -> dict:
+        if self._closed:
+            return {"status": "closed"}
+        return self._pool.health()
 
     def close(self) -> None:
         if self._closed:
@@ -459,6 +497,13 @@ class ProcessScorer(Scorer):
         self._poison()
         self._dispatcher.join()  # drains queued submissions first
         self._pool.close()
+
+    def _infra_failure(self, message: str) -> RuntimeError:
+        """Typed failure: pool breakage (retryable on a fallback
+        backend) vs a per-job model error (would recur anywhere)."""
+        if self._pool.broken is not None:
+            return PoolBroken(message)
+        return RuntimeError(message)
 
     def _dispatch(self) -> None:
         while True:
@@ -472,15 +517,15 @@ class ProcessScorer(Scorer):
                 except RuntimeError as error:
                     # pool broken mid-drain: fail this chunk instead
                     # of dropping it silently
-                    failure = RuntimeError(str(error))
+                    failure = self._infra_failure(str(error))
                     for pending, _ in chunk:
                         pending._fail(failure)
 
-    @staticmethod
-    def _deliver(chunk, scores, error) -> None:
+    def _deliver(self, chunk, scores, error) -> None:
         """Pool callback: route one batch's result to its cases."""
         if error is not None:
-            failure = RuntimeError(f"scorer worker failed: {error}")
+            failure = self._infra_failure(
+                f"scorer worker failed: {error}")
             for pending, _ in chunk:
                 pending._fail(failure)
             return
@@ -488,7 +533,51 @@ class ProcessScorer(Scorer):
             pending._complete(index, float(score))
 
 
-_SCORER_BACKENDS = {"thread": ThreadScorer, "process": ProcessScorer}
+class InlineScorer(Scorer):
+    """Terminal fallback: serial ``predict_proba`` on the submitting
+    thread.
+
+    No queue, no workers — :meth:`submit` scores the case before
+    returning, with the same length-grouping as the batched backends,
+    so verdicts stay byte-identical while the only remaining failure
+    domain is the caller's own thread.  Slow under load by design:
+    this is the degraded mode that keeps a scan answering after both
+    process and thread backends are gone.
+    """
+
+    def __init__(self, model, batch_size: int, workers: int,
+                 telemetry):
+        super().__init__(batch_size, workers, telemetry)
+        self.model = model
+
+    def submit(self, samples: Sequence[Sequence[int]]) -> _Pending:
+        if self._closed:
+            raise RuntimeError("scorer is closed")
+        pending = self._make_pending(samples)
+        if pending.rows:
+            with no_grad():
+                for chunk, ids in self._grouped([pending]):
+                    try:
+                        scores = self.model.predict_proba(ids)
+                    except BaseException as error:
+                        for job, _ in chunk:
+                            job._fail(error)
+                        continue
+                    self._record_batch(chunk)
+                    for (job, index), score in zip(chunk, scores):
+                        job._complete(index, float(score))
+        return pending
+
+    def close(self) -> None:
+        self._closed = True
+
+
+_SCORER_BACKENDS = {"thread": ThreadScorer, "process": ProcessScorer,
+                    "inline": InlineScorer}
+
+#: Circuit-breaker demotion order: each step trades throughput for a
+#: smaller failure domain; verdicts stay byte-identical at every step.
+_FALLBACK_CHAIN = ("process", "thread", "inline")
 
 
 @dataclass
@@ -551,7 +640,8 @@ class ScanService:
                  telemetry: Telemetry | None = None,
                  scorer: str = "thread",
                  dtype: str | None = None,
-                 calibration: Sequence[TestCase] | None = None):
+                 calibration: Sequence[TestCase] | None = None,
+                 restart_policy: RestartPolicy | None = None):
         model, self._vocab = detector._require_trained()
         # Reduced-precision serving: quantize before the config token
         # is computed, so cached verdicts can never cross dtypes.
@@ -569,16 +659,30 @@ class ScanService:
         # restarts); config tokens keep shared entries safe.
         self.results = (result_cache if result_cache is not None
                         else ResultCache(result_cache_size))
-        backend = _SCORER_BACKENDS.get(scorer)
-        if backend is None:
+        if scorer not in _SCORER_BACKENDS:
             raise ValueError(
                 f"unknown scorer backend {scorer!r}; choose from "
                 f"{sorted(_SCORER_BACKENDS)}")
+        self._model = model
+        self._batch_size = batch_size
+        self._workers = workers
+        self._restart_policy = restart_policy
         self.scorer_kind = scorer
-        self._scorer = backend(model, batch_size, workers,
-                               self.telemetry)
+        self._scorer = self._make_scorer(scorer)
+        self._fallback_lock = threading.Lock()
+        self._degraded: str | None = None
+        self._retired: list[threading.Thread] = []
         self._submit_lock = threading.Lock()
         self._closed = False
+
+    def _make_scorer(self, kind: str) -> Scorer:
+        backend = _SCORER_BACKENDS[kind]
+        if backend is ProcessScorer:
+            return ProcessScorer(self._model, self._batch_size,
+                                 self._workers, self.telemetry,
+                                 restart_policy=self._restart_policy)
+        return backend(self._model, self._batch_size, self._workers,
+                       self.telemetry)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -586,7 +690,12 @@ class ScanService:
         """Drain and join the scoring workers (idempotent)."""
         if not self._closed:
             self._closed = True
-            self._scorer.close()
+            with self._fallback_lock:
+                scorer = self._scorer
+                retired = list(self._retired)
+            scorer.close()
+            for thread in retired:  # demoted backends mid-teardown
+                thread.join(timeout=30.0)
 
     def __enter__(self) -> "ScanService":
         return self
@@ -709,10 +818,63 @@ class ScanService:
                     status="skipped", reason=result.failure.reason))
             return entry
         entry.gadgets = result.gadgets
-        entry.pending = self._scorer.submit(
+        entry.pending = self._submit_samples(
             [g.sample(self._vocab).token_ids
              for g in result.gadgets])
         return entry
+
+    # -- self-healing --------------------------------------------------------
+
+    def _demote(self, failed: Scorer, reason: str) -> Scorer:
+        """Circuit-breaker step: replace ``failed`` with the next
+        backend down :data:`_FALLBACK_CHAIN`.
+
+        Idempotent under concurrency — if another thread already
+        swapped the scorer (or the service is closing), the current
+        scorer is returned untouched; when the chain is exhausted the
+        failed scorer itself comes back and the caller re-raises.
+        """
+        with self._fallback_lock:
+            if self._scorer is not failed or self._closed:
+                return self._scorer
+            index = (_FALLBACK_CHAIN.index(self.scorer_kind)
+                     if self.scorer_kind in _FALLBACK_CHAIN else 0)
+            if index + 1 >= len(_FALLBACK_CHAIN):
+                return self._scorer  # nothing left to fall back to
+            next_kind = _FALLBACK_CHAIN[index + 1]
+            replacement = self._make_scorer(next_kind)
+            self._scorer = replacement
+            self.scorer_kind = next_kind
+            self._degraded = reason
+            self.telemetry.count("scan_fallbacks")
+            self.telemetry.event("scorer_fallback", to=next_kind,
+                                 reason=str(reason)[:200])
+        # retire the dead backend off the hot path; its close() joins
+        # workers and may take seconds.  close() joins these threads
+        # so a service teardown never leaves a half-closed pool whose
+        # queue feeder would wedge interpreter exit.
+        retire = threading.Thread(target=failed.close, daemon=True,
+                                  name="scan-scorer-retire")
+        with self._fallback_lock:
+            self._retired.append(retire)
+        retire.start()
+        return replacement
+
+    def _submit_samples(self, samples) -> _Pending:
+        """Submit through the current scorer, demoting past broken
+        backends; only infrastructure failures (:class:`PoolBroken`)
+        trigger fallback — model errors would recur anywhere."""
+        scorer = self._scorer
+        while True:
+            try:
+                return scorer.submit(samples)
+            except PoolBroken as error:
+                self.telemetry.count("scan_retries")
+                replacement = self._demote(
+                    scorer, f"scorer pool broken: {error}")
+                if replacement is scorer:
+                    raise
+                scorer = replacement
 
     def _resolve_case(self, entry: _CaseWork) -> CaseVerdict:
         if entry.verdict is not None:
@@ -724,7 +886,24 @@ class ScanService:
             entry.verdict = self._resolve_case(entry.leader)
             return entry.verdict
         assert entry.pending is not None
-        scores = entry.pending.result()
+        while True:
+            try:
+                scores = entry.pending.result()
+                break
+            except PoolBroken as error:
+                # the pool died holding this case: demote and rescore
+                # the same padded rows on the fallback backend —
+                # padding is idempotent, so the verdict is unchanged
+                self.telemetry.count("scan_retries")
+                failed = entry.pending.scorer or self._scorer
+                replacement = self._demote(
+                    failed, f"scorer pool broken: {error}")
+                if replacement is failed:
+                    raise
+                # _submit_samples so a fallback that breaks mid-swap
+                # cascades down the chain instead of raising here
+                entry.pending = self._submit_samples(
+                    entry.pending.rows)
         findings = self.detector.findings_from(
             entry.case.name, entry.gadgets, scores)
         verdict = CaseVerdict(
@@ -747,6 +926,29 @@ class ScanService:
 
     # -- introspection -------------------------------------------------------
 
+    def health(self) -> dict:
+        """Service health for the server's ``health`` op.
+
+        ``ready`` — primary backend at full strength; ``degraded`` —
+        serving on a fallback backend or with lost pool workers
+        (verdicts unaffected, throughput reduced); ``draining`` —
+        closed, rejecting new scans.
+        """
+        scorer_health = self._scorer.health()
+        if self._closed:
+            status = "draining"
+        elif (self._degraded is not None
+              or scorer_health["status"] not in ("ok",)):
+            status = "degraded"
+        else:
+            status = "ready"
+        return {
+            "status": status,
+            "scorer": self.scorer_kind,
+            "scorer_health": scorer_health,
+            "degraded_reason": self._degraded,
+        }
+
     def stats(self) -> dict:
         """Service-level scan statistics (summary + benchmarks)."""
         telemetry = self.telemetry
@@ -767,4 +969,15 @@ class ScanService:
                 telemetry.observation_stats("scan_batch_fill"),
             "queue_depth":
                 telemetry.observation_stats("scan_queue_depth"),
+            "resilience": {
+                "health": self.health()["status"],
+                "scorer": self.scorer_kind,
+                "fallbacks": telemetry.get("scan_fallbacks"),
+                "retries": telemetry.get("scan_retries"),
+                "worker_deaths": telemetry.get("pool_worker_deaths"),
+                "respawns": telemetry.get("pool_respawns"),
+                "resubmitted_jobs":
+                    telemetry.get("pool_resubmitted_jobs"),
+                "degraded_reason": self._degraded,
+            },
         }

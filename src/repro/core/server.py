@@ -39,6 +39,16 @@ not once per invocation:
   ShardedResultCache` owned by the *server* and passed to every
   service generation, so verdicts survive reloads (token-keyed) and
   dispatcher threads don't serialize on a single cache lock.
+* **Self-healing** — the process pool behind the default scorer
+  respawns dead workers and resubmits their batches
+  (:class:`~repro.core.scorer_pool.RestartPolicy`); if the pool breaks
+  anyway the service demotes ``process → thread → inline`` and keeps
+  answering, slower but byte-identical.  A ``health`` op reports
+  ``ready`` / ``degraded`` / ``draining``; shed responses carry a
+  ``retry_after_ms`` hint; scans may carry a ``deadline_ms`` budget
+  and are answered ``expired`` instead of scored late; ``stop()``
+  answers queued scans with ``shed`` so retrying clients resubmit to
+  the server's successor instead of failing.
 
 Verdict payloads are exactly ``CaseVerdict.as_record()`` — the same
 bytes the offline ``scan`` command writes to ``--jsonl`` — and are
@@ -55,8 +65,10 @@ from collections import deque
 from pathlib import Path
 
 from ..datasets.manifest import TestCase
+from ..testing import faults
 from .detector import SEVulDet
 from .ipc import (ProtocolError, encode_message, read_message)
+from .scorer_pool import RestartPolicy
 from .serve import ScanService, ShardedResultCache
 from .telemetry import Telemetry
 
@@ -127,13 +139,20 @@ class _Client:
 
 
 class _Request:
-    __slots__ = ("client", "request_id", "case")
+    __slots__ = ("client", "request_id", "case", "admitted_at",
+                 "deadline_s")
 
     def __init__(self, client: _Client, request_id: str,
-                 case: TestCase):
+                 case: TestCase, deadline_s: float | None = None):
         self.client = client
         self.request_id = request_id
         self.case = case
+        self.admitted_at = time.monotonic()
+        #: absolute monotonic deadline, or None for no limit
+        self.deadline_s = deadline_s
+
+    def expired(self, now: float) -> bool:
+        return self.deadline_s is not None and now > self.deadline_s
 
 
 class ScanServer:
@@ -162,7 +181,8 @@ class ScanServer:
                  max_pending: int = 64, dispatchers: int = 2,
                  dispatch_batch: int = 16,
                  cache_capacity: int = 4096, cache_shards: int = 8,
-                 telemetry: Telemetry | None = None):
+                 telemetry: Telemetry | None = None,
+                 restart_policy: RestartPolicy | None = None):
         if model is None and detector is None:
             raise ValueError("need a model path or a detector")
         if socket_path is not None and host is not None:
@@ -182,6 +202,7 @@ class ScanServer:
         self.workers = workers
         self.batch_size = batch_size
         self.scorer = scorer
+        self.restart_policy = restart_policy
         self.max_pending = max_pending
         self.dispatch_batch = max(1, dispatch_batch)
         self.telemetry = (telemetry if telemetry is not None
@@ -243,10 +264,23 @@ class ScanServer:
             clients = list(self._clients)
             self._cond.notify_all()
         for request in pending:  # answer, never silently drop
+            # shed (not error): a retrying client treats this as
+            # backpressure and resubmits — to this server's successor
+            # after a restart, or elsewhere — instead of failing the
+            # scan outright
             request.client.send({"id": request.request_id,
-                                 "status": "error",
-                                 "error": "server shutting down"})
+                                 "status": "shed",
+                                 "error": "server shutting down",
+                                 "retry_after_ms": 200})
         if self._listener is not None:
+            # shutdown() before close(): closing a listener does not
+            # wake a thread blocked in accept() on Linux, so without
+            # it every stop() stalls for the full join timeout and
+            # leaks the accept thread
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:  # pragma: no cover
@@ -292,7 +326,8 @@ class ScanServer:
                            batch_size=self.batch_size,
                            scorer=self.scorer,
                            result_cache=self.results,
-                           telemetry=self.telemetry)
+                           telemetry=self.telemetry,
+                           restart_policy=self.restart_policy)
 
     def _bind(self) -> socket.socket:
         if self._socket_path is not None:
@@ -348,6 +383,11 @@ class ScanServer:
                     return
                 if message is None:  # client hung up
                     return
+                # chaos site: sever this connection as if the network
+                # (or a proxy) dropped it mid-stream
+                if faults.should_drop("server-conn", str(client.id)):
+                    self.telemetry.count("server_conn_drops")
+                    return
                 self.telemetry.count("server_requests")
                 self._handle_message(client, message)
         finally:
@@ -365,6 +405,14 @@ class ScanServer:
                     pass
                 client.queued = False
             client.queue.clear()
+        # shutdown() does the actual severing: close() alone is
+        # deferred while the reader thread's makefile() still holds a
+        # reference to the socket, so a "dropped" client would keep
+        # receiving responses and its blocked reader would never wake
+        try:
+            client.conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             client.conn.close()
         except OSError:  # pragma: no cover
@@ -380,6 +428,9 @@ class ScanServer:
         elif op == "ping":
             client.send({"op": "ping", "status": "ok",
                          "config_token": self._config_token()})
+        elif op == "health":
+            client.send({"op": "health", "status": "ok",
+                         **self.health()})
         elif op == "stats":
             client.send({"op": "stats", "status": "ok",
                          **self.stats()})
@@ -409,10 +460,20 @@ class ScanServer:
         case = TestCase(name=name, source=source, vulnerable=False,
                         vulnerable_lines=frozenset(), cwe="",
                         category="", origin="serve")
-        request = _Request(client, request_id, case)
+        deadline_s = None
+        deadline_ms = message.get("deadline_ms")
+        if isinstance(deadline_ms, (int, float)) and deadline_ms > 0:
+            deadline_s = time.monotonic() + deadline_ms / 1000.0
+        request = _Request(client, request_id, case,
+                           deadline_s=deadline_s)
+        # chaos site: refuse this admission as if the server were
+        # saturated (shed storm)
+        forced_shed = faults.should_drop("server-admit", name)
         with self._cond:
             if self._stopping:
                 shed_reason = "server shutting down"
+            elif forced_shed:
+                shed_reason = "server overloaded; back off and retry"
             elif client.inflight >= self.max_pending:
                 shed_reason = (f"client over its in-flight budget "
                                f"({self.max_pending}); back off and "
@@ -425,10 +486,20 @@ class ScanServer:
                     client.queued = True
                     self._ready.append(client)
                 self._cond.notify()
+            inflight = client.inflight
         if shed_reason is not None:
             self.telemetry.count("server_shed")
             client.send({"id": request_id, "status": "shed",
-                         "error": shed_reason})
+                         "error": shed_reason,
+                         "retry_after_ms": self._retry_after_ms(
+                             inflight)})
+
+    def _retry_after_ms(self, inflight: int) -> int:
+        """Backpressure hint for shed responses: grows with how far
+        over budget the client is, so retry waves spread out instead
+        of slamming the server again in lockstep."""
+        pressure = min(2.0, inflight / max(1, self.max_pending))
+        return int(50 + 200 * pressure)
 
     # -- scheduling + scoring ------------------------------------------------
 
@@ -455,6 +526,21 @@ class ScanServer:
             batch = self._next_batch()
             if batch is None:
                 return
+            now = time.monotonic()
+            expired = [r for r in batch if r.expired(now)]
+            if expired:
+                # answer, never silently drop: the client asked for a
+                # bounded wait and gets a definitive non-verdict
+                self.telemetry.count("server_deadline_expired",
+                                     len(expired))
+                for request in expired:
+                    self._finish(request, {
+                        "id": request.request_id,
+                        "status": "expired",
+                        "error": "deadline expired before dispatch"})
+                batch = [r for r in batch if not r.expired(now)]
+                if not batch:
+                    continue
             started = time.perf_counter()
             with self._service_lock:
                 handle = self._handle
@@ -535,6 +621,27 @@ class ScanServer:
             self.telemetry.count("server_reloads")
             return fresh.service.config_token
 
+    def health(self) -> dict:
+        """The ``health`` op's payload: ``ready`` / ``degraded`` /
+        ``draining`` plus the scoring backend actually in use.
+
+        ``draining`` while stopping; otherwise the service's own
+        health (``degraded`` = serving on a fallback scorer or with
+        lost pool workers — slower, verdicts unaffected).
+        """
+        with self._service_lock:
+            handle = self._handle
+        if self._stopping or handle is None:
+            return {"health": "draining", "scorer": self.scorer,
+                    "degraded_reason": None}
+        service_health = handle.service.health()
+        return {
+            "health": service_health["status"],
+            "scorer": service_health["scorer"],
+            "scorer_health": service_health["scorer_health"],
+            "degraded_reason": service_health["degraded_reason"],
+        }
+
     def stats(self) -> dict:
         """Server- and service-level statistics (the ``stats`` op)."""
         with self._service_lock:
@@ -548,6 +655,7 @@ class ScanServer:
                 "clients": clients,
                 "queued": queued,
                 "scorer": self.scorer,
+                "health": self.health()["health"],
                 "config_token": (None if handle is None
                                  else handle.service.config_token),
                 "requests": self.telemetry.get("server_requests"),
@@ -555,6 +663,10 @@ class ScanServer:
                 "shed": self.telemetry.get("server_shed"),
                 "errors": self.telemetry.get("server_errors"),
                 "reloads": self.telemetry.get("server_reloads"),
+                "deadline_expired":
+                    self.telemetry.get("server_deadline_expired"),
+                "conn_drops":
+                    self.telemetry.get("server_conn_drops"),
                 "batch_cases": self.telemetry.observation_stats(
                     "server_batch_cases"),
             },

@@ -10,6 +10,7 @@ in-memory classes.
 from __future__ import annotations
 
 import json
+import logging
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -17,6 +18,8 @@ from ..slicing.special_tokens import SlicingCriterion, TokenCategory
 from .extract import LabeledGadget
 
 __all__ = ["save_gadgets", "load_gadgets", "iter_gadgets"]
+
+logger = logging.getLogger(__name__)
 
 _FORMAT_VERSION = 1
 
@@ -83,17 +86,35 @@ def save_gadgets(gadgets: Sequence[LabeledGadget],
 
 
 def iter_gadgets(path: str | Path) -> Iterable[LabeledGadget]:
-    """Stream gadgets from a .jsonl file (constant memory)."""
+    """Stream gadgets from a .jsonl file (constant memory).
+
+    A torn *final* line — the partial write of a process killed
+    mid-append — is skipped with a logged warning: every complete
+    record before it is still served, so crash recovery resumes from
+    the survivors instead of refusing the whole file.  Corruption
+    anywhere else still raises, and so does a file whose *only*
+    payload line is bad — that is damage (or a foreign file), not a
+    torn tail, and serving it as "zero gadgets" would turn corruption
+    into silently wrong results.
+    """
     with Path(path).open() as handle:
+        served = 0
         for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
+            stripped = line.strip()
+            if not stripped:
                 continue
             try:
-                record = json.loads(line)
+                record = json.loads(stripped)
             except json.JSONDecodeError as error:
+                if served and handle.read(1) == "":
+                    logger.warning(
+                        "%s:%d: skipping truncated final line "
+                        "(partial write from an interrupted process)",
+                        path, line_number)
+                    return
                 raise ValueError(
                     f"{path}:{line_number}: bad JSON") from error
+            served += 1
             yield _from_record(record)
 
 

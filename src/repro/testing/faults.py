@@ -21,12 +21,27 @@ Spec grammar (semicolon-separated rules)::
     crash@case:case_007.c                  # os._exit, workers only
     raise@train-batch:2.0                  # raise at epoch 2, batch 0
     corrupt@shard:*                        # garbage every cache shard
+    crash@score-batch:3                    # kill the scorer worker
+                                           # holding pool job 3
+    hang@score-batch:2:1.5                 # slow-worker: 1.5s stall
+    drop@server-conn:#5                    # server hangs up after its
+                                           # 5th parsed message
+    drop@server-admit:#2-6                 # shed storm: admissions
+                                           # 2..6 are refused
 
-``match`` is an exact key, ``*`` (any key), or ``#N`` (the Nth visit
-to that site in this process, 1-based).  ``arg`` names a builtin
-exception for ``raise`` (default ``RuntimeError``) and a sleep budget
-in seconds for ``hang`` (default 10, bounded so a broken timeout costs
-seconds, not a wedged CI job).
+``match`` is an exact key, ``*`` (any key), ``#N`` (the Nth visit to
+that site in this process, 1-based), or ``#N-M`` (every visit in that
+inclusive range).  ``arg`` names a builtin exception for ``raise``
+(default ``RuntimeError``) and a sleep budget in seconds for ``hang``
+(default 10, bounded so a broken timeout costs seconds, not a wedged
+CI job).
+
+Serving-layer sites: ``score-batch`` fires in every scorer pool
+worker once per batch, keyed by pool job id (``crash`` = worker-kill,
+``hang`` = slow-worker); ``server-conn`` and ``server-admit`` are
+boolean :func:`should_drop` sites the scan server consults to sever a
+client connection mid-stream (conn-drop) or refuse an admission as if
+overloaded (shed-storm).
 
 Faults fire every time their rule matches: a resumed run must clear
 the spec (or scope it with :func:`injected`) to get past the fault,
@@ -44,7 +59,7 @@ from pathlib import Path
 from typing import Iterator
 
 __all__ = ["ENV_VAR", "FaultRule", "FaultPlan", "plan", "fire",
-           "corrupt_file", "injected", "reset_visits"]
+           "corrupt_file", "should_drop", "injected", "reset_visits"]
 
 ENV_VAR = "REPRO_FAULTS"
 
@@ -67,7 +82,11 @@ class FaultRule:
         if self.match == "*":
             return True
         if self.match.startswith("#"):
-            return visit == int(self.match[1:])
+            spec = self.match[1:]
+            if "-" in spec:
+                low, _, high = spec.partition("-")
+                return int(low) <= visit <= int(high)
+            return visit == int(spec)
         return self.match == key
 
 
@@ -81,7 +100,7 @@ class FaultPlan:
         return tuple(r for r in self.rules if r.site == site)
 
 
-_ACTIONS = frozenset({"raise", "hang", "crash", "corrupt"})
+_ACTIONS = frozenset({"raise", "hang", "crash", "corrupt", "drop"})
 
 # Parsed-plan cache keyed on the raw spec string so fire() costs one
 # os.environ lookup + one comparison when nothing changed.
@@ -157,7 +176,8 @@ def _apply(rule: FaultRule) -> None:
         if _in_worker_process():
             os._exit(CRASH_EXIT_CODE)
         return
-    # 'corrupt' rules only act at corrupt_file() sites
+    # 'corrupt' rules only act at corrupt_file() sites and 'drop'
+    # rules only at should_drop() sites
 
 
 def fire(site: str, key: str) -> None:
@@ -167,7 +187,8 @@ def fire(site: str, key: str) -> None:
         return
     visit = _visits[site] = _visits.get(site, 0) + 1
     for rule in active.for_site(site):
-        if rule.action != "corrupt" and rule.matches(key, visit):
+        if rule.action not in ("corrupt", "drop") \
+                and rule.matches(key, visit):
             _apply(rule)
 
 
@@ -180,6 +201,21 @@ def corrupt_file(site: str, key: str, path: str | Path) -> bool:
     for rule in active.for_site(site):
         if rule.action == "corrupt" and rule.matches(key, visit):
             Path(path).write_bytes(b"\x00injected shard corruption\x00")
+            return True
+    return False
+
+
+def should_drop(site: str, key: str) -> bool:
+    """Boolean hook for refusal-style faults: True when a ``drop``
+    rule matches (site, key).  The caller decides what dropping means
+    — the scan server severs the connection at ``server-conn`` sites
+    and sheds the admission at ``server-admit`` sites."""
+    active = plan()
+    if active is None:
+        return False
+    visit = _visits[site] = _visits.get(site, 0) + 1
+    for rule in active.for_site(site):
+        if rule.action == "drop" and rule.matches(key, visit):
             return True
     return False
 

@@ -89,6 +89,17 @@ class TestQuarantineUnit:
         assert corpus[0] in reloaded
         assert len(reloaded) == 1
 
+    def test_corrupt_lines_warn_on_load(self, corpus, tmp_path,
+                                        caplog):
+        path = tmp_path / "quarantine.jsonl"
+        Quarantine(path).add(corpus[0], "timeout")
+        with path.open("a") as handle:
+            handle.write("{torn json\n")
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.core.resilience"):
+            assert corpus[0] in Quarantine(path)
+        assert "corrupt quarantine line" in caplog.text
+
     def test_keyed_by_content_not_name(self, corpus, tmp_path):
         quarantine = Quarantine(tmp_path / "q.jsonl")
         quarantine.add(corpus[0], "timeout")

@@ -13,7 +13,8 @@ from repro.core.encode import encode_gadgets
 from repro.core.engine import Engine, ScoreStage
 from repro.core.extract import extract_gadgets
 from repro.core.score import predict_proba
-from repro.core.scorer_pool import ScorerPool, net_spec
+from repro.core.scorer_pool import (PoolBroken, RestartPolicy,
+                                    ScorerPool, net_spec)
 from repro.datasets.sard import generate_sard_corpus
 from repro.models.sevuldet import SEVulDetNet
 
@@ -71,16 +72,21 @@ class TestScoreSamples:
 class TestFailureModes:
     def test_worker_death_fails_instead_of_hanging(self, model,
                                                    samples):
-        pool = ScorerPool(model, workers=1)
+        # max_restarts=0 pins the fail-fast contract: with
+        # self-healing disabled, total worker loss must raise a clear
+        # PoolBroken instead of hanging (or silently respawning).
+        pool = ScorerPool(model, workers=1,
+                          restart_policy=RestartPolicy(max_restarts=0))
         try:
             for proc in pool._procs:
                 proc.terminate()
                 proc.join(timeout=10.0)
-            with pytest.raises(RuntimeError,
+            with pytest.raises(PoolBroken,
                                match="process scoring failed"):
                 pool.score_samples(samples)
             assert pool.broken is not None
-            with pytest.raises(RuntimeError,
+            assert pool.health()["status"] == "broken"
+            with pytest.raises(PoolBroken,
                                match="scorer workers died"):
                 pool.submit(np.zeros((1, 4), dtype=np.int64), None,
                             lambda *args: None)

@@ -1,0 +1,281 @@
+"""Self-healing serving layer: respawn, fallback, retrying clients.
+
+The contract pinned here (deterministically, via ``REPRO_FAULTS``):
+
+* killing N−1 of N pool workers mid-scan still finishes the corpus,
+  byte-identical to the serial path — the watchdog resubmits the lost
+  batches and respawns replacements;
+* when the restart budget is exhausted the service demotes
+  ``process → thread`` (and ultimately ``inline``) and rescores
+  in-flight work, still byte-identical, reporting ``degraded`` health;
+* a :class:`ScanClient` with the default :class:`RetryPolicy` survives
+  dropped connections, admission shed-storms, and a full server
+  restart mid-``scan_batch`` without losing (or duplicating) a single
+  verdict.
+"""
+
+import threading
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import SCALE_PRESETS, SEVulDet
+from repro.core.encode import encode_gadgets
+from repro.core.extract import extract_gadgets
+from repro.core.ipc import RetryPolicy, ScanClient
+from repro.core.score import predict_proba
+from repro.core.scorer_pool import RestartPolicy, ScorerPool
+from repro.core.serve import ScanService
+from repro.core.server import ScanServer
+from repro.core.telemetry import Telemetry
+from repro.datasets.sard import generate_sard_corpus
+from repro.models.sevuldet import SEVulDetNet
+from repro.testing import faults
+
+# -- raw pool fixtures (no detector needed) ------------------------------------
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    corpus = generate_sard_corpus(20, seed=23)
+    return encode_gadgets(extract_gadgets(corpus), dim=8,
+                          w2v_epochs=0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def net(dataset):
+    model = SEVulDetNet(len(dataset.vocab), dim=8, channels=8,
+                        pretrained=dataset.word2vec.vectors, seed=3)
+    dataset.bind_embedding_aliases(model)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def samples(dataset):
+    return [g.sample(dataset.vocab) for g in dataset.gadgets]
+
+
+# -- end-to-end fixtures -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def detector():
+    det = SEVulDet(scale=SCALE_PRESETS["small"], seed=5)
+    det.fit(generate_sard_corpus(24, seed=7))
+    return det
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_sard_corpus(12, seed=99)
+
+
+def as_scan_case(case):
+    """What the server reconstructs from a wire request (labels never
+    cross the protocol)."""
+    return replace(case, vulnerable=False,
+                   vulnerable_lines=frozenset(), cwe="", category="",
+                   origin="serve")
+
+
+@pytest.fixture(scope="module")
+def expected_records(detector, corpus):
+    with ScanService(detector, workers=2, batch_size=16) as service:
+        return [v.as_record() for v in service.scan_cases(
+            [as_scan_case(case) for case in corpus])]
+
+
+def make_server(tmp_path, detector, **kwargs):
+    kwargs.setdefault("scorer", "thread")
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("batch_size", 16)
+    return ScanServer(detector=detector,
+                      socket_path=tmp_path / "scan.sock", **kwargs)
+
+
+def scan_requests(cases):
+    return [{"name": case.name, "source": case.source}
+            for case in cases]
+
+
+# -- pool self-healing ---------------------------------------------------------
+
+
+class TestPoolRespawn:
+    def test_killing_all_but_one_worker_finishes_the_corpus(
+            self, net, samples):
+        # Acceptance pin: two crash faults kill N−1 of N=3 workers
+        # mid-scan (each fault takes down the worker that picked up
+        # that job).  The watchdog resubmits the lost batches under
+        # fresh job ids — so the faults cannot re-fire — and the scan
+        # finishes byte-identical to the serial path.
+        expected = predict_proba(net, samples)
+        telemetry = Telemetry()
+        with faults.injected(
+                "crash@score-batch:1;crash@score-batch:2"):
+            with ScorerPool(
+                    net, workers=3,
+                    restart_policy=RestartPolicy(backoff=0.01),
+                    telemetry=telemetry) as pool:
+                scores = pool.score_samples(samples, batch_size=8)
+                health = pool.health()
+        assert np.array_equal(scores, expected)
+        assert telemetry.get("pool_worker_deaths") == 2
+        assert telemetry.get("pool_resubmitted_jobs") >= 2
+        # both deaths were either already replaced or inside budget —
+        # the pool never declared itself broken
+        assert health["status"] in ("ok", "degraded")
+
+    def test_sole_worker_crash_is_respawned(self, net, samples):
+        # With one worker there is no survivor to hide behind: the
+        # corpus can only finish if a replacement is actually spawned.
+        expected = predict_proba(net, samples)
+        with faults.injected("crash@score-batch:0"):
+            with ScorerPool(
+                    net, workers=1,
+                    restart_policy=RestartPolicy(backoff=0.01)
+            ) as pool:
+                scores = pool.score_samples(samples, batch_size=8)
+                health = pool.health()
+        assert np.array_equal(scores, expected)
+        assert health["respawns"] >= 1
+        assert health["status"] == "ok"
+
+
+# -- service fallback chain ----------------------------------------------------
+
+
+class TestServiceFallback:
+    def test_budget_exhaustion_demotes_byte_identically(
+            self, detector, corpus):
+        with ScanService(detector, workers=2,
+                         scorer="thread") as service:
+            expected = [v.as_record()
+                        for v in service.scan_cases(corpus)]
+        # every process batch crashes its worker; after one respawn
+        # the budget is spent and the service must demote to the
+        # thread backend and rescore everything in flight
+        with faults.injected("crash@score-batch:*"):
+            with ScanService(
+                    detector, workers=2, scorer="process",
+                    restart_policy=RestartPolicy(max_restarts=1,
+                                                 backoff=0.01)
+            ) as service:
+                got = [v.as_record()
+                       for v in service.scan_cases(corpus)]
+                health = service.health()
+                resilience = service.stats()["resilience"]
+        assert got == expected
+        assert health["status"] == "degraded"
+        assert health["scorer"] == "thread"
+        assert "restart budget" in (health["degraded_reason"] or "")
+        assert resilience["fallbacks"] >= 1
+        assert resilience["retries"] >= 1
+        assert resilience["worker_deaths"] >= 1
+
+
+# -- retrying client vs a chaotic server ---------------------------------------
+
+RETRY = RetryPolicy(attempts=10, base_delay=0.05, max_delay=0.5,
+                    jitter=0.0)
+
+
+class TestClientRetry:
+    def test_conn_drop_mid_batch_is_transparent(
+            self, detector, corpus, expected_records, tmp_path):
+        # the server tears the connection down after reading the 2nd
+        # message; the client must reconnect and resubmit every
+        # unanswered id, and the merged verdicts must be complete
+        with faults.injected("drop@server-conn:#2"):
+            with make_server(tmp_path, detector) as server:
+                with ScanClient(server.address,
+                                retry=RETRY) as client:
+                    responses = client.scan_batch(
+                        scan_requests(corpus))
+                    reconnects = client.reconnects
+        assert [r["status"] for r in responses] == \
+            ["ok"] * len(corpus)
+        assert [r["verdict"] for r in responses] == expected_records
+        assert reconnects >= 1
+
+    def test_admission_shed_storm_is_retried(
+            self, detector, corpus, expected_records, tmp_path):
+        # admissions 2–4 are forcibly shed with a retry_after_ms hint;
+        # the client honours it and every verdict still lands
+        with faults.injected("drop@server-admit:#2-4"):
+            with make_server(tmp_path, detector) as server:
+                with ScanClient(server.address,
+                                retry=RETRY) as client:
+                    responses = client.scan_batch(
+                        scan_requests(corpus))
+                    shed_retried = client.shed_retried
+        assert [r["status"] for r in responses] == \
+            ["ok"] * len(corpus)
+        assert [r["verdict"] for r in responses] == expected_records
+        assert shed_retried >= 1
+
+    def test_server_restart_mid_batch_loses_no_verdicts(
+            self, detector, corpus, expected_records, tmp_path):
+        # Satellite pin: the server dies mid-scan_batch and a
+        # successor comes up on the same socket.  Queued requests are
+        # shed (not errored) at shutdown, the dropped connection
+        # triggers reconnect-with-backoff, unanswered ids are
+        # resubmitted, and the final verdict set matches serial.
+        socket_dir = tmp_path
+        outcome = {}
+
+        def run_client():
+            with ScanClient(str(socket_dir / "scan.sock"),
+                            retry=RETRY) as client:
+                outcome["responses"] = client.scan_batch(
+                    scan_requests(corpus))
+                outcome["reconnects"] = client.reconnects
+
+        # wedge the 2nd case extraction so the batch is provably
+        # still in flight when the first server is stopped
+        with faults.injected("hang@case:#2:1.0"):
+            server = make_server(socket_dir, detector).start()
+            try:
+                worker = threading.Thread(target=run_client,
+                                          daemon=True)
+                worker.start()
+                time.sleep(0.3)  # let the batch reach dispatch
+            finally:
+                server.stop()
+            with make_server(socket_dir, detector):
+                worker.join(timeout=60.0)
+        assert not worker.is_alive()
+        responses = outcome["responses"]
+        assert [r["status"] for r in responses] == \
+            ["ok"] * len(corpus)
+        assert [r["verdict"] for r in responses] == expected_records
+        assert outcome["reconnects"] >= 1
+
+    def test_health_op_reports_server_state(self, detector, corpus,
+                                            tmp_path):
+        with make_server(tmp_path, detector) as server:
+            with ScanClient(server.address, retry=RETRY) as client:
+                health = client.health()
+        assert health["status"] == "ok"
+        assert health["health"] == "ready"
+        assert health["scorer"] == "thread"
+
+    def test_deadline_expired_before_dispatch(self, detector, corpus,
+                                              tmp_path):
+        # a request whose deadline passes while queued is answered
+        # with status "expired" instead of being scored late
+        with faults.injected("hang@case:#1:0.6"):
+            with make_server(tmp_path, detector, dispatchers=1,
+                             dispatch_batch=1) as server:
+                with ScanClient(server.address,
+                                retry=None) as client:
+                    responses = client.scan_batch(
+                        scan_requests(corpus), deadline_ms=250)
+        statuses = {r["status"] for r in responses}
+        assert "expired" in statuses
+        expired = next(r for r in responses
+                       if r["status"] == "expired")
+        assert "deadline" in expired["error"]

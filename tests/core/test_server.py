@@ -233,7 +233,10 @@ class TestAdmissionControl:
                          max_pending=2, dispatchers=1,
                          workers=1) as server:
             with faults.injected(f"hang@case:{slow.name}:4"):
-                with ScanClient(server.address) as client:
+                # retry=None: this test pins the raw shed responses,
+                # not the default self-healing retry behavior
+                with ScanClient(server.address,
+                                retry=None) as client:
                     # the slow case wedges the only dispatcher; the
                     # pipelined rest exceeds the in-flight budget
                     responses = client.scan_batch(
@@ -372,7 +375,7 @@ class TestLifecycle:
             assert client.shutdown()["status"] == "ok"
         server.serve_forever()  # returns once stop() completes
         with pytest.raises(OSError):
-            ScanClient(server.address)
+            ScanClient(server.address, retry=None)
         server.stop()  # idempotent
 
     def test_requires_model_or_detector(self):

@@ -1,5 +1,7 @@
 """Tests for gadget-dataset persistence."""
 
+import logging
+
 import pytest
 
 from repro.core.pipeline import extract_gadgets
@@ -45,6 +47,31 @@ class TestStore:
         path = tmp_path / "bad.jsonl"
         path.write_text("\nnot json\n")
         with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_gadgets(path)
+
+    def test_truncated_final_line_skipped_with_warning(
+            self, gadgets, tmp_path, caplog):
+        # the partial write of a process killed mid-append: every
+        # complete record before it is served, the torn tail is not
+        path = tmp_path / "torn.jsonl"
+        save_gadgets(gadgets, path)
+        with path.open("a") as handle:
+            handle.write('{"v": 1, "tokens": ["tr')
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.core.store"):
+            restored = load_gadgets(path)
+        assert len(restored) == len(gadgets)
+        assert "truncated final line" in caplog.text
+
+    def test_corruption_before_eof_still_raises(self, gadgets,
+                                                tmp_path):
+        # only the *final* line gets the torn-tail forgiveness
+        path = tmp_path / "mid.jsonl"
+        save_gadgets(gadgets, path)
+        lines = path.read_text().splitlines(keepends=True)
+        lines.insert(1, "{torn\n")
+        path.write_text("".join(lines))
+        with pytest.raises(ValueError, match="mid.jsonl:2"):
             load_gadgets(path)
 
     def test_unknown_version_rejected(self, tmp_path):

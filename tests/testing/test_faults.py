@@ -58,6 +58,15 @@ class TestFiring:
                 faults.fire("case", "c.c")
             faults.fire("case", "d.c")  # past the Nth visit: quiet
 
+    def test_visit_range_matching(self):
+        with faults.injected("raise@case:#2-3"):
+            faults.fire("case", "a.c")
+            with pytest.raises(RuntimeError):
+                faults.fire("case", "b.c")
+            with pytest.raises(RuntimeError):
+                faults.fire("case", "c.c")
+            faults.fire("case", "d.c")  # past the range: quiet
+
     def test_sites_are_independent(self):
         with faults.injected("raise@train-batch:0.0"):
             faults.fire("case", "0.0")  # same key, different site
@@ -75,6 +84,24 @@ class TestFiring:
         # fire inside pool workers
         with faults.injected("crash@case:x.c"):
             faults.fire("case", "x.c")
+
+
+class TestDrop:
+    def test_should_drop_counts_visits(self):
+        with faults.injected("drop@server-conn:#2"):
+            assert not faults.should_drop("server-conn", "1")
+            assert faults.should_drop("server-conn", "1")
+            assert not faults.should_drop("server-conn", "1")
+
+    def test_fire_ignores_drop_rules(self):
+        # drop is a boolean site queried via should_drop, never an
+        # exception raised out of fire()
+        with faults.injected("drop@case:*"):
+            faults.fire("case", "x.c")
+
+    def test_no_plan_never_drops(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        assert not faults.should_drop("server-conn", "1")
 
 
 class TestCorruptFile:
