@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Benchmark diff-aware incremental scanning on a synthetic monorepo.
+
+Builds a monorepo of ``--functions`` C functions spread over
+``--files`` files (call chains give realistic multi-function
+components), edits ~1% of the functions, and scans the edited tree two
+ways::
+
+    PYTHONPATH=src python scripts/bench_diff.py          # full run
+    PYTHONPATH=src python scripts/bench_diff.py --smoke  # CI-sized
+
+* ``cold`` — a fresh :class:`~repro.core.serve.ScanService` with no
+  caches scans the edited tree from scratch (what every pre-diff scan
+  paid on every commit).
+* ``incremental`` — a service holding a function-level gadget cache
+  scans the *base* tree once (the "previous commit" — untimed warm-up),
+  then the edited tree: unchanged files resolve from the in-memory
+  verdict cache, changed files re-slice only the call components the
+  edit touched via :class:`~repro.core.cache.FunctionGadgetCache`.
+
+The non-negotiable gate is *parity*: incremental verdict records must
+be byte-identical to the cold scan's (the caches may only skip work,
+never change results) — a parity failure exits non-zero in every mode.
+The speedup is gated at ``TARGET_SPEEDUP`` on full runs and merely
+disclosed under ``--smoke`` (CI machines are too noisy to gate
+timings; CI asserts the JSON contract and parity).
+
+Writes ``benchmarks/results/BENCH_diff.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.config import SCALE_PRESETS  # noqa: E402
+from repro.core.detector import SEVulDet  # noqa: E402
+from repro.core.diffscan import DiffScanner  # noqa: E402
+from repro.core.serve import ScanService  # noqa: E402
+from repro.datasets.sard import generate_sard_corpus  # noqa: E402
+
+TARGET_SPEEDUP = 5.0
+
+
+def synth_function(index: int, calls: str | None) -> str:
+    """One deterministic function; every third one calls its neighbour
+    so edits invalidate realistic multi-function components."""
+    body_call = (f"    buf[0] = {calls}(n);\n" if calls
+                 else "    buf[0] = n;\n")
+    return (f"int fn_{index}(int n) {{\n"
+            f"    char buf[8];\n"
+            f"{body_call}"
+            f"    return buf[0] + {index % 7};\n"
+            f"}}\n")
+
+
+def build_monorepo(root: Path, functions: int, files: int) -> None:
+    """``functions`` functions over ``files`` files, in call chains."""
+    per_file = max(1, functions // files)
+    index = 0
+    for file_no in range(files):
+        chunks = []
+        indexes = list(range(index, index + per_file))
+        # define callees before callers: fn_i calls fn_{i+1} when
+        # i % 3 == 0 (and the callee is in the same file)
+        for i in reversed(indexes):
+            callee = (f"fn_{i + 1}"
+                      if i % 3 == 0 and i + 1 in indexes else None)
+            chunks.append(synth_function(i, callee))
+        path = root / f"pkg{file_no % 4}" / f"mod_{file_no:03d}.c"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("".join(chunks))
+        index += per_file
+
+
+def edit_functions(base: Path, target: Path,
+                   edits: int) -> list[str]:
+    """Copy ``base`` to ``target`` and edit ``edits`` function bodies,
+    spread across files.  Returns the edited function names."""
+    if target.exists():
+        shutil.rmtree(target)
+    shutil.copytree(base, target)
+    sources = sorted(target.rglob("*.c"))
+    edited: list[str] = []
+    stride = max(1, len(sources) // edits)
+    for pick in range(edits):
+        path = sources[(pick * stride) % len(sources)]
+        text = path.read_text()
+        # edit the first not-yet-edited function in the file: bump its
+        # trailing constant (a real body change, fingerprint moves)
+        for line in text.splitlines():
+            if line.startswith("int fn_"):
+                name = line.split("(")[0].removeprefix("int ")
+                if name not in edited:
+                    edited.append(name)
+                    break
+        else:
+            continue
+        start = text.index(f"int {name}(")
+        end = text.index("}\n", start)
+        chunk = text[start:end]
+        text = (text[:start]
+                + chunk.replace("return buf[0] +",
+                                "return buf[0] + 1 +")
+                + text[end:])
+        path.write_text(text)
+    return edited
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: tiny repo, parity gated, "
+                             "speedup disclosed")
+    parser.add_argument("--functions", type=int, default=None,
+                        help="monorepo size (default 500, smoke 60)")
+    parser.add_argument("--files", type=int, default=None,
+                        help="files to spread them over "
+                             "(default 50, smoke 6)")
+    parser.add_argument("--edits", type=int, default=None,
+                        help="functions to edit (default 5 = 1%%, "
+                             "smoke 2)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--output", type=Path,
+                        default=ROOT / "benchmarks" / "results"
+                        / "BENCH_diff.json")
+    args = parser.parse_args(argv)
+
+    functions = args.functions or (60 if args.smoke else 500)
+    files = args.files or (6 if args.smoke else 50)
+    edits = args.edits or (2 if args.smoke else 5)
+    train_n = 20 if args.smoke else 80
+
+    detector = SEVulDet(scale=SCALE_PRESETS["small"], seed=3)
+    detector.fit(generate_sard_corpus(train_n, seed=31))
+    detector.threshold = 0.5
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp) / "base"
+        target = Path(tmp) / "target"
+        build_monorepo(base, functions, files)
+        edited = edit_functions(base, target, edits)
+        n_files = len(list(target.rglob("*.c")))
+        print(f"monorepo: {functions} functions / {n_files} files; "
+              f"edited {len(edited)} "
+              f"({len(edited) / functions:.1%}): "
+              f"{', '.join(edited)}")
+
+        # cold: fresh service, no caches, edited tree from scratch
+        with ScanService(detector, workers=args.workers,
+                         batch_size=args.batch_size) as service:
+            start = time.perf_counter()
+            cold_verdicts = DiffScanner(service).scan_tree(target)
+            cold_s = time.perf_counter() - start
+        print(f"cold scan:        {cold_s:.3f}s "
+              f"({n_files / cold_s:.1f} files/s)")
+
+        # incremental: warm the caches on the base tree (the previous
+        # commit), then time the rescan of the edited tree
+        with tempfile.TemporaryDirectory() as cache_dir, \
+                ScanService(detector, workers=args.workers,
+                            batch_size=args.batch_size,
+                            fn_cache=cache_dir) as service:
+            scanner = DiffScanner(service)
+            start = time.perf_counter()
+            scanner.scan_tree(base)
+            base_s = time.perf_counter() - start
+            telemetry = service.telemetry
+            base_misses = telemetry.get("fn_cache_misses") or 0
+            start = time.perf_counter()
+            warm_verdicts = scanner.scan_tree(target)
+            warm_s = time.perf_counter() - start
+            hits = telemetry.get("fn_cache_hits") or 0
+            misses = (telemetry.get("fn_cache_misses") or 0) \
+                - base_misses
+        print(f"base (warm-up):   {base_s:.3f}s")
+        print(f"incremental scan: {warm_s:.3f}s "
+              f"({misses} component re-slice(s), {hits} cached "
+              f"function(s))")
+
+    parity = warm_verdicts == cold_verdicts
+    speedup = round(cold_s / max(warm_s, 1e-9), 2)
+    flagged = sum(1 for record in cold_verdicts.values()
+                  if record["status"] == "flagged")
+    print(f"speedup: {speedup}x for a "
+          f"{len(edited) / functions:.1%} edit; verdict parity: "
+          f"{parity}")
+
+    report = {
+        "benchmark": "diff",
+        "mode": "smoke" if args.smoke else "full",
+        "monorepo": {"functions": functions, "files": n_files,
+                     "edited_functions": len(edited),
+                     "edit_fraction": round(len(edited) / functions,
+                                            4)},
+        "workers": args.workers,
+        "batch_size": args.batch_size,
+        "cold": {"seconds": round(cold_s, 4),
+                 "files_per_sec": round(n_files / cold_s, 2)},
+        "base_warmup_seconds": round(base_s, 4),
+        "incremental": {"seconds": round(warm_s, 4),
+                        "files_per_sec": round(n_files / warm_s, 2),
+                        "fn_cache_hits": hits,
+                        "component_reslices": misses},
+        "flagged_files": flagged,
+        "speedup": speedup,
+        "parity": parity,
+        "targets": {"speedup": TARGET_SPEEDUP, "parity": True},
+        "targets_met": {"speedup": speedup >= TARGET_SPEEDUP,
+                        "parity": parity},
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not parity:
+        print("error: incremental verdicts diverged from the cold "
+              "scan", file=sys.stderr)
+        return 1
+    if not args.smoke and speedup < TARGET_SPEEDUP:
+        print("warning: diff speedup target not met",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,6 +63,9 @@ from repro.nn.quantize import apply_inference_dtype  # noqa: E402
 
 TARGET_FUSED = 1.15
 TARGET_FLOAT16 = 1.3
+#: pool speedup gate; only meaningful with >= 2 CPUs (IPC
+#: cannot add cores on a single-CPU runner)
+TARGET_POOL = 1.2
 DTYPES = ("float32", "float16", "int8")
 
 
@@ -238,6 +241,8 @@ def main(argv: list[str] | None = None) -> int:
               f"gadgets/s "
               f"({curve['workers'][str(count)]['speedup_vs_serial']}x "
               f"vs serial)")
+    best_pool = max(row["speedup_vs_serial"]
+                    for row in curve["workers"].values())
     if cpus < 2:
         print("  [single CPU: process scoring cannot add throughput; "
               "curve reported, not gated]")
@@ -247,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
         "benchmark": "infer",
         "mode": "smoke" if args.smoke else "full",
         "cpus": cpus,
+        "cpu_count": cpus,
         "corpus": {"cases": n_cases, "gadgets": len(samples)},
         "model": {"dim": dim, "channels": channels,
                   "vocab": model.embedding.vocab_size},
@@ -269,7 +275,8 @@ def main(argv: list[str] | None = None) -> int:
                   "single-CPU machine the curve is reported, not "
                   "gated — IPC cannot add cores")),
         "targets": {"fused_speedup": TARGET_FUSED,
-                    "float16_speedup": TARGET_FLOAT16},
+                    "float16_speedup": TARGET_FLOAT16,
+                    "pool_speedup": TARGET_POOL},
         "targets_met": {
             "fused_speedup": fused_speedup >= TARGET_FUSED,
             "fused_bit_identical": bit_identical,
@@ -279,6 +286,12 @@ def main(argv: list[str] | None = None) -> int:
             "flip_rate_zero": all(
                 row["flips_at_threshold"] == 0
                 for row in dtype_rows.values()),
+            # None = not applicable: single CPU (a process pool
+            # cannot beat serial without a second core) or a smoke
+            # run (the sweep stops at one worker)
+            "pool_speedup": (best_pool >= TARGET_POOL
+                             if cpus >= 2 and not args.smoke
+                             else None),
         },
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)
@@ -296,6 +309,10 @@ def main(argv: list[str] | None = None) -> int:
     if not args.smoke and fused_speedup < TARGET_FUSED:
         print("warning: fused speedup target not met",
               file=sys.stderr)
+        return 1
+    if not args.smoke and cpus >= 2 and best_pool < TARGET_POOL:
+        print(f"warning: pool speedup target not met on a "
+              f"{cpus}-cpu machine", file=sys.stderr)
         return 1
     return 0
 

@@ -30,6 +30,26 @@ from .datasets.sard import generate_sard_corpus
 __all__ = ["main", "build_parser"]
 
 
+def _prepare_quarantine(args: argparse.Namespace):
+    """Build the Quarantine from ``--quarantine`` and its policy
+    flags: ``--quarantine-retry-after`` arms the retry budget and
+    ``--requarantine`` drops every entry up front (still-failing
+    cases re-enter during the run)."""
+    from .core.resilience import Quarantine
+
+    path = getattr(args, "quarantine", None)
+    if path is None:
+        return None
+    quarantine = Quarantine(
+        path,
+        retry_after=getattr(args, "quarantine_retry_after", None))
+    if getattr(args, "requarantine", False):
+        dropped = quarantine.reset()
+        print(f"requarantine: dropped {dropped} entry(ies) from "
+              f"{path}; failing cases will re-enter")
+    return quarantine
+
+
 def _run_context(args: argparse.Namespace, *,
                  workers: int = 0) -> RunContext:
     """One RunContext from the shared cache/quarantine/fault flags.
@@ -42,7 +62,7 @@ def _run_context(args: argparse.Namespace, *,
     """
     return RunContext.create(
         cache=getattr(args, "cache_dir", None),
-        quarantine=getattr(args, "quarantine", None),
+        quarantine=_prepare_quarantine(args),
         case_timeout=getattr(args, "case_timeout", None),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         resume=bool(getattr(args, "resume", False)),
@@ -131,17 +151,51 @@ def build_parser() -> argparse.ArgumentParser:
                            "measure the quantization guardband when "
                            "--dtype is reduced (default 24)")
     scan.add_argument("--jsonl", type=Path, default=None,
-                      help="write one JSON verdict record per case "
-                           "to this file")
+                      help="write one JSON record per case (verdicts; "
+                           "in --diff/--watch mode: verdict deltas) "
+                           "to this file, streamed in input order")
+    scan.add_argument("--diff", type=Path, default=None,
+                      metavar="BASE",
+                      help="incremental mode: BASE is either a "
+                           "baseline tree to compare the scanned "
+                           "directory against, or a file of changed "
+                           "paths (git diff --name-only output) to "
+                           "restrict the scan to; emits verdict "
+                           "deltas (added/changed/cleared) and "
+                           "re-extracts only invalidated functions")
+    scan.add_argument("--watch", action="store_true",
+                      help="watch the scanned directory: poll mtimes, "
+                           "rescan changed files incrementally, and "
+                           "stream verdict-delta JSONL to stdout")
+    scan.add_argument("--interval", type=float, default=0.5,
+                      help="watch-mode poll interval in seconds "
+                           "(default 0.5)")
+    scan.add_argument("--max-polls", type=int, default=None,
+                      help="watch-mode poll budget (default: poll "
+                           "until interrupted)")
     scan.add_argument("--cache-dir", type=Path, default=None,
                       help="content-addressed extraction cache "
                            "directory shared with train/extract")
+    scan.add_argument("--fn-cache-dir", type=Path, default=None,
+                      help="function-level incremental gadget cache "
+                           "directory; --diff/--watch default to a "
+                           "per-run temporary one")
     scan.add_argument("--case-timeout", type=float, default=None,
                       help="per-case extraction wall-clock budget in "
                            "seconds; hanging cases are skipped and "
                            "quarantined instead of wedging the scan")
     scan.add_argument("--quarantine", type=Path, default=None,
                       help="poison-case quarantine list (.jsonl)")
+    scan.add_argument("--quarantine-retry-after", type=int,
+                      default=None, metavar="N",
+                      help="retry a quarantined case after it has "
+                           "been pre-skipped N times (clean retries "
+                           "discharge the entry; default: skip "
+                           "forever)")
+    scan.add_argument("--requarantine", action="store_true",
+                      help="drop every quarantine entry before "
+                           "scanning so all cases are retried; "
+                           "still-failing ones re-enter the list")
     scan.add_argument("--stats", action="store_true",
                       help="print scan telemetry (queue depth, batch "
                            "fill, latency percentiles, cache hits)")
@@ -228,6 +282,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "in seconds")
     extract.add_argument("--quarantine", type=Path, default=None,
                          help="poison-case quarantine list (.jsonl)")
+    extract.add_argument("--quarantine-retry-after", type=int,
+                         default=None, metavar="N",
+                         help="retry a quarantined case after N "
+                              "pre-skips (default: skip forever)")
+    extract.add_argument("--requarantine", action="store_true",
+                         help="drop every quarantine entry before "
+                              "extracting so all cases are retried")
     extract.add_argument("--out", type=Path, required=True,
                          help="output gadget dataset (.jsonl)")
     extract.add_argument("--stats", action="store_true",
@@ -309,12 +370,22 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 def _cmd_scan(args: argparse.Namespace) -> int:
     import json
+    import tempfile
 
-    from .core.serve import ScanService
+    from .core.serve import ScanService, case_for_file, \
+        expand_scan_paths
 
     if (args.model is None) == (args.connect is None):
         print("error: scan needs exactly one of --model (in-process) "
               "or --connect (remote daemon)", file=sys.stderr)
+        return 2
+    if args.diff is not None and args.watch:
+        print("error: --diff and --watch are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if (args.diff is not None or args.watch) and args.model is None:
+        print("error: --diff/--watch scan in-process and need "
+              "--model", file=sys.stderr)
         return 2
     if args.connect is not None:
         return _cmd_scan_connect(args)
@@ -334,29 +405,59 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         # printed guardband is measured, not assumed
         calibration = generate_sard_corpus(
             max(args.calibration_cases, 1), seed=9091)
-    with ScanService(detector, workers=args.workers,
-                     batch_size=args.batch_size, dtype=args.dtype,
-                     calibration=calibration) as service:
-        verdicts = service.scan_paths(args.files)
-        stats = service.stats()
-    exit_code = 0
-    for verdict in verdicts:
-        if verdict.status == "skipped":
-            print(f"{verdict.name}: skipped ({verdict.reason})")
-        elif not verdict.findings:
-            print(f"{verdict.name}: clean")
-        else:
-            exit_code = 1
-            for finding in verdict.findings:
-                print(f"{finding.path}:{finding.line}: "
-                      f"[{finding.category}] suspicious "
-                      f"{finding.function}() "
-                      f"score={finding.score:.2f}")
-    if args.jsonl is not None:
-        with args.jsonl.open("w", encoding="utf-8") as handle:
-            for verdict in verdicts:
-                handle.write(json.dumps(verdict.as_record(),
-                                        sort_keys=True) + "\n")
+    fn_cache_dir = args.fn_cache_dir
+    temp_fn_cache = None
+    if fn_cache_dir is None and (args.diff is not None or args.watch):
+        # incremental modes always get function-level reuse; without
+        # a persistent directory it lives for just this invocation
+        temp_fn_cache = tempfile.TemporaryDirectory(
+            prefix="repro-fncache-")
+        fn_cache_dir = Path(temp_fn_cache.name)
+    try:
+        with ScanService(detector, workers=args.workers,
+                         batch_size=args.batch_size, dtype=args.dtype,
+                         calibration=calibration,
+                         fn_cache=fn_cache_dir) as service:
+            if args.diff is not None:
+                return _cmd_scan_diff(args, service)
+            if args.watch:
+                return _cmd_scan_watch(args, service)
+            files = expand_scan_paths(args.files)
+            cases = [case_for_file(path) for path in files]
+            exit_code = 0
+            verdicts = []
+            handle = (args.jsonl.open("w", encoding="utf-8")
+                      if args.jsonl is not None else None)
+            try:
+                # verdicts stream back in input order (the service
+                # buffers-and-releases by case index), so the JSONL
+                # byte stream is identical run to run at any worker
+                # count
+                for verdict in service.scan_stream(cases):
+                    verdicts.append(verdict)
+                    if verdict.status == "skipped":
+                        print(f"{verdict.name}: skipped "
+                              f"({verdict.reason})")
+                    elif not verdict.findings:
+                        print(f"{verdict.name}: clean")
+                    else:
+                        exit_code = 1
+                        for finding in verdict.findings:
+                            print(f"{finding.path}:{finding.line}: "
+                                  f"[{finding.category}] suspicious "
+                                  f"{finding.function}() "
+                                  f"score={finding.score:.2f}")
+                    if handle is not None:
+                        handle.write(
+                            json.dumps(verdict.as_record(),
+                                       sort_keys=True) + "\n")
+            finally:
+                if handle is not None:
+                    handle.close()
+            stats = service.stats()
+    finally:
+        if temp_fn_cache is not None:
+            temp_fn_cache.cleanup()
     flagged = sum(v.flagged for v in verdicts)
     skipped = sum(v.status == "skipped" for v in verdicts)
     clean = len(verdicts) - flagged - skipped
@@ -398,6 +499,91 @@ def _cmd_scan(args: argparse.Namespace) -> int:
               f"{resilience['retries']} rescored submit(s)")
         print(service.telemetry.summary())
     return exit_code
+
+
+def _cmd_scan_diff(args: argparse.Namespace, service) -> int:
+    """``scan --diff BASE TARGET``: scan two trees, emit deltas.
+
+    BASE is either a tree (full two-tree diff) or a names file
+    (``git diff --name-only`` output; scans only the listed paths
+    under TARGET).  Exit 1 when the diff added or changed a flagged
+    file, 0 when every delta cleared or nothing changed.
+    """
+    from .core.diffscan import DiffScanner, deltas_as_jsonl
+
+    if len(args.files) != 1:
+        print("error: scan --diff takes exactly one target tree",
+              file=sys.stderr)
+        return 2
+    target = Path(args.files[0])
+    if not target.is_dir():
+        print(f"error: scan --diff target {target} is not a "
+              f"directory", file=sys.stderr)
+        return 2
+    scanner = DiffScanner(service)
+    base = args.diff
+    if base.is_dir():
+        report = scanner.diff(base, target)
+    elif base.is_file():
+        names = base.read_text(encoding="utf-8").splitlines()
+        report = scanner.scan_names(target, names)
+    else:
+        print(f"error: --diff base {base} is neither a tree nor a "
+              f"names file", file=sys.stderr)
+        return 2
+    for rel in report.changed_files:
+        frontier = report.frontier.get(rel)
+        if frontier:
+            print(f"{rel}: re-slicing {', '.join(frontier)}")
+        else:
+            print(f"{rel}: changed")
+    for delta in report.deltas:
+        print(f"{delta.event}: {delta.name}")
+    print(f"diff: {len(report.changed_files)} changed file(s), "
+          f"{len(report.deltas)} verdict delta(s)")
+    if args.jsonl is not None:
+        with args.jsonl.open("w", encoding="utf-8") as handle:
+            for line in deltas_as_jsonl(report.deltas):
+                handle.write(line + "\n")
+    return 1 if report.dirty else 0
+
+
+def _cmd_scan_watch(args: argparse.Namespace, service) -> int:
+    """``scan --watch DIR``: poll mtimes, stream verdict deltas as
+    JSONL on stdout (and to ``--jsonl`` when given)."""
+    import json
+
+    from .core.diffscan import WatchLoop
+
+    if len(args.files) != 1:
+        print("error: scan --watch takes exactly one directory",
+              file=sys.stderr)
+        return 2
+    root = Path(args.files[0])
+    if not root.is_dir():
+        print(f"error: scan --watch root {root} is not a directory",
+              file=sys.stderr)
+        return 2
+    handle = (args.jsonl.open("w", encoding="utf-8")
+              if args.jsonl is not None else None)
+
+    def emit(delta) -> None:
+        line = json.dumps(delta.as_record(), sort_keys=True)
+        print(line, flush=True)
+        if handle is not None:
+            handle.write(line + "\n")
+            handle.flush()
+
+    loop = WatchLoop(service, root, interval=args.interval,
+                     max_polls=args.max_polls, emit=emit)
+    try:
+        loop.run()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if handle is not None:
+            handle.close()
+    return 0
 
 
 def _cmd_scan_connect(args: argparse.Namespace) -> int:

@@ -17,6 +17,7 @@ cache miss, never an error.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from pathlib import Path
 from typing import Sequence
@@ -25,9 +26,10 @@ from ..datasets.manifest import TestCase
 from ..slicing.normalize import NORMALIZE_VERSION
 from ..testing import faults
 from .extract import PIPELINE_VERSION, LabeledGadget
+from .fingerprint import FINGERPRINT_VERSION
 from .store import load_gadgets, save_gadgets
 
-__all__ = ["GadgetCache"]
+__all__ = ["GadgetCache", "FunctionGadgetCache"]
 
 
 class GadgetCache:
@@ -118,3 +120,67 @@ class GadgetCache:
                 except OSError:
                     pass  # refilled concurrently, or not empty
         return removed
+
+
+class FunctionGadgetCache(GadgetCache):
+    """Per-*function* gadget cache under the incremental scan path.
+
+    Where :class:`GadgetCache` keys a whole case (one changed byte
+    re-slices everything), this keys the gadgets of one function's
+    criteria by the function's call-graph *component digest* (see
+    :func:`~repro.core.fingerprint.component_digests`): an edit
+    anywhere in the component invalidates exactly that component's
+    entries and nothing else, and because interprocedural slices never
+    read outside the component, a hit is byte-identical to re-slicing.
+
+    The case *name* is deliberately excluded from the key — identical
+    content under two paths (vendored copies, renames) shares entries;
+    :meth:`get_function` rewrites provenance on the way out.  Labeling
+    inputs (vulnerable flag, flaw lines, CWE) stay in the key because
+    gadget labels depend on them.  Shards reuse the parent's record
+    format and fan-out layout, so one cache root can hold both
+    granularities side by side without key collisions (the
+    ``function-level`` marker separates the key spaces).
+    """
+
+    def key_for_function(self, case: TestCase, function: str,
+                         config_token: str,
+                         component_digest: str) -> str:
+        """Cache key for one function's criteria gadgets.
+
+        ``function`` must be part of the key: every member of a call
+        component shares one ``component_digest`` (editing any member
+        re-slices them all), so without the name two functions in the
+        same component would collide on the same entry.
+        """
+        digest = hashlib.sha256()
+        for part in ("function-level", function, config_token,
+                     f"pipeline={PIPELINE_VERSION};"
+                     f"normalize={NORMALIZE_VERSION};"
+                     f"fingerprint={FINGERPRINT_VERSION}",
+                     str(int(case.vulnerable)),
+                     ",".join(str(line) for line
+                              in sorted(case.vulnerable_lines)),
+                     case.cwe,
+                     component_digest):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def get_function(self, key: str,
+                     case_name: str) -> list[LabeledGadget] | None:
+        """Cached gadgets under ``key``, re-attributed to ``case_name``.
+
+        An empty list is a valid hit (the function's criteria all
+        sliced to nothing, or it has no criteria); None is a miss.
+        """
+        hit = self.get(key)
+        if hit is None:
+            return None
+        return [labeled if labeled.case_name == case_name
+                else dataclasses.replace(labeled, case_name=case_name)
+                for labeled in hit]
+
+    def put_function(self, key: str,
+                     gadgets: Sequence[LabeledGadget]) -> None:
+        self.put(key, gadgets)

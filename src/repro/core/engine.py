@@ -42,7 +42,8 @@ import numpy as np
 from ..datasets.manifest import TestCase
 from .encode import EncodedDataset, encode_gadgets
 from .extract import (CaseResult, CorpusExtractor, GadgetDeduplicator,
-                      LabeledGadget, _coerce_cache, _make_config)
+                      LabeledGadget, _coerce_cache, _coerce_fn_cache,
+                      _make_config)
 from .resilience import CaseFailure, Quarantine, coerce_quarantine
 from .score import predict_proba
 from .telemetry import Telemetry
@@ -68,6 +69,7 @@ class RunContext:
     """
 
     cache: Any = None  # GadgetCache | None
+    fn_cache: Any = None  # FunctionGadgetCache | None
     quarantine: Quarantine | None = None
     telemetry: Telemetry = field(default_factory=Telemetry)
     checkpoint_dir: Path | None = None
@@ -78,7 +80,7 @@ class RunContext:
     failures: list[CaseFailure] = field(default_factory=list)
 
     @classmethod
-    def create(cls, *, cache=None, quarantine=None,
+    def create(cls, *, cache=None, fn_cache=None, quarantine=None,
                telemetry: Telemetry | None = None,
                checkpoint_dir: str | Path | None = None,
                case_timeout: float | None = None, workers: int = 0,
@@ -86,10 +88,12 @@ class RunContext:
                failures: list[CaseFailure] | None = None
                ) -> "RunContext":
         """Coercing constructor: accepts a cache directory path for
-        ``cache``, a JSONL path for ``quarantine``, and None for
-        ``telemetry``/``failures`` (fresh instances are made)."""
+        ``cache``/``fn_cache``, a JSONL path for ``quarantine``, and
+        None for ``telemetry``/``failures`` (fresh instances are
+        made)."""
         return cls(
             cache=_coerce_cache(cache),
+            fn_cache=_coerce_fn_cache(fn_cache),
             quarantine=coerce_quarantine(quarantine),
             telemetry=telemetry if telemetry is not None else Telemetry(),
             checkpoint_dir=(Path(checkpoint_dir)
@@ -174,10 +178,11 @@ class ExtractStage(Stage):
                          case_timeout=ctx.case_timeout)
         # the on-disk cache format does not persist raw gadget objects
         cache = None if config.keep_gadget else ctx.cache
+        fn_cache = None if config.keep_gadget else ctx.fn_cache
         self._extractor = CorpusExtractor(
             config, workers=ctx.workers, cache=cache,
             quarantine=ctx.quarantine, telemetry=ctx.telemetry,
-            retries=ctx.retries, keep_pool=True)
+            retries=ctx.retries, keep_pool=True, fn_cache=fn_cache)
         self._deduper = GadgetDeduplicator(enabled=self.deduplicate)
         self._emitted = 0
 

@@ -19,7 +19,7 @@ from typing import Sequence
 
 from ..datasets.manifest import TestCase
 from ..embedding.vocab import Vocabulary
-from ..lang.callgraph import analyze
+from ..lang.callgraph import analyze, ast_call_edges
 from ..lang.parser import ParseError
 from ..nn import Sample
 from ..slicing.gadget import CodeGadget, classic_gadget
@@ -29,6 +29,7 @@ from ..slicing.path_sensitive import path_sensitive_gadget
 from ..slicing.special_tokens import (SlicingCriterion, TokenCategory,
                                       find_special_tokens)
 from ..testing import faults
+from .fingerprint import component_digests, function_fingerprints
 from .resilience import (QUARANTINE_REASONS, CaseFailure, CaseTimeout,
                          coerce_quarantine, time_limit)
 from .telemetry import Telemetry
@@ -109,8 +110,34 @@ def _make_config(kind: str, categories: tuple[str, ...] | None, *,
 _CaseOutcome = tuple
 
 
-def _extract_case(case: TestCase, config: _ExtractConfig
-                  ) -> _CaseOutcome:
+def _criterion_gadget(program, criterion, manifest, case: TestCase,
+                      config: _ExtractConfig,
+                      local: Telemetry) -> LabeledGadget | None:
+    """Slice/label/normalize one criterion (None if it slices empty)."""
+    with local.stage("slice"):
+        if config.kind == "path-sensitive":
+            gadget = path_sensitive_gadget(program, criterion)
+        else:
+            gadget = classic_gadget(program, criterion,
+                                    use_control=config.use_control)
+    if not gadget.lines:
+        return None
+    gadget.label = label_gadget(gadget, manifest)
+    with local.stage("normalize"):
+        normalized = normalize_gadget(gadget)
+    return LabeledGadget(
+        tokens=tuple(normalized.tokens),
+        label=gadget.label,
+        category=criterion.category.value,
+        case_name=case.name,
+        criterion=criterion,
+        kind=config.kind,
+        gadget=gadget if config.keep_gadget else None,
+        cwe=case.cwe)
+
+
+def _extract_case(case: TestCase, config: _ExtractConfig,
+                  fn_cache=None) -> _CaseOutcome:
     """Pure per-case body of :func:`extract_gadgets`.
 
     Analyzes, slices, labels, and normalizes one program, returning its
@@ -121,6 +148,16 @@ def _extract_case(case: TestCase, config: _ExtractConfig
     real-world case may blow the recursion stack, exhaust memory, or
     hang past its wall-clock budget, and none of those may take the
     run (or the worker's siblings) down with it.
+
+    With a :class:`~repro.core.cache.FunctionGadgetCache` the case is
+    analyzed *lazily* and criteria are served per function: a
+    function whose call-graph component digest is unchanged since the
+    last run reuses its cached gadget list without building a single
+    PDG, so a warm re-scan of a large file pays only for its edited
+    neighbourhood.  Criteria arrive globally sorted by
+    ``(function, line, category, token)`` — function groups are
+    contiguous, so concatenating per-function lists (cached or fresh)
+    reproduces the eager gadget order byte for byte.
     """
     local = Telemetry()
     gadgets: list[LabeledGadget] = []
@@ -128,32 +165,49 @@ def _extract_case(case: TestCase, config: _ExtractConfig
     try:
         with time_limit(config.case_timeout):
             faults.fire("case", case.name)
+            incremental = fn_cache is not None and not config.keep_gadget
             with local.stage("analyze"):
-                program = analyze(case.source, path=case.name)
+                program = analyze(case.source, path=case.name,
+                                  lazy=incremental)
             manifest = case.manifest()
-            for criterion in find_special_tokens(program, config.wanted):
-                with local.stage("slice"):
-                    if config.kind == "path-sensitive":
-                        gadget = path_sensitive_gadget(program, criterion)
+            criteria = find_special_tokens(program, config.wanted)
+            if not incremental:
+                for criterion in criteria:
+                    labeled = _criterion_gadget(program, criterion,
+                                                manifest, case, config,
+                                                local)
+                    if labeled is not None:
+                        gadgets.append(labeled)
+            else:
+                digests = component_digests(
+                    function_fingerprints(case.source),
+                    ast_call_edges(program.unit))
+                groups: list[tuple[str, list]] = []
+                for criterion in criteria:
+                    if groups and groups[-1][0] == criterion.function:
+                        groups[-1][1].append(criterion)
                     else:
-                        gadget = classic_gadget(
-                            program, criterion,
-                            use_control=config.use_control)
-                if not gadget.lines:
-                    continue
-                gadget.label = label_gadget(gadget, manifest)
-                with local.stage("normalize"):
-                    normalized = normalize_gadget(gadget)
-                gadgets.append(
-                    LabeledGadget(
-                        tokens=tuple(normalized.tokens),
-                        label=gadget.label,
-                        category=criterion.category.value,
-                        case_name=case.name,
-                        criterion=criterion,
-                        kind=config.kind,
-                        gadget=gadget if config.keep_gadget else None,
-                        cwe=case.cwe))
+                        groups.append((criterion.function, [criterion]))
+                token = config.cache_token()
+                for fn_name, fn_criteria in groups:
+                    key = fn_cache.key_for_function(
+                        case, fn_name, token,
+                        digests.get(fn_name, ""))
+                    hit = fn_cache.get_function(key, case.name)
+                    if hit is not None:
+                        local.count("fn_cache_hits")
+                        gadgets.extend(hit)
+                        continue
+                    local.count("fn_cache_misses")
+                    fresh: list[LabeledGadget] = []
+                    for criterion in fn_criteria:
+                        labeled = _criterion_gadget(program, criterion,
+                                                    manifest, case,
+                                                    config, local)
+                        if labeled is not None:
+                            fresh.append(labeled)
+                    fn_cache.put_function(key, fresh)
+                    gadgets.extend(fresh)
     except ParseError as error:
         failure = CaseFailure(case.name, "parse-error", str(error))
     except CaseTimeout:
@@ -176,16 +230,17 @@ def _extract_case(case: TestCase, config: _ExtractConfig
     return gadgets, local.as_dict(), None
 
 
-def _extract_chunk(cases: list[TestCase], config: _ExtractConfig
-                   ) -> list[_CaseOutcome]:
+def _extract_chunk(cases: list[TestCase], config: _ExtractConfig,
+                   fn_cache=None) -> list[_CaseOutcome]:
     """Worker-side batch body: one pickle round-trip per chunk."""
-    return [_extract_case(case, config) for case in cases]
+    return [_extract_case(case, config, fn_cache) for case in cases]
 
 
 def _pool_extract(cases: Sequence[TestCase], pending: list[int],
                   config: _ExtractConfig, workers: int,
                   telemetry: Telemetry,
-                  pool: ProcessPoolExecutor | None = None
+                  pool: ProcessPoolExecutor | None = None,
+                  fn_cache=None
                   ) -> tuple[dict[int, _CaseOutcome], list[int]]:
     """Fan ``pending`` out over a process pool, chunk by chunk.
 
@@ -221,7 +276,8 @@ def _pool_extract(cases: Sequence[TestCase], pending: list[int],
         for chunk in chunks:
             try:
                 future = pool.submit(_extract_chunk,
-                                     [cases[i] for i in chunk], config)
+                                     [cases[i] for i in chunk], config,
+                                     fn_cache)
             except (BrokenExecutor, RuntimeError):
                 # a previous run broke this (persistent) pool
                 note_break()
@@ -250,6 +306,16 @@ def _coerce_cache(cache):
         from .cache import GadgetCache
         return GadgetCache(cache)
     return cache
+
+
+def _coerce_fn_cache(fn_cache):
+    """Accept a FunctionGadgetCache, a directory path, or None."""
+    if fn_cache is None:
+        return None
+    if isinstance(fn_cache, (str, Path)):
+        from .cache import FunctionGadgetCache
+        return FunctionGadgetCache(fn_cache)
+    return fn_cache
 
 
 @dataclass
@@ -281,10 +347,14 @@ class CorpusExtractor:
     def __init__(self, config: _ExtractConfig, *, workers: int = 0,
                  cache=None, quarantine=None,
                  telemetry: Telemetry | None = None, retries: int = 1,
-                 keep_pool: bool = False):
+                 keep_pool: bool = False, fn_cache=None):
         self.config = config
         self.workers = workers
         self.cache = _coerce_cache(cache)
+        # per-function incremental cache; persists raw gadget objects
+        # no better than the case cache does, so keep_gadget runs
+        # bypass it inside _extract_case
+        self.fn_cache = _coerce_fn_cache(fn_cache)
         self.quarantine = coerce_quarantine(quarantine)
         self.telemetry = (telemetry if telemetry is not None
                           else Telemetry())
@@ -335,6 +405,7 @@ class CorpusExtractor:
         for index, case in enumerate(cases):
             if quarantine is not None and case in quarantine:
                 per_case[index] = []
+                quarantine.note_skip(case)
                 telemetry.count("cases_skipped")
                 telemetry.count("quarantine_skips")
                 telemetry.event("case-skip", case=case.name,
@@ -370,7 +441,8 @@ class CorpusExtractor:
                 pool = self._acquire_pool()
                 outcomes, lost = _pool_extract(cases, pending, config,
                                                self.workers, telemetry,
-                                               pool=pool)
+                                               pool=pool,
+                                               fn_cache=self.fn_cache)
                 if lost and pool is not None:
                     # a broken persistent pool poisons later runs too
                     pool.shutdown(wait=False)
@@ -381,7 +453,8 @@ class CorpusExtractor:
                         telemetry.count("case_retries")
                         telemetry.event("inline-fallback",
                                         case=case.name)
-                        outcome = _extract_case(case, config)
+                        outcome = _extract_case(case, config,
+                                                self.fn_cache)
                         if outcome[2] is not None:
                             outcome[2].attempts = 2
                         outcomes[index] = outcome
@@ -394,7 +467,8 @@ class CorpusExtractor:
         elif pending:
             with telemetry.stage("extract"):
                 for index in pending:
-                    outcomes[index] = _extract_case(cases[index], config)
+                    outcomes[index] = _extract_case(cases[index], config,
+                                                    self.fn_cache)
 
         for index in sorted(outcomes):
             gadgets, stats, failure = outcomes[index]
@@ -424,7 +498,14 @@ class CorpusExtractor:
                                else "")
                 case_failure[index] = failure
                 case_failures.append(failure)
-            elif gadget_cache is not None:
+                continue
+            if quarantine is not None and quarantine.listed(case):
+                # a formerly-quarantined case made it through a retry:
+                # retire the entry so future runs stop re-litigating it
+                quarantine.discharge(case)
+                telemetry.count("quarantine_discharges")
+                telemetry.event("quarantine-discharge", case=case.name)
+            if gadget_cache is not None:
                 # failed cases are deliberately not cached: parse
                 # failures are cheap to re-fail and poison cases belong
                 # to the quarantine, so skip diagnostics stay visible

@@ -117,22 +117,37 @@ class CaseFailure:
 
 
 class Quarantine:
-    """Persistent poison-case list (JSON lines, append-only).
+    """Persistent poison-case list (JSON lines, append-only op log).
 
     Cases are keyed by :meth:`~repro.datasets.manifest.TestCase.
     fingerprint`, i.e. by *content*: editing a quarantined case's
     source automatically un-quarantines it.  Corrupt or truncated
     lines are skipped on load — a half-written record can never take
     the whole list (or the run reading it) down.
+
+    Entries used to be permanent, which turned *transient* failures
+    (a timeout under load) into forever-skips.  The file is now an op
+    log replayed on load: an ``add`` record activates a fingerprint,
+    each ``{"op": "skip"}`` marker counts one pre-skip, and an
+    ``{"op": "discharge"}`` marker retires the entry (appended when a
+    quarantined case extracts cleanly again, or by operator tooling).
+    With ``retry_after=N`` an entry that has been skipped N times
+    stops matching :meth:`__contains__` — the next run retries it for
+    real; a repeat failure re-:meth:`add`\\ s it with a fresh skip
+    budget, a success :meth:`discharge`\\ s it.  The default
+    ``retry_after=None`` keeps the historical skip-forever behavior.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path,
+                 retry_after: int | None = None):
         self.path = Path(path)
-        self._fingerprints: set[str] | None = None
+        self.retry_after = retry_after
+        #: active fingerprint -> pre-skips observed since its last add
+        self._active: dict[str, int] | None = None
 
-    def _load(self) -> set[str]:
-        if self._fingerprints is None:
-            found: set[str] = set()
+    def _load(self) -> dict[str, int]:
+        if self._active is None:
+            active: dict[str, int] = {}
             skipped = 0
             try:
                 with self.path.open() as handle:
@@ -142,11 +157,20 @@ class Quarantine:
                             continue
                         try:
                             record = json.loads(line)
-                            fingerprint = record["fingerprint"]
+                            fingerprint = str(record["fingerprint"])
+                            op = record.get("op", "add")
                         except (ValueError, TypeError, KeyError):
                             skipped += 1  # tolerate torn lines
                             continue
-                        found.add(str(fingerprint))
+                        if op == "add":
+                            active[fingerprint] = 0
+                        elif op == "skip":
+                            if fingerprint in active:
+                                active[fingerprint] += 1
+                        elif op == "discharge":
+                            active.pop(fingerprint, None)
+                        else:
+                            skipped += 1
             except OSError:
                 pass
             if skipped:
@@ -157,35 +181,82 @@ class Quarantine:
                     "%s: skipped %d corrupt quarantine line(s) "
                     "(torn writes from an interrupted process)",
                     self.path, skipped)
-            self._fingerprints = found
-        return self._fingerprints
+            self._active = active
+        return self._active
+
+    def _append(self, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, separators=(",", ":"))
+                         + "\n")
 
     @staticmethod
     def _fingerprint_of(case) -> str:
         return case if isinstance(case, str) else case.fingerprint()
 
     def __contains__(self, case) -> bool:
-        """Is this case (or raw fingerprint) quarantined?"""
+        """Should this case (or raw fingerprint) be pre-skipped?
+
+        False once an entry has exhausted its ``retry_after`` skip
+        budget — the case is *listed* but due for a retry.
+        """
+        skips = self._load().get(self._fingerprint_of(case))
+        if skips is None:
+            return False
+        return self.retry_after is None or skips < self.retry_after
+
+    def listed(self, case) -> bool:
+        """Is the case active in the log, retry-eligible or not?"""
         return self._fingerprint_of(case) in self._load()
 
     def __len__(self) -> int:
         return len(self._load())
 
     def add(self, case, reason: str, detail: str = "") -> bool:
-        """Record a poison case; returns False if already listed."""
+        """Record a poison case; returns False if already skippable.
+
+        Re-adding a retry-eligible entry (its skip budget ran out and
+        the retry failed again) succeeds and resets the budget.
+        """
         fingerprint = self._fingerprint_of(case)
-        listed = self._load()
-        if fingerprint in listed:
+        if fingerprint in self:
             return False
-        listed.add(fingerprint)
-        record = {"v": 1, "fingerprint": fingerprint,
-                  "name": getattr(case, "name", ""),
-                  "reason": reason, "detail": detail}
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as handle:
-            handle.write(json.dumps(record, separators=(",", ":"))
-                         + "\n")
+        self._load()[fingerprint] = 0
+        self._append({"v": 1, "fingerprint": fingerprint,
+                      "name": getattr(case, "name", ""),
+                      "reason": reason, "detail": detail})
         return True
+
+    def note_skip(self, case) -> None:
+        """Count one pre-skip against the entry's retry budget."""
+        fingerprint = self._fingerprint_of(case)
+        active = self._load()
+        if fingerprint not in active:
+            return
+        active[fingerprint] += 1
+        self._append({"op": "skip", "fingerprint": fingerprint})
+
+    def discharge(self, case) -> bool:
+        """Retire an entry (the case extracts cleanly again)."""
+        fingerprint = self._fingerprint_of(case)
+        active = self._load()
+        if fingerprint not in active:
+            return False
+        del active[fingerprint]
+        self._append({"op": "discharge", "fingerprint": fingerprint})
+        return True
+
+    def reset(self) -> int:
+        """Drop every entry (the ``--requarantine`` escape hatch).
+
+        Truncates the log; returns how many active entries were
+        dropped.  Cases that still fail re-enter on the next run.
+        """
+        dropped = len(self._load())
+        self._active = {}
+        if self.path.exists():
+            self.path.write_text("")
+        return dropped
 
     def records(self) -> list[dict]:
         """All readable quarantine records (diagnostics/reporting)."""

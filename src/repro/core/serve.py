@@ -69,7 +69,8 @@ from .telemetry import Telemetry
 
 __all__ = ["CaseVerdict", "ResultCache", "ShardedResultCache",
            "ScanService", "Scorer", "ThreadScorer", "ProcessScorer",
-           "InlineScorer", "PoolBroken", "expand_scan_paths"]
+           "InlineScorer", "PoolBroken", "expand_scan_paths",
+           "case_for_file"]
 
 
 def expand_scan_paths(paths: Iterable[str | Path],
@@ -88,6 +89,21 @@ def expand_scan_paths(paths: Iterable[str | Path],
         else:
             raise FileNotFoundError(f"no such file: {path}")
     return files
+
+
+def case_for_file(path: Path, name: str | None = None) -> TestCase:
+    """An unlabeled scan :class:`TestCase` for one source file.
+
+    ``name`` defaults to ``str(path)``; diff/watch scanning passes the
+    tree-relative path instead so a case's fingerprint — and with it
+    every verdict- and gadget-cache key — is identical across two
+    checkouts of the same content.
+    """
+    return TestCase(
+        name=name if name is not None else str(path),
+        source=path.read_text(encoding="utf-8", errors="replace"),
+        vulnerable=False, vulnerable_lines=frozenset(),
+        cwe="", category="", origin="scan")
 
 
 @dataclass(frozen=True)
@@ -593,6 +609,10 @@ class _CaseWork:
     #: single-flight dedup: a later duplicate fingerprint in the same
     #: scan rides the first occurrence instead of re-extracting
     leader: "_CaseWork | None" = None
+    #: set once _admit has attached a verdict or scorer submission —
+    #: the buffer-and-release gate :meth:`ScanService.scan_stream`
+    #: waits on to emit verdicts in input order
+    ready: threading.Event = field(default_factory=threading.Event)
 
 
 class _SubmitStage(Stage):
@@ -615,8 +635,12 @@ class _SubmitStage(Stage):
 
     def process(self, chunk: Sequence[CaseResult],
                 ctx: RunContext) -> list[_CaseWork]:
-        return [self.service._admit(next(self._entries), result)
-                for result in chunk]
+        out = []
+        for result in chunk:
+            entry = self.service._admit(next(self._entries), result)
+            entry.ready.set()
+            out.append(entry)
+        return out
 
 
 class ScanService:
@@ -641,7 +665,8 @@ class ScanService:
                  scorer: str = "thread",
                  dtype: str | None = None,
                  calibration: Sequence[TestCase] | None = None,
-                 restart_policy: RestartPolicy | None = None):
+                 restart_policy: RestartPolicy | None = None,
+                 fn_cache=None):
         model, self._vocab = detector._require_trained()
         # Reduced-precision serving: quantize before the config token
         # is computed, so cached verdicts can never cross dtypes.
@@ -667,6 +692,10 @@ class ScanService:
         self._batch_size = batch_size
         self._workers = workers
         self._restart_policy = restart_policy
+        #: function-level incremental extraction cache (a
+        #: FunctionGadgetCache or a directory path); when set, changed
+        #: files re-slice only their edited call components
+        self.fn_cache = fn_cache
         self.scorer_kind = scorer
         self._scorer = self._make_scorer(scorer)
         self._fallback_lock = threading.Lock()
@@ -713,14 +742,30 @@ class ScanService:
                    ) -> list[CaseVerdict]:
         """Scan a corpus; verdicts come back in submission order.
 
+        Materialized :meth:`scan_stream` — same verdicts, same order.
+        """
+        return list(self.scan_stream(cases))
+
+    def scan_stream(self, cases: Sequence[TestCase]
+                    ) -> Iterator[CaseVerdict]:
+        """Scan a corpus, yielding verdicts *in input order* as they
+        resolve.
+
         Pass 1 resolves what it can from the result cache, then runs
         the remaining cases through a streaming
         :class:`~repro.core.engine.Engine` — an extraction stage
         feeding a scorer-submission stage across a prefetch boundary,
         so extraction of later case chunks overlaps scoring of earlier
-        ones (and both share the detector's gadget cache and
-        quarantine via the :class:`~repro.core.engine.RunContext`).
-        Pass 2 collects scores and assembles verdicts.
+        ones (and both share the detector's gadget cache, quarantine,
+        and the service's function-level ``fn_cache`` via the
+        :class:`~repro.core.engine.RunContext`).  The engine drains on
+        a background thread while this generator releases each case
+        as soon as *it and everything before it* is admitted:
+        buffer-and-release by case index, so the stream order is the
+        input order no matter how extraction chunks or scorer batches
+        interleave — the stability diff/watch verdict-delta
+        computation depends on (workers only change timing, never
+        order; pinned by the ``--workers 4`` determinism test).
 
         Concurrent calls are *not* serialized: the submission lock
         covers only the cheap cache-lookup/dedup bookkeeping, so one
@@ -736,6 +781,7 @@ class ScanService:
         if self._closed:
             raise RuntimeError("scan service is closed")
         scan_start = time.perf_counter()
+        cases = list(cases)
         work: list[_CaseWork] = []
         misses: list[_CaseWork] = []
         with self._submit_lock:
@@ -752,10 +798,13 @@ class ScanService:
                     continue
                 leaders[entry.fingerprint] = entry
                 misses.append(entry)
+        drain: threading.Thread | None = None
+        drain_error: list[BaseException] = []
         if misses:
             detector = self.detector
             ctx = RunContext.create(
                 cache=detector.cache,
+                fn_cache=self.fn_cache,
                 quarantine=detector.quarantine,
                 telemetry=self.telemetry,
                 case_timeout=detector.case_timeout,
@@ -766,27 +815,48 @@ class ScanService:
                              deduplicate=False, per_case=True),
                 _SubmitStage(self, misses),
                 ctx=ctx, chunk_size=16)
-            for _ in engine.stream(e.case for e in misses):
-                pass
-        verdicts = [self._resolve_case(entry) for entry in work]
-        self.telemetry.add_stage(
-            "scan", time.perf_counter() - scan_start)
-        self.telemetry.count("scan_cases", len(cases))
-        return verdicts
+
+            def _drain() -> None:
+                try:
+                    for _ in engine.stream(e.case for e in misses):
+                        pass
+                except BaseException as error:
+                    drain_error.append(error)
+                finally:
+                    # unblock the release loop even on failure; any
+                    # entry left un-admitted re-raises below
+                    for entry in misses:
+                        entry.ready.set()
+
+            drain = threading.Thread(target=_drain, daemon=True,
+                                     name="scan-extract-drain")
+            drain.start()
+        try:
+            for entry in work:
+                if entry.verdict is None:
+                    (entry.leader or entry).ready.wait()
+                    if drain_error and entry.pending is None \
+                            and entry.verdict is None \
+                            and entry.leader is None:
+                        raise drain_error[0]
+                yield self._resolve_case(entry)
+            if drain is not None:
+                drain.join()
+                if drain_error:
+                    raise drain_error[0]
+        finally:
+            if drain is not None:
+                drain.join()
+            self.telemetry.add_stage(
+                "scan", time.perf_counter() - scan_start)
+            self.telemetry.count("scan_cases", len(cases))
 
     def scan_paths(self, paths: Iterable[str | Path],
                    pattern: str = "*.c") -> list[CaseVerdict]:
         """Scan files / directories (directories recurse over
         ``pattern``); missing paths raise ``FileNotFoundError``."""
         files = expand_scan_paths(paths, pattern)
-        cases = [
-            TestCase(name=str(path), source=path.read_text(
-                         encoding="utf-8", errors="replace"),
-                     vulnerable=False, vulnerable_lines=frozenset(),
-                     cwe="", category="", origin="scan")
-            for path in files
-        ]
-        return self.scan_cases(cases)
+        return self.scan_cases([case_for_file(path) for path in files])
 
     # -- internals -----------------------------------------------------------
 

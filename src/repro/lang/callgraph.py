@@ -8,6 +8,7 @@ for interprocedural slice assembly (paper Algorithm 1, lines 32-36).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 import networkx as nx
 
@@ -17,7 +18,33 @@ from .parser import parse
 from .pdg import PDG, build_pdg
 from .source import SourceFile
 
-__all__ = ["CallSite", "CallGraph", "AnalyzedProgram", "analyze"]
+__all__ = ["CallSite", "CallGraph", "LazyCallGraph", "AnalyzedProgram",
+           "analyze", "ast_call_edges"]
+
+
+def ast_call_edges(unit: A.TranslationUnit) -> dict[str, list[str]]:
+    """Per-caller callee lists from a plain AST walk (defined-only).
+
+    The CFG (and therefore the PDG) is derived from the AST, so every
+    PDG-visible call site corresponds to an AST ``Call`` node: this
+    edge set is a *superset* of the analyzed call graph's edges.  That
+    makes it safe for invalidation/reachability questions (it can only
+    over-approximate) and cheap enough to compute without building a
+    single PDG — the property the incremental-scanning fingerprint
+    layer relies on.  Callee order follows AST pre-order; duplicates
+    are dropped.
+    """
+    defined = {fn.name for fn in unit.functions}
+    edges: dict[str, list[str]] = {}
+    for fn in unit.functions:
+        seen: list[str] = []
+        for node in A.walk(fn.body):
+            if isinstance(node, A.Call):
+                callee = node.callee_name
+                if callee in defined and callee not in seen:
+                    seen.append(callee)
+        edges[fn.name] = seen
+    return edges
 
 
 @dataclass(frozen=True)
@@ -57,8 +84,141 @@ class CallGraph:
     def sites_calling(self, callee: str) -> list[CallSite]:
         return [s for s in self.sites if s.callee == callee]
 
+    def sites_among(self, names: Iterable[str]) -> list[CallSite]:
+        """Call sites whose caller *and* callee are both in ``names``.
+
+        The gadget assembler orders a slice's functions from exactly
+        these edges; routing it through here (instead of iterating
+        :attr:`sites` directly) lets a :class:`LazyCallGraph` answer
+        without materializing sites for unrelated functions.
+        """
+        wanted = set(names)
+        return [s for s in self.sites
+                if s.caller in wanted and s.callee in wanted]
+
     def calls(self, caller: str, callee: str) -> bool:
         return self.graph.has_edge(caller, callee)
+
+    def transitive_callers(self, names: Iterable[str],
+                           depth: int) -> set[str]:
+        """``names`` plus every function reaching one of them through
+        at most ``depth`` call edges — the invalidation frontier of an
+        edit to ``names`` (an edited callee can change any bounded
+        caller's interprocedural slice)."""
+        result = {n for n in names if n in self.graph}
+        frontier = set(result)
+        for _ in range(max(0, depth)):
+            grown: set[str] = set()
+            for name in frontier:
+                grown |= self.callers(name)
+            grown -= result
+            if not grown:
+                break
+            result |= grown
+            frontier = grown
+        return result
+
+
+class _LazyPDGMap:
+    """Mapping facade that builds each function's PDG on first access.
+
+    Satisfies the (small) protocol the slicing layer uses on
+    ``AnalyzedProgram.pdgs`` — membership tests and item access — while
+    deferring ``build_pdg`` until a function is actually sliced.  A
+    warm incremental re-scan only touches the invalidated
+    neighbourhood, so most functions' PDGs are never built at all.
+    """
+
+    def __init__(self, unit: A.TranslationUnit):
+        self._defs = {fn.name: fn for fn in unit.functions}
+        self._built: dict[str, PDG] = {}
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._defs
+
+    def __getitem__(self, name: str) -> PDG:
+        pdg = self._built.get(name)
+        if pdg is None:
+            pdg = build_pdg(self._defs[name])
+            self._built[name] = pdg
+        return pdg
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._defs)
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def built_names(self) -> list[str]:
+        """Functions whose PDG has been materialized (diagnostics)."""
+        return sorted(self._built)
+
+
+class LazyCallGraph(CallGraph):
+    """Call graph whose :class:`CallSite` lists materialize on demand.
+
+    Edges (``callers`` / ``callees`` / ``calls`` / reachability) come
+    from :func:`ast_call_edges` at construction time — a safe superset
+    of the PDG-derived edges, built without any PDG.  Site queries
+    (``sites_in`` / ``sites_calling`` / ``sites_among``) materialize
+    the PDG-derived sites per caller, in the same per-caller blocks
+    and within-caller order the eager :func:`analyze` produces, so a
+    slice computed against a lazy graph visits functions in exactly
+    the eager order — the byte-parity property the incremental
+    extraction path pins.
+    """
+
+    def __init__(self, unit: A.TranslationUnit, pdgs: _LazyPDGMap):
+        super().__init__()
+        self._order = [fn.name for fn in unit.functions]
+        self._defined = set(self._order)
+        self._pdgs = pdgs
+        self._site_cache: dict[str, list[CallSite]] = {}
+        for name in self._order:
+            self.add_function(name)
+        for caller, callees in ast_call_edges(unit).items():
+            for callee in callees:
+                self.graph.add_edge(caller, callee)
+
+    def _sites_of(self, caller: str) -> list[CallSite]:
+        cached = self._site_cache.get(caller)
+        if cached is None:
+            pdg = self._pdgs[caller]
+            cached = [CallSite(caller, callee, node.id, node.line)
+                      for callee, nodes in pdg.calls_made().items()
+                      if callee in self._defined
+                      for node in nodes]
+            self._site_cache[caller] = cached
+        return cached
+
+    def sites_in(self, caller: str) -> list[CallSite]:
+        if caller not in self._defined:
+            return []
+        return list(self._sites_of(caller))
+
+    def sites_calling(self, callee: str) -> list[CallSite]:
+        out: list[CallSite] = []
+        for caller in self._order:
+            # AST edges over-approximate, so this only ever *builds*
+            # a PDG the eager path would have consulted anyway; a
+            # false edge just yields no matching sites below.
+            if self.graph.has_edge(caller, callee):
+                out.extend(s for s in self._sites_of(caller)
+                           if s.callee == callee)
+        return out
+
+    def sites_among(self, names: Iterable[str]) -> list[CallSite]:
+        wanted = set(names)
+        out: list[CallSite] = []
+        for caller in self._order:
+            if caller not in wanted:
+                continue
+            if not any(callee in wanted
+                       for callee in self.graph.successors(caller)):
+                continue
+            out.extend(s for s in self._sites_of(caller)
+                       if s.callee in wanted)
+        return out
 
 
 @dataclass
@@ -77,13 +237,34 @@ class AnalyzedProgram:
     def pdg(self, name: str) -> PDG:
         return self.pdgs[name]
 
-    def function_of_line(self, line: int) -> str | None:
-        """Name of the function whose body spans ``line``."""
+    def functions_of_line(self, line: int) -> list[str]:
+        """*All* functions whose span covers ``line``, in source order.
+
+        Function spans run from the signature line to the closing
+        brace, and adjacent functions can share a boundary line
+        (``} int next(void) {``) — a diff hunk touching that line must
+        invalidate both, which is why the incremental-scanning frontier
+        maps hunks through this (and not the single-winner
+        :meth:`function_of_line`).
+        """
+        owners: list[str] = []
         for fn in self.unit.functions:
             end = fn.body.end_line or fn.line
             if fn.line <= line <= end:
-                return fn.name
-        return None
+                owners.append(fn.name)
+        return owners
+
+    def function_of_line(self, line: int) -> str | None:
+        """Name of the function whose body spans ``line``.
+
+        On a boundary line shared by two functions (one's closing
+        brace, the next one's signature) the function that *starts*
+        there wins: any code on that line after the brace belongs to
+        it.  Previously the earlier function shadowed the later one,
+        which mis-attributed statements on shared lines.
+        """
+        owners = self.functions_of_line(line)
+        return owners[-1] if owners else None
 
     def node_at(self, function: str, line: int) -> CFGNode | None:
         """First statement node on ``line`` of ``function``."""
@@ -94,13 +275,26 @@ class AnalyzedProgram:
         return self.source.line(line).strip()
 
 
-def analyze(source_text: str, path: str = "<memory>") -> AnalyzedProgram:
+def analyze(source_text: str, path: str = "<memory>", *,
+            lazy: bool = False) -> AnalyzedProgram:
     """Parse and fully analyze C source text.
 
     Builds a PDG per function and the call graph between functions that
     are defined in the same translation unit.
+
+    With ``lazy=True`` only the parse happens up front: PDGs build on
+    first access (via ``program.pdgs[...]`` / ``program.pdg``) and the
+    call graph materializes its sites per caller on demand, in eager
+    order.  Slices computed either way are identical; lazy analysis
+    is what lets an incremental re-scan of a large file pay only for
+    its invalidated neighbourhood.
     """
     unit = parse(source_text)
+    if lazy:
+        pdgs = _LazyPDGMap(unit)
+        return AnalyzedProgram(SourceFile(path, source_text), unit,
+                               pdgs=pdgs,
+                               call_graph=LazyCallGraph(unit, pdgs))
     program = AnalyzedProgram(SourceFile(path, source_text), unit)
     defined = {f.name for f in unit.functions}
     for fn in unit.functions:

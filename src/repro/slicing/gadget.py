@@ -76,9 +76,8 @@ def order_functions(program: AnalyzedProgram,
     wanted = set(function_names)
     graph = nx.DiGraph()
     graph.add_nodes_from(wanted)
-    for site in program.call_graph.sites:
-        if site.caller in wanted and site.callee in wanted:
-            graph.add_edge(site.caller, site.callee)
+    for site in program.call_graph.sites_among(wanted):
+        graph.add_edge(site.caller, site.callee)
     source_order = {fn.name: index
                     for index, fn in enumerate(program.unit.functions)}
     try:

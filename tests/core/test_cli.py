@@ -199,3 +199,124 @@ class TestEndToEndSmoke:
                    for line in jsonl.read_text().splitlines()]
         assert {r["name"] for r in records} == \
             {str(target), str(clean)}
+
+
+BETA_SOURCE = """\
+int helper(int n) {
+    char buf[8];
+    buf[0] = n;
+    return buf[0] + 1;
+}
+int compute(int n) {
+    char out[8];
+    out[0] = helper(n);
+    return out[0];
+}
+"""
+
+
+class TestDiffAndWatchCli:
+    """`scan --diff` / `scan --watch` / streamed `--jsonl` surface."""
+
+    @pytest.fixture(scope="class")
+    def model(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("model") / "model.npz"
+        assert main(["train", "--cases", "60", "--nvd-cases", "0",
+                     "--seed", "3", "--out", str(path)]) == 0
+        return path
+
+    @staticmethod
+    def _tree(root, files):
+        for rel, text in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+        return root
+
+    def test_diff_two_trees(self, model, tmp_path, capsys):
+        base = self._tree(tmp_path / "base", {
+            "pkg/clean.c": BETA_SOURCE,
+            "pkg/stable.c": "int main() { int a = 1; return a; }\n"})
+        target = self._tree(tmp_path / "target", {
+            "pkg/clean.c": VULN_SOURCE,  # turns vulnerable
+            "pkg/stable.c": "int main() { int a = 1; return a; }\n"})
+        jsonl = tmp_path / "deltas.jsonl"
+        code = main(["scan", str(target), "--model", str(model),
+                     "--threshold", "0.5", "--diff", str(base),
+                     "--jsonl", str(jsonl)])
+        out = capsys.readouterr().out
+        assert code == 1  # a new finding gates the diff
+        assert "pkg/clean.c" in out
+        assert "1 changed file(s)" in out
+        import json as json_mod
+        records = [json_mod.loads(line)
+                   for line in jsonl.read_text().splitlines()]
+        assert [(r["event"], r["name"]) for r in records] == \
+            [("added", "pkg/clean.c")]
+
+    def test_diff_clean_edit_exits_zero(self, model, tmp_path,
+                                        capsys):
+        base = self._tree(tmp_path / "base",
+                          {"pkg/clean.c": BETA_SOURCE})
+        # an identifier rename: normalization maps it to the same
+        # canonical tokens, so the verdict stays clean while the
+        # fingerprints (and thus the frontier) move
+        target = self._tree(tmp_path / "target", {
+            "pkg/clean.c": BETA_SOURCE.replace("buf", "acc")})
+        code = main(["scan", str(target), "--model", str(model),
+                     "--threshold", "0.5", "--diff", str(base)])
+        out = capsys.readouterr().out
+        assert code == 0
+        # the frontier names the edited function and its caller
+        assert "re-slicing compute, helper" in out
+
+    def test_diff_names_file(self, model, tmp_path, capsys):
+        target = self._tree(tmp_path / "target", {
+            "pkg/vuln.c": VULN_SOURCE,
+            "pkg/clean.c": BETA_SOURCE})
+        names = tmp_path / "changed.txt"
+        names.write_text("pkg/vuln.c\npkg/gone.c\nREADME.md\n")
+        code = main(["scan", str(target), "--model", str(model),
+                     "--threshold", "0.5", "--diff", str(names)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "added: pkg/vuln.c" in out
+
+    def test_watch_bounded_polls(self, model, tmp_path, capsys):
+        root = self._tree(tmp_path / "tree",
+                          {"pkg/vuln.c": VULN_SOURCE})
+        jsonl = tmp_path / "deltas.jsonl"
+        code = main(["scan", str(root), "--model", str(model),
+                     "--threshold", "0.5", "--watch",
+                     "--max-polls", "2", "--interval", "0",
+                     "--jsonl", str(jsonl)])
+        out = capsys.readouterr().out
+        assert code == 0  # watch mode never gates
+        import json as json_mod
+        records = [json_mod.loads(line)
+                   for line in jsonl.read_text().splitlines()]
+        assert [(r["event"], r["name"]) for r in records] == \
+            [("added", "pkg/vuln.c")]
+        assert '"event": "added"' in out
+
+    def test_diff_and_watch_are_exclusive(self, tmp_path, capsys):
+        code = main(["scan", str(tmp_path), "--model", "m.npz",
+                     "--diff", str(tmp_path), "--watch"])
+        assert code == 2
+
+    def test_jsonl_bytes_stable_across_workers(self, model, tmp_path,
+                                               capsys):
+        tree = self._tree(tmp_path / "tree", {
+            "a.c": VULN_SOURCE, "b.c": BETA_SOURCE,
+            "c.c": "int main() { int a = 1; return a; }\n",
+            "d.c": VULN_SOURCE.replace("sink", "drain")})
+        outputs = []
+        for workers in ("1", "4", "4"):
+            jsonl = tmp_path / f"run{len(outputs)}.jsonl"
+            main(["scan", str(tree), "--model", str(model),
+                  "--threshold", "0.5", "--workers", workers,
+                  "--jsonl", str(jsonl)])
+            capsys.readouterr()
+            outputs.append(jsonl.read_bytes())
+        # input-ordered release: byte-identical at any worker count
+        assert outputs[0] == outputs[1] == outputs[2]

@@ -340,3 +340,117 @@ class TestLoadValidation:
         detector = SEVulDet(scale=TINY)
         with pytest.raises(ValueError, match="vocabulary"):
             detector.load(broken)
+
+
+class TestQuarantineRetry:
+    """The retry-after-N escape hatch and the --requarantine reset.
+
+    A quarantined case whose failure was environmental (load spike
+    tripping the timeout) deserves another chance: with
+    ``retry_after=N`` an entry stops matching after N skips, the case
+    is retried, and a clean pass *discharges* it from the list.  A
+    repeat failure re-quarantines it with a fresh skip budget.  The
+    default (``retry_after=None``) keeps the legacy skip-forever
+    behavior bit-for-bit.
+    """
+
+    def test_entry_expires_after_n_skips(self, corpus, tmp_path):
+        quarantine = Quarantine(tmp_path / "q.jsonl", retry_after=2)
+        quarantine.add(corpus[0], "timeout")
+        assert corpus[0] in quarantine
+        quarantine.note_skip(corpus[0])
+        assert corpus[0] in quarantine  # 1 of 2 skips spent
+        quarantine.note_skip(corpus[0])
+        assert corpus[0] not in quarantine  # budget spent: retry
+        assert quarantine.listed(corpus[0])  # but still on the books
+
+    def test_skip_budget_survives_reload(self, corpus, tmp_path):
+        path = tmp_path / "q.jsonl"
+        quarantine = Quarantine(path, retry_after=2)
+        quarantine.add(corpus[0], "timeout")
+        quarantine.note_skip(corpus[0])
+        reloaded = Quarantine(path, retry_after=2)
+        assert corpus[0] in reloaded
+        reloaded.note_skip(corpus[0])
+        assert corpus[0] not in reloaded
+
+    def test_readd_resets_the_budget(self, corpus, tmp_path):
+        quarantine = Quarantine(tmp_path / "q.jsonl", retry_after=1)
+        quarantine.add(corpus[0], "timeout")
+        quarantine.note_skip(corpus[0])
+        assert corpus[0] not in quarantine
+        # the retry failed again: re-quarantine with a fresh budget
+        assert quarantine.add(corpus[0], "timeout")
+        assert corpus[0] in quarantine
+
+    def test_discharge_clears_the_entry(self, corpus, tmp_path):
+        path = tmp_path / "q.jsonl"
+        quarantine = Quarantine(path, retry_after=1)
+        quarantine.add(corpus[0], "timeout")
+        quarantine.note_skip(corpus[0])
+        assert quarantine.discharge(corpus[0])
+        assert not quarantine.listed(corpus[0])
+        assert corpus[0] not in quarantine
+        # discharge replays from the op log
+        reloaded = Quarantine(path, retry_after=1)
+        assert not reloaded.listed(corpus[0])
+        assert not reloaded.discharge(corpus[0])  # already gone
+
+    def test_default_is_skip_forever(self, corpus, tmp_path):
+        quarantine = Quarantine(tmp_path / "q.jsonl")
+        quarantine.add(corpus[0], "timeout")
+        for _ in range(50):
+            quarantine.note_skip(corpus[0])
+        assert corpus[0] in quarantine
+
+    def test_reset_truncates(self, corpus, tmp_path):
+        path = tmp_path / "q.jsonl"
+        quarantine = Quarantine(path)
+        quarantine.add(corpus[0], "timeout")
+        quarantine.add(corpus[1], "crash")
+        assert quarantine.reset() == 2
+        assert len(quarantine) == 0
+        assert corpus[0] not in quarantine
+        assert path.read_text() == ""
+        assert len(Quarantine(path)) == 0
+
+    def test_retried_case_that_recovers_is_discharged(
+            self, corpus, tmp_path):
+        victim = corpus[4]
+        path = tmp_path / "q.jsonl"
+        quarantine = Quarantine(path, retry_after=1)
+        quarantine.add(victim, "timeout", "budget 0.5s")
+        # run 1: still quarantined -> skipped, burning the budget
+        telemetry = Telemetry()
+        result = extract_gadgets(corpus, quarantine=quarantine,
+                                 telemetry=telemetry)
+        assert result == extract_without(corpus, victim.name)
+        assert telemetry.get("quarantine_skips") == 1
+        # run 2: budget spent -> retried; the hang was environmental
+        # and is gone, so the case extracts and is discharged
+        telemetry = Telemetry()
+        result = extract_gadgets(corpus, quarantine=quarantine,
+                                 telemetry=telemetry)
+        assert result == extract_gadgets(corpus)
+        assert telemetry.get("quarantine_skips") in (None, 0)
+        assert telemetry.get("quarantine_discharges") == 1
+        assert not Quarantine(path).listed(victim)
+
+    def test_retried_case_that_still_hangs_is_requarantined(
+            self, corpus, tmp_path):
+        victim = corpus[4]
+        path = tmp_path / "q.jsonl"
+        quarantine = Quarantine(path, retry_after=1)
+        quarantine.add(victim, "timeout")
+        quarantine.note_skip(victim)  # budget spent: next run retries
+        telemetry = Telemetry()
+        with faults.injected(f"hang@case:{victim.name}:30"):
+            result = extract_gadgets(corpus, case_timeout=0.5,
+                                     quarantine=quarantine,
+                                     telemetry=telemetry)
+        assert result == extract_without(corpus, victim.name)
+        assert telemetry.get("case_timeouts") == 1
+        assert telemetry.get("quarantined_cases") == 1
+        # fresh budget: the immediate next run skips it again
+        reloaded = Quarantine(path, retry_after=1)
+        assert victim in reloaded
