@@ -1,14 +1,23 @@
 """Table II (RQ1) — does path semantics + flexible length help?
 
-Grid: {BLSTM, BGRU, SEVulDet-net} x {CG, PS-CG}.  Paper shape:
+Grid: {BLSTM, BGRU, SEVulDet-net} x {CG, PS-CG}, run as one benchmark
+matrix over the shared SARD+NVD corpus: each (network, kind) pair is a
+:class:`FrameworkDetector` row and the corpus is one
+:class:`FixedCorpusAdapter` column, so this file only asserts over
+matrix cells.  Paper shape:
 * PS-CG beats CG for every network (path semantics help);
 * the flexible-length SEVulDet network on PS-CG is the best cell
   (paper: A 97.3 / P 96.2 / F1 94.2).
+
+One cell (SEVulDet x PS-CG) is re-run through the pre-refactor
+``train_and_evaluate`` path and must match the matrix cell exactly —
+the refactor moved the wiring, not the numbers.
 """
 
-import pytest
-
+from repro.datasets.adapters import FixedCorpusAdapter
 from repro.eval.comparison import FRAMEWORKS, train_and_evaluate
+from repro.eval.detector import FrameworkDetector
+from repro.eval.matrix import MatrixRunner
 
 from conftest import run_once
 
@@ -26,18 +35,35 @@ PAPER = {
 }
 
 
+def _row_name(network: str, kind: str) -> str:
+    return f"{network}-{'PSCG' if kind == 'path-sensitive' else 'CG'}"
+
+
 def test_table2_rq1_path_semantics(benchmark, reporter, scale,
                                    train_cases, test_cases):
     def experiment():
-        results = {}
-        for network, kind in GRID:
-            metrics, _ = train_and_evaluate(
-                FRAMEWORKS[network], train_cases, test_cases, scale,
-                seed=17, gadget_kind=kind)
-            results[(network, kind)] = metrics
-        return results
+        detectors = [
+            FrameworkDetector(FRAMEWORKS[network], scale, seed=17,
+                              gadget_kind=kind,
+                              name=_row_name(network, kind))
+            for network, kind in GRID
+        ]
+        runner = MatrixRunner(
+            detectors,
+            [FixedCorpusAdapter("sard", train_cases, test_cases)],
+            baseline=_row_name("SEVulDet", "path-sensitive"),
+            seed=17, resamples=200)
+        return runner.run()
 
-    results = run_once(benchmark, experiment)
+    result = run_once(benchmark, experiment)
+
+    for cell in result.cells:
+        assert cell.ok, (cell.detector, cell.error)
+    results = {
+        (network, kind): result.cell(_row_name(network, kind),
+                                     "sard").metrics
+        for network, kind in GRID
+    }
 
     table = reporter("table2_rq1",
                      "Table II — RQ1: CG vs PS-CG across networks")
@@ -50,6 +76,13 @@ def test_table2_rq1_path_semantics(benchmark, reporter, scale,
                   **{k: row[k] for k in ("A(%)", "P(%)", "F1(%)")},
                   paper_A=paper_a, paper_P=paper_p, paper_F1=paper_f1)
     table.save_and_print()
+
+    # Parity gate: the matrix cell equals the pre-refactor serial path
+    # on the same seed, byte for byte.
+    legacy, _ = train_and_evaluate(
+        FRAMEWORKS["SEVulDet"], train_cases, test_cases, scale,
+        seed=17, gadget_kind="path-sensitive")
+    assert results[("SEVulDet", "path-sensitive")] == legacy
 
     # Shape 1: PS-CG >= CG on F1 for every network.
     for network in ("BLSTM", "BGRU", "SEVulDet"):

@@ -1,12 +1,17 @@
 """Table V (RQ3) — SEVulDet vs VulDeePecker vs SySeVR per category.
 
-Paper shape: SEVulDet's F1 exceeds the baselines in every category
-(FC/AU/PU/AE and All); single-type F1 >= all-type F1 for SEVulDet;
-VulDeePecker is evaluated on FC only.
+Each vulnerability category is one matrix column (a
+:class:`FixedCorpusAdapter` over its restricted corpus) and each
+framework one :class:`FrameworkDetector` row; VulDeePecker only rides
+the FC column, exactly as in the paper.  Paper shape: SEVulDet's F1
+exceeds the baselines in every category (FC/AU/PU/AE and All);
+single-type F1 >= all-type F1 for SEVulDet.
 """
 
+from repro.datasets.adapters import FixedCorpusAdapter
 from repro.datasets.sard import generate_sard_corpus
-from repro.eval.comparison import FRAMEWORKS, train_and_evaluate
+from repro.eval.detector import FrameworkDetector
+from repro.eval.matrix import MatrixRunner
 
 from conftest import run_once
 
@@ -27,6 +32,8 @@ RUNS = [
     ("SySeVR", "All"), ("SEVulDet", "All"),
 ]
 
+CATEGORIES = ("FC", "AU", "PU", "AE", "All")
+
 
 def _corpora(scale, category):
     # Single-category corpora yield fewer in-category gadgets per
@@ -42,17 +49,32 @@ def _corpora(scale, category):
 
 def test_table5_rq3_framework_comparison(benchmark, reporter, scale):
     def experiment():
-        results = {}
-        for framework, category in RUNS:
+        # One matrix per category column: the detector lineup differs
+        # (VulDeePecker is FC-only), so the grid is ragged.
+        cells = {}
+        for category in CATEGORIES:
             train, test = _corpora(scale, category)
             wanted = None if category == "All" else (category,)
-            metrics, _ = train_and_evaluate(
-                FRAMEWORKS[framework], train, test, scale, seed=29,
-                categories=wanted)
-            results[(framework, category)] = metrics
-        return results
+            frameworks = [f for f, c in RUNS if c == category]
+            detectors = [
+                FrameworkDetector(name, scale, seed=29,
+                                  categories=wanted)
+                for name in frameworks
+            ]
+            result = MatrixRunner(
+                detectors,
+                [FixedCorpusAdapter(f"sard-{category}", train, test)],
+                baseline="SySeVR", seed=29, resamples=200).run()
+            for framework in frameworks:
+                cells[(framework, category)] = result.cell(
+                    framework, f"sard-{category}")
+        return cells
 
-    results = run_once(benchmark, experiment)
+    cells = run_once(benchmark, experiment)
+
+    for key, cell in cells.items():
+        assert cell.ok, (key, cell.error)
+    results = {key: cell.metrics for key, cell in cells.items()}
 
     table = reporter("table5_rq3",
                      "Table V — RQ3: deep-learning framework comparison")
@@ -64,7 +86,7 @@ def test_table5_rq3_framework_comparison(benchmark, reporter, scale):
 
     # Shape 1: SEVulDet wins every category on F1 (small tolerance for
     # scaled-down training noise).
-    for category in ("FC", "AU", "PU", "AE", "All"):
+    for category in CATEGORIES:
         sevuldet = results[("SEVulDet", category)].f1
         sysevr = results[("SySeVR", category)].f1
         assert sevuldet >= sysevr - 0.02, (category, sevuldet, sysevr)

@@ -1,14 +1,18 @@
 """Table VI — real-world (Xen-like) corpus evaluation.
 
-Pre-trained frameworks applied to the harder Xen-flavoured corpus.
-Paper shape: every framework's precision drops sharply relative to the
-synthetic corpus (real software is harder: paper P = 51.6/60.0/62.7);
-the ordering VulDeePecker < SySeVR < SEVulDet on F1 holds
-(60.6 < 67.9 < 73.4).
+The three frameworks become one matrix column over the Xen-flavoured
+corpus (a :class:`FixedCorpusAdapter` wrapping the historical seeds),
+with bootstrap significance against VulDeePecker.  Paper shape: every
+framework's precision drops sharply relative to the synthetic corpus
+(real software is harder: paper P = 51.6/60.0/62.7); the ordering
+VulDeePecker < SySeVR < SEVulDet on F1 holds (60.6 < 67.9 < 73.4).
 """
 
+from repro.datasets.adapters import FixedCorpusAdapter
 from repro.datasets.xen import generate_xen_corpus
 from repro.eval.comparison import FRAMEWORKS, train_and_evaluate
+from repro.eval.detector import FrameworkDetector
+from repro.eval.matrix import MatrixRunner
 
 from conftest import run_once
 
@@ -19,19 +23,25 @@ PAPER = {"VulDeePecker": (4.3, 26.7, 94.3, 51.6, 60.6),
 
 def test_table6_realworld_xen(benchmark, reporter, scale, train_cases,
                               xen_train_cases):
-    def experiment():
-        xen = generate_xen_corpus(
-            max(scale.cases_per_experiment // 2, 30), seed=401)
-        training = train_cases + xen_train_cases
-        results = {}
-        for framework in ("VulDeePecker", "SySeVR", "SEVulDet"):
-            metrics, _ = train_and_evaluate(
-                FRAMEWORKS[framework], training, xen, scale,
-                seed=37)
-            results[framework] = metrics
-        return results
+    xen = generate_xen_corpus(
+        max(scale.cases_per_experiment // 2, 30), seed=401)
+    training = train_cases + xen_train_cases
 
-    results = run_once(benchmark, experiment)
+    def experiment():
+        detectors = [FrameworkDetector(name, scale, seed=37)
+                     for name in PAPER]
+        runner = MatrixRunner(
+            detectors,
+            [FixedCorpusAdapter("xen", training, xen)],
+            baseline="VulDeePecker", seed=37, resamples=200)
+        return runner.run()
+
+    result = run_once(benchmark, experiment)
+
+    for cell in result.cells:
+        assert cell.ok, (cell.detector, cell.error)
+    results = {name: result.cell(name, "xen").metrics
+               for name in PAPER}
 
     table = reporter("table6_realworld",
                      "Table VI — pre-trained frameworks on the "
@@ -44,6 +54,12 @@ def test_table6_realworld_xen(benchmark, reporter, scale, train_cases,
                   paper_A=paper[2], paper_P=paper[3],
                   paper_F1=paper[4])
     table.save_and_print()
+
+    # Parity gate: the SEVulDet cell equals the pre-refactor serial
+    # path on the same seed.
+    legacy, _ = train_and_evaluate(
+        FRAMEWORKS["SEVulDet"], training, xen, scale, seed=37)
+    assert results["SEVulDet"] == legacy
 
     # Shape: SEVulDet leads on F1; the full ordering holds with a
     # small tolerance for scaled-down noise.

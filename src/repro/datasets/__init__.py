@@ -1,14 +1,35 @@
-"""Synthetic corpora: SARD/NVD substitutes and Xen CVE miniatures."""
+"""Synthetic corpora: SARD/NVD substitutes, Xen CVE miniatures, and
+Juliet/CVEfixes-style corpora, plus the dataset-adapter protocol the
+benchmark matrix consumes them through."""
 
 from .manifest import TestCase
 from .cwe_templates import TEMPLATES, Template, generate_case, template_names
 from .sard import corpus_statistics, generate_sard_corpus
 from .nvd import generate_nvd_corpus
 from .xen import CVE_CASES, cve_2016_4453, cve_2016_9104, cve_2016_9776, generate_xen_corpus
+from .juliet import generate_juliet_corpus, juliet_layout
+from .cvefixes import cvefixes_layout, generate_cvefixes_corpus
+from .adapters import (
+    CVEFixesAdapter,
+    DatasetAdapter,
+    DatasetSplit,
+    FixedCorpusAdapter,
+    JulietAdapter,
+    NvdAdapter,
+    SardAdapter,
+    XenAdapter,
+    default_adapters,
+    derive_seed,
+)
 
 __all__ = [
     "TestCase", "TEMPLATES", "Template", "generate_case", "template_names",
     "corpus_statistics", "generate_sard_corpus", "generate_nvd_corpus",
     "CVE_CASES", "cve_2016_4453", "cve_2016_9104", "cve_2016_9776",
     "generate_xen_corpus",
+    "generate_juliet_corpus", "juliet_layout",
+    "generate_cvefixes_corpus", "cvefixes_layout",
+    "DatasetAdapter", "DatasetSplit", "derive_seed",
+    "SardAdapter", "NvdAdapter", "XenAdapter", "JulietAdapter",
+    "CVEFixesAdapter", "FixedCorpusAdapter", "default_adapters",
 ]

@@ -1,0 +1,257 @@
+"""Dataset adapters: one protocol over every corpus generator.
+
+The benchmark matrix (:mod:`repro.eval.matrix`) consumes datasets
+through a single small surface — :class:`DatasetAdapter` — so a new
+corpus becomes one adapter class instead of edits to every table
+script.  Each adapter owns its corpus sizing and split policy and maps
+one master seed to deterministic train/test splits:
+
+* the adapter derives *independent* sub-seeds for the train and test
+  generators from ``(seed, adapter name, role)`` via SHA-256, so
+  corpora never collide across adapters or roles even when the caller
+  reuses one master seed for the whole grid;
+* ``load(seed)`` twice yields byte-identical sources and labels
+  (pinned by ``tests/datasets/test_adapters.py``), which is what makes
+  ``BENCH_matrix.json`` regression-trackable.
+
+:class:`DatasetSplit` also exposes the per-CWE directory-style
+grouping that Juliet/CVEfixes layouts imply, for per-family drilldown.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from .cvefixes import generate_cvefixes_corpus
+from .juliet import generate_juliet_corpus
+from .manifest import TestCase
+from .nvd import generate_nvd_corpus
+from .sard import generate_sard_corpus
+from .xen import generate_xen_corpus
+
+__all__ = [
+    "DatasetAdapter", "DatasetSplit", "derive_seed",
+    "SardAdapter", "NvdAdapter", "XenAdapter", "JulietAdapter",
+    "CVEFixesAdapter", "FixedCorpusAdapter", "default_adapters",
+]
+
+
+def derive_seed(seed: int, *parts: str) -> int:
+    """A stable sub-seed from a master seed and a role path.
+
+    Uses SHA-256 (not Python's randomized ``hash``) so the derivation
+    is identical across processes and sessions — the determinism the
+    matrix's resume and regression tracking rely on.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(seed).encode("utf-8"))
+    for part in parts:
+        digest.update(b"\x00")
+        digest.update(part.encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big") % (2**31 - 1)
+
+
+@dataclass
+class DatasetSplit:
+    """One dataset's train/test split, as loaded for a single seed."""
+
+    name: str
+    train: list[TestCase]
+    test: list[TestCase] = field(default_factory=list)
+
+    def by_cwe(self) -> dict[str, list[TestCase]]:
+        """Group the *test* cases per CWE, directory-style.
+
+        Mirrors the one-directory-per-weakness layout of Juliet (and
+        of CVEfixes when re-filed by CWE): keys look like paths
+        (``<dataset>/CWE-121``) and each bucket holds that family's
+        cases, enabling per-family metric drilldowns.
+        """
+        groups: dict[str, list[TestCase]] = {}
+        for case in self.test:
+            groups.setdefault(f"{self.name}/{case.cwe}", []).append(case)
+        return groups
+
+    def summary(self) -> dict[str, object]:
+        """Sizing and balance facts for reports."""
+        vulnerable = sum(1 for case in self.test if case.vulnerable)
+        return {
+            "dataset": self.name,
+            "train_cases": len(self.train),
+            "test_cases": len(self.test),
+            "test_vulnerable": vulnerable,
+            "cwes": len(self.by_cwe()),
+        }
+
+
+@runtime_checkable
+class DatasetAdapter(Protocol):
+    """What the matrix needs from a dataset.
+
+    ``load(seed)`` must be a pure function of ``seed`` — same seed,
+    byte-identical corpus; different seed, different corpus.
+    """
+
+    name: str
+
+    def load(self, seed: int) -> DatasetSplit:
+        """Materialise the train/test split for ``seed``."""
+        ...
+
+
+@dataclass
+class SardAdapter:
+    """SARD-substitute corpus (the paper's main training ground)."""
+
+    train_count: int = 200
+    test_count: int = 100
+    categories: tuple[str, ...] | None = None
+    name: str = "sard"
+
+    def load(self, seed: int) -> DatasetSplit:
+        return DatasetSplit(
+            self.name,
+            train=generate_sard_corpus(
+                self.train_count,
+                seed=derive_seed(seed, self.name, "train"),
+                categories=self.categories),
+            test=generate_sard_corpus(
+                self.test_count,
+                seed=derive_seed(seed, self.name, "test"),
+                categories=self.categories))
+
+
+@dataclass
+class NvdAdapter:
+    """NVD-substitute corpus (skewed vulnerable fraction)."""
+
+    train_count: int = 200
+    test_count: int = 100
+    name: str = "nvd"
+
+    def load(self, seed: int) -> DatasetSplit:
+        return DatasetSplit(
+            self.name,
+            train=generate_nvd_corpus(
+                self.train_count,
+                seed=derive_seed(seed, self.name, "train")),
+            test=generate_nvd_corpus(
+                self.test_count,
+                seed=derive_seed(seed, self.name, "test")))
+
+
+@dataclass
+class XenAdapter:
+    """Real-world-style corpus: train on Xen template cases, test on a
+    disjoint Xen draw that includes the three CVE miniatures.
+
+    The CVE miniatures are seed-independent and lead every generated
+    Xen corpus, so the train side strips them — the whole point of the
+    RQ3/RQ4 setting is that the detector has never seen the CVEs.
+    """
+
+    train_count: int = 120
+    test_count: int = 60
+    name: str = "xen"
+
+    def load(self, seed: int) -> DatasetSplit:
+        train = [
+            case for case in generate_xen_corpus(
+                self.train_count + 6,
+                seed=derive_seed(seed, self.name, "train"))
+            if "cve" not in case.meta
+        ]
+        test = generate_xen_corpus(
+            self.test_count, seed=derive_seed(seed, self.name, "test"))
+        return DatasetSplit(self.name, train=train, test=test)
+
+
+@dataclass
+class JulietAdapter:
+    """Juliet-style paired bad/good corpus (see datasets/juliet.py)."""
+
+    train_count: int = 200
+    test_count: int = 100
+    categories: tuple[str, ...] | None = None
+    name: str = "juliet"
+
+    def load(self, seed: int) -> DatasetSplit:
+        return DatasetSplit(
+            self.name,
+            train=generate_juliet_corpus(
+                self.train_count,
+                seed=derive_seed(seed, self.name, "train"),
+                categories=self.categories),
+            test=generate_juliet_corpus(
+                self.test_count,
+                seed=derive_seed(seed, self.name, "test"),
+                categories=self.categories))
+
+
+@dataclass
+class CVEFixesAdapter:
+    """CVEfixes-style pre/post fix-commit corpus."""
+
+    train_count: int = 200
+    test_count: int = 100
+    vulnerable_fraction: float = 0.5
+    name: str = "cvefixes"
+
+    def load(self, seed: int) -> DatasetSplit:
+        return DatasetSplit(
+            self.name,
+            train=generate_cvefixes_corpus(
+                self.train_count,
+                seed=derive_seed(seed, self.name, "train"),
+                vulnerable_fraction=self.vulnerable_fraction),
+            test=generate_cvefixes_corpus(
+                self.test_count,
+                seed=derive_seed(seed, self.name, "test"),
+                vulnerable_fraction=self.vulnerable_fraction))
+
+
+@dataclass
+class FixedCorpusAdapter:
+    """Wrap pre-built case lists (ignores the seed).
+
+    Lets the table benchmarks feed their existing session corpora —
+    generated with the historical seeds — through the matrix unchanged,
+    which is what makes exact metric parity with the pre-refactor
+    ad-hoc paths checkable.
+    """
+
+    name: str
+    train: list[TestCase]
+    test: list[TestCase]
+
+    def load(self, seed: int) -> DatasetSplit:  # noqa: ARG002
+        return DatasetSplit(self.name, train=list(self.train),
+                            test=list(self.test))
+
+
+def default_adapters(
+    train_count: int | None = None,
+    test_count: int | None = None,
+) -> dict[str, DatasetAdapter]:
+    """The standard adapter registry, keyed by dataset name.
+
+    Counts default to the active scale preset (train = the preset's
+    ``cases_per_experiment``, test = half of it).
+    """
+    from ..core.config import current_scale
+
+    scale = current_scale()
+    train = train_count if train_count is not None \
+        else scale.cases_per_experiment
+    test = test_count if test_count is not None \
+        else max(scale.cases_per_experiment // 2, 20)
+    adapters: tuple[DatasetAdapter, ...] = (
+        SardAdapter(train, test),
+        NvdAdapter(train, test),
+        XenAdapter(max(train // 2, 30), max(test // 2, 20)),
+        JulietAdapter(train, test),
+        CVEFixesAdapter(train, test),
+    )
+    return {adapter.name: adapter for adapter in adapters}

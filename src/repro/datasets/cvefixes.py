@@ -1,0 +1,95 @@
+"""CVEfixes-style synthetic corpus: pre/post fix-commit pairs.
+
+The CVEfixes dataset mines vulnerability-fixing commits from real
+projects and keeps, for every CVE, the file *before* the fix commit
+(vulnerable) and *after* it (patched), keyed by CVE id and commit
+hash.  :func:`generate_cvefixes_corpus` reproduces that shape from the
+CWE templates: each logical entry is a fix commit — a synthetic CVE id,
+a deterministic commit hash, and a pre/post pair generated from one
+seed so the two sides differ only where the template's flaw lives.
+
+Compared to the Juliet-style corpus the framing is commit-centric
+(``cvefixes/CVE-2019-10023/3f41c9a1/pre/driver.c``) and the class
+balance is configurable, mirroring the skew of mined real-world data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from .cwe_templates import TEMPLATES, Template, generate_case
+from .manifest import TestCase
+
+__all__ = ["generate_cvefixes_corpus", "cvefixes_layout"]
+
+
+def _commit_hash(cve: str, seed: int) -> str:
+    digest = hashlib.sha1(f"{cve}:{seed}".encode("utf-8"))
+    return digest.hexdigest()[:8]
+
+
+def generate_cvefixes_corpus(
+    count: int,
+    seed: int = 0,
+    vulnerable_fraction: float = 0.5,
+    categories: tuple[str, ...] | None = None,
+) -> list[TestCase]:
+    """Generate ``count`` cases as pre/post sides of synthetic fixes.
+
+    Args:
+        count: total number of programs emitted.
+        seed: master seed; commit i derives seed*74_507 + i.
+        vulnerable_fraction: fraction of emitted cases that are the
+            ``pre`` (vulnerable) side.  CVEfixes-style corpora are
+            commonly consumed unpaired — a model sees the pre side of
+            one commit and the post side of another — so the two sides
+            of each commit alternate rather than always shipping
+            together.
+        categories: restrict template families ('FC'/'AU'/'PU'/'AE').
+
+    Case names follow the mined-commit layout:
+    ``cvefixes/CVE-2019-10023/3f41c9a1/pre/strcpy_stack_overflow.c``.
+    """
+    pool: list[Template] = [
+        template for template in TEMPLATES
+        if categories is None or template.category in categories
+    ]
+    if not pool:
+        raise ValueError(f"no templates for categories {categories!r}")
+    rng = np.random.default_rng(seed ^ 0xC0FE)
+    cases: list[TestCase] = []
+    vulnerable_budget = 0.0
+    for index in range(count):
+        commit_seed = seed * 74_507 + index
+        template = pool[int(rng.integers(0, len(pool)))]
+        # Error-diffusion keeps the realised fraction within one case
+        # of the requested one at every prefix length.
+        vulnerable_budget += vulnerable_fraction
+        vulnerable = vulnerable_budget >= 1.0
+        if vulnerable:
+            vulnerable_budget -= 1.0
+        year = 2014 + int(rng.integers(0, 9))
+        cve = f"CVE-{year}-{10_000 + int(rng.integers(0, 80_000))}"
+        side = "pre" if vulnerable else "post"
+        commit = _commit_hash(cve, commit_seed)
+        case = generate_case(
+            template, vulnerable=vulnerable, seed=commit_seed,
+            origin="cvefixes",
+            case_name=(f"cvefixes/{cve}/{commit}/{side}/"
+                       f"{template.name}.c"))
+        case.meta["cve"] = cve
+        case.meta["commit"] = commit
+        case.meta["side"] = side
+        cases.append(case)
+    return cases
+
+
+def cvefixes_layout(cases: list[TestCase]) -> dict[str, list[TestCase]]:
+    """Group cases by CVE directory (``cvefixes/CVE-2019-10023``)."""
+    layout: dict[str, list[TestCase]] = {}
+    for case in cases:
+        directory = "/".join(case.name.split("/")[:2])
+        layout.setdefault(directory, []).append(case)
+    return layout

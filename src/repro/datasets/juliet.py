@@ -1,0 +1,89 @@
+"""Juliet-style synthetic corpus: paired bad/good cases per CWE.
+
+NIST's Juliet test suite organises C test cases as one directory per
+CWE (``CWE121_Stack_Based_Buffer_Overflow/...``), each test case id
+shipping a ``bad`` function and one or more ``good`` counterparts that
+share the same surrounding code shape.  :func:`generate_juliet_corpus`
+reproduces that structure from the CWE templates: every logical test
+case is a *pair* — the flaw variant and the patched variant generated
+from the same seed, so they share identifier names, buffer sizes, and
+noise — filed under a per-CWE directory path.
+
+This differs from the SARD substitute (:mod:`repro.datasets.sard`) in
+two ways that matter to detectors: the corpus is exactly 50%
+vulnerable by construction (paired variants), and each pair's variants
+are near-clones — telling them apart requires the flaw itself, not
+distributional shortcuts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cwe_templates import TEMPLATES, Template, generate_case
+from .manifest import TestCase
+
+__all__ = ["generate_juliet_corpus", "juliet_layout"]
+
+
+def generate_juliet_corpus(
+    count: int,
+    seed: int = 0,
+    categories: tuple[str, ...] | None = None,
+) -> list[TestCase]:
+    """Generate ``count`` Juliet-style cases (``count // 2`` pairs).
+
+    Args:
+        count: number of programs; odd counts are rounded down to the
+            nearest full bad/good pair.
+        seed: master seed (pair i derives seed*52361 + i).
+        categories: restrict template families to these special-token
+            categories ('FC', 'AU', 'PU', 'AE').
+
+    Each pair shares one generation seed: the bad and good variants of
+    a pair differ only where the template's flaw lives.  Case names
+    follow Juliet's per-CWE directory layout, e.g.
+    ``juliet/CWE-121/strcpy_stack_overflow__314_bad.c``.
+    """
+    pool: list[Template] = [
+        template for template in TEMPLATES
+        if categories is None or template.category in categories
+    ]
+    if not pool:
+        raise ValueError(f"no templates for categories {categories!r}")
+    rng = np.random.default_rng(seed ^ 0x30C1)
+    cases: list[TestCase] = []
+    pairs = count // 2
+    # Round-robin over templates (shuffled per cycle) so every CWE
+    # family is covered before any repeats — Juliet's exhaustive
+    # per-CWE coverage, not a uniform draw.
+    order: list[int] = []
+    for index in range(pairs):
+        if not order:
+            order = [int(i) for i in rng.permutation(len(pool))]
+        template = pool[order.pop()]
+        pair_seed = seed * 52_361 + index
+        for vulnerable in (True, False):
+            suffix = "bad" if vulnerable else "good"
+            case = generate_case(
+                template, vulnerable=vulnerable, seed=pair_seed,
+                origin="juliet",
+                case_name=(f"juliet/{template.cwe}/"
+                           f"{template.name}__{pair_seed}_{suffix}.c"))
+            case.meta["juliet_pair"] = index
+            case.meta["variant"] = suffix
+            cases.append(case)
+    return cases
+
+
+def juliet_layout(cases: list[TestCase]) -> dict[str, list[TestCase]]:
+    """Group cases by their per-CWE directory (``juliet/CWE-121``).
+
+    Mirrors how the Juliet tree (and UTSV-style preprocessed corpora)
+    keep one directory per weakness class.
+    """
+    layout: dict[str, list[TestCase]] = {}
+    for case in cases:
+        directory = "/".join(case.name.split("/")[:2])
+        layout.setdefault(directory, []).append(case)
+    return layout

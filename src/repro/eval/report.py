@@ -2,14 +2,43 @@
 
 Used by the benchmark suite to persist every regenerated paper table
 under ``benchmarks/results/``, and available to library users for
-their own experiment scripts.
+their own experiment scripts.  All writes are atomic (temp file +
+``os.replace``) so an interrupted run can never leave a torn artifact
+that a later resume-style read trusts.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path
 
-__all__ = ["Table"]
+__all__ = ["Table", "atomic_write_text"]
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically.
+
+    The payload lands in a temp file in the same directory first and
+    is moved into place with ``os.replace``, so readers only ever see
+    the old content or the complete new content — never a torn write
+    from an interrupted run.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+            tmp.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 class Table:
@@ -32,11 +61,20 @@ class Table:
         """Append one row; column order follows the first row."""
         self.rows.append(row)
 
+    def _headers(self) -> list[str]:
+        """First-row column order, extended by later-only columns."""
+        headers = list(self.rows[0])
+        for row in self.rows[1:]:
+            for key in row:
+                if key not in headers:
+                    headers.append(key)
+        return headers
+
     def render(self) -> str:
         """The aligned table as text (title + header + rows)."""
         if not self.rows:
             return f"{self.title}\n(no rows)\n"
-        headers = list(self.rows[0])
+        headers = self._headers()
         widths = {
             header: max(len(str(header)),
                         *(len(str(row.get(header, "")))
@@ -53,10 +91,31 @@ class Table:
                 str(row.get(h, "")).ljust(widths[h]) for h in headers))
         return "\n".join(lines) + "\n"
 
+    def markdown(self) -> str:
+        """GitHub-flavored markdown rendering (title + pipe table)."""
+        if not self.rows:
+            return f"## {self.title}\n\n(no rows)\n"
+        headers = self._headers()
+        lines = [
+            f"## {self.title}",
+            "",
+            "| " + " | ".join(str(h) for h in headers) + " |",
+            "|" + "|".join("---" for _ in headers) + "|",
+        ]
+        for row in self.rows:
+            lines.append("| " + " | ".join(
+                str(row.get(h, "")) for h in headers) + " |")
+        return "\n".join(lines) + "\n"
+
     def save(self, directory: str | Path) -> Path:
-        """Write ``<directory>/<name>.txt``; returns the path."""
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        path = directory / f"{self.name}.txt"
-        path.write_text(self.render())
-        return path
+        """Atomically write ``<directory>/<name>.txt``; returns the
+        path.  An interrupted run leaves either the previous artifact
+        or the complete new one, never a truncated file."""
+        return atomic_write_text(
+            Path(directory) / f"{self.name}.txt", self.render())
+
+    def save_markdown(self, directory: str | Path) -> Path:
+        """Atomically write ``<directory>/<name>.md``; returns the
+        path."""
+        return atomic_write_text(
+            Path(directory) / f"{self.name}.md", self.markdown())

@@ -82,6 +82,16 @@ def paired_bootstrap(
     pred_b = (b >= threshold).astype(int)
     point_a = _f1(pred_a, y)
     point_b = _f1(pred_b, y)
+    observed = point_a - point_b
+
+    if resamples <= 0:
+        # No resampling evidence: the point deltas stand, but nothing
+        # can be called significant (the CI is pinned to include 0 and
+        # the p-value to 1), instead of crashing on empty percentiles.
+        return BootstrapComparison(
+            f1_a=point_a, f1_b=point_b, delta=observed,
+            p_value=1.0, wins=0.0,
+            ci_low=min(observed, 0.0), ci_high=max(observed, 0.0))
 
     rng = np.random.default_rng(seed)
     deltas = np.empty(resamples)
@@ -94,7 +104,6 @@ def paired_bootstrap(
         if fa > fb:
             wins += 1
     ci_low, ci_high = np.percentile(deltas, [2.5, 97.5])
-    observed = point_a - point_b
     # Two-sided p-value: how often the centred bootstrap distribution
     # is at least as extreme as the observed delta.
     centred = deltas - deltas.mean()

@@ -1,0 +1,158 @@
+"""Dataset-adapter protocol tests: determinism, splits, layouts.
+
+The byte-identical-per-seed contract pinned here is what makes
+``benchmarks/results/BENCH_matrix.json`` regression-trackable: a
+matrix rerun on the same seed must see the same corpus.
+"""
+
+import pytest
+
+from repro.datasets.adapters import (CVEFixesAdapter, DatasetAdapter,
+                                     DatasetSplit, FixedCorpusAdapter,
+                                     JulietAdapter, NvdAdapter,
+                                     SardAdapter, XenAdapter,
+                                     default_adapters, derive_seed)
+from repro.datasets.cvefixes import (cvefixes_layout,
+                                     generate_cvefixes_corpus)
+from repro.datasets.juliet import generate_juliet_corpus, juliet_layout
+from repro.datasets.sard import generate_sard_corpus
+
+ADAPTERS = [
+    SardAdapter(24, 12),
+    NvdAdapter(24, 12),
+    XenAdapter(20, 12),
+    JulietAdapter(24, 12),
+    CVEFixesAdapter(24, 12),
+]
+
+
+def fingerprint(split: DatasetSplit) -> list[tuple]:
+    return [(case.name, case.source, case.vulnerable, case.cwe,
+             tuple(sorted(case.vulnerable_lines)))
+            for case in (*split.train, *split.test)]
+
+
+@pytest.mark.parametrize("adapter", ADAPTERS,
+                         ids=lambda a: a.name)
+class TestAdapterDeterminism:
+    def test_same_seed_byte_identical(self, adapter):
+        assert fingerprint(adapter.load(11)) == \
+            fingerprint(adapter.load(11))
+
+    def test_different_seeds_differ(self, adapter):
+        assert fingerprint(adapter.load(11)) != \
+            fingerprint(adapter.load(12))
+
+    def test_protocol_conformance(self, adapter):
+        assert isinstance(adapter, DatasetAdapter)
+        split = adapter.load(3)
+        assert split.name == adapter.name
+        assert split.train and split.test
+
+    def test_train_test_disjoint_names(self, adapter):
+        split = adapter.load(5)
+        train_names = {case.name for case in split.train}
+        test_names = {case.name for case in split.test}
+        assert not train_names & test_names
+
+    def test_by_cwe_covers_all_test_cases(self, adapter):
+        split = adapter.load(5)
+        groups = split.by_cwe()
+        assert sum(len(bucket) for bucket in groups.values()) == \
+            len(split.test)
+        for key in groups:
+            assert key.startswith(f"{adapter.name}/CWE-")
+
+
+class TestDeriveSeed:
+    def test_stable_and_distinct(self):
+        assert derive_seed(7, "sard", "train") == \
+            derive_seed(7, "sard", "train")
+        assert derive_seed(7, "sard", "train") != \
+            derive_seed(7, "sard", "test")
+        assert derive_seed(7, "sard", "train") != \
+            derive_seed(8, "sard", "train")
+
+    def test_not_part_concatenation_sensitive(self):
+        # ('ab', 'c') and ('a', 'bc') must derive different seeds
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+
+class TestFixedCorpusAdapter:
+    def test_ignores_seed_and_copies(self):
+        train = generate_sard_corpus(6, seed=1)
+        test = generate_sard_corpus(4, seed=2)
+        adapter = FixedCorpusAdapter("fixed", train, test)
+        one, two = adapter.load(1), adapter.load(99)
+        assert fingerprint(one) == fingerprint(two)
+        one.train.append(test[0])  # mutating a split leaks nowhere
+        assert len(adapter.load(1).train) == 6
+
+
+class TestJulietCorpus:
+    def test_paired_bad_good(self):
+        cases = generate_juliet_corpus(20, seed=3)
+        assert len(cases) == 20
+        pairs = {}
+        for case in cases:
+            pairs.setdefault(case.meta["juliet_pair"], []).append(case)
+        for members in pairs.values():
+            assert sorted(c.meta["variant"] for c in members) == \
+                ["bad", "good"]
+            flags = {c.meta["variant"]: c.vulnerable for c in members}
+            assert flags == {"bad": True, "good": False}
+
+    def test_per_cwe_directory_names(self):
+        cases = generate_juliet_corpus(12, seed=4)
+        for case in cases:
+            parts = case.name.split("/")
+            assert parts[0] == "juliet"
+            assert parts[1].startswith("CWE-")
+            assert case.origin == "juliet"
+        layout = juliet_layout(cases)
+        assert all(key.startswith("juliet/CWE-") for key in layout)
+        assert sum(len(v) for v in layout.values()) == len(cases)
+
+    def test_category_restriction(self):
+        cases = generate_juliet_corpus(10, seed=5, categories=("FC",))
+        assert all(case.category == "FC" for case in cases)
+        with pytest.raises(ValueError):
+            generate_juliet_corpus(10, seed=5, categories=("nope",))
+
+
+class TestCVEFixesCorpus:
+    def test_commit_layout_and_sides(self):
+        cases = generate_cvefixes_corpus(30, seed=6)
+        assert len(cases) == 30
+        for case in cases:
+            parts = case.name.split("/")
+            assert parts[0] == "cvefixes"
+            assert parts[1].startswith("CVE-")
+            assert len(parts[2]) == 8  # commit hash prefix
+            assert parts[3] == ("pre" if case.vulnerable else "post")
+            assert case.origin == "cvefixes"
+        layout = cvefixes_layout(cases)
+        assert all(key.startswith("cvefixes/CVE-") for key in layout)
+
+    def test_vulnerable_fraction_respected(self):
+        cases = generate_cvefixes_corpus(40, seed=7,
+                                         vulnerable_fraction=0.25)
+        vulnerable = sum(case.vulnerable for case in cases)
+        assert vulnerable == 10  # error diffusion makes this exact
+
+
+def test_default_adapters_registry():
+    adapters = default_adapters(20, 10)
+    assert set(adapters) >= {"sard", "nvd", "xen", "juliet",
+                             "cvefixes"}
+    for name, adapter in adapters.items():
+        assert adapter.name == name
+
+
+def test_xen_adapter_holds_out_cves():
+    adapter = XenAdapter(20, 12)
+    split = adapter.load(9)
+    assert all("cve" not in case.meta for case in split.train)
+    test_cves = {case.meta.get("cve") for case in split.test}
+    assert {"CVE-2016-9776", "CVE-2016-4453",
+            "CVE-2016-9104"} <= test_cves

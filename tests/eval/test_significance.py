@@ -65,3 +65,66 @@ class TestPairedBootstrap:
         two = paired_bootstrap(scores_a, scores_b, labels,
                                resamples=200, seed=7)
         assert one == two
+
+
+class TestDegenerateInputs:
+    """The edge cases the matrix runner hits on small smoke corpora."""
+
+    def test_identical_vectors_delta_zero_p_one(self):
+        scores = [0.9, 0.1, 0.8, 0.2, 0.7, 0.3]
+        labels = [1, 0, 1, 0, 1, 0]
+        result = paired_bootstrap(scores, scores, labels,
+                                  resamples=200, seed=4)
+        assert result.delta == 0.0
+        assert result.f1_a == result.f1_b
+        # every centred resample is "at least as extreme" as 0
+        assert result.p_value >= 0.95
+        assert result.wins == 0.0
+        assert not result.significant
+
+    def test_single_class_labels(self):
+        # all-positive labels: FPR denominators vanish inside every
+        # resample; must not raise and must not call itself significant
+        # when the systems agree
+        scores = [1.0, 1.0, 0.0, 1.0]
+        labels = [1, 1, 1, 1]
+        result = paired_bootstrap(scores, scores, labels,
+                                  resamples=100, seed=5)
+        assert result.delta == 0.0
+        assert not result.significant
+
+    def test_single_class_all_negative(self):
+        scores_a = [0.0, 0.0, 0.0]
+        scores_b = [1.0, 0.0, 0.0]
+        labels = [0, 0, 0]
+        result = paired_bootstrap(scores_a, scores_b, labels,
+                                  resamples=100, seed=6)
+        # both F1s are 0 on an all-negative set
+        assert result.f1_a == result.f1_b == 0.0
+        assert result.delta == 0.0
+
+    def test_zero_resamples_degrades_to_point_estimates(self):
+        scores_a = [0.9, 0.9, 0.1, 0.1]
+        scores_b = [0.9, 0.1, 0.1, 0.9]
+        labels = [1, 1, 0, 0]
+        result = paired_bootstrap(scores_a, scores_b, labels,
+                                  resamples=0, seed=7)
+        assert result.delta == result.f1_a - result.f1_b
+        assert result.p_value == 1.0
+        assert result.wins == 0.0
+        # CI pinned to include 0 so nothing is ever "significant"
+        assert result.ci_low <= 0.0 <= result.ci_high
+        assert not result.significant
+
+    def test_negative_resamples_treated_as_zero(self):
+        result = paired_bootstrap([1.0], [0.0], [1],
+                                  resamples=-5, seed=8)
+        assert result.p_value == 1.0
+        assert not result.significant
+
+    def test_tiny_n_single_sample(self):
+        result = paired_bootstrap([0.9], [0.1], [1],
+                                  resamples=50, seed=9)
+        assert result.f1_a == 1.0
+        assert result.f1_b == 0.0
+        assert result.ci_low <= result.ci_high
